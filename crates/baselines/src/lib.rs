@@ -1,0 +1,23 @@
+//! # s2-baselines
+//!
+//! The two baseline verifiers S2 is compared against in §5:
+//!
+//! * [`batfish`] — a monolithic, single-"server" simulator + DPV using the
+//!   *same* switch models as S2 (the Batfish role). Supports optional
+//!   prefix sharding (the paper's "Batfish + prefix sharding" variant in
+//!   Fig. 4) and a per-run memory budget that reproduces the JVM `-Xmx`
+//!   out-of-memory behaviour at scaled-down thresholds.
+//! * [`bonsai`] — a destination-based control-plane compression baseline
+//!   (the Bonsai role): for each destination prefix of a FatTree it
+//!   verifies a 6-node quotient network, parallelized over destinations.
+
+#![deny(missing_docs)]
+
+pub mod batfish;
+pub mod bonsai;
+
+pub use batfish::{
+    run_dpv, simulate_control_plane, verify, BaselineReport, CpStats, DpvReport,
+    MonolithicOptions,
+};
+pub use bonsai::{verify_fattree as bonsai_verify_fattree, BonsaiReport};

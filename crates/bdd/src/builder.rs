@@ -1,0 +1,186 @@
+//! Bit-vector encodings: prefixes, exact values and integer ranges.
+//!
+//! The data plane represents a packet header as a block of Boolean
+//! variables (most significant bit first). These helpers build the BDDs
+//! matching "field == value", "field in [lo, hi]" and "address matches
+//! prefix", which is everything FIB rules and ACLs need.
+
+use crate::manager::{Bdd, BddManager};
+
+impl BddManager {
+    /// BDD for "the `width`-bit field starting at variable `offset` equals
+    /// `value`" (most significant bit at `offset`).
+    pub fn encode_eq(&mut self, offset: u16, width: u16, value: u64) -> Bdd {
+        debug_assert!(width <= 64);
+        let mut acc = Bdd::TRUE;
+        // Build from the least significant bit up so the conjunction
+        // grows bottom-up along the variable order (linear-size result).
+        for i in (0..width).rev() {
+            let bit = (value >> (width - 1 - i)) & 1 == 1;
+            let var = offset + i;
+            let lit = if bit { self.var(var) } else { self.nvar(var) };
+            acc = self.and(lit, acc);
+        }
+        acc
+    }
+
+    /// BDD for "the 32-bit address field starting at `offset` lies in the
+    /// prefix `addr/len`": the first `len` bits are fixed, the rest free.
+    pub fn encode_prefix(&mut self, offset: u16, addr: u32, len: u8) -> Bdd {
+        debug_assert!(len <= 32);
+        let mut acc = Bdd::TRUE;
+        for i in (0..len as u16).rev() {
+            let bit = (addr >> (31 - i)) & 1 == 1;
+            let var = offset + i;
+            let lit = if bit { self.var(var) } else { self.nvar(var) };
+            acc = self.and(lit, acc);
+        }
+        acc
+    }
+
+    /// BDD for "the `width`-bit field starting at `offset` is ≤ `bound`".
+    pub fn encode_le(&mut self, offset: u16, width: u16, bound: u64) -> Bdd {
+        debug_assert!(width <= 64);
+        // Walk bits from least significant to most significant, building
+        // "suffix ≤ bound-suffix" bottom-up.
+        let mut acc = Bdd::TRUE;
+        for i in (0..width).rev() {
+            let var = offset + i;
+            let bit = (bound >> (width - 1 - i)) & 1 == 1;
+            let v = self.var(var);
+            let nv = self.nvar(var);
+            acc = if bit {
+                // field bit 0 ⇒ anything below; field bit 1 ⇒ suffix must
+                // still be ≤.
+                let hi_branch = self.and(v, acc);
+                self.or(nv, hi_branch)
+            } else {
+                // field bit must be 0 and suffix ≤.
+                self.and(nv, acc)
+            };
+        }
+        acc
+    }
+
+    /// BDD for "the `width`-bit field starting at `offset` is ≥ `bound`".
+    pub fn encode_ge(&mut self, offset: u16, width: u16, bound: u64) -> Bdd {
+        debug_assert!(width <= 64);
+        let mut acc = Bdd::TRUE;
+        for i in (0..width).rev() {
+            let var = offset + i;
+            let bit = (bound >> (width - 1 - i)) & 1 == 1;
+            let v = self.var(var);
+            let nv = self.nvar(var);
+            acc = if bit {
+                self.and(v, acc)
+            } else {
+                let lo_branch = self.and(nv, acc);
+                self.or(v, lo_branch)
+            };
+        }
+        acc
+    }
+
+    /// BDD for "the `width`-bit field starting at `offset` lies in
+    /// `[lo, hi]`" (inclusive). Returns FALSE for an empty range.
+    pub fn encode_range(&mut self, offset: u16, width: u16, lo: u64, hi: u64) -> Bdd {
+        if lo > hi {
+            return Bdd::FALSE;
+        }
+        let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        if lo == 0 && hi >= max {
+            return Bdd::TRUE;
+        }
+        let ge = self.encode_ge(offset, width, lo);
+        let le = self.encode_le(offset, width, hi);
+        self.and(ge, le)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Evaluates `f` treating variables `[offset, offset+width)` as a big-
+    /// endian integer `value`, all other variables false.
+    fn eval_field(m: &BddManager, f: Bdd, offset: u16, width: u16, value: u64) -> bool {
+        let mut assign = vec![false; m.num_vars() as usize];
+        for i in 0..width {
+            assign[(offset + i) as usize] = (value >> (width - 1 - i)) & 1 == 1;
+        }
+        m.eval(f, &assign)
+    }
+
+    #[test]
+    fn eq_matches_exactly() {
+        let mut m = BddManager::new(16);
+        let f = m.encode_eq(4, 8, 0xAB);
+        for v in 0..=255u64 {
+            assert_eq!(eval_field(&m, f, 4, 8, v), v == 0xAB);
+        }
+        assert_eq!(m.sat_count(f), 1 << 8); // 8 free vars outside the field
+    }
+
+    #[test]
+    fn prefix_fixes_leading_bits() {
+        let mut m = BddManager::new(32);
+        // 10.0.0.0/8
+        let f = m.encode_prefix(0, 0x0A000000, 8);
+        assert!(eval_field(&m, f, 0, 32, 0x0A012345));
+        assert!(!eval_field(&m, f, 0, 32, 0x0B000000));
+        assert_eq!(m.sat_count(f), 1u128 << 24);
+        // /0 matches everything.
+        let any = m.encode_prefix(0, 0, 0);
+        assert!(any.is_true());
+        // /32 matches exactly one.
+        let host = m.encode_prefix(0, 0xC0A80101, 32);
+        assert_eq!(m.sat_count(host), 1);
+    }
+
+    #[test]
+    fn le_ge_boundaries() {
+        let mut m = BddManager::new(8);
+        let le = m.encode_le(0, 8, 100);
+        let ge = m.encode_ge(0, 8, 100);
+        for v in 0..=255u64 {
+            assert_eq!(eval_field(&m, le, 0, 8, v), v <= 100, "le {v}");
+            assert_eq!(eval_field(&m, ge, 0, 8, v), v >= 100, "ge {v}");
+        }
+    }
+
+    #[test]
+    fn range_semantics() {
+        let mut m = BddManager::new(8);
+        let f = m.encode_range(0, 8, 10, 20);
+        for v in 0..=255u64 {
+            assert_eq!(eval_field(&m, f, 0, 8, v), (10..=20).contains(&v));
+        }
+        assert_eq!(m.sat_count(f), 11);
+        assert!(m.encode_range(0, 8, 20, 10).is_false());
+        assert!(m.encode_range(0, 8, 0, 255).is_true());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_range_matches_arith(lo in 0u64..256, hi in 0u64..256, probe in 0u64..256) {
+            let mut m = BddManager::new(8);
+            let f = m.encode_range(0, 8, lo, hi);
+            prop_assert_eq!(eval_field(&m, f, 0, 8, probe), lo <= probe && probe <= hi);
+        }
+
+        #[test]
+        fn prop_eq_count_is_one_in_field(value in 0u64..65536) {
+            let mut m = BddManager::new(16);
+            let f = m.encode_eq(0, 16, value);
+            prop_assert_eq!(m.sat_count(f), 1);
+        }
+
+        #[test]
+        fn prop_prefix_count(addr in any::<u32>(), len in 0u8..=32) {
+            let mut m = BddManager::new(32);
+            let f = m.encode_prefix(0, addr, len);
+            prop_assert_eq!(m.sat_count(f), 1u128 << (32 - len));
+        }
+    }
+}

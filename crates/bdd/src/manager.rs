@@ -1,0 +1,276 @@
+//! The BDD manager: node storage, hash-consing and cache bookkeeping.
+
+use std::collections::HashMap;
+
+/// A handle to a BDD rooted at some node of a [`BddManager`].
+///
+/// Handles are cheap to copy and compare; equality of handles created by the
+/// *same* manager is semantic equivalence of the functions they denote
+/// (canonicity of ROBDDs). Handles from different managers must never be
+/// mixed; debug builds of the operations do not detect this, so the S2
+/// runtime keeps managers strictly worker-private.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant FALSE function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant TRUE function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Whether this is the constant FALSE.
+    #[inline]
+    pub const fn is_false(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this is the constant TRUE.
+    #[inline]
+    pub const fn is_true(self) -> bool {
+        self.0 == 1
+    }
+
+    /// Whether this is either constant.
+    #[inline]
+    pub const fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// One decision node. Terminals live at indices 0 and 1 with `var == u16::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    /// Decision variable (lower = closer to the root).
+    pub var: u16,
+    /// Child when the variable is 0.
+    pub lo: u32,
+    /// Child when the variable is 1.
+    pub hi: u32,
+}
+
+/// Sentinel variable number for the two terminal nodes.
+pub(crate) const TERMINAL_VAR: u16 = u16::MAX;
+
+/// Binary operation identifiers for the computed cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Op {
+    And,
+    Or,
+    Xor,
+    Diff,
+}
+
+/// A BDD manager: owns the node table, the unique table, and the computed
+/// caches. All operations go through a `&mut` manager, which is what makes
+/// a single manager inherently serial — and why S2 runs one manager per
+/// worker to regain parallelism.
+#[derive(Debug)]
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: HashMap<Node, u32>,
+    pub(crate) bin_cache: HashMap<(Op, u32, u32), u32>,
+    pub(crate) not_cache: HashMap<u32, u32>,
+    num_vars: u16,
+    peak_nodes: usize,
+}
+
+impl BddManager {
+    /// Creates a manager for functions over `num_vars` Boolean variables.
+    ///
+    /// # Panics
+    /// Panics if `num_vars >= u16::MAX` (the sentinel value is reserved).
+    pub fn new(num_vars: u16) -> Self {
+        assert!(num_vars < TERMINAL_VAR, "too many variables");
+        let terminals = vec![
+            Node {
+                var: TERMINAL_VAR,
+                lo: 0,
+                hi: 0,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: 1,
+                hi: 1,
+            },
+        ];
+        BddManager {
+            nodes: terminals,
+            unique: HashMap::new(),
+            bin_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            num_vars,
+            peak_nodes: 2,
+        }
+    }
+
+    /// Number of variables this manager was created with.
+    pub fn num_vars(&self) -> u16 {
+        self.num_vars
+    }
+
+    /// Total number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// High-water mark of [`node_count`](Self::node_count).
+    pub fn peak_node_count(&self) -> usize {
+        self.peak_nodes
+    }
+
+    /// Approximate heap footprint in bytes: node table plus unique table
+    /// plus computed caches. Used by the per-worker memory gauges.
+    pub fn approx_bytes(&self) -> usize {
+        // Node is 12 bytes; unique-table and cache entries carry hashing
+        // overhead we approximate at 2x payload.
+        let node_bytes = self.nodes.len() * std::mem::size_of::<Node>();
+        let unique_bytes = self.unique.len() * (std::mem::size_of::<Node>() + 8) * 2;
+        let cache_bytes = (self.bin_cache.len() * 20 + self.not_cache.len() * 8) * 2;
+        node_bytes + unique_bytes + cache_bytes
+    }
+
+    /// Drops the computed caches (the unique table is kept so canonicity is
+    /// preserved). The S2 workers call this between prefix shards to bound
+    /// memory, mirroring the paper's observation that cache/GC pressure
+    /// dominates when memory is tight.
+    pub fn clear_caches(&mut self) {
+        self.bin_cache.clear();
+        self.not_cache.clear();
+    }
+
+    /// The number of decision nodes reachable from `f` (excluding
+    /// terminals); the standard "BDD size" metric.
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(i) = stack.pop() {
+            if i <= 1 || !seen.insert(i) {
+                continue;
+            }
+            let n = self.nodes[i as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len()
+    }
+
+    /// Returns the (var, lo, hi) triple of a non-terminal node.
+    #[inline]
+    pub(crate) fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// The decision variable at the root of `f`, or `None` for constants.
+    pub fn root_var(&self, f: Bdd) -> Option<u16> {
+        if f.is_const() {
+            None
+        } else {
+            Some(self.node(f).var)
+        }
+    }
+
+    /// Hash-consing constructor: returns the canonical node for
+    /// `(var, lo, hi)`, applying the ROBDD reduction rule `lo == hi`.
+    pub(crate) fn mk(&mut self, var: u16, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        let key = Node { var, lo, hi };
+        if let Some(&idx) = self.unique.get(&key) {
+            return idx;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(key);
+        self.unique.insert(key, idx);
+        if self.nodes.len() > self.peak_nodes {
+            self.peak_nodes = self.nodes.len();
+        }
+        idx
+    }
+
+    /// The function that is true iff variable `var` is 1.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    pub fn var(&mut self, var: u16) -> Bdd {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        Bdd(self.mk(var, 0, 1))
+    }
+
+    /// The function that is true iff variable `var` is 0.
+    pub fn nvar(&mut self, var: u16) -> Bdd {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        Bdd(self.mk(var, 1, 0))
+    }
+
+    /// Evaluates `f` under a complete assignment (indexed by variable).
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f.0;
+        while cur > 1 {
+            let n = self.nodes[cur as usize];
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_fixed() {
+        let m = BddManager::new(4);
+        assert!(Bdd::FALSE.is_false() && !Bdd::FALSE.is_true());
+        assert!(Bdd::TRUE.is_true() && Bdd::TRUE.is_const());
+        assert_eq!(m.node_count(), 2);
+        assert_eq!(m.root_var(Bdd::TRUE), None);
+    }
+
+    #[test]
+    fn var_is_hash_consed() {
+        let mut m = BddManager::new(4);
+        let a1 = m.var(0);
+        let a2 = m.var(0);
+        assert_eq!(a1, a2);
+        assert_eq!(m.node_count(), 3);
+        assert_eq!(m.root_var(a1), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let mut m = BddManager::new(2);
+        m.var(2);
+    }
+
+    #[test]
+    fn eval_follows_decisions() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let na = m.nvar(0);
+        assert!(m.eval(a, &[true, false]));
+        assert!(!m.eval(a, &[false, false]));
+        assert!(m.eval(na, &[false, false]));
+        assert!(m.eval(Bdd::TRUE, &[false, false]));
+        assert!(!m.eval(Bdd::FALSE, &[true, true]));
+    }
+
+    #[test]
+    fn size_counts_reachable_decision_nodes() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        assert_eq!(m.size(a), 1);
+        assert_eq!(m.size(Bdd::TRUE), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m = BddManager::new(8);
+        for v in 0..8 {
+            m.var(v);
+        }
+        assert_eq!(m.peak_node_count(), 10);
+        assert!(m.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! BDD DAG serialization — the cross-worker transfer format.
+//!
+//! When an S2 worker forwards a symbolic packet to a node hosted on another
+//! worker, the packet's BDD must be re-encoded in the destination worker's
+//! private manager (§4.3, option 2). The wire format is a topologically
+//! ordered node list:
+//!
+//! ```text
+//! u32  node_count          (number of decision nodes, excluding terminals)
+//! then node_count records of
+//!   u16 var
+//!   u32 lo                 (0 = FALSE, 1 = TRUE, k+2 = k-th record)
+//!   u32 hi
+//! u32  root                (same index encoding)
+//! ```
+//!
+//! Deserialization rebuilds bottom-up through the destination manager's
+//! hash-consing constructor, so shared subgraphs stay shared and the result
+//! is canonical in the destination manager.
+
+use crate::manager::{Bdd, BddManager};
+use bytes::{Buf, BufMut};
+use std::collections::HashMap;
+
+/// Errors from [`deserialize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the declared structure was complete.
+    Truncated,
+    /// A node referenced a child that has not been defined yet.
+    ForwardReference,
+    /// A node's variable is outside the destination manager's range.
+    VarOutOfRange(u16),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated BDD payload"),
+            DecodeError::ForwardReference => write!(f, "BDD payload has a forward reference"),
+            DecodeError::VarOutOfRange(v) => write!(f, "BDD variable {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes `f` into `buf`. The encoding is self-delimiting.
+pub fn serialize(m: &BddManager, f: Bdd, buf: &mut impl BufMut) {
+    // Topological order: children before parents. A post-order DFS gives
+    // exactly that.
+    let mut order: Vec<u32> = Vec::new();
+    let mut index: HashMap<u32, u32> = HashMap::new();
+    let mut stack: Vec<(u32, bool)> = vec![(f.0, false)];
+    while let Some((i, expanded)) = stack.pop() {
+        if i <= 1 || index.contains_key(&i) {
+            continue;
+        }
+        if expanded {
+            let slot = order.len() as u32;
+            if index.insert(i, slot).is_none() {
+                order.push(i);
+            }
+        } else {
+            stack.push((i, true));
+            let n = m.node(Bdd(i));
+            stack.push((n.lo, false));
+            stack.push((n.hi, false));
+        }
+    }
+
+    let encode_ref = |i: u32, index: &HashMap<u32, u32>| -> u32 {
+        if i <= 1 {
+            i
+        } else {
+            index[&i] + 2
+        }
+    };
+
+    buf.put_u32(order.len() as u32);
+    for &i in &order {
+        let n = m.node(Bdd(i));
+        buf.put_u16(n.var);
+        buf.put_u32(encode_ref(n.lo, &index));
+        buf.put_u32(encode_ref(n.hi, &index));
+    }
+    buf.put_u32(encode_ref(f.0, &index));
+}
+
+/// Deserializes a BDD from `buf` into manager `m`.
+pub fn deserialize(m: &mut BddManager, buf: &mut impl Buf) -> Result<Bdd, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let count = buf.get_u32() as usize;
+    let mut handles: Vec<Bdd> = Vec::with_capacity(count + 2);
+    handles.push(Bdd::FALSE);
+    handles.push(Bdd::TRUE);
+    for _ in 0..count {
+        if buf.remaining() < 10 {
+            return Err(DecodeError::Truncated);
+        }
+        let var = buf.get_u16();
+        if var >= m.num_vars() {
+            return Err(DecodeError::VarOutOfRange(var));
+        }
+        let lo = buf.get_u32() as usize;
+        let hi = buf.get_u32() as usize;
+        if lo >= handles.len() || hi >= handles.len() {
+            return Err(DecodeError::ForwardReference);
+        }
+        let (lo, hi) = (handles[lo], handles[hi]);
+        let node = m.mk(var, lo.0, hi.0);
+        handles.push(Bdd(node));
+    }
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let root = buf.get_u32() as usize;
+    if root >= handles.len() {
+        return Err(DecodeError::ForwardReference);
+    }
+    Ok(handles[root])
+}
+
+/// Convenience: serializes to a fresh byte vector.
+pub fn to_bytes(m: &BddManager, f: Bdd) -> Vec<u8> {
+    let mut buf = Vec::new();
+    serialize(m, f, &mut buf);
+    buf
+}
+
+/// Convenience: deserializes from a byte slice.
+pub fn from_bytes(m: &mut BddManager, bytes: &[u8]) -> Result<Bdd, DecodeError> {
+    let mut buf = bytes;
+    deserialize(m, &mut buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants_roundtrip() {
+        let m = BddManager::new(4);
+        let mut m2 = BddManager::new(4);
+        for f in [Bdd::FALSE, Bdd::TRUE] {
+            let bytes = to_bytes(&m, f);
+            assert_eq!(from_bytes(&mut m2, &bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn structure_roundtrips_across_managers() {
+        let mut m1 = BddManager::new(8);
+        let a = m1.var(0);
+        let b = m1.var(3);
+        let c = m1.nvar(5);
+        let ab = m1.and(a, b);
+        let f = m1.or(ab, c);
+
+        let bytes = to_bytes(&m1, f);
+        let mut m2 = BddManager::new(8);
+        let g = from_bytes(&mut m2, &bytes).unwrap();
+
+        for bits in 0u32..256 {
+            let assign: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(m1.eval(f, &assign), m2.eval(g, &assign));
+        }
+    }
+
+    #[test]
+    fn deserialize_is_canonical_in_destination() {
+        // Re-encoding the same function twice must produce the same handle.
+        let mut m1 = BddManager::new(4);
+        let a = m1.var(0);
+        let b = m1.var(1);
+        let f = m1.and(a, b);
+        let bytes = to_bytes(&m1, f);
+        let mut m2 = BddManager::new(4);
+        let g1 = from_bytes(&mut m2, &bytes).unwrap();
+        let g2 = from_bytes(&mut m2, &bytes).unwrap();
+        assert_eq!(g1, g2);
+        // And it equals natively-built structure.
+        let a2 = m2.var(0);
+        let b2 = m2.var(1);
+        let native = m2.and(a2, b2);
+        assert_eq!(g1, native);
+    }
+
+    #[test]
+    fn truncated_inputs_are_rejected() {
+        let mut m1 = BddManager::new(4);
+        let a = m1.var(0);
+        let b = m1.var(1);
+        let f = m1.and(a, b);
+        let bytes = to_bytes(&m1, f);
+        let mut m2 = BddManager::new(4);
+        for cut in 0..bytes.len() {
+            assert!(from_bytes(&mut m2, &bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn var_out_of_range_is_rejected() {
+        let mut m1 = BddManager::new(16);
+        let f = m1.var(12);
+        let bytes = to_bytes(&m1, f);
+        let mut small = BddManager::new(4);
+        assert_eq!(
+            from_bytes(&mut small, &bytes),
+            Err(DecodeError::VarOutOfRange(12))
+        );
+    }
+
+    proptest! {
+        /// Random functions roundtrip across managers with identical
+        /// semantics and identical node counts (shared structure kept).
+        #[test]
+        fn prop_roundtrip(ops in proptest::collection::vec((0u8..4, 0u16..6, 0u16..6), 1..30)) {
+            let mut m1 = BddManager::new(6);
+            let mut f = Bdd::TRUE;
+            for (op, v1, v2) in ops {
+                let x = m1.var(v1);
+                let y = m1.var(v2);
+                let g = match op {
+                    0 => m1.and(x, y),
+                    1 => m1.or(x, y),
+                    2 => m1.xor(x, y),
+                    _ => m1.not(x),
+                };
+                f = match op % 2 {
+                    0 => m1.and(f, g),
+                    _ => m1.or(f, g),
+                };
+            }
+            let bytes = to_bytes(&m1, f);
+            let mut m2 = BddManager::new(6);
+            let g = from_bytes(&mut m2, &bytes).unwrap();
+            prop_assert_eq!(m1.size(f), m2.size(g));
+            for bits in 0u32..64 {
+                let assign: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+                prop_assert_eq!(m1.eval(f, &assign), m2.eval(g, &assign));
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Criterion timing for Fig. 4: verifying the DCN with each system.
+
+use bench::workloads;
+use bench::figs::{run_batfish, run_s2};
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2::Scheme;
+
+fn bench(c: &mut Criterion) {
+    let w = workloads::dcn(2, 4, 2);
+    let mut g = c.benchmark_group("fig04_dcn");
+    g.sample_size(10);
+    g.bench_function("batfish", |b| b.iter(|| run_batfish(&w, 1)));
+    g.bench_function("batfish_sharded", |b| b.iter(|| run_batfish(&w, 4)));
+    g.bench_function("s2_2_nosharding", |b| b.iter(|| run_s2(&w, 2, 1, Scheme::Metis)));
+    g.bench_function("s2_2", |b| b.iter(|| run_s2(&w, 2, 4, Scheme::Metis)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

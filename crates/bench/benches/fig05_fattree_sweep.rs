@@ -1,0 +1,27 @@
+//! Criterion timing for Fig. 5: the FatTree sweep across systems.
+
+use bench::workloads;
+use bench::figs::{run_batfish, run_bonsai, run_s2};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2::Scheme;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_fattree_sweep");
+    g.sample_size(10);
+    for k in [4usize, 6] {
+        let w = workloads::fattree(k);
+        g.bench_with_input(BenchmarkId::new("batfish", k), &w, |b, w| {
+            b.iter(|| run_batfish(w, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("bonsai", k), &k, |b, &k| {
+            b.iter(|| run_bonsai(k, 2))
+        });
+        g.bench_with_input(BenchmarkId::new("s2_2", k), &w, |b, w| {
+            b.iter(|| run_s2(w, 2, 5, Scheme::Metis))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion timing for Fig. 6: S2 scale-out on a fixed FatTree.
+
+use bench::workloads;
+use bench::figs::run_s2;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2::Scheme;
+
+fn bench(c: &mut Criterion) {
+    let w = workloads::fattree(6);
+    let mut g = c.benchmark_group("fig06_scaleout");
+    g.sample_size(10);
+    for workers in [1u32, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            b.iter(|| run_s2(&w, workers, 5, Scheme::Metis))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

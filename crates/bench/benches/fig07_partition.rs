@@ -1,0 +1,27 @@
+//! Criterion timing for Fig. 7: partition schemes.
+
+use bench::workloads;
+use bench::figs::run_s2;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2::Scheme;
+
+fn bench(c: &mut Criterion) {
+    let w = workloads::fattree(6);
+    let mut g = c.benchmark_group("fig07_partition");
+    g.sample_size(10);
+    for scheme in [
+        Scheme::Metis,
+        Scheme::Random { seed: 42 },
+        Scheme::Expert,
+        Scheme::Imbalanced,
+        Scheme::CommHeavy,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &scheme| {
+            b.iter(|| run_s2(&w, 2, 5, scheme))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion timing for Fig. 8: control-plane simulation with and without
+//! prefix sharding.
+
+use bench::workloads;
+use bench::figs::run_s2_cp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_sharding");
+    g.sample_size(10);
+    for k in [4usize, 6] {
+        let w = workloads::fattree(k);
+        g.bench_with_input(BenchmarkId::new("off", k), &w, |b, w| {
+            b.iter(|| run_s2_cp(w, 2, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("sharded", k), &w, |b, w| {
+            b.iter(|| run_s2_cp(w, 2, 10))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

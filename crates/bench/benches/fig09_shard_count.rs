@@ -1,0 +1,20 @@
+//! Criterion timing for Fig. 9: shard-count sweep.
+
+use bench::workloads;
+use bench::figs::run_s2_cp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = workloads::fattree(6);
+    let mut g = c.benchmark_group("fig09_shard_count");
+    g.sample_size(10);
+    for shards in [1usize, 5, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
+            b.iter(|| run_s2_cp(&w, 2, shards))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

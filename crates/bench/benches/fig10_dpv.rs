@@ -1,0 +1,49 @@
+//! Criterion timing for Fig. 10: DPV (predicates + forwarding), batfish
+//! vs S2, all-pair and single-pair.
+
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2::{S2Options, S2Verifier, VerificationRequest};
+use s2_baselines::{run_dpv, simulate_control_plane, MonolithicOptions};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let w = workloads::fattree(6);
+    let (rib, _) = simulate_control_plane(&w.model, &MonolithicOptions::default()).unwrap();
+
+    let opts = S2Options { workers: 2, shards: 5, ..Default::default() };
+    let verifier = S2Verifier::new(w.model.clone(), &opts).unwrap();
+    let (s2_rib, _, _) = verifier.simulate().unwrap();
+    let s2_rib = Arc::new(s2_rib);
+
+    let sp = {
+        let src = w.endpoints[0].0;
+        let last = w.endpoints.last().unwrap();
+        VerificationRequest::single_pair(src, last.0, last.1[0])
+    };
+
+    let mut g = c.benchmark_group("fig10_dpv");
+    g.sample_size(10);
+    g.bench_function("batfish_all_pair", |b| {
+        b.iter(|| {
+            run_dpv(&w.model, &rib, &w.request.sources, &w.request.expected, w.request.dst_space, None)
+                .unwrap()
+        })
+    });
+    g.bench_function("batfish_single_pair", |b| {
+        b.iter(|| {
+            run_dpv(&w.model, &rib, &sp.sources, &sp.expected, sp.dst_space, None).unwrap()
+        })
+    });
+    g.bench_function("s2_2_all_pair", |b| {
+        b.iter(|| verifier.run_dpv_only(s2_rib.clone(), &w.request).unwrap())
+    });
+    g.bench_function("s2_2_single_pair", |b| {
+        b.iter(|| verifier.run_dpv_only(s2_rib.clone(), &sp).unwrap())
+    });
+    g.finish();
+    verifier.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Micro-benchmarks of the substrate hot paths: the wire codec (every
+//! cross-worker route pays this), BDD DAG serialization (every
+//! cross-worker packet pays this), LPM trie lookups, route-map
+//! evaluation, best-path selection and graph partitioning.
+//!
+//! These quantify the constants behind the distributed design's
+//! trade-offs: e.g. one serialized route costs ~100ns while a local
+//! delivery is free, which is why the adj-RIB-out delta-send and
+//! fragment-merging optimizations exist.
+
+use bytes::BytesMut;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use s2_bdd::{serialize as bdd_io, BddManager};
+use s2_net::policy::Protocol;
+use s2_net::{Ipv4Addr, Prefix, PrefixTrie};
+use s2_routing::{BgpRoute, Origin};
+use s2_runtime::wire;
+
+fn sample_route(i: u32) -> BgpRoute {
+    BgpRoute {
+        prefix: Prefix::new(Ipv4Addr(0x0a000000 | (i << 8)), 24),
+        next_hop: Ipv4Addr(0xac100001),
+        as_path: vec![65000 + i, 65001, 65002, 65003],
+        local_pref: 100,
+        med: 0,
+        origin: Origin::Igp,
+        communities: vec![1, 2, 3],
+        weight: 0,
+        source_protocol: Protocol::Bgp,
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_wire");
+    let routes: Vec<BgpRoute> = (0..64).map(sample_route).collect();
+    g.bench_function("encode_64_routes", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(4096);
+            for r in &routes {
+                wire::put_route(&mut buf, black_box(r));
+            }
+            buf
+        })
+    });
+    let mut buf = BytesMut::new();
+    for r in &routes {
+        wire::put_route(&mut buf, r);
+    }
+    let bytes = buf.freeze();
+    g.bench_function("decode_64_routes", |b| {
+        b.iter(|| {
+            let mut slice = bytes.clone();
+            let mut out = Vec::with_capacity(64);
+            for _ in 0..64 {
+                out.push(wire::get_route(&mut slice).unwrap());
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_bdd_serialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_bdd");
+    // A realistic symbolic packet: union of 32 /24 destination prefixes.
+    let mut m = BddManager::new(104);
+    let prefixes: Vec<_> = (0..32u32)
+        .map(|i| m.encode_prefix(0, 0x0a000000 | (i << 8), 24))
+        .collect();
+    let set = m.or_all(prefixes);
+    g.bench_function("serialize_packet_set", |b| {
+        b.iter(|| bdd_io::to_bytes(&m, black_box(set)))
+    });
+    let bytes = bdd_io::to_bytes(&m, set);
+    g.bench_function("reencode_packet_set", |b| {
+        // Cold destination manager each iteration: the real cross-worker
+        // cost the first time a fragment reaches a worker.
+        b.iter(|| {
+            let mut dst = BddManager::new(104);
+            bdd_io::from_bytes(&mut dst, black_box(&bytes)).unwrap()
+        })
+    });
+    g.bench_function("and_packet_sets", |b| {
+        let other = m.encode_prefix(0, 0x0a000000, 16);
+        b.iter(|| m.and(black_box(set), black_box(other)))
+    });
+    g.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_trie");
+    let trie: PrefixTrie<u32> = (0..1024u32)
+        .map(|i| (Prefix::new(Ipv4Addr(0x0a000000 | (i << 8)), 24), i))
+        .collect();
+    g.bench_function("lpm_lookup_1k_entries", |b| {
+        b.iter(|| trie.lookup(black_box(Ipv4Addr(0x0a00f007))))
+    });
+    g.finish();
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_bgp");
+    let candidates: Vec<s2_routing::bgp::Candidate> = (0..16)
+        .map(|i| s2_routing::bgp::Candidate {
+            route: sample_route(i),
+            peer: Some(Ipv4Addr(0xac100000 + i)),
+            session: i,
+        })
+        .collect();
+    g.bench_function("select_multipath_16", |b| {
+        b.iter(|| s2_routing::bgp::select_multipath(black_box(candidates.clone()), 8))
+    });
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_partition");
+    g.sample_size(10);
+    let ft = s2_topogen::fattree::generate(s2_topogen::fattree::FatTreeParams::new(10));
+    let loads = s2_partition::estimate::estimate_loads(&ft.topology);
+    g.bench_function("greedy_kl_fattree10_8way", |b| {
+        b.iter(|| {
+            s2_partition::greedy::partition(
+                &ft.topology,
+                &loads,
+                8,
+                &s2_partition::greedy::GreedyOptions::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_merge_ablation(c: &mut Criterion) {
+    use s2_baselines::{simulate_control_plane, MonolithicOptions};
+    use s2_dataplane::{forward, Fib, ForwardOptions, NodePredicates, PacketSpace};
+    use s2_routing::NetworkModel;
+
+    let mut g = c.benchmark_group("ablation_fragment_merging");
+    g.sample_size(10);
+    // All-pair injection over the DCN-like dense fabric is where merging
+    // matters: paths converge at every layer.
+    let ft = s2_topogen::fattree::generate(s2_topogen::fattree::FatTreeParams::new(6));
+    let sources: Vec<_> = (0..6).flat_map(|p| (0..3).map(move |e| (p, e))).collect();
+    let srcs: Vec<_> = sources.iter().map(|&(p, e)| ft.edge(p, e)).collect();
+    let model = NetworkModel::build(ft.topology, ft.configs).unwrap();
+    let (rib, _) = simulate_control_plane(&model, &MonolithicOptions::default()).unwrap();
+    let space = PacketSpace::new(0);
+    let mut mgr = space.manager();
+    let preds: Vec<NodePredicates> = model
+        .topology
+        .nodes()
+        .map(|n| NodePredicates::compile(&model, n, &Fib::from_rib(rib.node(n)), &space, &mut mgr))
+        .collect();
+    let inject = space.dst_in(&mut mgr, "10.0.0.0/8".parse::<Prefix>().unwrap());
+
+    for (name, no_merge) in [("merged", false), ("unmerged", true)] {
+        let opts = ForwardOptions {
+            no_merge,
+            ..Default::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                forward(
+                    &model.topology,
+                    &preds,
+                    &space,
+                    &mut mgr,
+                    srcs.iter().map(|&s| (s, inject)).collect(),
+                    black_box(&opts),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_bdd_serialize,
+    bench_trie,
+    bench_bgp,
+    bench_partition,
+    bench_merge_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates every figure of the paper's evaluation and prints the
+//! rows/series. Run with `--release`; pass figure ids (e.g. `fig5 fig9`)
+//! to restrict, `--quick` for the small sweep.
+//!
+//! ```text
+//! cargo run -p bench --bin repro --release            # everything
+//! cargo run -p bench --bin repro --release -- fig5    # one figure
+//! ```
+
+use bench::figs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| *s == name);
+
+    let (fig5_ks, fig8_ks, fig6_workers, fig9_shards): (&[usize], &[usize], &[u32], &[usize]) =
+        if quick {
+            (&[4, 6], &[4, 6], &[1, 2, 4], &[1, 5, 10])
+        } else {
+            (&[4, 6, 8, 10], &[6, 8, 10], &[1, 2, 4, 8, 16], &[1, 2, 5, 10, 15, 20, 30])
+        };
+
+    if want("fig4") {
+        print!("{}", figs::fig4().render());
+    }
+    if want("fig5") {
+        print!("{}", figs::fig5(fig5_ks).render());
+    }
+    if want("fig6") {
+        print!("{}", figs::fig6(10, fig6_workers).render());
+    }
+    if want("fig7") {
+        print!("{}", figs::fig7(8, 4).render());
+    }
+    if want("fig8") {
+        print!("{}", figs::fig8(fig8_ks, 4).render());
+    }
+    if want("fig9") {
+        print!("{}", figs::fig9(8, 4, fig9_shards).render());
+    }
+    if want("fig10") {
+        print!("{}", figs::fig10(&fig5_ks[..fig5_ks.len().min(3)]).render());
+    }
+    if want("fig11") {
+        print!("{}", figs::fig11().render());
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared workload construction for the figure benchmarks.
+
+use s2::{NetworkModel, VerificationRequest};
+use s2_net::topology::NodeId;
+use s2_net::Prefix;
+use s2_topogen::dcn::{self, Dcn, DcnParams};
+use s2_topogen::fattree::{self, FatTree, FatTreeParams};
+
+/// A prepared workload: model + the all-pair reachability request over its
+/// host-facing switches.
+pub struct Workload {
+    /// Display name (e.g. `FatTree8`).
+    pub name: String,
+    /// The resolved model.
+    pub model: NetworkModel,
+    /// The all-pair request.
+    pub request: VerificationRequest,
+    /// The endpoints, kept for single-pair queries.
+    pub endpoints: Vec<(NodeId, Vec<Prefix>)>,
+}
+
+/// Builds a k-ary FatTree workload (k even). The paper's FatTree40..90 are
+/// k=40..90; our sweep uses k=4..12 with the same structure.
+pub fn fattree(k: usize) -> Workload {
+    let ft = fattree::generate(FatTreeParams::new(k));
+    let endpoints: Vec<(NodeId, Vec<Prefix>)> = (0..k)
+        .flat_map(|p| {
+            let ft = &ft;
+            (0..k / 2).map(move |e| (ft.edge(p, e), vec![FatTree::server_prefix(p, e)]))
+        })
+        .collect();
+    let request = VerificationRequest::all_pair_reachability(
+        endpoints.clone(),
+        "10.0.0.0/8".parse().unwrap(),
+    );
+    let model = NetworkModel::build(ft.topology, ft.configs).expect("generated FatTree is valid");
+    Workload {
+        name: format!("FatTree{k}"),
+        model,
+        request,
+        endpoints,
+    }
+}
+
+/// Builds the synthetic DCN workload (the stand-in for the paper's real
+/// datacenter, §5.3): `clusters` mixed 3/5-layer Clos clusters.
+pub fn dcn(clusters: usize, tors: usize, width: usize) -> Workload {
+    let d = dcn::generate(DcnParams::scaled(clusters, tors, width));
+    let mut endpoints = Vec::new();
+    for (c, cluster_tors) in d.tors.iter().enumerate() {
+        for (t, &tor) in cluster_tors.iter().enumerate() {
+            endpoints.push((tor, vec![Dcn::server_prefix(c, t)]));
+        }
+    }
+    let request = VerificationRequest::all_pair_reachability(
+        endpoints.clone(),
+        "10.0.0.0/7".parse().unwrap(),
+    );
+    let name = format!("DCN({} nodes)", d.topology.node_count());
+    let model = NetworkModel::build(d.topology, d.configs).expect("generated DCN is valid");
+    Workload {
+        name,
+        model,
+        request,
+        endpoints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fattree_workload_shape() {
+        let w = fattree(4);
+        assert_eq!(w.model.topology.node_count(), 20);
+        assert_eq!(w.endpoints.len(), 8);
+        assert_eq!(w.request.pair_count(), 8 * 7);
+    }
+
+    #[test]
+    fn dcn_workload_shape() {
+        let w = dcn(2, 4, 2);
+        assert!(w.name.starts_with("DCN("));
+        assert_eq!(w.endpoints.len(), 8);
+    }
+}

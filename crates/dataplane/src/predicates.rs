@@ -1,0 +1,246 @@
+//! Port predicates: compiled forwarding and ACL behaviour of one node.
+//!
+//! For every node S2 precomputes (§4.3):
+//!
+//! * `fwd[p]` — packets forwarded out port `p` (longest-prefix-match
+//!   semantics compiled away),
+//! * `local` — packets that have arrived (destination held by the node),
+//! * `drop`  — packets discarded (no route, or a discard route),
+//! * `acl_in[p]` / `acl_out[p]` — packets permitted in/out of port `p`.
+//!
+//! Forwarding then reduces to the pure BDD transformation of Eq. (1):
+//! `pkt ← pkt ∧ p1_in ∧ p2_fwd ∧ p2_out`.
+
+use crate::fib::Fib;
+use crate::packetspace::PacketSpace;
+use s2_bdd::{Bdd, BddManager};
+use s2_net::config::DeviceConfig;
+use s2_net::topology::{InterfaceId, NodeId};
+use s2_routing::NetworkModel;
+use std::collections::BTreeMap;
+
+/// The compiled data-plane behaviour of one node.
+#[derive(Debug, Clone)]
+pub struct NodePredicates {
+    /// The node.
+    pub node: NodeId,
+    /// Forwarding predicate per egress port.
+    pub fwd: BTreeMap<InterfaceId, Bdd>,
+    /// Packets that terminate here (Arrive).
+    pub local: Bdd,
+    /// Packets dropped here (no matching route / discard route).
+    pub drop: Bdd,
+    /// Inbound ACL per port (TRUE when no ACL configured).
+    pub acl_in: BTreeMap<InterfaceId, Bdd>,
+    /// Outbound ACL per port (TRUE when no ACL configured).
+    pub acl_out: BTreeMap<InterfaceId, Bdd>,
+}
+
+impl NodePredicates {
+    /// Compiles `fib` plus the node's ACL bindings into predicates, using
+    /// (and populating) the worker-local `manager`.
+    ///
+    /// The FIB's LPM semantics are compiled by walking entries longest
+    /// prefix first and masking each entry with the union of everything
+    /// more specific already seen.
+    pub fn compile(
+        model: &NetworkModel,
+        node: NodeId,
+        fib: &Fib,
+        space: &PacketSpace,
+        manager: &mut BddManager,
+    ) -> Self {
+        let mut fwd: BTreeMap<InterfaceId, Bdd> = BTreeMap::new();
+        let mut local = Bdd::FALSE;
+        let mut drop = Bdd::FALSE;
+        let mut covered = Bdd::FALSE;
+
+        for (prefix, entry) in fib.entries_longest_first() {
+            let p = space.dst_in(manager, prefix);
+            let effective = manager.diff(p, covered);
+            covered = manager.or(covered, p);
+            if effective.is_false() {
+                continue;
+            }
+            if entry.is_local {
+                local = manager.or(local, effective);
+            } else if entry.is_discard() {
+                drop = manager.or(drop, effective);
+            } else {
+                for port in &entry.egress {
+                    let cur = fwd.entry(*port).or_insert(Bdd::FALSE);
+                    *cur = manager.or(*cur, effective);
+                }
+            }
+        }
+        // Anything not covered by any FIB entry is dropped (no route).
+        let unrouted = manager.not(covered);
+        drop = manager.or(drop, unrouted);
+
+        // ACL predicates from the interface bindings.
+        let mut acl_in = BTreeMap::new();
+        let mut acl_out = BTreeMap::new();
+        let cfg: &DeviceConfig = &model.configs[node.index()];
+        let ifcount = model.topology.interface_count(node);
+        for i in 0..ifcount {
+            let port = InterfaceId(i);
+            let icfg = model.iface_config(node, port);
+            let compile_acl = |name: &Option<String>, manager: &mut BddManager| -> Bdd {
+                match name.as_ref().and_then(|n| cfg.acls.get(n)) {
+                    Some(acl) => space.acl_permits(manager, acl),
+                    None => Bdd::TRUE,
+                }
+            };
+            let (inp, outp) = match icfg {
+                Some(ic) => (
+                    compile_acl(&ic.acl_in, manager),
+                    compile_acl(&ic.acl_out, manager),
+                ),
+                None => (Bdd::TRUE, Bdd::TRUE),
+            };
+            acl_in.insert(port, inp);
+            acl_out.insert(port, outp);
+        }
+
+        NodePredicates {
+            node,
+            fwd,
+            local,
+            drop,
+            acl_in,
+            acl_out,
+        }
+    }
+
+    /// The inbound ACL for `port` (TRUE for unknown ports, e.g. injection).
+    pub fn acl_in(&self, port: Option<InterfaceId>) -> Bdd {
+        match port {
+            Some(p) => self.acl_in.get(&p).copied().unwrap_or(Bdd::TRUE),
+            None => Bdd::TRUE,
+        }
+    }
+
+    /// The outbound ACL for `port`.
+    pub fn acl_out(&self, port: InterfaceId) -> Bdd {
+        self.acl_out.get(&port).copied().unwrap_or(Bdd::TRUE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::Fib;
+    use s2_net::config::{BgpNeighbor, BgpProcess, InterfaceConfig, Network, Vendor};
+    use s2_net::topology::Topology;
+    use s2_net::Ipv4Addr;
+    use s2_net::policy::Protocol;
+    use s2_routing::RibRoute;
+
+    /// Minimal two-node model for predicate compilation.
+    fn model() -> NetworkModel {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        topo.connect(a, b);
+        let mut ca = DeviceConfig::new("a", Vendor::A);
+        ca.interfaces.push(InterfaceConfig::new("eth0", Ipv4Addr::new(10, 0, 0, 0), 31));
+        let mut bgp_a = BgpProcess::new(1, Ipv4Addr::new(1, 1, 1, 1));
+        bgp_a.networks.push(Network { prefix: "10.1.0.0/24".parse().unwrap() });
+        bgp_a.neighbors.push(BgpNeighbor {
+            peer: Ipv4Addr::new(10, 0, 0, 1),
+            remote_as: 2,
+            import_policy: None,
+            export_policy: None,
+            remove_private_as: false,
+        });
+        ca.bgp = Some(bgp_a);
+        let mut cb = DeviceConfig::new("b", Vendor::A);
+        cb.interfaces.push(InterfaceConfig::new("eth0", Ipv4Addr::new(10, 0, 0, 1), 31));
+        let mut bgp_b = BgpProcess::new(2, Ipv4Addr::new(1, 1, 1, 2));
+        bgp_b.neighbors.push(BgpNeighbor {
+            peer: Ipv4Addr::new(10, 0, 0, 0),
+            remote_as: 1,
+            import_policy: None,
+            export_policy: None,
+            remove_private_as: false,
+        });
+        cb.bgp = Some(bgp_b);
+        NetworkModel::build(topo, vec![ca, cb]).unwrap()
+    }
+
+    fn rib(prefix: &str, egress: Vec<u16>, is_local: bool) -> RibRoute {
+        RibRoute {
+            prefix: prefix.parse().unwrap(),
+            protocol: Protocol::Bgp,
+            egress: egress.into_iter().map(InterfaceId).collect(),
+            is_local,
+            as_path_len: 0,
+        }
+    }
+
+    #[test]
+    fn lpm_shadowing_compiles_correctly() {
+        let m = model();
+        let space = PacketSpace::new(0);
+        let mut mgr = space.manager();
+        let fib = Fib::from_rib(&[
+            rib("10.0.0.0/8", vec![0], false),
+            rib("10.1.0.0/16", vec![], true), // local island inside /8
+        ]);
+        let p = NodePredicates::compile(&m, NodeId(0), &fib, &space, &mut mgr);
+
+        let in_16 = space.dst_in(&mut mgr, "10.1.0.0/16".parse().unwrap());
+        let in_8 = space.dst_in(&mut mgr, "10.0.0.0/8".parse().unwrap());
+
+        // /16 space is local, not forwarded.
+        assert_eq!(mgr.and(p.local, in_16), in_16);
+        let fwd0 = p.fwd[&InterfaceId(0)];
+        assert!(mgr.and(fwd0, in_16).is_false());
+        // The rest of the /8 is forwarded.
+        let rest = mgr.diff(in_8, in_16);
+        assert_eq!(mgr.and(fwd0, rest), rest);
+        // Outside the /8 everything drops.
+        let outside = mgr.not(in_8);
+        assert_eq!(mgr.and(p.drop, outside), outside);
+    }
+
+    #[test]
+    fn discard_routes_feed_drop() {
+        let m = model();
+        let space = PacketSpace::new(0);
+        let mut mgr = space.manager();
+        let fib = Fib::from_rib(&[rib("10.0.0.0/8", vec![], false)]);
+        let p = NodePredicates::compile(&m, NodeId(0), &fib, &space, &mut mgr);
+        let in_8 = space.dst_in(&mut mgr, "10.0.0.0/8".parse().unwrap());
+        assert_eq!(mgr.and(p.drop, in_8), in_8);
+        assert!(p.fwd.is_empty());
+    }
+
+    #[test]
+    fn default_acls_are_true() {
+        let m = model();
+        let space = PacketSpace::new(0);
+        let mut mgr = space.manager();
+        let p = NodePredicates::compile(&m, NodeId(0), &Fib::default(), &space, &mut mgr);
+        assert!(p.acl_in(Some(InterfaceId(0))).is_true());
+        assert!(p.acl_in(None).is_true());
+        assert!(p.acl_out(InterfaceId(0)).is_true());
+        // No FIB: everything drops.
+        assert!(p.drop.is_true());
+    }
+
+    #[test]
+    fn bound_acl_is_compiled() {
+        let mut m = model();
+        // Attach a deny-all ACL inbound on a's eth0.
+        let mut cfg = (*m.configs[0]).clone();
+        cfg.acls.insert("BLOCK".into(), s2_net::acl::Acl::default());
+        cfg.interfaces[0].acl_in = Some("BLOCK".into());
+        m.configs[0] = std::sync::Arc::new(cfg);
+
+        let space = PacketSpace::new(0);
+        let mut mgr = space.manager();
+        let p = NodePredicates::compile(&m, NodeId(0), &Fib::default(), &space, &mut mgr);
+        assert!(p.acl_in(Some(InterfaceId(0))).is_false());
+    }
+}

@@ -1,0 +1,361 @@
+//! Property checking over forwarding results (§4.4).
+//!
+//! S2 supports five query types, all expressed over the final states of a
+//! forwarding run: reachability, waypoint, multipath consistency,
+//! loop-freedom and blackhole-freedom. A [`Query`] is the paper's 4-tuple
+//! `(H, V_s, V_d, V_t)`.
+
+use crate::forward::{FinalKind, ForwardResult};
+use crate::packetspace::PacketSpace;
+use s2_bdd::{Bdd, BddManager};
+use s2_net::topology::NodeId;
+use s2_net::Prefix;
+use std::collections::BTreeMap;
+
+/// A verification query: which headers (`H`), injected where (`V_s`),
+/// expected where (`V_d`), via which transit nodes (`V_t`).
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Constrain the destination address to this prefix (None = any).
+    pub dst_in: Option<Prefix>,
+    /// Constrain the source address to this prefix (None = any).
+    pub src_in: Option<Prefix>,
+    /// Injection nodes (`V_s`).
+    pub sources: Vec<NodeId>,
+    /// Destination nodes (`V_d`).
+    pub dests: Vec<NodeId>,
+    /// Transit (waypoint) nodes (`V_t`).
+    pub transits: Vec<NodeId>,
+}
+
+impl Query {
+    /// A reachability query from `src` to `dst` for headers destined into
+    /// `dst_prefix`.
+    pub fn reachability(src: NodeId, dst: NodeId, dst_prefix: Prefix) -> Self {
+        Query {
+            dst_in: Some(dst_prefix),
+            src_in: None,
+            sources: vec![src],
+            dests: vec![dst],
+            transits: Vec::new(),
+        }
+    }
+
+    /// Compiles the header space `H` (including cleared metadata bits) in
+    /// `manager`.
+    pub fn header_set(&self, space: &PacketSpace, manager: &mut BddManager) -> Bdd {
+        let mut h = space.meta_clear(manager);
+        if let Some(p) = self.dst_in {
+            let d = space.dst_in(manager, p);
+            h = manager.and(h, d);
+        }
+        if let Some(p) = self.src_in {
+            let s = space.src_in(manager, p);
+            h = manager.and(h, s);
+        }
+        h
+    }
+}
+
+/// Outcome of evaluating a query over a forwarding run.
+#[derive(Debug)]
+pub struct QueryReport {
+    /// For each `(source, dest)` pair, the headers that arrived.
+    pub reachable: BTreeMap<(NodeId, NodeId), Bdd>,
+    /// Headers that hit a loop, per source.
+    pub looped: BTreeMap<NodeId, Bdd>,
+    /// Headers that blackholed, per source.
+    pub blackholed: BTreeMap<NodeId, Bdd>,
+    /// Waypoint violations: arrived headers that missed a transit node,
+    /// per `(source, dest, transit)`.
+    pub waypoint_violations: BTreeMap<(NodeId, NodeId, NodeId), Bdd>,
+    /// Multipath-consistency violations per source: overlapping header
+    /// sets that reached *different* final kinds.
+    pub multipath_violations: BTreeMap<NodeId, Bdd>,
+}
+
+impl QueryReport {
+    /// Whether any checked property was violated. Reachability itself is
+    /// interpreted by the caller (an empty `reachable` entry may be the
+    /// expected answer for an isolation query).
+    pub fn has_forwarding_anomaly(&self) -> bool {
+        !self.looped.is_empty()
+            || !self.waypoint_violations.is_empty()
+            || !self.multipath_violations.is_empty()
+    }
+}
+
+/// Evaluates all property families over `result`.
+///
+/// `waypoint_bits` must be the same map given to the forwarding run;
+/// metadata bit `b` set means "visited the node mapped to `b`".
+pub fn evaluate(
+    result: &ForwardResult,
+    space: &PacketSpace,
+    manager: &mut BddManager,
+    query: &Query,
+    waypoint_bits: &BTreeMap<NodeId, u16>,
+) -> QueryReport {
+    let mut reachable = BTreeMap::new();
+    let mut looped: BTreeMap<NodeId, Bdd> = BTreeMap::new();
+    let mut blackholed: BTreeMap<NodeId, Bdd> = BTreeMap::new();
+    let mut waypoint_violations = BTreeMap::new();
+
+    for &src in &query.sources {
+        for &dst in &query.dests {
+            let arrived = result.arrived_at(manager, src, dst);
+            if !arrived.is_false() {
+                // Waypoint check: arrived headers whose transit bit is 0.
+                for &t in &query.transits {
+                    if let Some(&bit) = waypoint_bits.get(&t) {
+                        let visited = space.with_meta(manager, arrived, bit);
+                        let missed = manager.diff(arrived, visited);
+                        if !missed.is_false() {
+                            waypoint_violations.insert((src, dst, t), missed);
+                        }
+                    }
+                }
+                reachable.insert((src, dst), arrived);
+            }
+        }
+        let loop_sets: Vec<Bdd> = result
+            .of_kind(FinalKind::Loop)
+            .filter(|f| f.src == src)
+            .map(|f| f.set)
+            .collect();
+        let l = manager.or_all(loop_sets);
+        if !l.is_false() {
+            looped.insert(src, l);
+        }
+        let bh_sets: Vec<Bdd> = result
+            .of_kind(FinalKind::Blackhole)
+            .filter(|f| f.src == src)
+            .map(|f| f.set)
+            .collect();
+        let b = manager.or_all(bh_sets);
+        if !b.is_false() {
+            blackholed.insert(src, b);
+        }
+    }
+
+    let multipath_violations = multipath_consistency(result, space, manager, &query.sources);
+
+    QueryReport {
+        reachable,
+        looped,
+        blackholed,
+        waypoint_violations,
+        multipath_violations,
+    }
+}
+
+/// Multipath consistency (Batfish's property, §4.4): for each source, if
+/// two final packet sets overlap but have different final kinds, traffic on
+/// one path succeeds while the same traffic on another path fails.
+///
+/// Metadata bits are existentially quantified away first — two fragments
+/// that took different paths differ in waypoint bits even when they carry
+/// the same 5-tuple, and the property is about the 5-tuple.
+pub fn multipath_consistency(
+    result: &ForwardResult,
+    space: &PacketSpace,
+    manager: &mut BddManager,
+    sources: &[NodeId],
+) -> BTreeMap<NodeId, Bdd> {
+    let meta_vars: Vec<u16> = (0..space.meta_bits).map(|i| space.meta_var(i)).collect();
+    let mut out = BTreeMap::new();
+    for &src in sources {
+        // Union of header sets per final kind.
+        let mut by_kind: BTreeMap<FinalKind, Bdd> = BTreeMap::new();
+        for f in result.finals.iter().filter(|f| f.src == src) {
+            let stripped = manager.exists_all(f.set, meta_vars.iter().copied());
+            let entry = by_kind.entry(f.kind).or_insert(Bdd::FALSE);
+            *entry = manager.or(*entry, stripped);
+        }
+        let kinds: Vec<(FinalKind, Bdd)> = by_kind.into_iter().collect();
+        let mut violation = Bdd::FALSE;
+        for i in 0..kinds.len() {
+            for j in (i + 1)..kinds.len() {
+                let overlap = manager.and(kinds[i].1, kinds[j].1);
+                violation = manager.or(violation, overlap);
+            }
+        }
+        if !violation.is_false() {
+            out.insert(src, violation);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::Fib;
+    use crate::forward::{forward, ForwardOptions};
+    use crate::predicates::NodePredicates;
+    use s2_net::config::{DeviceConfig, InterfaceConfig, Vendor};
+    use s2_net::policy::Protocol;
+    use s2_net::topology::{InterfaceId, Topology};
+    use s2_net::Ipv4Addr;
+    use s2_routing::{NetworkModel, RibRoute};
+
+    /// Diamond: s—(l,r)—d. Both paths lead to d, where 10.9/16 is local.
+    fn diamond() -> NetworkModel {
+        let mut topo = Topology::new();
+        let s = topo.add_node("s");
+        let l = topo.add_node("l");
+        let r = topo.add_node("r");
+        let d = topo.add_node("d");
+        topo.connect(s, l);
+        topo.connect(s, r);
+        topo.connect(l, d);
+        topo.connect(r, d);
+        let ip = Ipv4Addr::new;
+        let mk = |name: &str, ifaces: Vec<(&str, Ipv4Addr)>| {
+            let mut cfg = DeviceConfig::new(name, Vendor::A);
+            for (n, a) in ifaces {
+                cfg.interfaces.push(InterfaceConfig::new(n, a, 31));
+            }
+            cfg
+        };
+        NetworkModel::build(
+            topo,
+            vec![
+                mk("s", vec![("e0", ip(172, 16, 0, 0)), ("e1", ip(172, 16, 1, 0))]),
+                mk("l", vec![("e0", ip(172, 16, 0, 1)), ("e1", ip(172, 16, 2, 0))]),
+                mk("r", vec![("e0", ip(172, 16, 1, 1)), ("e1", ip(172, 16, 3, 0))]),
+                mk("d", vec![("e0", ip(172, 16, 2, 1)), ("e1", ip(172, 16, 3, 1))]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn rib(prefix: &str, egress: Vec<u16>, is_local: bool) -> RibRoute {
+        RibRoute {
+            prefix: prefix.parse().unwrap(),
+            protocol: Protocol::Bgp,
+            egress: egress.into_iter().map(InterfaceId).collect(),
+            is_local,
+            as_path_len: 0,
+        }
+    }
+
+    fn run(
+        model: &NetworkModel,
+        ribs: Vec<Vec<RibRoute>>,
+        transits: Vec<NodeId>,
+        meta_bits: u16,
+    ) -> (QueryReport, PacketSpace) {
+        let space = PacketSpace::new(meta_bits);
+        let mut mgr = space.manager();
+        let preds: Vec<NodePredicates> = ribs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                NodePredicates::compile(model, NodeId(i as u32), &Fib::from_rib(r), &space, &mut mgr)
+            })
+            .collect();
+        let query = Query {
+            dst_in: Some("10.9.0.0/16".parse().unwrap()),
+            src_in: None,
+            sources: vec![NodeId(0)],
+            dests: vec![NodeId(3)],
+            transits: transits.clone(),
+        };
+        let h = query.header_set(&space, &mut mgr);
+        let mut opts = ForwardOptions::default();
+        let mut waypoint_bits = BTreeMap::new();
+        for (i, t) in transits.iter().enumerate() {
+            waypoint_bits.insert(*t, i as u16);
+        }
+        opts.waypoint_bits = waypoint_bits.clone();
+        let res = forward(&model.topology, &preds, &space, &mut mgr, vec![(NodeId(0), h)], &opts);
+        let report = evaluate(&res, &space, &mut mgr, &query, &waypoint_bits);
+        (report, space)
+    }
+
+    fn healthy_ribs() -> Vec<Vec<RibRoute>> {
+        vec![
+            vec![rib("10.9.0.0/16", vec![0, 1], false)], // s: ECMP via l and r
+            vec![rib("10.9.0.0/16", vec![1], false)],    // l -> d
+            vec![rib("10.9.0.0/16", vec![1], false)],    // r -> d
+            vec![rib("10.9.0.0/16", vec![], true)],      // d local
+        ]
+    }
+
+    #[test]
+    fn reachability_holds_on_healthy_network() {
+        let model = diamond();
+        let (report, _) = run(&model, healthy_ribs(), vec![], 0);
+        assert!(report.reachable.contains_key(&(NodeId(0), NodeId(3))));
+        assert!(report.looped.is_empty());
+        assert!(report.blackholed.is_empty());
+        assert!(report.multipath_violations.is_empty());
+        assert!(!report.has_forwarding_anomaly());
+    }
+
+    #[test]
+    fn waypoint_violation_detected_on_bypass_path() {
+        let model = diamond();
+        // Transit required through l (node 1), but ECMP also goes via r.
+        let (report, _) = run(&model, healthy_ribs(), vec![NodeId(1)], 1);
+        // The copy through r arrives without the l-bit: violation.
+        assert!(report
+            .waypoint_violations
+            .contains_key(&(NodeId(0), NodeId(3), NodeId(1))));
+    }
+
+    #[test]
+    fn waypoint_satisfied_when_single_path() {
+        let model = diamond();
+        let mut ribs = healthy_ribs();
+        ribs[0] = vec![rib("10.9.0.0/16", vec![0], false)]; // only via l
+        let (report, _) = run(&model, ribs, vec![NodeId(1)], 1);
+        assert!(report.waypoint_violations.is_empty());
+        assert!(report.reachable.contains_key(&(NodeId(0), NodeId(3))));
+    }
+
+    #[test]
+    fn multipath_inconsistency_detected() {
+        let model = diamond();
+        let mut ribs = healthy_ribs();
+        // Break the right path: r drops the prefix.
+        ribs[2] = vec![rib("10.9.0.0/16", vec![], false)];
+        let (report, _) = run(&model, ribs, vec![], 0);
+        // Same headers arrive via l but blackhole via r: inconsistency.
+        assert!(report.multipath_violations.contains_key(&NodeId(0)));
+        assert!(report.blackholed.contains_key(&NodeId(0)));
+        assert!(report.has_forwarding_anomaly());
+    }
+
+    #[test]
+    fn consistent_single_outcome_is_not_flagged() {
+        let model = diamond();
+        let mut ribs = healthy_ribs();
+        // Both paths blackhole: consistent (all traffic fails equally).
+        ribs[1] = vec![rib("10.9.0.0/16", vec![], false)];
+        ribs[2] = vec![rib("10.9.0.0/16", vec![], false)];
+        let (report, _) = run(&model, ribs, vec![], 0);
+        assert!(report.multipath_violations.is_empty());
+        assert!(report.reachable.is_empty());
+    }
+
+    #[test]
+    fn query_header_set_composes_constraints() {
+        let space = PacketSpace::new(1);
+        let mut mgr = space.manager();
+        let q = Query {
+            dst_in: Some("10.0.0.0/8".parse().unwrap()),
+            src_in: Some("192.168.0.0/16".parse().unwrap()),
+            sources: vec![],
+            dests: vec![],
+            transits: vec![],
+        };
+        let h = q.header_set(&space, &mut mgr);
+        assert!(!h.is_false());
+        // Meta bit is clear in the header set.
+        assert!(space.with_meta(&mut mgr, h, 0).is_false());
+        let outside = space.dst_in(&mut mgr, "11.0.0.0/8".parse().unwrap());
+        assert!(!mgr.intersects(h, outside));
+    }
+}

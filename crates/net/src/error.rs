@@ -1,0 +1,78 @@
+//! Error types shared by the network-model crate.
+
+use std::fmt;
+
+/// Errors produced while parsing addresses, prefixes or vendor
+/// configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// An IPv4 address literal could not be parsed.
+    BadAddress(String),
+    /// A prefix literal (`a.b.c.d/len`) could not be parsed.
+    BadPrefix(String),
+    /// A vendor configuration line was syntactically invalid.
+    Syntax {
+        /// 1-based line number within the configuration file.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A vendor configuration referenced an undefined object (route map,
+    /// prefix list, ACL, ...).
+    UndefinedReference {
+        /// The kind of object (e.g. `"route-map"`).
+        kind: &'static str,
+        /// The missing object's name.
+        name: String,
+    },
+    /// The configuration is structurally inconsistent (duplicate hostname,
+    /// interface collision, ...).
+    Inconsistent(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadAddress(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            NetError::BadPrefix(s) => write!(f, "invalid IPv4 prefix: {s:?}"),
+            NetError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            NetError::UndefinedReference { kind, name } => {
+                write!(f, "undefined {kind} {name:?}")
+            }
+            NetError::Inconsistent(msg) => write!(f, "inconsistent configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            NetError::BadAddress("1.2.3".into()).to_string(),
+            "invalid IPv4 address: \"1.2.3\""
+        );
+        assert_eq!(
+            NetError::Syntax {
+                line: 7,
+                message: "unexpected token".into()
+            }
+            .to_string(),
+            "syntax error at line 7: unexpected token"
+        );
+        assert_eq!(
+            NetError::UndefinedReference {
+                kind: "route-map",
+                name: "RM".into()
+            }
+            .to_string(),
+            "undefined route-map \"RM\""
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Vendor configuration dialects.
+//!
+//! The S2 paper plugs into Batfish's multi-vendor parsing front end; this
+//! crate provides the same role with two synthetic dialects:
+//!
+//! * [`vendor_a`] — a line-oriented, IOS-flavoured dialect,
+//! * [`vendor_b`] — a braced, JunOS-flavoured dialect.
+//!
+//! Both parse into the same vendor-independent [`DeviceConfig`]; both have
+//! emitters so the topology generators can synthesize realistic
+//! configuration files and the test suite can check parse∘emit = id. The
+//! two vendors also differ *semantically* (see
+//! [`crate::config::VendorQuirks`]), which the routing crate honours.
+
+pub mod util;
+pub mod vendor_a;
+pub mod vendor_b;
+
+use crate::config::{DeviceConfig, Vendor};
+use crate::error::NetError;
+
+/// Parses a configuration file, auto-detecting the dialect.
+///
+/// Vendor A files start with `hostname <name>`, vendor B files with
+/// `host-name <name>;`.
+pub fn parse(text: &str) -> Result<DeviceConfig, NetError> {
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('!') || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with("hostname ") {
+            return vendor_a::parse(text);
+        }
+        if line.starts_with("host-name ") {
+            return vendor_b::parse(text);
+        }
+        break;
+    }
+    Err(NetError::Syntax {
+        line: 1,
+        message: "cannot detect vendor dialect (expected `hostname` or `host-name`)".into(),
+    })
+}
+
+/// Emits `config` in its own vendor's dialect.
+pub fn emit(config: &DeviceConfig) -> String {
+    match config.vendor {
+        Vendor::A => vendor_a::emit(config),
+        Vendor::B => vendor_b::emit(config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BgpProcess, Vendor};
+    use crate::ip::Ipv4Addr;
+
+    #[test]
+    fn detect_vendor_a() {
+        let cfg = parse("!\nhostname foo\n").unwrap();
+        assert_eq!(cfg.hostname, "foo");
+        assert_eq!(cfg.vendor, Vendor::A);
+    }
+
+    #[test]
+    fn detect_vendor_b() {
+        let cfg = parse("# comment\nhost-name bar;\n").unwrap();
+        assert_eq!(cfg.hostname, "bar");
+        assert_eq!(cfg.vendor, Vendor::B);
+    }
+
+    #[test]
+    fn detect_fails_on_garbage() {
+        assert!(parse("interface eth0\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn emit_dispatches_on_vendor() {
+        let mut cfg = crate::config::DeviceConfig::new("x", Vendor::A);
+        cfg.bgp = Some(BgpProcess::new(65000, Ipv4Addr::new(1, 1, 1, 1)));
+        assert!(emit(&cfg).starts_with("hostname x"));
+        cfg.vendor = Vendor::B;
+        assert!(emit(&cfg).starts_with("host-name x;"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared lexical helpers for the vendor parsers.
+
+use crate::error::NetError;
+use crate::ip::Prefix;
+use crate::policy::{community, Community};
+
+/// Parses `high:low` community notation.
+pub fn parse_community(s: &str, line: usize) -> Result<Community, NetError> {
+    let (hi, lo) = s.split_once(':').ok_or_else(|| NetError::Syntax {
+        line,
+        message: format!("expected community high:low, got {s:?}"),
+    })?;
+    let hi: u16 = hi.parse().map_err(|_| NetError::Syntax {
+        line,
+        message: format!("bad community high part {hi:?}"),
+    })?;
+    let lo: u16 = lo.parse().map_err(|_| NetError::Syntax {
+        line,
+        message: format!("bad community low part {lo:?}"),
+    })?;
+    Ok(community(hi, lo))
+}
+
+/// Parses a prefix, converting the error into a positioned syntax error.
+pub fn parse_prefix(s: &str, line: usize) -> Result<Prefix, NetError> {
+    s.parse().map_err(|_| NetError::Syntax {
+        line,
+        message: format!("bad prefix {s:?}"),
+    })
+}
+
+/// Parses an integer, converting the error into a positioned syntax error.
+pub fn parse_num<T: std::str::FromStr>(s: &str, what: &str, line: usize) -> Result<T, NetError> {
+    s.parse().map_err(|_| NetError::Syntax {
+        line,
+        message: format!("bad {what} {s:?}"),
+    })
+}
+
+/// A positioned syntax error, shorthand.
+pub fn syntax(line: usize, message: impl Into<String>) -> NetError {
+    NetError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn community_parses() {
+        assert_eq!(parse_community("65000:42", 1).unwrap(), community(65000, 42));
+        assert!(parse_community("65000", 1).is_err());
+        assert!(parse_community("x:1", 1).is_err());
+        assert!(parse_community("1:99999", 1).is_err());
+    }
+
+    #[test]
+    fn numbers_carry_line_numbers() {
+        let err = parse_num::<u8>("300", "ttl", 7).unwrap_err();
+        assert!(matches!(err, NetError::Syntax { line: 7, .. }));
+    }
+}

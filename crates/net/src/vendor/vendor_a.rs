@@ -1,0 +1,975 @@
+//! Vendor A: a line-oriented, IOS-flavoured configuration dialect.
+//!
+//! Grammar sketch (one command per line; `!` or `#` starts a comment;
+//! indented lines belong to the most recent section header):
+//!
+//! ```text
+//! hostname NAME
+//! interface NAME
+//!  ip address A.B.C.D/L
+//!  ip access-group ACL in|out
+//!  ip ospf cost N
+//! ip prefix-list NAME permit|deny P [ge N] [le N]
+//! ip access-list NAME
+//!  permit|deny ip (any|P) (any|P) [proto N] [sport LO HI] [dport LO HI]
+//! route-map NAME permit|deny SEQ
+//!  match ip address prefix-list NAME
+//!  match community H:L
+//!  match as-path ASN
+//!  match prefix-len MIN MAX
+//!  set local-preference N
+//!  set med N
+//!  set community H:L[,H:L] [additive]
+//!  set comm-list H:L delete
+//!  set as-path prepend ASN COUNT
+//!  set as-path overwrite ASN[,ASN]
+//! router bgp ASN
+//!  router-id A.B.C.D
+//!  maximum-paths N
+//!  network P
+//!  aggregate-address P [summary-only] [community H:L[,H:L]]
+//!  redistribute (connected|static|ospf)
+//!  neighbor A.B.C.D remote-as ASN
+//!  neighbor A.B.C.D route-map NAME in|out
+//!  neighbor A.B.C.D remove-private-as
+//! router ospf
+//!  interface NAME
+//!  default-cost N
+//! ip route P (A.B.C.D|null0)
+//! ```
+//!
+//! Vendor A's semantic quirks: `remove-private-as` strips **all** private
+//! ASNs, and empty eBGP AS paths are accepted (see
+//! [`crate::config::VendorQuirks`]).
+
+use crate::acl::{AclAction, AclEntry, PortRange};
+use crate::config::{
+    Aggregate, BgpNeighbor, BgpProcess, DeviceConfig, InterfaceConfig, Network, OspfProcess,
+    StaticRoute, Vendor,
+};
+use crate::error::NetError;
+use crate::ip::{Ipv4Addr, Prefix};
+use crate::policy::{
+    community_string, AsPathAction, CommunityAction, MatchCondition, PolicyAction, PrefixList,
+    PrefixListEntry, Protocol, RouteMapClause, RouteMapDisposition,
+};
+
+use super::util::{parse_community, parse_num, parse_prefix, syntax};
+
+/// Which multi-line section the parser is currently inside.
+enum Section {
+    None,
+    Interface(String),
+    Acl(String),
+    RouteMap(String, u32),
+    Bgp,
+    Ospf,
+}
+
+/// Parses a vendor-A configuration file.
+pub fn parse(text: &str) -> Result<DeviceConfig, NetError> {
+    let mut cfg = DeviceConfig::new("", Vendor::A);
+    let mut section = Section::None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('!') || trimmed.starts_with('#') {
+            continue;
+        }
+        let indented = line.starts_with(' ');
+        let words: Vec<&str> = trimmed.split_whitespace().collect();
+
+        if !indented {
+            section = Section::None;
+            match words[0] {
+                "hostname" => {
+                    let name = words.get(1).ok_or_else(|| syntax(lineno, "missing hostname"))?;
+                    cfg.hostname = name.to_string();
+                }
+                "interface" => {
+                    let name = words.get(1).ok_or_else(|| syntax(lineno, "missing interface name"))?;
+                    cfg.interfaces.push(InterfaceConfig::new(
+                        name.to_string(),
+                        Ipv4Addr::UNSPECIFIED,
+                        32,
+                    ));
+                    section = Section::Interface(name.to_string());
+                }
+                "ip" => match words.get(1).copied() {
+                    Some("prefix-list") => parse_prefix_list_line(&mut cfg, &words, lineno)?,
+                    Some("access-list") => {
+                        let name = words
+                            .get(2)
+                            .ok_or_else(|| syntax(lineno, "missing access-list name"))?;
+                        cfg.acls.entry(name.to_string()).or_default();
+                        section = Section::Acl(name.to_string());
+                    }
+                    Some("route") => parse_static_route(&mut cfg, &words, lineno)?,
+                    other => {
+                        return Err(syntax(lineno, format!("unknown ip command {other:?}")));
+                    }
+                },
+                "route-map" => {
+                    let name = words.get(1).ok_or_else(|| syntax(lineno, "missing route-map name"))?;
+                    let disp = match words.get(2).copied() {
+                        Some("permit") => RouteMapDisposition::Permit,
+                        Some("deny") => RouteMapDisposition::Deny,
+                        _ => return Err(syntax(lineno, "expected permit|deny")),
+                    };
+                    let seq: u32 = parse_num(
+                        words.get(3).ok_or_else(|| syntax(lineno, "missing sequence"))?,
+                        "sequence",
+                        lineno,
+                    )?;
+                    cfg.route_maps
+                        .entry(name.to_string())
+                        .or_default()
+                        .push_clause(RouteMapClause {
+                            seq,
+                            disposition: disp,
+                            matches: Vec::new(),
+                            actions: Vec::new(),
+                        });
+                    section = Section::RouteMap(name.to_string(), seq);
+                }
+                "router" => match words.get(1).copied() {
+                    Some("bgp") => {
+                        let asn: u32 = parse_num(
+                            words.get(2).ok_or_else(|| syntax(lineno, "missing ASN"))?,
+                            "ASN",
+                            lineno,
+                        )?;
+                        cfg.bgp = Some(BgpProcess::new(asn, Ipv4Addr::UNSPECIFIED));
+                        section = Section::Bgp;
+                    }
+                    Some("ospf") => {
+                        cfg.ospf = Some(OspfProcess {
+                            interfaces: Vec::new(),
+                            default_cost: 10,
+                        });
+                        section = Section::Ospf;
+                    }
+                    other => return Err(syntax(lineno, format!("unknown router {other:?}"))),
+                },
+                other => return Err(syntax(lineno, format!("unknown command {other:?}"))),
+            }
+            continue;
+        }
+
+        // Indented: dispatch on the current section.
+        match &section {
+            Section::None => return Err(syntax(lineno, "indented line outside any section")),
+            Section::Interface(name) => parse_interface_line(&mut cfg, name, &words, lineno)?,
+            Section::Acl(name) => parse_acl_line(&mut cfg, name, &words, lineno)?,
+            Section::RouteMap(name, seq) => parse_route_map_line(&mut cfg, name, *seq, &words, lineno)?,
+            Section::Bgp => parse_bgp_line(&mut cfg, &words, lineno)?,
+            Section::Ospf => parse_ospf_line(&mut cfg, &words, lineno)?,
+        }
+    }
+
+    if cfg.hostname.is_empty() {
+        return Err(syntax(1, "missing hostname"));
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn parse_prefix_list_line(cfg: &mut DeviceConfig, words: &[&str], lineno: usize) -> Result<(), NetError> {
+    // ip prefix-list NAME permit|deny P [ge N] [le N]
+    let name = words.get(2).ok_or_else(|| syntax(lineno, "missing prefix-list name"))?;
+    let permit = match words.get(3).copied() {
+        Some("permit") => true,
+        Some("deny") => false,
+        _ => return Err(syntax(lineno, "expected permit|deny")),
+    };
+    let prefix = parse_prefix(
+        words.get(4).ok_or_else(|| syntax(lineno, "missing prefix"))?,
+        lineno,
+    )?;
+    let mut ge = None;
+    let mut le = None;
+    let mut i = 5;
+    while i < words.len() {
+        match words[i] {
+            "ge" => {
+                ge = Some(parse_num(
+                    words.get(i + 1).ok_or_else(|| syntax(lineno, "missing ge value"))?,
+                    "ge",
+                    lineno,
+                )?);
+                i += 2;
+            }
+            "le" => {
+                le = Some(parse_num(
+                    words.get(i + 1).ok_or_else(|| syntax(lineno, "missing le value"))?,
+                    "le",
+                    lineno,
+                )?);
+                i += 2;
+            }
+            other => return Err(syntax(lineno, format!("unexpected token {other:?}"))),
+        }
+    }
+    cfg.prefix_lists
+        .entry(name.to_string())
+        .or_insert_with(PrefixList::default)
+        .entries
+        .push(PrefixListEntry { prefix, ge, le, permit });
+    Ok(())
+}
+
+fn parse_static_route(cfg: &mut DeviceConfig, words: &[&str], lineno: usize) -> Result<(), NetError> {
+    // ip route P (A.B.C.D | null0)
+    let prefix = parse_prefix(
+        words.get(2).ok_or_else(|| syntax(lineno, "missing prefix"))?,
+        lineno,
+    )?;
+    let nh = words.get(3).ok_or_else(|| syntax(lineno, "missing next hop"))?;
+    let next_hop = if *nh == "null0" {
+        None
+    } else {
+        Some(nh.parse::<Ipv4Addr>().map_err(|_| syntax(lineno, "bad next hop"))?)
+    };
+    cfg.static_routes.push(StaticRoute { prefix, next_hop });
+    Ok(())
+}
+
+fn parse_interface_line(
+    cfg: &mut DeviceConfig,
+    name: &str,
+    words: &[&str],
+    lineno: usize,
+) -> Result<(), NetError> {
+    let iface = cfg
+        .interfaces
+        .iter_mut()
+        .find(|i| i.name == name)
+        .expect("section tracks an existing interface");
+    match (words.first().copied(), words.get(1).copied()) {
+        (Some("ip"), Some("address")) => {
+            let spec = words.get(2).ok_or_else(|| syntax(lineno, "missing address"))?;
+            let (addr, len) = spec
+                .split_once('/')
+                .ok_or_else(|| syntax(lineno, "expected A.B.C.D/L"))?;
+            let addr: Ipv4Addr = addr.parse().map_err(|_| syntax(lineno, "bad address"))?;
+            let len: u8 = parse_num(len, "mask length", lineno)?;
+            if len > 32 {
+                return Err(syntax(lineno, "mask length out of range"));
+            }
+            iface.addr = addr;
+            iface.prefix = Prefix::new(addr, len);
+        }
+        (Some("ip"), Some("access-group")) => {
+            let acl = words.get(2).ok_or_else(|| syntax(lineno, "missing ACL name"))?;
+            match words.get(3).copied() {
+                Some("in") => iface.acl_in = Some(acl.to_string()),
+                Some("out") => iface.acl_out = Some(acl.to_string()),
+                _ => return Err(syntax(lineno, "expected in|out")),
+            }
+        }
+        (Some("ip"), Some("ospf")) => {
+            if words.get(2).copied() != Some("cost") {
+                return Err(syntax(lineno, "expected ip ospf cost N"));
+            }
+            iface.ospf_cost = Some(parse_num(
+                words.get(3).ok_or_else(|| syntax(lineno, "missing cost"))?,
+                "cost",
+                lineno,
+            )?);
+        }
+        _ => return Err(syntax(lineno, format!("unknown interface command {words:?}"))),
+    }
+    Ok(())
+}
+
+fn parse_acl_addr(word: &str, lineno: usize) -> Result<Prefix, NetError> {
+    if word == "any" {
+        Ok(Prefix::DEFAULT)
+    } else {
+        parse_prefix(word, lineno)
+    }
+}
+
+fn parse_acl_line(
+    cfg: &mut DeviceConfig,
+    name: &str,
+    words: &[&str],
+    lineno: usize,
+) -> Result<(), NetError> {
+    // permit|deny ip SRC DST [proto N] [sport LO HI] [dport LO HI]
+    let action = match words.first().copied() {
+        Some("permit") => AclAction::Permit,
+        Some("deny") => AclAction::Deny,
+        _ => return Err(syntax(lineno, "expected permit|deny")),
+    };
+    if words.get(1).copied() != Some("ip") {
+        return Err(syntax(lineno, "expected `ip` after action"));
+    }
+    let src = parse_acl_addr(words.get(2).ok_or_else(|| syntax(lineno, "missing src"))?, lineno)?;
+    let dst = parse_acl_addr(words.get(3).ok_or_else(|| syntax(lineno, "missing dst"))?, lineno)?;
+    let mut entry = AclEntry {
+        action,
+        src,
+        dst,
+        proto: None,
+        src_ports: PortRange::ANY,
+        dst_ports: PortRange::ANY,
+    };
+    let mut i = 4;
+    while i < words.len() {
+        match words[i] {
+            "proto" => {
+                entry.proto = Some(parse_num(
+                    words.get(i + 1).ok_or_else(|| syntax(lineno, "missing proto"))?,
+                    "proto",
+                    lineno,
+                )?);
+                i += 2;
+            }
+            "sport" => {
+                entry.src_ports = PortRange {
+                    lo: parse_num(
+                        words.get(i + 1).ok_or_else(|| syntax(lineno, "missing sport lo"))?,
+                        "sport",
+                        lineno,
+                    )?,
+                    hi: parse_num(
+                        words.get(i + 2).ok_or_else(|| syntax(lineno, "missing sport hi"))?,
+                        "sport",
+                        lineno,
+                    )?,
+                };
+                i += 3;
+            }
+            "dport" => {
+                entry.dst_ports = PortRange {
+                    lo: parse_num(
+                        words.get(i + 1).ok_or_else(|| syntax(lineno, "missing dport lo"))?,
+                        "dport",
+                        lineno,
+                    )?,
+                    hi: parse_num(
+                        words.get(i + 2).ok_or_else(|| syntax(lineno, "missing dport hi"))?,
+                        "dport",
+                        lineno,
+                    )?,
+                };
+                i += 3;
+            }
+            other => return Err(syntax(lineno, format!("unexpected ACL token {other:?}"))),
+        }
+    }
+    cfg.acls.get_mut(name).expect("section tracks an existing acl").entries.push(entry);
+    Ok(())
+}
+
+fn parse_route_map_line(
+    cfg: &mut DeviceConfig,
+    name: &str,
+    seq: u32,
+    words: &[&str],
+    lineno: usize,
+) -> Result<(), NetError> {
+    let clause = cfg
+        .route_maps
+        .get_mut(name)
+        .and_then(|rm| rm.clauses.iter_mut().find(|c| c.seq == seq))
+        .expect("section tracks an existing clause");
+    match words.first().copied() {
+        Some("match") => match words.get(1).copied() {
+            Some("ip") => {
+                // match ip address prefix-list NAME
+                if words.get(2).copied() != Some("address") || words.get(3).copied() != Some("prefix-list") {
+                    return Err(syntax(lineno, "expected match ip address prefix-list NAME"));
+                }
+                let pl = words.get(4).ok_or_else(|| syntax(lineno, "missing prefix-list name"))?;
+                clause.matches.push(MatchCondition::PrefixList(pl.to_string()));
+            }
+            Some("community") => {
+                let c = parse_community(
+                    words.get(2).ok_or_else(|| syntax(lineno, "missing community"))?,
+                    lineno,
+                )?;
+                clause.matches.push(MatchCondition::Community(c));
+            }
+            Some("as-path") => {
+                let asn = parse_num(
+                    words.get(2).ok_or_else(|| syntax(lineno, "missing ASN"))?,
+                    "ASN",
+                    lineno,
+                )?;
+                clause.matches.push(MatchCondition::AsPathContains(asn));
+            }
+            Some("prefix-len") => {
+                let min = parse_num(
+                    words.get(2).ok_or_else(|| syntax(lineno, "missing min"))?,
+                    "min length",
+                    lineno,
+                )?;
+                let max = parse_num(
+                    words.get(3).ok_or_else(|| syntax(lineno, "missing max"))?,
+                    "max length",
+                    lineno,
+                )?;
+                clause.matches.push(MatchCondition::PrefixLenRange(min, max));
+            }
+            other => return Err(syntax(lineno, format!("unknown match {other:?}"))),
+        },
+        Some("set") => match words.get(1).copied() {
+            Some("local-preference") => {
+                clause.actions.push(PolicyAction::SetLocalPref(parse_num(
+                    words.get(2).ok_or_else(|| syntax(lineno, "missing value"))?,
+                    "local-preference",
+                    lineno,
+                )?));
+            }
+            Some("med") => {
+                clause.actions.push(PolicyAction::SetMed(parse_num(
+                    words.get(2).ok_or_else(|| syntax(lineno, "missing value"))?,
+                    "med",
+                    lineno,
+                )?));
+            }
+            Some("community") => {
+                let list = words.get(2).ok_or_else(|| syntax(lineno, "missing communities"))?;
+                let comms: Result<Vec<_>, _> =
+                    list.split(',').map(|c| parse_community(c, lineno)).collect();
+                let comms = comms?;
+                if words.get(3).copied() == Some("additive") {
+                    for c in comms {
+                        clause.actions.push(PolicyAction::Community(CommunityAction::Add(c)));
+                    }
+                } else {
+                    clause.actions.push(PolicyAction::Community(CommunityAction::Set(comms)));
+                }
+            }
+            Some("comm-list") => {
+                // set comm-list H:L delete
+                let c = parse_community(
+                    words.get(2).ok_or_else(|| syntax(lineno, "missing community"))?,
+                    lineno,
+                )?;
+                if words.get(3).copied() != Some("delete") {
+                    return Err(syntax(lineno, "expected `delete`"));
+                }
+                clause.actions.push(PolicyAction::Community(CommunityAction::Delete(c)));
+            }
+            Some("as-path") => match words.get(2).copied() {
+                Some("prepend") => {
+                    let asn = parse_num(
+                        words.get(3).ok_or_else(|| syntax(lineno, "missing ASN"))?,
+                        "ASN",
+                        lineno,
+                    )?;
+                    let count = parse_num(
+                        words.get(4).ok_or_else(|| syntax(lineno, "missing count"))?,
+                        "count",
+                        lineno,
+                    )?;
+                    clause.actions.push(PolicyAction::AsPath(AsPathAction::Prepend { asn, count }));
+                }
+                Some("overwrite") => {
+                    let list = words.get(3).ok_or_else(|| syntax(lineno, "missing ASNs"))?;
+                    // `none` clears the path entirely (the DCN's AS_PATH
+                    // overwrite leaves only the ASN prepended on export).
+                    let asns: Vec<u32> = if *list == "none" {
+                        Vec::new()
+                    } else {
+                        list.split(',')
+                            .map(|a| parse_num(a, "ASN", lineno))
+                            .collect::<Result<_, _>>()?
+                    };
+                    clause.actions.push(PolicyAction::AsPath(AsPathAction::Overwrite(asns)));
+                }
+                other => return Err(syntax(lineno, format!("unknown set as-path {other:?}"))),
+            },
+            other => return Err(syntax(lineno, format!("unknown set {other:?}"))),
+        },
+        other => return Err(syntax(lineno, format!("unknown route-map command {other:?}"))),
+    }
+    Ok(())
+}
+
+fn parse_bgp_line(cfg: &mut DeviceConfig, words: &[&str], lineno: usize) -> Result<(), NetError> {
+    let bgp = cfg.bgp.as_mut().expect("section tracks an existing bgp process");
+    match words.first().copied() {
+        Some("router-id") => {
+            bgp.router_id = words
+                .get(1)
+                .ok_or_else(|| syntax(lineno, "missing router-id"))?
+                .parse()
+                .map_err(|_| syntax(lineno, "bad router-id"))?;
+        }
+        Some("maximum-paths") => {
+            bgp.max_ecmp = parse_num(
+                words.get(1).ok_or_else(|| syntax(lineno, "missing value"))?,
+                "maximum-paths",
+                lineno,
+            )?;
+        }
+        Some("network") => {
+            bgp.networks.push(Network {
+                prefix: parse_prefix(
+                    words.get(1).ok_or_else(|| syntax(lineno, "missing prefix"))?,
+                    lineno,
+                )?,
+            });
+        }
+        Some("aggregate-address") => {
+            let prefix = parse_prefix(
+                words.get(1).ok_or_else(|| syntax(lineno, "missing prefix"))?,
+                lineno,
+            )?;
+            let mut agg = Aggregate {
+                prefix,
+                summary_only: false,
+                communities: Vec::new(),
+            };
+            let mut i = 2;
+            while i < words.len() {
+                match words[i] {
+                    "summary-only" => {
+                        agg.summary_only = true;
+                        i += 1;
+                    }
+                    "community" => {
+                        let list = words.get(i + 1).ok_or_else(|| syntax(lineno, "missing communities"))?;
+                        for c in list.split(',') {
+                            agg.communities.push(parse_community(c, lineno)?);
+                        }
+                        i += 2;
+                    }
+                    other => return Err(syntax(lineno, format!("unexpected token {other:?}"))),
+                }
+            }
+            bgp.aggregates.push(agg);
+        }
+        Some("conditional-advertise") => {
+            // conditional-advertise P (exist|non-exist) P2
+            let advertise = parse_prefix(
+                words.get(1).ok_or_else(|| syntax(lineno, "missing prefix"))?,
+                lineno,
+            )?;
+            let when_present = match words.get(2).copied() {
+                Some("exist") => true,
+                Some("non-exist") => false,
+                other => return Err(syntax(lineno, format!("expected exist|non-exist, got {other:?}"))),
+            };
+            let condition = parse_prefix(
+                words.get(3).ok_or_else(|| syntax(lineno, "missing condition prefix"))?,
+                lineno,
+            )?;
+            bgp.conditional.push(s2_net_conditional(advertise, condition, when_present));
+        }
+        Some("redistribute") => {
+            let proto = match words.get(1).copied() {
+                Some("connected") => Protocol::Connected,
+                Some("static") => Protocol::Static,
+                Some("ospf") => Protocol::Ospf,
+                other => return Err(syntax(lineno, format!("cannot redistribute {other:?}"))),
+            };
+            bgp.redistribute.push(proto);
+        }
+        Some("neighbor") => {
+            let peer: Ipv4Addr = words
+                .get(1)
+                .ok_or_else(|| syntax(lineno, "missing neighbor address"))?
+                .parse()
+                .map_err(|_| syntax(lineno, "bad neighbor address"))?;
+            match words.get(2).copied() {
+                Some("remote-as") => {
+                    let asn = parse_num(
+                        words.get(3).ok_or_else(|| syntax(lineno, "missing ASN"))?,
+                        "ASN",
+                        lineno,
+                    )?;
+                    bgp.neighbors.push(BgpNeighbor {
+                        peer,
+                        remote_as: asn,
+                        import_policy: None,
+                        export_policy: None,
+                        remove_private_as: false,
+                    });
+                }
+                Some("route-map") => {
+                    let rm = words.get(3).ok_or_else(|| syntax(lineno, "missing route-map"))?;
+                    let dir = words.get(4).copied();
+                    let n = bgp
+                        .neighbors
+                        .iter_mut()
+                        .find(|n| n.peer == peer)
+                        .ok_or_else(|| syntax(lineno, "route-map before remote-as"))?;
+                    match dir {
+                        Some("in") => n.import_policy = Some(rm.to_string()),
+                        Some("out") => n.export_policy = Some(rm.to_string()),
+                        _ => return Err(syntax(lineno, "expected in|out")),
+                    }
+                }
+                Some("remove-private-as") => {
+                    let n = bgp
+                        .neighbors
+                        .iter_mut()
+                        .find(|n| n.peer == peer)
+                        .ok_or_else(|| syntax(lineno, "remove-private-as before remote-as"))?;
+                    n.remove_private_as = true;
+                }
+                other => return Err(syntax(lineno, format!("unknown neighbor command {other:?}"))),
+            }
+        }
+        other => return Err(syntax(lineno, format!("unknown bgp command {other:?}"))),
+    }
+    Ok(())
+}
+
+/// Constructor shim (keeps the match arm compact).
+fn s2_net_conditional(
+    advertise: Prefix,
+    condition: Prefix,
+    when_present: bool,
+) -> crate::config::ConditionalAdvertisement {
+    crate::config::ConditionalAdvertisement {
+        advertise,
+        condition,
+        when_present,
+    }
+}
+
+fn parse_ospf_line(cfg: &mut DeviceConfig, words: &[&str], lineno: usize) -> Result<(), NetError> {
+    let ospf = cfg.ospf.as_mut().expect("section tracks an existing ospf process");
+    match words.first().copied() {
+        Some("interface") => {
+            let name = words.get(1).ok_or_else(|| syntax(lineno, "missing interface"))?;
+            ospf.interfaces.push(name.to_string());
+        }
+        Some("default-cost") => {
+            ospf.default_cost = parse_num(
+                words.get(1).ok_or_else(|| syntax(lineno, "missing cost"))?,
+                "cost",
+                lineno,
+            )?;
+        }
+        other => return Err(syntax(lineno, format!("unknown ospf command {other:?}"))),
+    }
+    Ok(())
+}
+
+/// Emits `config` as vendor-A text. `parse(emit(c)) == c` for valid configs.
+pub fn emit(cfg: &DeviceConfig) -> String {
+    let mut out = String::new();
+    let push = |out: &mut String, s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    push(&mut out, format!("hostname {}", cfg.hostname));
+    push(&mut out, "!".into());
+
+    for i in &cfg.interfaces {
+        push(&mut out, format!("interface {}", i.name));
+        push(&mut out, format!(" ip address {}/{}", i.addr, i.prefix.len()));
+        if let Some(acl) = &i.acl_in {
+            push(&mut out, format!(" ip access-group {acl} in"));
+        }
+        if let Some(acl) = &i.acl_out {
+            push(&mut out, format!(" ip access-group {acl} out"));
+        }
+        if let Some(cost) = i.ospf_cost {
+            push(&mut out, format!(" ip ospf cost {cost}"));
+        }
+        push(&mut out, "!".into());
+    }
+
+    for (name, pl) in &cfg.prefix_lists {
+        for e in &pl.entries {
+            let mut line = format!(
+                "ip prefix-list {name} {} {}",
+                if e.permit { "permit" } else { "deny" },
+                e.prefix
+            );
+            if let Some(ge) = e.ge {
+                line.push_str(&format!(" ge {ge}"));
+            }
+            if let Some(le) = e.le {
+                line.push_str(&format!(" le {le}"));
+            }
+            push(&mut out, line);
+        }
+    }
+
+    for (name, acl) in &cfg.acls {
+        push(&mut out, format!("ip access-list {name}"));
+        for e in &acl.entries {
+            let mut line = format!(
+                " {} ip {} {}",
+                match e.action {
+                    AclAction::Permit => "permit",
+                    AclAction::Deny => "deny",
+                },
+                if e.src == Prefix::DEFAULT { "any".to_string() } else { e.src.to_string() },
+                if e.dst == Prefix::DEFAULT { "any".to_string() } else { e.dst.to_string() },
+            );
+            if let Some(p) = e.proto {
+                line.push_str(&format!(" proto {p}"));
+            }
+            if !e.src_ports.is_any() {
+                line.push_str(&format!(" sport {} {}", e.src_ports.lo, e.src_ports.hi));
+            }
+            if !e.dst_ports.is_any() {
+                line.push_str(&format!(" dport {} {}", e.dst_ports.lo, e.dst_ports.hi));
+            }
+            push(&mut out, line);
+        }
+        push(&mut out, "!".into());
+    }
+
+    for (name, rm) in &cfg.route_maps {
+        for clause in &rm.clauses {
+            push(
+                &mut out,
+                format!(
+                    "route-map {name} {} {}",
+                    match clause.disposition {
+                        RouteMapDisposition::Permit => "permit",
+                        RouteMapDisposition::Deny => "deny",
+                    },
+                    clause.seq
+                ),
+            );
+            for m in &clause.matches {
+                match m {
+                    MatchCondition::PrefixList(pl) => {
+                        push(&mut out, format!(" match ip address prefix-list {pl}"))
+                    }
+                    MatchCondition::Community(c) => {
+                        push(&mut out, format!(" match community {}", community_string(*c)))
+                    }
+                    MatchCondition::AsPathContains(a) => push(&mut out, format!(" match as-path {a}")),
+                    MatchCondition::PrefixLenRange(lo, hi) => {
+                        push(&mut out, format!(" match prefix-len {lo} {hi}"))
+                    }
+                    MatchCondition::AsPathEmpty | MatchCondition::Protocol(_) => {
+                        // Not expressible in vendor-A syntax; used only by
+                        // internally-generated policies.
+                    }
+                }
+            }
+            for a in &clause.actions {
+                match a {
+                    PolicyAction::SetLocalPref(v) => push(&mut out, format!(" set local-preference {v}")),
+                    PolicyAction::SetMed(v) => push(&mut out, format!(" set med {v}")),
+                    PolicyAction::Community(CommunityAction::Add(c)) => {
+                        push(&mut out, format!(" set community {} additive", community_string(*c)))
+                    }
+                    PolicyAction::Community(CommunityAction::Delete(c)) => {
+                        push(&mut out, format!(" set comm-list {} delete", community_string(*c)))
+                    }
+                    PolicyAction::Community(CommunityAction::Set(cs)) => {
+                        let list: Vec<String> = cs.iter().map(|c| community_string(*c)).collect();
+                        push(&mut out, format!(" set community {}", list.join(",")));
+                    }
+                    PolicyAction::AsPath(AsPathAction::Prepend { asn, count }) => {
+                        push(&mut out, format!(" set as-path prepend {asn} {count}"))
+                    }
+                    PolicyAction::AsPath(AsPathAction::Overwrite(asns)) => {
+                        let list = if asns.is_empty() {
+                            "none".to_string()
+                        } else {
+                            asns.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",")
+                        };
+                        push(&mut out, format!(" set as-path overwrite {list}"));
+                    }
+                    PolicyAction::AsPath(AsPathAction::RemovePrivate(_)) => {
+                        // Expressed per-neighbor in vendor A, not in route maps.
+                    }
+                }
+            }
+        }
+        push(&mut out, "!".into());
+    }
+
+    if let Some(bgp) = &cfg.bgp {
+        push(&mut out, format!("router bgp {}", bgp.asn));
+        push(&mut out, format!(" router-id {}", bgp.router_id));
+        if bgp.max_ecmp != 1 {
+            push(&mut out, format!(" maximum-paths {}", bgp.max_ecmp));
+        }
+        for n in &bgp.networks {
+            push(&mut out, format!(" network {}", n.prefix));
+        }
+        for a in &bgp.aggregates {
+            let mut line = format!(" aggregate-address {}", a.prefix);
+            if a.summary_only {
+                line.push_str(" summary-only");
+            }
+            if !a.communities.is_empty() {
+                let list: Vec<String> = a.communities.iter().map(|c| community_string(*c)).collect();
+                line.push_str(&format!(" community {}", list.join(",")));
+            }
+            push(&mut out, line);
+        }
+        for p in &bgp.redistribute {
+            let name = match p {
+                Protocol::Connected => "connected",
+                Protocol::Static => "static",
+                Protocol::Ospf => "ospf",
+                _ => continue,
+            };
+            push(&mut out, format!(" redistribute {name}"));
+        }
+        for c in &bgp.conditional {
+            push(
+                &mut out,
+                format!(
+                    " conditional-advertise {} {} {}",
+                    c.advertise,
+                    if c.when_present { "exist" } else { "non-exist" },
+                    c.condition
+                ),
+            );
+        }
+        for n in &bgp.neighbors {
+            push(&mut out, format!(" neighbor {} remote-as {}", n.peer, n.remote_as));
+            if let Some(rm) = &n.import_policy {
+                push(&mut out, format!(" neighbor {} route-map {rm} in", n.peer));
+            }
+            if let Some(rm) = &n.export_policy {
+                push(&mut out, format!(" neighbor {} route-map {rm} out", n.peer));
+            }
+            if n.remove_private_as {
+                push(&mut out, format!(" neighbor {} remove-private-as", n.peer));
+            }
+        }
+        push(&mut out, "!".into());
+    }
+
+    if let Some(ospf) = &cfg.ospf {
+        push(&mut out, "router ospf".into());
+        push(&mut out, format!(" default-cost {}", ospf.default_cost));
+        for i in &ospf.interfaces {
+            push(&mut out, format!(" interface {i}"));
+        }
+        push(&mut out, "!".into());
+    }
+
+    for s in &cfg.static_routes {
+        match s.next_hop {
+            Some(nh) => push(&mut out, format!("ip route {} {}", s.prefix, nh)),
+            None => push(&mut out, format!("ip route {} null0", s.prefix)),
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::community;
+
+    const SAMPLE: &str = "\
+hostname tor0
+!
+interface eth0
+ ip address 10.0.0.1/31
+ ip access-group FILTER in
+ ip ospf cost 10
+!
+interface lo0
+ ip address 1.1.1.1/32
+!
+ip prefix-list PL permit 10.0.0.0/8 ge 16 le 24
+ip prefix-list PL deny 0.0.0.0/0
+ip access-list FILTER
+ deny ip any 10.9.0.0/16 proto 6 dport 22 22
+ permit ip any any
+!
+route-map RM permit 10
+ match ip address prefix-list PL
+ match community 65000:1
+ set local-preference 200
+ set community 65000:2 additive
+ set as-path prepend 65001 3
+route-map RM deny 20
+!
+router bgp 65001
+ router-id 1.1.1.1
+ maximum-paths 64
+ network 10.1.0.0/24
+ aggregate-address 10.0.0.0/8 summary-only community 65000:9
+ redistribute ospf
+ neighbor 10.0.0.0 remote-as 65002
+ neighbor 10.0.0.0 route-map RM in
+ neighbor 10.0.0.0 route-map RM out
+ neighbor 10.0.0.0 remove-private-as
+!
+router ospf
+ default-cost 10
+ interface eth0
+!
+ip route 0.0.0.0/0 10.0.0.0
+";
+
+    #[test]
+    fn parses_full_sample() {
+        let cfg = parse(SAMPLE).unwrap();
+        assert_eq!(cfg.hostname, "tor0");
+        assert_eq!(cfg.interfaces.len(), 2);
+        assert_eq!(cfg.interfaces[0].acl_in.as_deref(), Some("FILTER"));
+        assert_eq!(cfg.interfaces[0].ospf_cost, Some(10));
+        assert_eq!(cfg.prefix_lists["PL"].entries.len(), 2);
+        assert_eq!(cfg.acls["FILTER"].entries.len(), 2);
+        let bgp = cfg.bgp.as_ref().unwrap();
+        assert_eq!(bgp.asn, 65001);
+        assert_eq!(bgp.max_ecmp, 64);
+        assert_eq!(bgp.networks.len(), 1);
+        assert_eq!(bgp.aggregates[0].communities, vec![community(65000, 9)]);
+        assert!(bgp.aggregates[0].summary_only);
+        assert_eq!(bgp.neighbors.len(), 1);
+        assert!(bgp.neighbors[0].remove_private_as);
+        assert_eq!(bgp.redistribute, vec![Protocol::Ospf]);
+        assert_eq!(cfg.route_maps["RM"].clauses.len(), 2);
+        assert_eq!(cfg.static_routes.len(), 1);
+        assert_eq!(cfg.ospf.as_ref().unwrap().interfaces, vec!["eth0"]);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let cfg = parse(SAMPLE).unwrap();
+        let text = emit(&cfg);
+        let cfg2 = parse(&text).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "hostname x\nbogus command\n";
+        match parse(bad) {
+            Err(NetError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_map_before_remote_as_is_rejected() {
+        let bad = "hostname x\nrouter bgp 1\n neighbor 1.2.3.4 route-map RM in\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn indented_line_outside_section_is_rejected() {
+        let bad = "hostname x\n ip address 1.2.3.4/32\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn null0_static_route() {
+        let cfg = parse("hostname x\nip route 10.0.0.0/8 null0\n").unwrap();
+        assert_eq!(cfg.static_routes[0].next_hop, None);
+    }
+
+    #[test]
+    fn missing_hostname_is_rejected() {
+        assert!(parse("router ospf\n default-cost 5\n").is_err());
+    }
+}

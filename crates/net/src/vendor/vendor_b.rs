@@ -1,0 +1,1122 @@
+//! Vendor B: a braced, JunOS-flavoured configuration dialect.
+//!
+//! Statements end with `;`, blocks are `name { ... }`, comments start with
+//! `#`. Grammar sketch:
+//!
+//! ```text
+//! host-name NAME;
+//! interfaces { NAME { address A.B.C.D/L; filter-in ACL; filter-out ACL; ospf-cost N; } }
+//! policy-options {
+//!     prefix-list NAME { (permit|deny) P [ge N] [le N]; }
+//!     policy-statement NAME {
+//!         term SEQ {
+//!             from prefix-list NAME; | from community H:L; | from as-path ASN;
+//!             from prefix-length-range MIN MAX;
+//!             then local-preference N; | then med N;
+//!             then community (add|delete) H:L; | then community set H:L[,H:L];
+//!             then as-path-prepend ASN COUNT; | then as-path-overwrite ASN[,ASN];
+//!             then (accept|reject);
+//!         }
+//!     }
+//!     filter NAME { (permit|deny) from (any|P) to (any|P) [proto N] [sport LO HI] [dport LO HI]; }
+//! }
+//! routing-options { static { route P (next-hop A.B.C.D|discard); } }
+//! protocols {
+//!     bgp {
+//!         autonomous-system ASN; router-id A.B.C.D; multipath N;
+//!         network P; aggregate P [summary-only] [community H:L[,H:L]];
+//!         redistribute (connected|static|ospf);
+//!         neighbor A.B.C.D { peer-as ASN; import NAME; export NAME; remove-private; }
+//!     }
+//!     ospf { default-cost N; interface NAME; }
+//! }
+//! ```
+//!
+//! Vendor B's semantic quirks: `remove-private` strips only the **leading**
+//! run of private ASNs, and eBGP routes with an empty AS path are rejected.
+
+use crate::acl::{AclAction, AclEntry, PortRange};
+use crate::config::{
+    Aggregate, BgpNeighbor, BgpProcess, DeviceConfig, InterfaceConfig, Network, OspfProcess,
+    StaticRoute, Vendor,
+};
+use crate::error::NetError;
+use crate::ip::{Ipv4Addr, Prefix};
+use crate::policy::{
+    community_string, AsPathAction, CommunityAction, MatchCondition, PolicyAction, PrefixList,
+    PrefixListEntry, Protocol, RouteMapClause, RouteMapDisposition,
+};
+
+use super::util::{parse_community, parse_num, parse_prefix, syntax};
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Word(String),
+    LBrace,
+    RBrace,
+    Semi,
+}
+
+/// Tokenizes the input, tracking line numbers.
+fn lex(text: &str) -> Vec<(Tok, usize)> {
+    let mut toks = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut word = String::new();
+        let flush = |toks: &mut Vec<(Tok, usize)>, word: &mut String| {
+            if !word.is_empty() {
+                toks.push((Tok::Word(std::mem::take(word)), lineno));
+            }
+        };
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    flush(&mut toks, &mut word);
+                    toks.push((Tok::LBrace, lineno));
+                }
+                '}' => {
+                    flush(&mut toks, &mut word);
+                    toks.push((Tok::RBrace, lineno));
+                }
+                ';' => {
+                    flush(&mut toks, &mut word);
+                    toks.push((Tok::Semi, lineno));
+                }
+                c if c.is_whitespace() => flush(&mut toks, &mut word),
+                c => word.push(c),
+            }
+        }
+        flush(&mut toks, &mut word);
+    }
+    toks
+}
+
+/// Token cursor with convenience accessors.
+struct Cursor {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_word(&mut self) -> Result<String, NetError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Word(w)) => Ok(w),
+            other => Err(syntax(line, format!("expected word, got {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), NetError> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(syntax(line, format!("expected {tok:?}, got {other:?}"))),
+        }
+    }
+
+    /// Collects the words of a statement up to `;`.
+    fn statement(&mut self, first: String) -> Result<(Vec<String>, usize), NetError> {
+        let line = self.line();
+        let mut words = vec![first];
+        loop {
+            match self.next() {
+                Some(Tok::Word(w)) => words.push(w),
+                Some(Tok::Semi) => return Ok((words, line)),
+                other => return Err(syntax(line, format!("unterminated statement: got {other:?}"))),
+            }
+        }
+    }
+
+    /// Skips a balanced `{ ... }` block (cursor must be at `{`).
+    #[allow(dead_code)]
+    fn skip_block(&mut self) -> Result<(), NetError> {
+        self.expect(Tok::LBrace)?;
+        let mut depth = 1;
+        while depth > 0 {
+            let line = self.line();
+            match self.next() {
+                Some(Tok::LBrace) => depth += 1,
+                Some(Tok::RBrace) => depth -= 1,
+                Some(_) => {}
+                None => return Err(syntax(line, "unterminated block")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a vendor-B configuration file.
+pub fn parse(text: &str) -> Result<DeviceConfig, NetError> {
+    let mut cur = Cursor { toks: lex(text), pos: 0 };
+    let mut cfg = DeviceConfig::new("", Vendor::B);
+
+    while let Some(tok) = cur.peek() {
+        let line = cur.line();
+        match tok {
+            Tok::Word(w) => match w.as_str() {
+                "host-name" => {
+                    cur.next();
+                    cfg.hostname = cur.expect_word()?;
+                    cur.expect(Tok::Semi)?;
+                }
+                "interfaces" => {
+                    cur.next();
+                    parse_interfaces(&mut cur, &mut cfg)?;
+                }
+                "policy-options" => {
+                    cur.next();
+                    parse_policy_options(&mut cur, &mut cfg)?;
+                }
+                "routing-options" => {
+                    cur.next();
+                    parse_routing_options(&mut cur, &mut cfg)?;
+                }
+                "protocols" => {
+                    cur.next();
+                    parse_protocols(&mut cur, &mut cfg)?;
+                }
+                other => return Err(syntax(line, format!("unknown top-level {other:?}"))),
+            },
+            other => return Err(syntax(line, format!("unexpected token {other:?}"))),
+        }
+    }
+
+    if cfg.hostname.is_empty() {
+        return Err(syntax(1, "missing host-name"));
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn parse_interfaces(cur: &mut Cursor, cfg: &mut DeviceConfig) -> Result<(), NetError> {
+    cur.expect(Tok::LBrace)?;
+    loop {
+        match cur.peek() {
+            Some(Tok::RBrace) => {
+                cur.next();
+                return Ok(());
+            }
+            Some(Tok::Word(_)) => {
+                let name = cur.expect_word()?;
+                cur.expect(Tok::LBrace)?;
+                let mut iface = InterfaceConfig::new(name, Ipv4Addr::UNSPECIFIED, 32);
+                loop {
+                    match cur.peek() {
+                        Some(Tok::RBrace) => {
+                            cur.next();
+                            break;
+                        }
+                        Some(Tok::Word(_)) => {
+                            let first = cur.expect_word()?;
+                            let (words, line) = cur.statement(first)?;
+                            match words[0].as_str() {
+                                "address" => {
+                                    let spec = words.get(1).ok_or_else(|| syntax(line, "missing address"))?;
+                                    let (addr, len) = spec
+                                        .split_once('/')
+                                        .ok_or_else(|| syntax(line, "expected A.B.C.D/L"))?;
+                                    iface.addr =
+                                        addr.parse().map_err(|_| syntax(line, "bad address"))?;
+                                    let len: u8 = parse_num(len, "mask length", line)?;
+                                    iface.prefix = Prefix::new(iface.addr, len);
+                                }
+                                "filter-in" => {
+                                    iface.acl_in = Some(
+                                        words.get(1).ok_or_else(|| syntax(line, "missing filter"))?.clone(),
+                                    )
+                                }
+                                "filter-out" => {
+                                    iface.acl_out = Some(
+                                        words.get(1).ok_or_else(|| syntax(line, "missing filter"))?.clone(),
+                                    )
+                                }
+                                "ospf-cost" => {
+                                    iface.ospf_cost = Some(parse_num(
+                                        words.get(1).ok_or_else(|| syntax(line, "missing cost"))?,
+                                        "cost",
+                                        line,
+                                    )?)
+                                }
+                                other => {
+                                    return Err(syntax(line, format!("unknown interface stmt {other:?}")))
+                                }
+                            }
+                        }
+                        other => return Err(syntax(cur.line(), format!("unexpected {other:?}"))),
+                    }
+                }
+                cfg.interfaces.push(iface);
+            }
+            other => return Err(syntax(cur.line(), format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+fn parse_policy_options(cur: &mut Cursor, cfg: &mut DeviceConfig) -> Result<(), NetError> {
+    cur.expect(Tok::LBrace)?;
+    loop {
+        match cur.peek() {
+            Some(Tok::RBrace) => {
+                cur.next();
+                return Ok(());
+            }
+            Some(Tok::Word(w)) => match w.as_str() {
+                "prefix-list" => {
+                    cur.next();
+                    let name = cur.expect_word()?;
+                    cur.expect(Tok::LBrace)?;
+                    let pl = cfg.prefix_lists.entry(name).or_insert_with(PrefixList::default);
+                    while !matches!(cur.peek(), Some(Tok::RBrace)) {
+                        let first = cur.expect_word()?;
+                        let (words, line) = cur.statement(first)?;
+                        let permit = match words[0].as_str() {
+                            "permit" => true,
+                            "deny" => false,
+                            other => return Err(syntax(line, format!("expected permit|deny, got {other:?}"))),
+                        };
+                        let prefix = parse_prefix(
+                            words.get(1).ok_or_else(|| syntax(line, "missing prefix"))?,
+                            line,
+                        )?;
+                        let mut ge = None;
+                        let mut le = None;
+                        let mut i = 2;
+                        while i < words.len() {
+                            match words[i].as_str() {
+                                "ge" => {
+                                    ge = Some(parse_num(
+                                        words.get(i + 1).ok_or_else(|| syntax(line, "missing ge"))?,
+                                        "ge",
+                                        line,
+                                    )?);
+                                    i += 2;
+                                }
+                                "le" => {
+                                    le = Some(parse_num(
+                                        words.get(i + 1).ok_or_else(|| syntax(line, "missing le"))?,
+                                        "le",
+                                        line,
+                                    )?);
+                                    i += 2;
+                                }
+                                other => return Err(syntax(line, format!("unexpected {other:?}"))),
+                            }
+                        }
+                        pl.entries.push(PrefixListEntry { prefix, ge, le, permit });
+                    }
+                    cur.next(); // consume }
+                }
+                "policy-statement" => {
+                    cur.next();
+                    parse_policy_statement(cur, cfg)?;
+                }
+                "filter" => {
+                    cur.next();
+                    parse_filter(cur, cfg)?;
+                }
+                other => return Err(syntax(cur.line(), format!("unknown policy-options {other:?}"))),
+            },
+            other => return Err(syntax(cur.line(), format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+fn parse_policy_statement(cur: &mut Cursor, cfg: &mut DeviceConfig) -> Result<(), NetError> {
+    let name = cur.expect_word()?;
+    cur.expect(Tok::LBrace)?;
+    let rm = cfg.route_maps.entry(name).or_default();
+    loop {
+        match cur.peek() {
+            Some(Tok::RBrace) => {
+                cur.next();
+                return Ok(());
+            }
+            Some(Tok::Word(w)) if w == "term" => {
+                cur.next();
+                let seq: u32 = {
+                    let line = cur.line();
+                    parse_num(&cur.expect_word()?, "term sequence", line)?
+                };
+                cur.expect(Tok::LBrace)?;
+                let mut clause = RouteMapClause {
+                    seq,
+                    disposition: RouteMapDisposition::Permit,
+                    matches: Vec::new(),
+                    actions: Vec::new(),
+                };
+                while !matches!(cur.peek(), Some(Tok::RBrace)) {
+                    let first = cur.expect_word()?;
+                    let (words, line) = cur.statement(first)?;
+                    parse_term_statement(&mut clause, &words, line)?;
+                }
+                cur.next(); // consume }
+                rm.push_clause(clause);
+            }
+            other => return Err(syntax(cur.line(), format!("expected term, got {other:?}"))),
+        }
+    }
+}
+
+fn parse_term_statement(
+    clause: &mut RouteMapClause,
+    words: &[String],
+    line: usize,
+) -> Result<(), NetError> {
+    match words[0].as_str() {
+        "from" => match words.get(1).map(String::as_str) {
+            Some("prefix-list") => clause.matches.push(MatchCondition::PrefixList(
+                words.get(2).ok_or_else(|| syntax(line, "missing prefix-list"))?.clone(),
+            )),
+            Some("community") => clause.matches.push(MatchCondition::Community(parse_community(
+                words.get(2).ok_or_else(|| syntax(line, "missing community"))?,
+                line,
+            )?)),
+            Some("as-path") => clause.matches.push(MatchCondition::AsPathContains(parse_num(
+                words.get(2).ok_or_else(|| syntax(line, "missing ASN"))?,
+                "ASN",
+                line,
+            )?)),
+            Some("prefix-length-range") => clause.matches.push(MatchCondition::PrefixLenRange(
+                parse_num(words.get(2).ok_or_else(|| syntax(line, "missing min"))?, "min", line)?,
+                parse_num(words.get(3).ok_or_else(|| syntax(line, "missing max"))?, "max", line)?,
+            )),
+            other => return Err(syntax(line, format!("unknown from {other:?}"))),
+        },
+        "then" => match words.get(1).map(String::as_str) {
+            Some("accept") => clause.disposition = RouteMapDisposition::Permit,
+            Some("reject") => clause.disposition = RouteMapDisposition::Deny,
+            Some("local-preference") => clause.actions.push(PolicyAction::SetLocalPref(parse_num(
+                words.get(2).ok_or_else(|| syntax(line, "missing value"))?,
+                "local-preference",
+                line,
+            )?)),
+            Some("med") => clause.actions.push(PolicyAction::SetMed(parse_num(
+                words.get(2).ok_or_else(|| syntax(line, "missing value"))?,
+                "med",
+                line,
+            )?)),
+            Some("community") => {
+                let op = words.get(2).map(String::as_str);
+                let commstr = words.get(3).ok_or_else(|| syntax(line, "missing community"))?;
+                match op {
+                    Some("add") => clause
+                        .actions
+                        .push(PolicyAction::Community(CommunityAction::Add(parse_community(commstr, line)?))),
+                    Some("delete") => clause.actions.push(PolicyAction::Community(
+                        CommunityAction::Delete(parse_community(commstr, line)?),
+                    )),
+                    Some("set") => {
+                        let comms: Result<Vec<_>, _> =
+                            commstr.split(',').map(|c| parse_community(c, line)).collect();
+                        clause.actions.push(PolicyAction::Community(CommunityAction::Set(comms?)));
+                    }
+                    other => return Err(syntax(line, format!("unknown community op {other:?}"))),
+                }
+            }
+            Some("as-path-prepend") => {
+                clause.actions.push(PolicyAction::AsPath(AsPathAction::Prepend {
+                    asn: parse_num(
+                        words.get(2).ok_or_else(|| syntax(line, "missing ASN"))?,
+                        "ASN",
+                        line,
+                    )?,
+                    count: parse_num(
+                        words.get(3).ok_or_else(|| syntax(line, "missing count"))?,
+                        "count",
+                        line,
+                    )?,
+                }))
+            }
+            Some("as-path-overwrite") => {
+                let list = words.get(2).ok_or_else(|| syntax(line, "missing ASNs"))?;
+                // `none` clears the path entirely.
+                let asns: Vec<u32> = if list == "none" {
+                    Vec::new()
+                } else {
+                    list.split(',')
+                        .map(|a| parse_num(a, "ASN", line))
+                        .collect::<Result<_, _>>()?
+                };
+                clause.actions.push(PolicyAction::AsPath(AsPathAction::Overwrite(asns)));
+            }
+            other => return Err(syntax(line, format!("unknown then {other:?}"))),
+        },
+        other => return Err(syntax(line, format!("unknown term statement {other:?}"))),
+    }
+    Ok(())
+}
+
+fn parse_filter(cur: &mut Cursor, cfg: &mut DeviceConfig) -> Result<(), NetError> {
+    let name = cur.expect_word()?;
+    cur.expect(Tok::LBrace)?;
+    let acl = cfg.acls.entry(name).or_default();
+    while !matches!(cur.peek(), Some(Tok::RBrace)) {
+        let first = cur.expect_word()?;
+        let (words, line) = cur.statement(first)?;
+        let action = match words[0].as_str() {
+            "permit" => AclAction::Permit,
+            "deny" => AclAction::Deny,
+            other => return Err(syntax(line, format!("expected permit|deny, got {other:?}"))),
+        };
+        let mut entry = AclEntry::any(action);
+        let mut i = 1;
+        while i < words.len() {
+            match words[i].as_str() {
+                "from" => {
+                    let w = words.get(i + 1).ok_or_else(|| syntax(line, "missing src"))?;
+                    entry.src = if w == "any" { Prefix::DEFAULT } else { parse_prefix(w, line)? };
+                    i += 2;
+                }
+                "to" => {
+                    let w = words.get(i + 1).ok_or_else(|| syntax(line, "missing dst"))?;
+                    entry.dst = if w == "any" { Prefix::DEFAULT } else { parse_prefix(w, line)? };
+                    i += 2;
+                }
+                "proto" => {
+                    entry.proto = Some(parse_num(
+                        words.get(i + 1).ok_or_else(|| syntax(line, "missing proto"))?,
+                        "proto",
+                        line,
+                    )?);
+                    i += 2;
+                }
+                "sport" => {
+                    entry.src_ports = PortRange {
+                        lo: parse_num(words.get(i + 1).ok_or_else(|| syntax(line, "missing lo"))?, "sport", line)?,
+                        hi: parse_num(words.get(i + 2).ok_or_else(|| syntax(line, "missing hi"))?, "sport", line)?,
+                    };
+                    i += 3;
+                }
+                "dport" => {
+                    entry.dst_ports = PortRange {
+                        lo: parse_num(words.get(i + 1).ok_or_else(|| syntax(line, "missing lo"))?, "dport", line)?,
+                        hi: parse_num(words.get(i + 2).ok_or_else(|| syntax(line, "missing hi"))?, "dport", line)?,
+                    };
+                    i += 3;
+                }
+                "any" => i += 1,
+                other => return Err(syntax(line, format!("unexpected filter token {other:?}"))),
+            }
+        }
+        acl.entries.push(entry);
+    }
+    cur.next(); // consume }
+    Ok(())
+}
+
+fn parse_routing_options(cur: &mut Cursor, cfg: &mut DeviceConfig) -> Result<(), NetError> {
+    cur.expect(Tok::LBrace)?;
+    loop {
+        match cur.peek() {
+            Some(Tok::RBrace) => {
+                cur.next();
+                return Ok(());
+            }
+            Some(Tok::Word(w)) if w == "static" => {
+                cur.next();
+                cur.expect(Tok::LBrace)?;
+                while !matches!(cur.peek(), Some(Tok::RBrace)) {
+                    let first = cur.expect_word()?;
+                    let (words, line) = cur.statement(first)?;
+                    if words[0] != "route" {
+                        return Err(syntax(line, "expected route"));
+                    }
+                    let prefix = parse_prefix(
+                        words.get(1).ok_or_else(|| syntax(line, "missing prefix"))?,
+                        line,
+                    )?;
+                    let next_hop = match words.get(2).map(String::as_str) {
+                        Some("next-hop") => Some(
+                            words
+                                .get(3)
+                                .ok_or_else(|| syntax(line, "missing next-hop"))?
+                                .parse::<Ipv4Addr>()
+                                .map_err(|_| syntax(line, "bad next-hop"))?,
+                        ),
+                        Some("discard") => None,
+                        other => return Err(syntax(line, format!("expected next-hop|discard, got {other:?}"))),
+                    };
+                    cfg.static_routes.push(StaticRoute { prefix, next_hop });
+                }
+                cur.next();
+            }
+            other => return Err(syntax(cur.line(), format!("unknown routing-options {other:?}"))),
+        }
+    }
+}
+
+fn parse_protocols(cur: &mut Cursor, cfg: &mut DeviceConfig) -> Result<(), NetError> {
+    cur.expect(Tok::LBrace)?;
+    loop {
+        match cur.peek() {
+            Some(Tok::RBrace) => {
+                cur.next();
+                return Ok(());
+            }
+            Some(Tok::Word(w)) => match w.as_str() {
+                "bgp" => {
+                    cur.next();
+                    parse_bgp(cur, cfg)?;
+                }
+                "ospf" => {
+                    cur.next();
+                    parse_ospf(cur, cfg)?;
+                }
+                other => return Err(syntax(cur.line(), format!("unknown protocol {other:?}"))),
+            },
+            other => return Err(syntax(cur.line(), format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+fn parse_bgp(cur: &mut Cursor, cfg: &mut DeviceConfig) -> Result<(), NetError> {
+    cur.expect(Tok::LBrace)?;
+    let mut bgp = BgpProcess::new(0, Ipv4Addr::UNSPECIFIED);
+    loop {
+        match cur.peek() {
+            Some(Tok::RBrace) => {
+                cur.next();
+                break;
+            }
+            Some(Tok::Word(w)) if w == "neighbor" => {
+                cur.next();
+                let line = cur.line();
+                let peer: Ipv4Addr = cur
+                    .expect_word()?
+                    .parse()
+                    .map_err(|_| syntax(line, "bad neighbor address"))?;
+                cur.expect(Tok::LBrace)?;
+                let mut n = BgpNeighbor {
+                    peer,
+                    remote_as: 0,
+                    import_policy: None,
+                    export_policy: None,
+                    remove_private_as: false,
+                };
+                while !matches!(cur.peek(), Some(Tok::RBrace)) {
+                    let first = cur.expect_word()?;
+                    let (words, line) = cur.statement(first)?;
+                    match words[0].as_str() {
+                        "peer-as" => {
+                            n.remote_as = parse_num(
+                                words.get(1).ok_or_else(|| syntax(line, "missing ASN"))?,
+                                "ASN",
+                                line,
+                            )?
+                        }
+                        "import" => {
+                            n.import_policy =
+                                Some(words.get(1).ok_or_else(|| syntax(line, "missing policy"))?.clone())
+                        }
+                        "export" => {
+                            n.export_policy =
+                                Some(words.get(1).ok_or_else(|| syntax(line, "missing policy"))?.clone())
+                        }
+                        "remove-private" => n.remove_private_as = true,
+                        other => return Err(syntax(line, format!("unknown neighbor stmt {other:?}"))),
+                    }
+                }
+                cur.next();
+                if n.remote_as == 0 {
+                    return Err(syntax(cur.line(), format!("neighbor {peer} missing peer-as")));
+                }
+                bgp.neighbors.push(n);
+            }
+            Some(Tok::Word(_)) => {
+                let first = cur.expect_word()?;
+                let (words, line) = cur.statement(first)?;
+                match words[0].as_str() {
+                    "autonomous-system" => {
+                        bgp.asn = parse_num(
+                            words.get(1).ok_or_else(|| syntax(line, "missing ASN"))?,
+                            "ASN",
+                            line,
+                        )?
+                    }
+                    "router-id" => {
+                        bgp.router_id = words
+                            .get(1)
+                            .ok_or_else(|| syntax(line, "missing router-id"))?
+                            .parse()
+                            .map_err(|_| syntax(line, "bad router-id"))?
+                    }
+                    "multipath" => {
+                        bgp.max_ecmp = parse_num(
+                            words.get(1).ok_or_else(|| syntax(line, "missing value"))?,
+                            "multipath",
+                            line,
+                        )?
+                    }
+                    "network" => bgp.networks.push(Network {
+                        prefix: parse_prefix(
+                            words.get(1).ok_or_else(|| syntax(line, "missing prefix"))?,
+                            line,
+                        )?,
+                    }),
+                    "aggregate" => {
+                        let prefix = parse_prefix(
+                            words.get(1).ok_or_else(|| syntax(line, "missing prefix"))?,
+                            line,
+                        )?;
+                        let mut agg = Aggregate {
+                            prefix,
+                            summary_only: false,
+                            communities: Vec::new(),
+                        };
+                        let mut i = 2;
+                        while i < words.len() {
+                            match words[i].as_str() {
+                                "summary-only" => {
+                                    agg.summary_only = true;
+                                    i += 1;
+                                }
+                                "community" => {
+                                    for c in words
+                                        .get(i + 1)
+                                        .ok_or_else(|| syntax(line, "missing communities"))?
+                                        .split(',')
+                                    {
+                                        agg.communities.push(parse_community(c, line)?);
+                                    }
+                                    i += 2;
+                                }
+                                other => return Err(syntax(line, format!("unexpected {other:?}"))),
+                            }
+                        }
+                        bgp.aggregates.push(agg);
+                    }
+                    "conditional" => {
+                        let advertise = parse_prefix(
+                            words.get(1).ok_or_else(|| syntax(line, "missing prefix"))?,
+                            line,
+                        )?;
+                        let when_present = match words.get(2).map(String::as_str) {
+                            Some("exist") => true,
+                            Some("non-exist") => false,
+                            other => {
+                                return Err(syntax(line, format!("expected exist|non-exist, got {other:?}")))
+                            }
+                        };
+                        let condition = parse_prefix(
+                            words.get(3).ok_or_else(|| syntax(line, "missing condition"))?,
+                            line,
+                        )?;
+                        bgp.conditional.push(crate::config::ConditionalAdvertisement {
+                            advertise,
+                            condition,
+                            when_present,
+                        });
+                    }
+                    "redistribute" => {
+                        let proto = match words.get(1).map(String::as_str) {
+                            Some("connected") => Protocol::Connected,
+                            Some("static") => Protocol::Static,
+                            Some("ospf") => Protocol::Ospf,
+                            other => return Err(syntax(line, format!("cannot redistribute {other:?}"))),
+                        };
+                        bgp.redistribute.push(proto);
+                    }
+                    other => return Err(syntax(line, format!("unknown bgp stmt {other:?}"))),
+                }
+            }
+            other => return Err(syntax(cur.line(), format!("unexpected {other:?}"))),
+        }
+    }
+    cfg.bgp = Some(bgp);
+    Ok(())
+}
+
+fn parse_ospf(cur: &mut Cursor, cfg: &mut DeviceConfig) -> Result<(), NetError> {
+    cur.expect(Tok::LBrace)?;
+    let mut ospf = OspfProcess {
+        interfaces: Vec::new(),
+        default_cost: 10,
+    };
+    while !matches!(cur.peek(), Some(Tok::RBrace)) {
+        let first = cur.expect_word()?;
+        let (words, line) = cur.statement(first)?;
+        match words[0].as_str() {
+            "interface" => ospf
+                .interfaces
+                .push(words.get(1).ok_or_else(|| syntax(line, "missing interface"))?.clone()),
+            "default-cost" => {
+                ospf.default_cost = parse_num(
+                    words.get(1).ok_or_else(|| syntax(line, "missing cost"))?,
+                    "cost",
+                    line,
+                )?
+            }
+            other => return Err(syntax(line, format!("unknown ospf stmt {other:?}"))),
+        }
+    }
+    cur.next();
+    cfg.ospf = Some(ospf);
+    Ok(())
+}
+
+/// Emits `config` as vendor-B text. `parse(emit(c)) == c` for valid configs.
+pub fn emit(cfg: &DeviceConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("host-name {};\n", cfg.hostname));
+
+    if !cfg.interfaces.is_empty() {
+        out.push_str("interfaces {\n");
+        for i in &cfg.interfaces {
+            out.push_str(&format!("    {} {{\n", i.name));
+            out.push_str(&format!("        address {}/{};\n", i.addr, i.prefix.len()));
+            if let Some(f) = &i.acl_in {
+                out.push_str(&format!("        filter-in {f};\n"));
+            }
+            if let Some(f) = &i.acl_out {
+                out.push_str(&format!("        filter-out {f};\n"));
+            }
+            if let Some(c) = i.ospf_cost {
+                out.push_str(&format!("        ospf-cost {c};\n"));
+            }
+            out.push_str("    }\n");
+        }
+        out.push_str("}\n");
+    }
+
+    if !cfg.prefix_lists.is_empty() || !cfg.route_maps.is_empty() || !cfg.acls.is_empty() {
+        out.push_str("policy-options {\n");
+        for (name, pl) in &cfg.prefix_lists {
+            out.push_str(&format!("    prefix-list {name} {{\n"));
+            for e in &pl.entries {
+                let mut line = format!(
+                    "        {} {}",
+                    if e.permit { "permit" } else { "deny" },
+                    e.prefix
+                );
+                if let Some(ge) = e.ge {
+                    line.push_str(&format!(" ge {ge}"));
+                }
+                if let Some(le) = e.le {
+                    line.push_str(&format!(" le {le}"));
+                }
+                out.push_str(&line);
+                out.push_str(";\n");
+            }
+            out.push_str("    }\n");
+        }
+        for (name, rm) in &cfg.route_maps {
+            out.push_str(&format!("    policy-statement {name} {{\n"));
+            for clause in &rm.clauses {
+                out.push_str(&format!("        term {} {{\n", clause.seq));
+                for m in &clause.matches {
+                    match m {
+                        MatchCondition::PrefixList(pl) => {
+                            out.push_str(&format!("            from prefix-list {pl};\n"))
+                        }
+                        MatchCondition::Community(c) => out.push_str(&format!(
+                            "            from community {};\n",
+                            community_string(*c)
+                        )),
+                        MatchCondition::AsPathContains(a) => {
+                            out.push_str(&format!("            from as-path {a};\n"))
+                        }
+                        MatchCondition::PrefixLenRange(lo, hi) => out.push_str(&format!(
+                            "            from prefix-length-range {lo} {hi};\n"
+                        )),
+                        MatchCondition::AsPathEmpty | MatchCondition::Protocol(_) => {}
+                    }
+                }
+                for a in &clause.actions {
+                    match a {
+                        PolicyAction::SetLocalPref(v) => {
+                            out.push_str(&format!("            then local-preference {v};\n"))
+                        }
+                        PolicyAction::SetMed(v) => out.push_str(&format!("            then med {v};\n")),
+                        PolicyAction::Community(CommunityAction::Add(c)) => out.push_str(&format!(
+                            "            then community add {};\n",
+                            community_string(*c)
+                        )),
+                        PolicyAction::Community(CommunityAction::Delete(c)) => out.push_str(&format!(
+                            "            then community delete {};\n",
+                            community_string(*c)
+                        )),
+                        PolicyAction::Community(CommunityAction::Set(cs)) => {
+                            let list: Vec<String> = cs.iter().map(|c| community_string(*c)).collect();
+                            out.push_str(&format!("            then community set {};\n", list.join(",")));
+                        }
+                        PolicyAction::AsPath(AsPathAction::Prepend { asn, count }) => out.push_str(
+                            &format!("            then as-path-prepend {asn} {count};\n"),
+                        ),
+                        PolicyAction::AsPath(AsPathAction::Overwrite(asns)) => {
+                            let list = if asns.is_empty() {
+                                "none".to_string()
+                            } else {
+                                asns.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",")
+                            };
+                            out.push_str(&format!("            then as-path-overwrite {list};\n"));
+                        }
+                        PolicyAction::AsPath(AsPathAction::RemovePrivate(_)) => {}
+                    }
+                }
+                let verdict = match clause.disposition {
+                    RouteMapDisposition::Permit => "accept",
+                    RouteMapDisposition::Deny => "reject",
+                };
+                out.push_str(&format!("            then {verdict};\n"));
+                out.push_str("        }\n");
+            }
+            out.push_str("    }\n");
+        }
+        for (name, acl) in &cfg.acls {
+            out.push_str(&format!("    filter {name} {{\n"));
+            for e in &acl.entries {
+                let mut line = format!(
+                    "        {} from {} to {}",
+                    match e.action {
+                        AclAction::Permit => "permit",
+                        AclAction::Deny => "deny",
+                    },
+                    if e.src == Prefix::DEFAULT { "any".to_string() } else { e.src.to_string() },
+                    if e.dst == Prefix::DEFAULT { "any".to_string() } else { e.dst.to_string() },
+                );
+                if let Some(p) = e.proto {
+                    line.push_str(&format!(" proto {p}"));
+                }
+                if !e.src_ports.is_any() {
+                    line.push_str(&format!(" sport {} {}", e.src_ports.lo, e.src_ports.hi));
+                }
+                if !e.dst_ports.is_any() {
+                    line.push_str(&format!(" dport {} {}", e.dst_ports.lo, e.dst_ports.hi));
+                }
+                out.push_str(&line);
+                out.push_str(";\n");
+            }
+            out.push_str("    }\n");
+        }
+        out.push_str("}\n");
+    }
+
+    if !cfg.static_routes.is_empty() {
+        out.push_str("routing-options {\n    static {\n");
+        for s in &cfg.static_routes {
+            match s.next_hop {
+                Some(nh) => out.push_str(&format!("        route {} next-hop {};\n", s.prefix, nh)),
+                None => out.push_str(&format!("        route {} discard;\n", s.prefix)),
+            }
+        }
+        out.push_str("    }\n}\n");
+    }
+
+    if cfg.bgp.is_some() || cfg.ospf.is_some() {
+        out.push_str("protocols {\n");
+        if let Some(bgp) = &cfg.bgp {
+            out.push_str("    bgp {\n");
+            out.push_str(&format!("        autonomous-system {};\n", bgp.asn));
+            out.push_str(&format!("        router-id {};\n", bgp.router_id));
+            if bgp.max_ecmp != 1 {
+                out.push_str(&format!("        multipath {};\n", bgp.max_ecmp));
+            }
+            for n in &bgp.networks {
+                out.push_str(&format!("        network {};\n", n.prefix));
+            }
+            for a in &bgp.aggregates {
+                let mut line = format!("        aggregate {}", a.prefix);
+                if a.summary_only {
+                    line.push_str(" summary-only");
+                }
+                if !a.communities.is_empty() {
+                    let list: Vec<String> = a.communities.iter().map(|c| community_string(*c)).collect();
+                    line.push_str(&format!(" community {}", list.join(",")));
+                }
+                out.push_str(&line);
+                out.push_str(";\n");
+            }
+            for p in &bgp.redistribute {
+                let name = match p {
+                    Protocol::Connected => "connected",
+                    Protocol::Static => "static",
+                    Protocol::Ospf => "ospf",
+                    _ => continue,
+                };
+                out.push_str(&format!("        redistribute {name};\n"));
+            }
+            for c in &bgp.conditional {
+                out.push_str(&format!(
+                    "        conditional {} {} {};\n",
+                    c.advertise,
+                    if c.when_present { "exist" } else { "non-exist" },
+                    c.condition
+                ));
+            }
+            for n in &bgp.neighbors {
+                out.push_str(&format!("        neighbor {} {{\n", n.peer));
+                out.push_str(&format!("            peer-as {};\n", n.remote_as));
+                if let Some(p) = &n.import_policy {
+                    out.push_str(&format!("            import {p};\n"));
+                }
+                if let Some(p) = &n.export_policy {
+                    out.push_str(&format!("            export {p};\n"));
+                }
+                if n.remove_private_as {
+                    out.push_str("            remove-private;\n");
+                }
+                out.push_str("        }\n");
+            }
+            out.push_str("    }\n");
+        }
+        if let Some(ospf) = &cfg.ospf {
+            out.push_str("    ospf {\n");
+            out.push_str(&format!("        default-cost {};\n", ospf.default_cost));
+            for i in &ospf.interfaces {
+                out.push_str(&format!("        interface {i};\n"));
+            }
+            out.push_str("    }\n");
+        }
+        out.push_str("}\n");
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::community;
+
+    const SAMPLE: &str = "\
+host-name spine0;  # a comment
+interfaces {
+    eth0 {
+        address 10.0.0.0/31;
+        filter-in FILTER;
+        ospf-cost 5;
+    }
+    lo0 {
+        address 2.2.2.2/32;
+    }
+}
+policy-options {
+    prefix-list PL {
+        permit 10.0.0.0/8 ge 16 le 24;
+        deny 0.0.0.0/0;
+    }
+    policy-statement RM {
+        term 10 {
+            from prefix-list PL;
+            from community 65000:1;
+            then local-preference 200;
+            then community add 65000:2;
+            then as-path-prepend 65001 3;
+            then accept;
+        }
+        term 20 {
+            then reject;
+        }
+    }
+    filter FILTER {
+        deny from any to 10.9.0.0/16 proto 6 dport 22 22;
+        permit from any to any;
+    }
+}
+routing-options {
+    static {
+        route 0.0.0.0/0 next-hop 10.0.0.1;
+        route 192.0.2.0/24 discard;
+    }
+}
+protocols {
+    bgp {
+        autonomous-system 65001;
+        router-id 2.2.2.2;
+        multipath 64;
+        network 10.1.0.0/24;
+        aggregate 10.0.0.0/8 summary-only community 65000:9;
+        redistribute ospf;
+        neighbor 10.0.0.1 {
+            peer-as 65002;
+            import RM;
+            export RM;
+            remove-private;
+        }
+    }
+    ospf {
+        default-cost 5;
+        interface eth0;
+    }
+}
+";
+
+    #[test]
+    fn parses_full_sample() {
+        let cfg = parse(SAMPLE).unwrap();
+        assert_eq!(cfg.hostname, "spine0");
+        assert_eq!(cfg.vendor, Vendor::B);
+        assert_eq!(cfg.interfaces.len(), 2);
+        assert_eq!(cfg.interfaces[0].acl_in.as_deref(), Some("FILTER"));
+        assert_eq!(cfg.interfaces[0].ospf_cost, Some(5));
+        assert_eq!(cfg.prefix_lists["PL"].entries.len(), 2);
+        let rm = &cfg.route_maps["RM"];
+        assert_eq!(rm.clauses.len(), 2);
+        assert_eq!(rm.clauses[0].disposition, RouteMapDisposition::Permit);
+        assert_eq!(rm.clauses[1].disposition, RouteMapDisposition::Deny);
+        let bgp = cfg.bgp.as_ref().unwrap();
+        assert_eq!(bgp.asn, 65001);
+        assert_eq!(bgp.max_ecmp, 64);
+        assert_eq!(bgp.aggregates[0].communities, vec![community(65000, 9)]);
+        assert!(bgp.neighbors[0].remove_private_as);
+        assert_eq!(cfg.static_routes.len(), 2);
+        assert_eq!(cfg.static_routes[1].next_hop, None);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let cfg = parse(SAMPLE).unwrap();
+        let text = emit(&cfg);
+        let cfg2 = parse(&text).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn neighbor_requires_peer_as() {
+        let bad = "host-name x;\nprotocols { bgp { autonomous-system 1; neighbor 1.2.3.4 { import RM; } } }\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn unterminated_block_is_rejected() {
+        let bad = "host-name x;\ninterfaces {\n eth0 {\n address 1.2.3.4/32;\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let cfg = parse("# leading comment\nhost-name y; # trailing\n").unwrap();
+        assert_eq!(cfg.hostname, "y");
+    }
+
+    #[test]
+    fn error_line_numbers_are_positioned() {
+        let bad = "host-name x;\nprotocols {\n    bgp {\n        bogus-stmt 1;\n    }\n}\n";
+        match parse(bad) {
+            Err(NetError::Syntax { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The balanced greedy partitioner with boundary refinement — our METIS
+//! substitute.
+//!
+//! Two phases:
+//!
+//! 1. **Greedy packing**: nodes sorted by descending load are assigned to
+//!    the currently lightest worker, with a tie-break that prefers the
+//!    worker already hosting the most neighbors (a cheap locality nudge).
+//! 2. **Kernighan–Lin-style refinement**: boundary nodes are moved to the
+//!    worker where they have more neighbors whenever the move keeps every
+//!    worker's load within the balance tolerance. This reduces edge cut
+//!    without sacrificing the primary goal (balance), matching the paper's
+//!    priority ordering (§4.1).
+
+use crate::{Partition, WorkerId};
+use s2_net::topology::{NodeId, Topology};
+
+/// Tuning knobs for [`partition`].
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyOptions {
+    /// Maximum allowed ratio of any worker's load to the mean (1.05 = 5%
+    /// over mean).
+    pub balance_tolerance: f64,
+    /// Number of refinement sweeps over the boundary.
+    pub refinement_passes: usize,
+}
+
+impl Default for GreedyOptions {
+    fn default() -> Self {
+        GreedyOptions {
+            balance_tolerance: 1.05,
+            refinement_passes: 4,
+        }
+    }
+}
+
+/// Partitions `topology` into `num_workers` segments using `loads` as node
+/// weights.
+pub fn partition(
+    topology: &Topology,
+    loads: &[u64],
+    num_workers: u32,
+    opts: &GreedyOptions,
+) -> Partition {
+    assert_eq!(loads.len(), topology.node_count());
+    let n = topology.node_count();
+    if num_workers <= 1 || n == 0 {
+        return Partition::new(vec![0; n], num_workers.max(1));
+    }
+
+    // Phase 1: greedy packing, heaviest first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| loads[b].cmp(&loads[a]).then(a.cmp(&b)));
+    let mut assignment: Vec<Option<WorkerId>> = vec![None; n];
+    let mut worker_load = vec![0u64; num_workers as usize];
+    for &node in &order {
+        // Count already-placed neighbors per worker for the locality nudge.
+        let mut neighbor_count = vec![0u32; num_workers as usize];
+        for (_, peer, _) in topology.neighbors(NodeId(node as u32)) {
+            if let Some(w) = assignment[peer.index()] {
+                neighbor_count[w as usize] += 1;
+            }
+        }
+        let best = (0..num_workers as usize)
+            .min_by(|&a, &b| {
+                worker_load[a]
+                    .cmp(&worker_load[b])
+                    .then(neighbor_count[b].cmp(&neighbor_count[a]))
+                    .then(a.cmp(&b))
+            })
+            .expect("at least one worker");
+        assignment[node] = Some(best as WorkerId);
+        worker_load[best] += loads[node];
+    }
+    let mut assignment: Vec<WorkerId> = assignment.into_iter().map(|a| a.unwrap()).collect();
+
+    // Phase 2: KL-style refinement.
+    let total: u64 = loads.iter().sum();
+    let mean = total as f64 / num_workers as f64;
+    let cap = (mean * opts.balance_tolerance).ceil() as u64;
+    for _ in 0..opts.refinement_passes {
+        let mut moved = false;
+        for node in 0..n {
+            let cur = assignment[node];
+            // Gain of moving to each worker = neighbors there − neighbors
+            // here.
+            let mut neighbor_count = vec![0i64; num_workers as usize];
+            for (_, peer, _) in topology.neighbors(NodeId(node as u32)) {
+                neighbor_count[assignment[peer.index()] as usize] += 1;
+            }
+            let here = neighbor_count[cur as usize];
+            let best_target = (0..num_workers)
+                .filter(|&w| w != cur)
+                .max_by_key(|&w| neighbor_count[w as usize])
+                .expect("at least two workers");
+            let gain = neighbor_count[best_target as usize] - here;
+            if gain <= 0 {
+                continue;
+            }
+            // Balance check: the move must not overload the target.
+            if worker_load[best_target as usize] + loads[node] > cap {
+                continue;
+            }
+            worker_load[cur as usize] -= loads[node];
+            worker_load[best_target as usize] += loads[node];
+            assignment[node] = best_target;
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    Partition::new(assignment, num_workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A 2-pod mini FatTree-ish topology: two cliques joined by one link.
+    fn two_cliques(size: usize) -> Topology {
+        let mut t = Topology::new();
+        let a: Vec<NodeId> = (0..size).map(|i| t.add_node(format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..size).map(|i| t.add_node(format!("b{i}"))).collect();
+        for i in 0..size {
+            for j in (i + 1)..size {
+                t.connect(a[i], a[j]);
+                t.connect(b[i], b[j]);
+            }
+        }
+        t.connect(a[0], b[0]);
+        t
+    }
+
+    #[test]
+    fn single_worker_puts_everything_on_zero() {
+        let t = two_cliques(3);
+        let p = partition(&t, &[1; 6], 1, &GreedyOptions::default());
+        assert!(p.assignment.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn balances_uniform_loads() {
+        let t = two_cliques(4);
+        let p = partition(&t, &[1; 8], 2, &GreedyOptions::default());
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 8);
+        assert!((sizes[0] as i64 - sizes[1] as i64).abs() <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn refinement_separates_cliques() {
+        // With balance kept, the min-cut 2-way split of two cliques is one
+        // clique per worker (cut = 1).
+        let t = two_cliques(4);
+        let p = partition(&t, &[1; 8], 2, &GreedyOptions::default());
+        assert_eq!(p.edge_cut(&t), 1, "assignment: {:?}", p.assignment);
+    }
+
+    #[test]
+    fn heavy_node_gets_its_own_worker() {
+        let t = two_cliques(2); // 4 nodes
+        let loads = [100, 1, 1, 1];
+        let p = partition(&t, &loads, 2, &GreedyOptions::default());
+        let heavy_worker = p.worker_of(NodeId(0));
+        // The three light nodes share the other worker.
+        for i in 1..4 {
+            assert_ne!(p.worker_of(NodeId(i)), heavy_worker);
+        }
+    }
+
+    proptest! {
+        /// Every node is assigned exactly once and balance stays within a
+        /// factor ~2 of ideal for uniform loads.
+        #[test]
+        fn prop_complete_and_roughly_balanced(n in 2usize..40, workers in 1u32..8) {
+            let mut t = Topology::new();
+            let ids: Vec<NodeId> = (0..n).map(|i| t.add_node(format!("n{i}"))).collect();
+            for w in ids.windows(2) {
+                t.connect(w[0], w[1]);
+            }
+            let loads = vec![1u64; n];
+            let p = partition(&t, &loads, workers, &GreedyOptions::default());
+            prop_assert_eq!(p.assignment.len(), n);
+            let sizes = p.sizes();
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+            if n >= workers as usize {
+                let max = *sizes.iter().max().unwrap() as f64;
+                let ideal = n as f64 / workers as f64;
+                prop_assert!(max <= ideal * 2.0 + 1.0, "max={max} ideal={ideal}");
+            }
+        }
+    }
+}

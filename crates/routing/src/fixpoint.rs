@@ -1,0 +1,319 @@
+//! The synchronous fix-point engine (Algorithm 1 of the paper).
+//!
+//! Rounds are Jacobi-style: all advertisements are computed from the state
+//! at the start of the round, then delivered and applied. This makes the
+//! converged result independent of node iteration order and of how nodes
+//! are spread over workers — the property behind the paper's claim that S2
+//! and Batfish "output the same set of RIBs" (§5.3). The monolithic engine
+//! here is used by the Batfish-like baseline and by differential tests; the
+//! distributed runtime replays the identical schedule with worker-local
+//! round halves and sidecar-delivered remote advertisements.
+
+use crate::model::NetworkModel;
+use crate::route::BgpRoute;
+use crate::switch::SwitchModel;
+use s2_net::Prefix;
+use std::collections::HashSet;
+
+/// Why a simulation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The fix point was not reached within the round budget (the paper's
+    /// §7 limitation: a non-converging control plane cannot terminate).
+    NotConverged {
+        /// Which protocol failed to converge.
+        protocol: &'static str,
+        /// The round budget that was exhausted.
+        rounds: usize,
+    },
+    /// A worker exceeded its memory budget (used by the distributed
+    /// runtime and the OOM-aware benchmarks).
+    OutOfMemory {
+        /// The memory budget in bytes.
+        budget: usize,
+        /// Observed peak in bytes.
+        observed: usize,
+    },
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::NotConverged { protocol, rounds } => {
+                write!(f, "{protocol} did not converge within {rounds} rounds")
+            }
+            RoutingError::OutOfMemory { budget, observed } => {
+                write!(f, "out of memory: {observed} bytes used, budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// Statistics from one BGP fix-point run (one shard).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BgpStats {
+    /// Rounds until convergence.
+    pub rounds: usize,
+    /// Advertised routes delivered in total (message volume).
+    pub routes_exchanged: usize,
+    /// Peak of the summed per-switch BGP memory estimate, in bytes.
+    pub peak_bytes: usize,
+    /// Total installed paths at convergence.
+    pub total_paths: usize,
+}
+
+/// Default round budget: generous for any realistic DC diameter.
+pub const DEFAULT_MAX_ROUNDS: usize = 256;
+
+/// Runs OSPF on all switches to convergence (monolithic).
+pub fn converge_ospf(
+    model: &NetworkModel,
+    switches: &mut [SwitchModel],
+    max_rounds: usize,
+) -> Result<usize, RoutingError> {
+    for round in 0..max_rounds {
+        let exports: Vec<_> = switches.iter().map(|s| s.ospf.export()).collect();
+        let mut changed = false;
+        for node in model.topology.nodes() {
+            for adj in &model.ospf_adj[node.index()] {
+                let adv = &exports[adj.peer_node.index()];
+                changed |= switches[node.index()]
+                    .ospf
+                    .receive(adv, adj.cost, adj.local_if);
+            }
+        }
+        if !changed {
+            return Ok(round + 1);
+        }
+    }
+    Err(RoutingError::NotConverged {
+        protocol: "ospf",
+        rounds: max_rounds,
+    })
+}
+
+/// Runs BGP on all switches to convergence for one (optional) prefix shard.
+/// `begin_bgp` must not have been called by the caller — this function
+/// does it.
+pub fn converge_bgp(
+    model: &NetworkModel,
+    switches: &mut [SwitchModel],
+    shard: Option<&HashSet<Prefix>>,
+    max_rounds: usize,
+) -> Result<BgpStats, RoutingError> {
+    let mut stats = BgpStats::default();
+    for s in switches.iter_mut() {
+        s.begin_bgp(shard);
+    }
+    for round in 0..max_rounds {
+        // Phase 1: snapshot all advertisements.
+        // deliveries[target_node] = (target_session, routes) list.
+        let mut deliveries: Vec<Vec<(u32, Vec<BgpRoute>)>> =
+            model.topology.nodes().map(|_| Vec::new()).collect();
+        for s in switches.iter() {
+            for (si, session) in s.sessions.iter().enumerate() {
+                let adv = s.bgp_export(si);
+                stats.routes_exchanged += adv.len();
+                deliveries[session.peer_node.index()].push((session.peer_session_index, adv));
+            }
+        }
+        // Phase 2: apply.
+        let mut changed = false;
+        for (node, batch) in deliveries.into_iter().enumerate() {
+            let s = &mut switches[node];
+            for (target_session, adv) in batch {
+                changed |= s.bgp_receive(target_session as usize, &adv);
+            }
+            changed |= s.bgp_decide(shard);
+        }
+        let bytes: usize = switches.iter().map(SwitchModel::approx_bgp_bytes).sum();
+        stats.peak_bytes = stats.peak_bytes.max(bytes);
+        stats.rounds = round + 1;
+        if !changed {
+            stats.total_paths = switches.iter().map(SwitchModel::loc_rib_path_count).sum();
+            return Ok(stats);
+        }
+    }
+    Err(RoutingError::NotConverged {
+        protocol: "bgp",
+        rounds: max_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_net::config::{
+        Aggregate, BgpNeighbor, BgpProcess, DeviceConfig, InterfaceConfig, Network, Vendor,
+    };
+    use s2_net::policy::community;
+    use s2_net::topology::{NodeId, Topology};
+    use s2_net::Ipv4Addr;
+
+    /// A 4-node line: t0(65000) — m1(65001) — m2(65002) — t3(65003).
+    /// t0 originates 10.0.0.0/24 and 10.0.1.0/24; m2 aggregates 10.0.0.0/16
+    /// summary-only with a community tag.
+    fn line_with_aggregation() -> NetworkModel {
+        let mut topo = Topology::new();
+        let names = ["t0", "m1", "m2", "t3"];
+        let ids: Vec<NodeId> = names.iter().map(|n| topo.add_node(*n)).collect();
+        topo.connect(ids[0], ids[1]);
+        topo.connect(ids[1], ids[2]);
+        topo.connect(ids[2], ids[3]);
+
+        let link_subnets = [
+            (Ipv4Addr::new(172, 16, 0, 0), Ipv4Addr::new(172, 16, 0, 1)),
+            (Ipv4Addr::new(172, 16, 0, 2), Ipv4Addr::new(172, 16, 0, 3)),
+            (Ipv4Addr::new(172, 16, 0, 4), Ipv4Addr::new(172, 16, 0, 5)),
+        ];
+
+        let mut cfgs: Vec<DeviceConfig> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let mut c = DeviceConfig::new(*n, Vendor::A);
+                c.bgp = Some(BgpProcess::new(
+                    65000 + i as u32,
+                    Ipv4Addr::new(1, 1, 1, i as u8 + 1),
+                ));
+                c
+            })
+            .collect();
+
+        let add_link = |cfgs: &mut Vec<DeviceConfig>, i: usize, j: usize, li: usize| {
+            let (ai, aj) = link_subnets[li];
+            let ifname_i = format!("eth{li}_a");
+            let ifname_j = format!("eth{li}_b");
+            cfgs[i].interfaces.push(InterfaceConfig::new(ifname_i, ai, 31));
+            cfgs[j].interfaces.push(InterfaceConfig::new(ifname_j, aj, 31));
+            let asn_i = cfgs[i].bgp.as_ref().unwrap().asn;
+            let asn_j = cfgs[j].bgp.as_ref().unwrap().asn;
+            cfgs[i].bgp.as_mut().unwrap().neighbors.push(BgpNeighbor {
+                peer: aj,
+                remote_as: asn_j,
+                import_policy: None,
+                export_policy: None,
+                remove_private_as: false,
+            });
+            cfgs[j].bgp.as_mut().unwrap().neighbors.push(BgpNeighbor {
+                peer: ai,
+                remote_as: asn_i,
+                import_policy: None,
+                export_policy: None,
+                remove_private_as: false,
+            });
+        };
+        add_link(&mut cfgs, 0, 1, 0);
+        add_link(&mut cfgs, 1, 2, 1);
+        add_link(&mut cfgs, 2, 3, 2);
+
+        for p in ["10.0.0.0/24", "10.0.1.0/24"] {
+            cfgs[0]
+                .bgp
+                .as_mut()
+                .unwrap()
+                .networks
+                .push(Network { prefix: p.parse().unwrap() });
+        }
+        cfgs[2].bgp.as_mut().unwrap().aggregates.push(Aggregate {
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            summary_only: true,
+            communities: vec![community(65000, 99)],
+        });
+
+        NetworkModel::build(topo, cfgs).unwrap()
+    }
+
+    fn run(model: &NetworkModel) -> (Vec<SwitchModel>, BgpStats) {
+        let mut switches: Vec<SwitchModel> = model
+            .topology
+            .nodes()
+            .map(|n| SwitchModel::new(model, n))
+            .collect();
+        let stats = converge_bgp(model, &mut switches, None, DEFAULT_MAX_ROUNDS).unwrap();
+        (switches, stats)
+    }
+
+    #[test]
+    fn routes_propagate_end_to_end() {
+        let model = line_with_aggregation();
+        let (switches, stats) = run(&model);
+        assert!(stats.rounds >= 3, "needs at least diameter rounds");
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        // m1 and m2 learn the specific.
+        assert_eq!(switches[1].loc_rib()[&p][0].route.as_path, vec![65000]);
+        assert_eq!(switches[2].loc_rib()[&p][0].route.as_path, vec![65001, 65000]);
+    }
+
+    #[test]
+    fn summary_only_aggregate_suppresses_specifics_downstream() {
+        let model = line_with_aggregation();
+        let (switches, _) = run(&model);
+        let spec: Prefix = "10.0.0.0/24".parse().unwrap();
+        let agg: Prefix = "10.0.0.0/16".parse().unwrap();
+        // m2 has both the specifics and the active aggregate.
+        assert!(switches[2].loc_rib().contains_key(&spec));
+        assert!(switches[2].loc_rib().contains_key(&agg));
+        // t3 sees only the aggregate, tagged with the community.
+        assert!(!switches[3].loc_rib().contains_key(&spec));
+        let t3_agg = &switches[3].loc_rib()[&agg][0].route;
+        assert_eq!(t3_agg.as_path, vec![65002]);
+        assert!(t3_agg.has_community(community(65000, 99)));
+        // Upstream (m1) still sees the specifics — they arrived from t0
+        // directly, and the aggregate also propagates backwards.
+        assert!(switches[1].loc_rib().contains_key(&spec));
+    }
+
+    #[test]
+    fn sharded_union_equals_unsharded() {
+        let model = line_with_aggregation();
+        let (unsharded, _) = run(&model);
+
+        // Shard 1: the aggregate and its contributors; shard 2: empty-ish.
+        // Dependencies force all three prefixes into one shard; we emulate
+        // the planner's output here.
+        let mut shard1: HashSet<Prefix> = HashSet::new();
+        shard1.insert("10.0.0.0/24".parse().unwrap());
+        shard1.insert("10.0.1.0/24".parse().unwrap());
+        shard1.insert("10.0.0.0/16".parse().unwrap());
+
+        let mut switches: Vec<SwitchModel> = model
+            .topology
+            .nodes()
+            .map(|n| SwitchModel::new(&model, n))
+            .collect();
+        converge_bgp(&model, &mut switches, Some(&shard1), DEFAULT_MAX_ROUNDS).unwrap();
+        for node in model.topology.nodes() {
+            assert_eq!(
+                switches[node.index()].loc_rib(),
+                unsharded[node.index()].loc_rib(),
+                "node {node} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_volume_and_memory() {
+        let model = line_with_aggregation();
+        let (_, stats) = run(&model);
+        assert!(stats.routes_exchanged > 0);
+        assert!(stats.peak_bytes > 0);
+        assert!(stats.total_paths >= 8);
+    }
+
+    #[test]
+    fn zero_round_budget_fails() {
+        let model = line_with_aggregation();
+        let mut switches: Vec<SwitchModel> = model
+            .topology
+            .nodes()
+            .map(|n| SwitchModel::new(&model, n))
+            .collect();
+        assert!(matches!(
+            converge_bgp(&model, &mut switches, None, 0),
+            Err(RoutingError::NotConverged { protocol: "bgp", .. })
+        ));
+    }
+}

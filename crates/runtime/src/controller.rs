@@ -1,0 +1,758 @@
+//! The controller: spawns the worker fleet and runs the two orchestrators
+//! (§3.2) — the control-plane orchestrator (CPO) driving Algorithm 1 round
+//! by round and shard by shard, and the data-plane orchestrator (DPO)
+//! driving distributed symbolic forwarding to quiescence.
+
+use crate::memstats::MemReport;
+use crate::sidecar::{Sidecar, SidecarNet};
+use crate::worker::{Command, Reply, Worker};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use s2_bdd::serialize as bdd_io;
+use s2_dataplane::{FinalKind, PacketSpace};
+use s2_net::topology::NodeId;
+use s2_net::Prefix;
+use s2_routing::{NetworkModel, RibSnapshot, RibStore};
+use s2_shard::ShardPlan;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Failures of a distributed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The fix point was not reached within the round budget.
+    NotConverged {
+        /// Protocol that failed to converge.
+        protocol: &'static str,
+        /// Exhausted round budget.
+        rounds: usize,
+    },
+    /// A worker exceeded its memory budget.
+    OutOfMemory {
+        /// The worker that overflowed.
+        worker: u32,
+        /// Its budget in bytes.
+        budget: usize,
+        /// Observed usage in bytes.
+        observed: usize,
+    },
+    /// A worker thread died or disconnected.
+    WorkerLost,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::NotConverged { protocol, rounds } => {
+                write!(f, "{protocol} did not converge within {rounds} rounds")
+            }
+            RuntimeError::OutOfMemory {
+                worker,
+                budget,
+                observed,
+            } => write!(
+                f,
+                "worker {worker} out of memory ({observed} bytes used, budget {budget})"
+            ),
+            RuntimeError::WorkerLost => write!(f, "a worker thread terminated unexpectedly"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Cluster-wide run options.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Fix-point round budget per protocol per shard.
+    pub max_rounds: usize,
+    /// TTL for symbolic forwarding.
+    pub max_hops: u16,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            max_rounds: s2_routing::DEFAULT_MAX_ROUNDS,
+            max_hops: 0, // engine default
+        }
+    }
+}
+
+/// Control-plane statistics of a distributed run.
+#[derive(Debug, Clone, Default)]
+pub struct CpRunStats {
+    /// OSPF rounds.
+    pub ospf_rounds: usize,
+    /// Total BGP rounds across shards.
+    pub bgp_rounds: usize,
+    /// Shards executed.
+    pub shards: usize,
+    /// Per-worker peak memory (bytes, modelled).
+    pub per_worker_peak: Vec<usize>,
+    /// Cross-worker messages sent so far (cumulative for the cluster).
+    pub messages: u64,
+    /// Cross-worker bytes sent so far.
+    pub bytes: u64,
+    /// Wall-clock time of the control-plane phase.
+    pub elapsed: Duration,
+}
+
+impl CpRunStats {
+    /// The maximum per-worker peak — the paper's "per-worker peak memory
+    /// usage" metric.
+    pub fn max_worker_peak(&self) -> usize {
+        self.per_worker_peak.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Data-plane statistics and property outcomes of a distributed run.
+#[derive(Debug, Clone, Default)]
+pub struct DpvRunStats {
+    /// `(src, dst)` pairs whose expected prefixes fully arrived.
+    pub reachable_pairs: usize,
+    /// Pairs with missing reachability.
+    pub unreachable_pairs: Vec<(NodeId, NodeId)>,
+    /// `(src, dst, transit)` waypoint violations.
+    pub waypoint_violations: Vec<(NodeId, NodeId, NodeId)>,
+    /// Loop finals observed.
+    pub loops: usize,
+    /// Blackhole finals observed.
+    pub blackholes: usize,
+    /// Sources with multipath-consistency violations.
+    pub multipath_violations: Vec<NodeId>,
+    /// Barrier rounds until quiescence.
+    pub forward_rounds: usize,
+    /// Packets processed across all workers.
+    pub packets_processed: usize,
+    /// Packets serialized across workers.
+    pub remote_packets: usize,
+    /// Per-worker peak memory after DPV.
+    pub per_worker_peak: Vec<usize>,
+    /// Time compiling predicates.
+    pub pred_time: Duration,
+    /// Time forwarding.
+    pub fwd_time: Duration,
+}
+
+struct WorkerHandle {
+    cmd: Sender<Command>,
+    reply: Receiver<Reply>,
+}
+
+/// A running worker fleet plus the controller-side orchestration.
+pub struct Cluster {
+    model: Arc<NetworkModel>,
+    net: SidecarNet,
+    handles: Vec<WorkerHandle>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Spawns `num_workers` workers hosting the nodes given by
+    /// `node_owner` (node index → worker), each with an optional memory
+    /// budget.
+    pub fn new(
+        model: Arc<NetworkModel>,
+        node_owner: Vec<u32>,
+        num_workers: u32,
+        memory_budget: Option<usize>,
+    ) -> Cluster {
+        assert_eq!(node_owner.len(), model.topology.node_count());
+        let (net, inboxes) = SidecarNet::build(node_owner.clone(), num_workers);
+        let mut handles = Vec::new();
+        let mut threads = Vec::new();
+        for (w, inbox) in inboxes.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = unbounded();
+            let (reply_tx, reply_rx) = unbounded();
+            let local_nodes: Vec<NodeId> = node_owner
+                .iter()
+                .enumerate()
+                .filter(|(_, &o)| o == w as u32)
+                .map(|(i, _)| NodeId(i as u32))
+                .collect();
+            let sidecar = Sidecar::new(w as u32, net.clone(), inbox);
+            let model = model.clone();
+            let thread = std::thread::Builder::new()
+                .name(format!("s2-worker-{w}"))
+                .spawn(move || {
+                    Worker::new(sidecar, model, local_nodes, memory_budget).run(cmd_rx, reply_tx);
+                })
+                .expect("spawn worker thread");
+            handles.push(WorkerHandle {
+                cmd: cmd_tx,
+                reply: reply_rx,
+            });
+            threads.push(thread);
+        }
+        Cluster {
+            model,
+            net,
+            handles,
+            threads,
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Cross-worker traffic so far: `(messages, bytes)`.
+    pub fn traffic(&self) -> (u64, u64) {
+        self.net.stats().snapshot()
+    }
+
+    /// Broadcasts a command and gathers one reply per worker (a barrier).
+    fn barrier(&self, make: impl Fn() -> Command) -> Result<Vec<Reply>, RuntimeError> {
+        for h in &self.handles {
+            h.cmd.send(make()).map_err(|_| RuntimeError::WorkerLost)?;
+        }
+        let mut replies = Vec::with_capacity(self.handles.len());
+        for (w, h) in self.handles.iter().enumerate() {
+            match h.reply.recv().map_err(|_| RuntimeError::WorkerLost)? {
+                Reply::OutOfMemory { budget, observed } => {
+                    // Drain the remaining replies so the fleet stays usable.
+                    for other in self.handles.iter().skip(w + 1) {
+                        let _ = other.reply.recv();
+                    }
+                    return Err(RuntimeError::OutOfMemory {
+                        worker: w as u32,
+                        budget,
+                        observed,
+                    });
+                }
+                r => replies.push(r),
+            }
+        }
+        Ok(replies)
+    }
+
+    fn all_unchanged(replies: &[Reply]) -> bool {
+        replies.iter().all(|r| matches!(r, Reply::Changed(false)))
+    }
+
+    /// Collects per-worker memory reports.
+    pub fn mem_reports(&self) -> Result<Vec<MemReport>, RuntimeError> {
+        let replies = self.barrier(|| Command::MemReport)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| match r {
+                Reply::Mem(m) => m,
+                other => unreachable!("expected Mem, got {other:?}"),
+            })
+            .collect())
+    }
+
+    /// Runs the IGP phase to convergence, returning the round count.
+    pub fn run_ospf(&self, opts: &ClusterOptions) -> Result<usize, RuntimeError> {
+        for round in 0..opts.max_rounds {
+            self.barrier(|| Command::OspfExport)?;
+            let replies = self.barrier(|| Command::OspfApply)?;
+            if Self::all_unchanged(&replies) {
+                return Ok(round + 1);
+            }
+        }
+        Err(RuntimeError::NotConverged {
+            protocol: "ospf",
+            rounds: opts.max_rounds,
+        })
+    }
+
+    /// Gathers every originated prefix (and the aggregate subset) from the
+    /// workers — the §4.5 prefix-collection step, run after OSPF so
+    /// redistribution targets are included.
+    #[allow(clippy::type_complexity)]
+    pub fn collect_prefixes(
+        &self,
+    ) -> Result<
+        (
+            std::collections::BTreeSet<Prefix>,
+            std::collections::BTreeSet<Prefix>,
+            Vec<(Prefix, Prefix)>,
+        ),
+        RuntimeError,
+    > {
+        let mut all = std::collections::BTreeSet::new();
+        let mut aggregates = std::collections::BTreeSet::new();
+        let mut deps = Vec::new();
+        for reply in self.barrier(|| Command::CollectPrefixes)? {
+            match reply {
+                Reply::Prefixes {
+                    all: a,
+                    aggregates: g,
+                    deps: d,
+                } => {
+                    all.extend(a);
+                    aggregates.extend(g);
+                    deps.extend(d);
+                }
+                other => unreachable!("expected Prefixes, got {other:?}"),
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        Ok((all, aggregates, deps))
+    }
+
+    /// Gathers the prefix dependencies every worker observed during route
+    /// computation (the §7 soundness input).
+    pub fn collect_observed_deps(&self) -> Result<Vec<(Prefix, Prefix)>, RuntimeError> {
+        let mut deps = Vec::new();
+        for reply in self.barrier(|| Command::CollectObservedDeps)? {
+            match reply {
+                Reply::Deps(d) => deps.extend(d),
+                other => unreachable!("expected Deps, got {other:?}"),
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        Ok(deps)
+    }
+
+    /// Plans prefix shards from the workers' originated prefixes: builds
+    /// the DPDG (coverage edges from aggregates, explicit edges from
+    /// conditional advertisements), takes weakly connected components, and
+    /// bins them.
+    pub fn plan_shards(&self, num_shards: usize, seed: u64) -> Result<ShardPlan, RuntimeError> {
+        let (all, aggregates, deps) = self.collect_prefixes()?;
+        if num_shards <= 1 {
+            return Ok(ShardPlan::single(all));
+        }
+        let graph = s2_shard::dpdg::Dpdg::build_with_deps(&all, &aggregates, &deps);
+        Ok(s2_shard::assign::greedy_assign(
+            graph.weakly_connected_components(),
+            num_shards,
+            seed,
+        ))
+    }
+
+    /// The §7 extension: runs the control plane under `plan`, collects the
+    /// dependencies observed during computation, and — if any crosses a
+    /// shard boundary (an *unforeseen* dependency) — merges the affected
+    /// shards and recomputes, until the plan is sound. Returns the final
+    /// RIBs, stats of the last (sound) run, and the refined plan.
+    pub fn run_control_plane_refined(
+        &self,
+        mut plan: ShardPlan,
+        opts: &ClusterOptions,
+    ) -> Result<(RibSnapshot, CpRunStats, ShardPlan), RuntimeError> {
+        loop {
+            let (rib, stats) = self.run_control_plane(&plan, opts)?;
+            let observed = self.collect_observed_deps()?;
+            let violations = plan.cross_shard_violations(&observed);
+            if violations.is_empty() {
+                return Ok((rib, stats, plan));
+            }
+            plan = plan.merged_for(&violations);
+        }
+    }
+
+    /// Runs the full distributed control-plane simulation: OSPF to
+    /// convergence, then one BGP fix point per shard, gathering the final
+    /// RIBs (the CPO role).
+    pub fn run_control_plane(
+        &self,
+        plan: &ShardPlan,
+        opts: &ClusterOptions,
+    ) -> Result<(RibSnapshot, CpRunStats), RuntimeError> {
+        let start = Instant::now();
+        let mut stats = CpRunStats::default();
+
+        // IGP before EGP (§4.2).
+        stats.ospf_rounds = self.run_ospf(opts)?;
+
+        let mut store = RibStore::new(self.model.topology.node_count());
+        for reply in self.barrier(|| Command::CollectBaseRib)? {
+            match reply {
+                Reply::Rib(entries) => {
+                    for (node, routes) in entries {
+                        store.insert_all(node, routes);
+                    }
+                }
+                other => unreachable!("expected Rib, got {other:?}"),
+            }
+        }
+
+        stats.shards = plan.shards.len();
+        for shard in &plan.shards {
+            let shard = Arc::new(shard.clone());
+            self.barrier(|| Command::BgpBegin {
+                shard: Some(shard.clone()),
+            })?;
+            let mut converged = false;
+            for round in 0..opts.max_rounds {
+                self.barrier(|| Command::BgpExport)?;
+                let replies = self.barrier(|| Command::BgpApply)?;
+                stats.bgp_rounds += 1;
+                let _ = round;
+                if Self::all_unchanged(&replies) {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(RuntimeError::NotConverged {
+                    protocol: "bgp",
+                    rounds: opts.max_rounds,
+                });
+            }
+            // Flush the shard to the controller's persistent store.
+            for reply in self.barrier(|| Command::CollectBgpRib)? {
+                match reply {
+                    Reply::Rib(entries) => {
+                        for (node, routes) in entries {
+                            store.insert_all(node, routes);
+                        }
+                    }
+                    other => unreachable!("expected Rib, got {other:?}"),
+                }
+            }
+        }
+
+        stats.per_worker_peak = self.mem_reports()?.iter().map(|m| m.peak_bytes).collect();
+        let (messages, bytes) = self.traffic();
+        stats.messages = messages;
+        stats.bytes = bytes;
+        stats.elapsed = start.elapsed();
+        Ok((store.snapshot(), stats))
+    }
+
+    /// Runs distributed data-plane verification (the DPO role): per-worker
+    /// predicate compilation, distributed symbolic forwarding to
+    /// quiescence, then property evaluation.
+    ///
+    /// `expected` lists, per destination node, the prefixes that must
+    /// arrive from every source; `waypoints` maps transit nodes to
+    /// metadata bits (callers allocate bits 0..n).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_dpv(
+        &self,
+        rib: Arc<RibSnapshot>,
+        sources: Vec<NodeId>,
+        expected: Vec<(NodeId, Vec<Prefix>)>,
+        dst_space: Prefix,
+        waypoints: BTreeMap<NodeId, u16>,
+        opts: &ClusterOptions,
+    ) -> Result<DpvRunStats, RuntimeError> {
+        let mut stats = DpvRunStats::default();
+        let meta_bits = waypoints.len() as u16;
+
+        let t0 = Instant::now();
+        let waypoints_arc = Arc::new(waypoints.clone());
+        self.barrier(|| Command::DpSetup {
+            rib: rib.clone(),
+            meta_bits,
+            waypoints: waypoints_arc.clone(),
+            max_hops: opts.max_hops,
+        })?;
+        stats.pred_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let injections = Arc::new(
+            sources
+                .iter()
+                .map(|&s| (s, dst_space))
+                .collect::<Vec<_>>(),
+        );
+        self.barrier(|| Command::Inject {
+            injections: injections.clone(),
+        })?;
+        loop {
+            let replies = self.barrier(|| Command::ForwardRound)?;
+            stats.forward_rounds += 1;
+            let mut quiet = true;
+            for r in replies {
+                match r {
+                    Reply::Forwarded {
+                        processed,
+                        sent_remote,
+                    } => {
+                        stats.packets_processed += processed;
+                        stats.remote_packets += sent_remote;
+                        if processed > 0 || sent_remote > 0 {
+                            quiet = false;
+                        }
+                    }
+                    other => unreachable!("expected Forwarded, got {other:?}"),
+                }
+            }
+            if quiet {
+                break;
+            }
+        }
+        stats.fwd_time = t1.elapsed();
+
+        // Property evaluation.
+        let sources_arc = Arc::new(sources);
+        let expected_arc = Arc::new(expected);
+        let transits: Arc<Vec<(NodeId, u16)>> =
+            Arc::new(waypoints.iter().map(|(&n, &b)| (n, b)).collect());
+        for reply in self.barrier(|| Command::CheckArrivals {
+            sources: sources_arc.clone(),
+            expected: expected_arc.clone(),
+            transits: transits.clone(),
+        })? {
+            match reply {
+                Reply::Arrivals {
+                    reachable,
+                    unreachable,
+                    waypoint_violations,
+                } => {
+                    stats.reachable_pairs += reachable.len();
+                    stats.unreachable_pairs.extend(unreachable);
+                    stats.waypoint_violations.extend(waypoint_violations);
+                }
+                other => unreachable!("expected Arrivals, got {other:?}"),
+            }
+        }
+
+        // Multipath consistency: merge per-(src, kind) header sets in a
+        // controller-side manager (sets arrive serialized, exactly like any
+        // other cross-worker BDD).
+        let space = PacketSpace::new(meta_bits);
+        let mut manager = space.manager();
+        let mut by_src: BTreeMap<NodeId, BTreeMap<FinalKind, s2_bdd::Bdd>> = BTreeMap::new();
+        for reply in self.barrier(|| Command::CollectFinals)? {
+            match reply {
+                Reply::Finals {
+                    loops,
+                    blackholes,
+                    sets,
+                } => {
+                    stats.loops += loops;
+                    stats.blackholes += blackholes;
+                    for (src, kind, bytes) in sets {
+                        let set = bdd_io::from_bytes(&mut manager, &bytes)
+                            .expect("workers produce valid BDD payloads");
+                        let entry = by_src
+                            .entry(src)
+                            .or_default()
+                            .entry(kind)
+                            .or_insert(s2_bdd::Bdd::FALSE);
+                        *entry = manager.or(*entry, set);
+                    }
+                }
+                other => unreachable!("expected Finals, got {other:?}"),
+            }
+        }
+        for (src, kinds) in by_src {
+            let kinds: Vec<_> = kinds.into_iter().collect();
+            let mut violated = false;
+            for i in 0..kinds.len() {
+                for j in (i + 1)..kinds.len() {
+                    if manager.intersects(kinds[i].1, kinds[j].1) {
+                        violated = true;
+                    }
+                }
+            }
+            if violated {
+                stats.multipath_violations.push(src);
+            }
+        }
+
+        stats.per_worker_peak = self.mem_reports()?.iter().map(|m| m.peak_bytes).collect();
+        stats.unreachable_pairs.sort();
+        stats.waypoint_violations.sort();
+        Ok(stats)
+    }
+
+    /// Stops every worker and joins the threads.
+    pub fn shutdown(self) {
+        for h in &self.handles {
+            let _ = h.cmd.send(Command::Shutdown);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_net::config::{BgpNeighbor, BgpProcess, DeviceConfig, InterfaceConfig, Network, Vendor};
+    use s2_net::topology::Topology;
+    use s2_net::Ipv4Addr;
+
+    /// The 4-node line t0—m1—m2—t3 from the fixpoint tests: t0 announces
+    /// two prefixes; everyone should learn them.
+    fn line_model() -> NetworkModel {
+        let mut topo = Topology::new();
+        let names = ["t0", "m1", "m2", "t3"];
+        let ids: Vec<NodeId> = names.iter().map(|n| topo.add_node(*n)).collect();
+        topo.connect(ids[0], ids[1]);
+        topo.connect(ids[1], ids[2]);
+        topo.connect(ids[2], ids[3]);
+
+        let mut cfgs: Vec<DeviceConfig> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let mut c = DeviceConfig::new(*n, Vendor::A);
+                c.bgp = Some(BgpProcess::new(
+                    65000 + i as u32,
+                    Ipv4Addr::new(1, 1, 1, i as u8 + 1),
+                ));
+                c
+            })
+            .collect();
+        let subnets = [
+            (Ipv4Addr::new(172, 16, 0, 0), Ipv4Addr::new(172, 16, 0, 1)),
+            (Ipv4Addr::new(172, 16, 0, 2), Ipv4Addr::new(172, 16, 0, 3)),
+            (Ipv4Addr::new(172, 16, 0, 4), Ipv4Addr::new(172, 16, 0, 5)),
+        ];
+        for (li, (i, j)) in [(0usize, 1usize), (1, 2), (2, 3)].iter().copied().enumerate() {
+            let (ai, aj) = subnets[li];
+            cfgs[i].interfaces.push(InterfaceConfig::new(format!("e{li}a"), ai, 31));
+            cfgs[j].interfaces.push(InterfaceConfig::new(format!("e{li}b"), aj, 31));
+            let asn_i = 65000 + i as u32;
+            let asn_j = 65000 + j as u32;
+            cfgs[i].bgp.as_mut().unwrap().neighbors.push(BgpNeighbor {
+                peer: aj,
+                remote_as: asn_j,
+                import_policy: None,
+                export_policy: None,
+                remove_private_as: false,
+            });
+            cfgs[j].bgp.as_mut().unwrap().neighbors.push(BgpNeighbor {
+                peer: ai,
+                remote_as: asn_i,
+                import_policy: None,
+                export_policy: None,
+                remove_private_as: false,
+            });
+        }
+        for p in ["10.0.0.0/24", "10.0.1.0/24"] {
+            cfgs[0].bgp.as_mut().unwrap().networks.push(Network {
+                prefix: p.parse().unwrap(),
+            });
+        }
+        NetworkModel::build(topo, cfgs).unwrap()
+    }
+
+    fn run_cp(model: &Arc<NetworkModel>, owners: Vec<u32>, workers: u32) -> (RibSnapshot, CpRunStats) {
+        let cluster = Cluster::new(model.clone(), owners, workers, None);
+        let switches: Vec<_> = model
+            .topology
+            .nodes()
+            .map(|n| s2_routing::SwitchModel::new(model, n))
+            .collect();
+        let plan = ShardPlan::single(s2_shard::collect_prefixes(&switches));
+        let out = cluster
+            .run_control_plane(&plan, &ClusterOptions::default())
+            .unwrap();
+        cluster.shutdown();
+        out
+    }
+
+    #[test]
+    fn distributed_equals_monolithic_ribs() {
+        let model = Arc::new(line_model());
+        // Monolithic reference.
+        let mut switches: Vec<_> = model
+            .topology
+            .nodes()
+            .map(|n| s2_routing::SwitchModel::new(&model, n))
+            .collect();
+        s2_routing::converge_ospf(&model, &mut switches, 64).unwrap();
+        s2_routing::converge_bgp(&model, &mut switches, None, 64).unwrap();
+        let mut ref_store = RibStore::new(4);
+        for n in model.topology.nodes() {
+            ref_store.insert_all(n, switches[n.index()].base_rib_routes());
+            ref_store.insert_all(n, switches[n.index()].bgp_rib_routes());
+        }
+        let reference = ref_store.snapshot();
+
+        for owners in [vec![0, 0, 0, 0], vec![0, 0, 1, 1], vec![0, 1, 2, 3], vec![1, 0, 1, 0]] {
+            let workers = owners.iter().max().unwrap() + 1;
+            let (rib, stats) = run_cp(&model, owners.clone(), workers);
+            assert_eq!(rib, reference, "owners {owners:?}");
+            assert!(stats.bgp_rounds >= 4);
+            if workers > 1 {
+                assert!(stats.messages > 0, "cross-worker traffic expected");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_dpv_checks_reachability() {
+        let model = Arc::new(line_model());
+        let cluster = Cluster::new(model.clone(), vec![0, 0, 1, 1], 2, None);
+        let switches: Vec<_> = model
+            .topology
+            .nodes()
+            .map(|n| s2_routing::SwitchModel::new(&model, n))
+            .collect();
+        let plan = ShardPlan::single(s2_shard::collect_prefixes(&switches));
+        let (rib, _) = cluster
+            .run_control_plane(&plan, &ClusterOptions::default())
+            .unwrap();
+
+        let sources = vec![NodeId(0), NodeId(3)];
+        let expected = vec![(NodeId(0), vec!["10.0.0.0/24".parse().unwrap()])];
+        let stats = cluster
+            .run_dpv(
+                Arc::new(rib),
+                sources,
+                expected,
+                "10.0.0.0/8".parse().unwrap(),
+                BTreeMap::new(),
+                &ClusterOptions::default(),
+            )
+            .unwrap();
+        cluster.shutdown();
+        // t3 reaches t0's prefix.
+        assert_eq!(stats.reachable_pairs, 1, "{:?}", stats.unreachable_pairs);
+        assert!(stats.unreachable_pairs.is_empty());
+        assert_eq!(stats.loops, 0);
+        // Packets crossed the worker boundary.
+        assert!(stats.remote_packets > 0);
+        assert!(stats.forward_rounds >= 2);
+    }
+
+    #[test]
+    fn per_worker_memory_is_reported() {
+        let model = Arc::new(line_model());
+        let (_, stats) = run_cp(&model, vec![0, 0, 1, 1], 2);
+        assert_eq!(stats.per_worker_peak.len(), 2);
+        assert!(stats.max_worker_peak() > 0);
+    }
+
+    #[test]
+    fn memory_budget_aborts_with_oom() {
+        let model = Arc::new(line_model());
+        let cluster = Cluster::new(model.clone(), vec![0, 0, 1, 1], 2, Some(8));
+        let switches: Vec<_> = model
+            .topology
+            .nodes()
+            .map(|n| s2_routing::SwitchModel::new(&model, n))
+            .collect();
+        let plan = ShardPlan::single(s2_shard::collect_prefixes(&switches));
+        let err = cluster
+            .run_control_plane(&plan, &ClusterOptions::default())
+            .unwrap_err();
+        cluster.shutdown();
+        assert!(matches!(err, RuntimeError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn sharded_distributed_run_matches_unsharded() {
+        let model = Arc::new(line_model());
+        let (reference, _) = run_cp(&model, vec![0, 1, 0, 1], 2);
+
+        let cluster = Cluster::new(model.clone(), vec![0, 1, 0, 1], 2, None);
+        let plan = ShardPlan {
+            shards: vec![
+                ["10.0.0.0/24".parse().unwrap()].into_iter().collect(),
+                ["10.0.1.0/24".parse().unwrap()].into_iter().collect(),
+            ],
+        };
+        let (rib, stats) = cluster
+            .run_control_plane(&plan, &ClusterOptions::default())
+            .unwrap();
+        cluster.shutdown();
+        assert_eq!(rib, reference);
+        assert_eq!(stats.shards, 2);
+    }
+}

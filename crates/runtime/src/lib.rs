@@ -1,0 +1,38 @@
+//! # s2-runtime
+//!
+//! The distributed execution substrate of S2 (§3.2): a controller, worker
+//! threads (the "logical servers"), and sidecar message routers.
+//!
+//! ## Fidelity notes
+//!
+//! The paper runs workers as separate JVM processes connected by gRPC.
+//! Here each worker is an OS thread that owns its mutable state
+//! exclusively; the *only* way control-plane routes or symbolic packets
+//! move between workers is through the [`sidecar`] as length-delimited
+//! binary messages ([`wire`]) — the same share-nothing discipline, with
+//! the transport swapped for in-process channels. In particular:
+//!
+//! * a worker holds [`SwitchModel`]s only for its **real** nodes; remote
+//!   nodes exist only as entries in the sidecar's node→worker map (the
+//!   shadow-node role),
+//! * symbolic packets crossing workers are serialized from the sender's
+//!   BDD manager and *re-encoded* into the receiver's private manager,
+//!   exactly the design §4.3 adopts,
+//! * per-worker memory is tracked by [`memstats::MemGauge`]s (routes +
+//!   BDD nodes), standing in for the JVM `-Xmx` accounting of the paper's
+//!   testbed (see DESIGN.md, substitution #6).
+//!
+//! [`SwitchModel`]: s2_routing::SwitchModel
+
+#![deny(missing_docs)]
+
+pub mod controller;
+pub mod memstats;
+pub mod sidecar;
+pub mod wire;
+pub mod worker;
+
+pub use controller::{Cluster, ClusterOptions, CpRunStats, DpvRunStats, RuntimeError};
+pub use memstats::{MemGauge, MemReport};
+pub use sidecar::{Sidecar, SidecarNet, TrafficStats};
+pub use wire::{Message, WireError};

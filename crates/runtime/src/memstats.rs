@@ -1,0 +1,97 @@
+//! Per-worker memory accounting.
+//!
+//! Real S2 workers are bounded by a JVM heap (`-Xmx`); our workers share
+//! one address space, so per-worker peaks are tracked analytically: the
+//! modelled bytes of BGP state (Adj-RIB-Ins + local RIBs) plus the BDD
+//! manager's node table and caches. The gauges drive both the reported
+//! peak-memory figures and the out-of-memory behaviour of budgeted runs.
+
+/// A watermark gauge: tracks a current value and its historical peak.
+#[derive(Debug, Clone, Default)]
+pub struct MemGauge {
+    current: usize,
+    peak: usize,
+}
+
+impl MemGauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        MemGauge::default()
+    }
+
+    /// Replaces the current reading (e.g. after a simulation round).
+    pub fn set(&mut self, bytes: usize) {
+        self.current = bytes;
+        if bytes > self.peak {
+            self.peak = bytes;
+        }
+    }
+
+    /// Current reading in bytes.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Historical peak in bytes.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Whether the current reading exceeds `budget`.
+    pub fn over_budget(&self, budget: Option<usize>) -> bool {
+        budget.map_or(false, |b| self.current > b)
+    }
+}
+
+/// A worker's memory report, collected by the controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemReport {
+    /// Bytes attributed to control-plane route state.
+    pub route_bytes: usize,
+    /// Bytes attributed to the worker's BDD manager.
+    pub bdd_bytes: usize,
+    /// Peak of the combined gauge.
+    pub peak_bytes: usize,
+}
+
+impl MemReport {
+    /// Current total.
+    pub fn total(&self) -> usize {
+        self.route_bytes + self.bdd_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_monotone() {
+        let mut g = MemGauge::new();
+        g.set(100);
+        g.set(50);
+        assert_eq!(g.current(), 50);
+        assert_eq!(g.peak(), 100);
+        g.set(200);
+        assert_eq!(g.peak(), 200);
+    }
+
+    #[test]
+    fn budget_check() {
+        let mut g = MemGauge::new();
+        g.set(100);
+        assert!(!g.over_budget(None));
+        assert!(!g.over_budget(Some(100)));
+        assert!(g.over_budget(Some(99)));
+    }
+
+    #[test]
+    fn report_total() {
+        let r = MemReport {
+            route_bytes: 10,
+            bdd_bytes: 5,
+            peak_bytes: 20,
+        };
+        assert_eq!(r.total(), 15);
+    }
+}

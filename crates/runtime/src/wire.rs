@@ -1,0 +1,417 @@
+//! The binary wire format for cross-worker traffic.
+//!
+//! Everything that crosses a worker boundary — BGP advertisements, OSPF
+//! advertisements, symbolic packets — is encoded into a self-delimiting
+//! byte string and decoded on the far side. The paper uses gRPC with Java
+//! serialization; a hand-rolled codec keeps the serialization cost real
+//! and observable (the sidecar counts every byte) without pulling in an
+//! RPC stack.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! message   := tag:u8 body
+//! tag       := 1 (BGP) | 2 (OSPF) | 3 (packet)
+//! bgp       := target_node:u32 target_session:u32 n:u32 route*
+//! route     := prefix_addr:u32 prefix_len:u8 next_hop:u32 local_pref:u32
+//!              med:u32 origin:u8 weight:u32 proto:u8
+//!              plen:u16 asn:u32{plen} clen:u16 community:u32{clen}
+//! ospf      := target_node:u32 via_iface:u16 n:u32 (addr:u32 len:u8 cost:u32)*
+//! packet    := src:u32 node:u32 ingress:u16 hops:u16 bddlen:u32 bdd-bytes
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use s2_net::policy::Protocol;
+use s2_net::topology::{InterfaceId, NodeId};
+use s2_net::{Ipv4Addr, Prefix};
+use s2_routing::{BgpRoute, Origin};
+
+/// Decoded form of a cross-worker message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A full per-session BGP advertisement.
+    BgpAdvertisement {
+        /// Receiving node.
+        target_node: NodeId,
+        /// Session index on the receiving node.
+        target_session: u32,
+        /// Advertised routes (may be empty — "nothing to advertise" must
+        /// still clear the stale Adj-RIB-In).
+        routes: Vec<BgpRoute>,
+    },
+    /// A full OSPF table advertisement.
+    OspfAdvertisement {
+        /// Receiving node.
+        target_node: NodeId,
+        /// The interface the advertisement arrives on (receiver side).
+        via_iface: InterfaceId,
+        /// `(prefix, cost)` pairs.
+        entries: Vec<(Prefix, u32)>,
+    },
+    /// A symbolic packet; the BDD payload must be re-encoded into the
+    /// receiving worker's manager.
+    Packet {
+        /// Injection node.
+        src: NodeId,
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port on the receiving node (`None` = injection).
+        ingress: Option<InterfaceId>,
+        /// Hops taken so far.
+        hops: u16,
+        /// Serialized BDD (see [`s2_bdd::serialize`]).
+        bdd: Bytes,
+    },
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// An unknown message tag.
+    BadTag(u8),
+    /// A field held an invalid value.
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadValue(what) => write!(f, "invalid {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes one route.
+pub fn put_route(buf: &mut BytesMut, r: &BgpRoute) {
+    buf.put_u32(r.prefix.addr().0);
+    buf.put_u8(r.prefix.len());
+    buf.put_u32(r.next_hop.0);
+    buf.put_u32(r.local_pref);
+    buf.put_u32(r.med);
+    buf.put_u8(match r.origin {
+        Origin::Igp => 0,
+        Origin::Incomplete => 1,
+    });
+    buf.put_u32(r.weight);
+    buf.put_u8(match r.source_protocol {
+        Protocol::Connected => 0,
+        Protocol::Static => 1,
+        Protocol::Ospf => 2,
+        Protocol::Bgp => 3,
+        Protocol::Aggregate => 4,
+    });
+    buf.put_u16(r.as_path.len() as u16);
+    for asn in &r.as_path {
+        buf.put_u32(*asn);
+    }
+    buf.put_u16(r.communities.len() as u16);
+    for c in &r.communities {
+        buf.put_u32(*c);
+    }
+}
+
+/// Decodes one route.
+pub fn get_route(buf: &mut impl Buf) -> Result<BgpRoute, WireError> {
+    need(buf, 4 + 1 + 4 + 4 + 4 + 1 + 4 + 1 + 2)?;
+    let addr = buf.get_u32();
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(WireError::BadValue("prefix length"));
+    }
+    let prefix = Prefix::new(Ipv4Addr(addr), len);
+    let next_hop = Ipv4Addr(buf.get_u32());
+    let local_pref = buf.get_u32();
+    let med = buf.get_u32();
+    let origin = match buf.get_u8() {
+        0 => Origin::Igp,
+        1 => Origin::Incomplete,
+        _ => return Err(WireError::BadValue("origin")),
+    };
+    let weight = buf.get_u32();
+    let source_protocol = match buf.get_u8() {
+        0 => Protocol::Connected,
+        1 => Protocol::Static,
+        2 => Protocol::Ospf,
+        3 => Protocol::Bgp,
+        4 => Protocol::Aggregate,
+        _ => return Err(WireError::BadValue("protocol")),
+    };
+    let plen = buf.get_u16() as usize;
+    need(buf, plen * 4 + 2)?;
+    let as_path = (0..plen).map(|_| buf.get_u32()).collect();
+    let clen = buf.get_u16() as usize;
+    need(buf, clen * 4)?;
+    let communities = (0..clen).map(|_| buf.get_u32()).collect();
+    Ok(BgpRoute {
+        prefix,
+        next_hop,
+        as_path,
+        local_pref,
+        med,
+        origin,
+        communities,
+        weight,
+        source_protocol,
+    })
+}
+
+/// Encodes a message into a fresh byte string.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match msg {
+        Message::BgpAdvertisement {
+            target_node,
+            target_session,
+            routes,
+        } => {
+            buf.put_u8(1);
+            buf.put_u32(target_node.0);
+            buf.put_u32(*target_session);
+            buf.put_u32(routes.len() as u32);
+            for r in routes {
+                put_route(&mut buf, r);
+            }
+        }
+        Message::OspfAdvertisement {
+            target_node,
+            via_iface,
+            entries,
+        } => {
+            buf.put_u8(2);
+            buf.put_u32(target_node.0);
+            buf.put_u16(via_iface.0);
+            buf.put_u32(entries.len() as u32);
+            for (p, cost) in entries {
+                buf.put_u32(p.addr().0);
+                buf.put_u8(p.len());
+                buf.put_u32(*cost);
+            }
+        }
+        Message::Packet {
+            src,
+            node,
+            ingress,
+            hops,
+            bdd,
+        } => {
+            buf.put_u8(3);
+            buf.put_u32(src.0);
+            buf.put_u32(node.0);
+            buf.put_u16(ingress.map(|i| i.0).unwrap_or(u16::MAX));
+            buf.put_u16(*hops);
+            buf.put_u32(bdd.len() as u32);
+            buf.put_slice(bdd);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a message.
+pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
+    need(&buf, 1)?;
+    match buf.get_u8() {
+        1 => {
+            need(&buf, 12)?;
+            let target_node = NodeId(buf.get_u32());
+            let target_session = buf.get_u32();
+            let n = buf.get_u32() as usize;
+            let mut routes = Vec::with_capacity(n.min(65536));
+            for _ in 0..n {
+                routes.push(get_route(&mut buf)?);
+            }
+            Ok(Message::BgpAdvertisement {
+                target_node,
+                target_session,
+                routes,
+            })
+        }
+        2 => {
+            need(&buf, 10)?;
+            let target_node = NodeId(buf.get_u32());
+            let via_iface = InterfaceId(buf.get_u16());
+            let n = buf.get_u32() as usize;
+            let mut entries = Vec::with_capacity(n.min(65536));
+            for _ in 0..n {
+                need(&buf, 9)?;
+                let addr = buf.get_u32();
+                let len = buf.get_u8();
+                if len > 32 {
+                    return Err(WireError::BadValue("prefix length"));
+                }
+                let cost = buf.get_u32();
+                entries.push((Prefix::new(Ipv4Addr(addr), len), cost));
+            }
+            Ok(Message::OspfAdvertisement {
+                target_node,
+                via_iface,
+                entries,
+            })
+        }
+        3 => {
+            need(&buf, 16)?;
+            let src = NodeId(buf.get_u32());
+            let node = NodeId(buf.get_u32());
+            let ingress = match buf.get_u16() {
+                u16::MAX => None,
+                i => Some(InterfaceId(i)),
+            };
+            let hops = buf.get_u16();
+            let blen = buf.get_u32() as usize;
+            need(&buf, blen)?;
+            let bdd = buf.copy_to_bytes(blen);
+            Ok(Message::Packet {
+                src,
+                node,
+                ingress,
+                hops,
+                bdd,
+            })
+        }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_route() -> BgpRoute {
+        BgpRoute {
+            prefix: "10.1.2.0/24".parse().unwrap(),
+            next_hop: Ipv4Addr::new(172, 16, 0, 1),
+            as_path: vec![65001, 65002, 65001],
+            local_pref: 200,
+            med: 5,
+            origin: Origin::Igp,
+            communities: vec![1, 99],
+            weight: 0,
+            source_protocol: Protocol::Bgp,
+        }
+    }
+
+    #[test]
+    fn bgp_roundtrip() {
+        let msg = Message::BgpAdvertisement {
+            target_node: NodeId(7),
+            target_session: 3,
+            routes: vec![sample_route(), BgpRoute::local(
+                "0.0.0.0/0".parse().unwrap(),
+                Origin::Incomplete,
+                Protocol::Static,
+            )],
+        };
+        let bytes = encode(&msg);
+        assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_advertisement_roundtrips() {
+        let msg = Message::BgpAdvertisement {
+            target_node: NodeId(0),
+            target_session: 0,
+            routes: vec![],
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn ospf_roundtrip() {
+        let msg = Message::OspfAdvertisement {
+            target_node: NodeId(2),
+            via_iface: InterfaceId(5),
+            entries: vec![
+                ("10.0.0.0/31".parse().unwrap(), 1),
+                ("1.1.1.1/32".parse().unwrap(), 10),
+            ],
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn packet_roundtrip() {
+        let msg = Message::Packet {
+            src: NodeId(1),
+            node: NodeId(9),
+            ingress: Some(InterfaceId(4)),
+            hops: 3,
+            bdd: Bytes::from_static(&[1, 2, 3, 4]),
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+        let none = Message::Packet {
+            src: NodeId(1),
+            node: NodeId(9),
+            ingress: None,
+            hops: 0,
+            bdd: Bytes::new(),
+        };
+        assert_eq!(decode(encode(&none)).unwrap(), none);
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let msg = Message::BgpAdvertisement {
+            target_node: NodeId(7),
+            target_session: 3,
+            routes: vec![sample_route()],
+        };
+        let bytes = encode(&msg);
+        for cut in 0..bytes.len() {
+            assert!(decode(bytes.slice(..cut)).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert_eq!(decode(Bytes::from_static(&[9])), Err(WireError::BadTag(9)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_route_roundtrip(
+            addr in any::<u32>(),
+            len in 0u8..=32,
+            nh in any::<u32>(),
+            lp in any::<u32>(),
+            med in any::<u32>(),
+            origin_igp in any::<bool>(),
+            path in proptest::collection::vec(any::<u32>(), 0..16),
+            comms in proptest::collection::vec(any::<u32>(), 0..8),
+            weight in any::<u32>(),
+        ) {
+            let mut comms = comms;
+            comms.sort_unstable();
+            comms.dedup();
+            let r = BgpRoute {
+                prefix: Prefix::new(Ipv4Addr(addr), len),
+                next_hop: Ipv4Addr(nh),
+                as_path: path,
+                local_pref: lp,
+                med,
+                origin: if origin_igp { Origin::Igp } else { Origin::Incomplete },
+                communities: comms,
+                weight,
+                source_protocol: Protocol::Bgp,
+            };
+            let mut buf = BytesMut::new();
+            put_route(&mut buf, &r);
+            let mut b = buf.freeze();
+            prop_assert_eq!(get_route(&mut b).unwrap(), r);
+            prop_assert_eq!(b.remaining(), 0);
+        }
+    }
+}

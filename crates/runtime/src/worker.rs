@@ -1,0 +1,706 @@
+//! The worker: owns the real nodes of one segment and executes the
+//! phase commands issued by the controller's orchestrators.
+//!
+//! A worker holds:
+//!
+//! * one [`SwitchModel`] per **real** node (remote nodes are reached only
+//!   through the sidecar — the shadow-node role),
+//! * its private BDD manager and per-node predicates for the data plane,
+//! * a [`MemGauge`] modelling the logical server's heap.
+//!
+//! Rounds are two-phase (export, then apply) so the distributed schedule
+//! is the exact Jacobi schedule of the monolithic engine — which is what
+//! makes S2's RIBs bit-identical to the baseline's (§5.3).
+
+use crate::memstats::{MemGauge, MemReport};
+use crate::sidecar::Sidecar;
+use crate::wire::Message;
+use bytes::Bytes;
+use s2_bdd::serialize as bdd_io;
+use s2_bdd::BddManager;
+use s2_dataplane::{
+    merge_packet, step, Fib, FinalKind, FinalPacket, ForwardOptions, NodePredicates, PacketKey,
+    PacketSpace, SymbolicPacket,
+};
+use s2_net::topology::NodeId;
+use s2_net::Prefix;
+use s2_routing::{BgpRoute, NetworkModel, RibRoute, RibSnapshot, SwitchModel};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// Commands issued by the controller's orchestrators.
+#[derive(Debug)]
+pub enum Command {
+    /// Compute and send this round's OSPF advertisements.
+    OspfExport,
+    /// Drain the inbox and apply OSPF advertisements. Replies `Changed`.
+    OspfApply,
+    /// Reset BGP state and originate routes for `shard`.
+    BgpBegin {
+        /// The active prefix shard (`None` = all prefixes).
+        shard: Option<Arc<HashSet<Prefix>>>,
+    },
+    /// Compute and send this round's BGP advertisements.
+    BgpExport,
+    /// Drain the inbox, apply advertisements, rerun best-path selection.
+    /// Replies `Changed`.
+    BgpApply,
+    /// Collect connected/static/OSPF routes of local nodes. Replies `Rib`.
+    CollectBaseRib,
+    /// Collect the BGP routes of the current shard. Replies `Rib`.
+    CollectBgpRib,
+    /// Build FIBs and port predicates for local nodes from the final RIBs.
+    DpSetup {
+        /// The converged global RIBs.
+        rib: Arc<RibSnapshot>,
+        /// Metadata bits in the packet space.
+        meta_bits: u16,
+        /// Waypoint write rules (node → metadata bit).
+        waypoints: Arc<BTreeMap<NodeId, u16>>,
+        /// TTL for forwarding.
+        max_hops: u16,
+    },
+    /// Inject the header space at each locally hosted source.
+    Inject {
+        /// `(source node, destination space)` pairs; non-local ones are
+        /// ignored (every worker receives the full list).
+        injections: Arc<Vec<(NodeId, Prefix)>>,
+    },
+    /// Drain the inbox and process the local packet queue to exhaustion.
+    /// Replies `Forwarded`.
+    ForwardRound,
+    /// Check which expected `(destination, prefixes)` arrivals hold for
+    /// locally hosted destinations. Replies `Arrivals`.
+    CheckArrivals {
+        /// Sources to check (all injection nodes).
+        sources: Arc<Vec<NodeId>>,
+        /// Expected arrivals at each destination.
+        expected: Arc<Vec<(NodeId, Vec<Prefix>)>>,
+        /// Waypoint requirements: `(transit node, metadata bit)` that every
+        /// arrived packet must carry.
+        transits: Arc<Vec<(NodeId, u16)>>,
+    },
+    /// Collect per-source final-state summaries (and serialized header
+    /// sets for the controller-side multipath consistency check).
+    CollectFinals,
+    /// Collect every prefix local nodes can originate (with aggregates
+    /// separated) plus statically declared prefix dependencies, for the
+    /// shard planner. Must run after OSPF convergence so redistribution
+    /// targets are known. Replies `Prefixes`.
+    CollectPrefixes,
+    /// Collect the prefix dependencies *observed during route computation*
+    /// (aggregate activations, conditional-advertisement evaluations) —
+    /// the §7 soundness input. Replies `Deps`.
+    CollectObservedDeps,
+    /// Report the memory gauge.
+    MemReport,
+    /// Terminate the worker thread.
+    Shutdown,
+}
+
+/// Replies from workers to the controller.
+#[derive(Debug)]
+pub enum Reply {
+    /// Command completed.
+    Ok,
+    /// Whether local state changed this round.
+    Changed(bool),
+    /// Routes per local node.
+    Rib(Vec<(NodeId, Vec<RibRoute>)>),
+    /// Forwarding-round outcome.
+    Forwarded {
+        /// Packets processed locally.
+        processed: usize,
+        /// Packets sent to remote workers.
+        sent_remote: usize,
+    },
+    /// Arrival-check outcome for local destinations.
+    Arrivals {
+        /// `(src, dst)` pairs that fully arrived.
+        reachable: Vec<(NodeId, NodeId)>,
+        /// `(src, dst)` pairs with missing traffic.
+        unreachable: Vec<(NodeId, NodeId)>,
+        /// `(src, dst, transit)` waypoint violations.
+        waypoint_violations: Vec<(NodeId, NodeId, NodeId)>,
+    },
+    /// Final-state summary; `sets` carries `(src, kind, serialized set)`
+    /// for the controller-side multipath check.
+    Finals {
+        /// Loop finals observed.
+        loops: usize,
+        /// Blackhole finals observed.
+        blackholes: usize,
+        /// Serialized per-(source, kind) unions.
+        sets: Vec<(NodeId, FinalKind, Bytes)>,
+    },
+    /// Originated prefixes of local nodes.
+    Prefixes {
+        /// All originated prefixes.
+        all: Vec<Prefix>,
+        /// The subset that are aggregates.
+        aggregates: Vec<Prefix>,
+        /// Statically declared `(dependent, dependee)` pairs.
+        deps: Vec<(Prefix, Prefix)>,
+    },
+    /// Observed prefix dependencies.
+    Deps(Vec<(Prefix, Prefix)>),
+    /// Memory report.
+    Mem(MemReport),
+    /// The worker hit its memory budget.
+    OutOfMemory {
+        /// Budget in bytes.
+        budget: usize,
+        /// Observed usage in bytes.
+        observed: usize,
+    },
+}
+
+/// The worker's mutable state.
+pub struct Worker {
+    sidecar: Sidecar,
+    model: Arc<NetworkModel>,
+    local_nodes: Vec<NodeId>,
+    switches: BTreeMap<NodeId, SwitchModel>,
+    shard: Option<Arc<HashSet<Prefix>>>,
+    gauge: MemGauge,
+    memory_budget: Option<usize>,
+    // Same-worker deliveries staged during export, applied in the apply
+    // phase (keeping the Jacobi schedule).
+    pending_bgp: Vec<(NodeId, u32, Vec<BgpRoute>)>,
+    /// Adj-RIB-Out: the last advertisement sent per (node, session).
+    /// Unchanged advertisements are not re-sent — the incremental-update
+    /// behaviour of real BGP, and what keeps cross-worker traffic
+    /// proportional to convergence activity rather than round count.
+    last_adv: BTreeMap<(NodeId, usize), Vec<BgpRoute>>,
+    pending_ospf: Vec<(NodeId, s2_net::topology::InterfaceId, Vec<(Prefix, u32)>)>,
+    // Data plane.
+    space: PacketSpace,
+    manager: Option<BddManager>,
+    preds: BTreeMap<NodeId, NodePredicates>,
+    fwd_opts: ForwardOptions,
+    /// The current hop level's merged fragments (see
+    /// [`s2_dataplane::PacketKey`]); merging before processing and before
+    /// sending is what keeps the cross-worker BDD traffic polynomial.
+    level: BTreeMap<PacketKey, s2_bdd::Bdd>,
+    finals: Vec<FinalPacket>,
+}
+
+impl Worker {
+    /// Builds the worker's state: one switch model per local node.
+    pub fn new(
+        sidecar: Sidecar,
+        model: Arc<NetworkModel>,
+        local_nodes: Vec<NodeId>,
+        memory_budget: Option<usize>,
+    ) -> Self {
+        let switches = local_nodes
+            .iter()
+            .map(|&n| (n, SwitchModel::new(&model, n)))
+            .collect();
+        Worker {
+            sidecar,
+            model,
+            local_nodes,
+            switches,
+            shard: None,
+            gauge: MemGauge::new(),
+            memory_budget,
+            pending_bgp: Vec::new(),
+            last_adv: BTreeMap::new(),
+            pending_ospf: Vec::new(),
+            space: PacketSpace::new(0),
+            manager: None,
+            preds: BTreeMap::new(),
+            fwd_opts: ForwardOptions::default(),
+            level: BTreeMap::new(),
+            finals: Vec::new(),
+        }
+    }
+
+    /// The command-processing loop; runs until `Shutdown`.
+    pub fn run(
+        mut self,
+        commands: crossbeam::channel::Receiver<Command>,
+        replies: crossbeam::channel::Sender<Reply>,
+    ) {
+        while let Ok(cmd) = commands.recv() {
+            let reply = match cmd {
+                Command::Shutdown => break,
+                other => self.handle(other),
+            };
+            if replies.send(reply).is_err() {
+                break; // controller vanished
+            }
+        }
+    }
+
+    fn handle(&mut self, cmd: Command) -> Reply {
+        match cmd {
+            Command::OspfExport => {
+                self.ospf_export();
+                Reply::Ok
+            }
+            Command::OspfApply => Reply::Changed(self.ospf_apply()),
+            Command::BgpBegin { shard } => {
+                self.shard = shard;
+                for s in self.switches.values_mut() {
+                    s.begin_bgp(self.shard.as_deref());
+                }
+                self.pending_bgp.clear();
+                self.last_adv.clear();
+                self.update_gauge();
+                Reply::Ok
+            }
+            Command::BgpExport => {
+                self.bgp_export();
+                Reply::Ok
+            }
+            Command::BgpApply => {
+                let changed = self.bgp_apply();
+                self.update_gauge();
+                if self.gauge.over_budget(self.memory_budget) {
+                    return Reply::OutOfMemory {
+                        budget: self.memory_budget.unwrap_or(0),
+                        observed: self.gauge.current(),
+                    };
+                }
+                Reply::Changed(changed)
+            }
+            Command::CollectBaseRib => Reply::Rib(
+                self.local_nodes
+                    .iter()
+                    .map(|&n| (n, self.switches[&n].base_rib_routes()))
+                    .collect(),
+            ),
+            Command::CollectBgpRib => Reply::Rib(
+                self.local_nodes
+                    .iter()
+                    .map(|&n| (n, self.switches[&n].bgp_rib_routes()))
+                    .collect(),
+            ),
+            Command::DpSetup {
+                rib,
+                meta_bits,
+                waypoints,
+                max_hops,
+            } => {
+                self.dp_setup(&rib, meta_bits, &waypoints, max_hops);
+                self.update_gauge();
+                Reply::Ok
+            }
+            Command::Inject { injections } => {
+                self.inject(&injections);
+                Reply::Ok
+            }
+            Command::ForwardRound => {
+                let (processed, sent_remote) = self.forward_round();
+                self.update_gauge();
+                if self.gauge.over_budget(self.memory_budget) {
+                    return Reply::OutOfMemory {
+                        budget: self.memory_budget.unwrap_or(0),
+                        observed: self.gauge.current(),
+                    };
+                }
+                Reply::Forwarded {
+                    processed,
+                    sent_remote,
+                }
+            }
+            Command::CheckArrivals {
+                sources,
+                expected,
+                transits,
+            } => self.check_arrivals(&sources, &expected, &transits),
+            Command::CollectFinals => self.collect_finals(),
+            Command::CollectPrefixes => {
+                let mut all = Vec::new();
+                let mut aggregates = Vec::new();
+                let mut deps = Vec::new();
+                for sw in self.switches.values() {
+                    for (p, proto) in sw.originated_prefixes() {
+                        all.push(p);
+                        if proto == s2_net::policy::Protocol::Aggregate {
+                            aggregates.push(p);
+                        }
+                    }
+                    deps.extend(sw.prefix_dependencies());
+                }
+                Reply::Prefixes {
+                    all,
+                    aggregates,
+                    deps,
+                }
+            }
+            Command::CollectObservedDeps => {
+                let mut deps = Vec::new();
+                for sw in self.switches.values_mut() {
+                    deps.extend(sw.take_observed_deps());
+                }
+                Reply::Deps(deps)
+            }
+            Command::MemReport => Reply::Mem(self.mem_report()),
+            Command::Shutdown => unreachable!("handled by run()"),
+        }
+    }
+
+    // ---- control plane ----
+
+    fn ospf_export(&mut self) {
+        for &node in &self.local_nodes {
+            let adv = self.switches[&node].ospf.export();
+            let entries: Vec<(Prefix, u32)> = adv.into_iter().collect();
+            for adj in &self.model.ospf_adj[node.index()] {
+                // The receiver applies its own interface cost; it finds the
+                // adjacency by its receiving interface.
+                let (peer, peer_if) = self
+                    .model
+                    .topology
+                    .peer_of(node, adj.local_if)
+                    .expect("adjacency rides a link");
+                debug_assert_eq!(peer, adj.peer_node);
+                if self.sidecar.is_local(peer) {
+                    self.pending_ospf.push((peer, peer_if, entries.clone()));
+                } else {
+                    self.sidecar.send(
+                        peer,
+                        &Message::OspfAdvertisement {
+                            target_node: peer,
+                            via_iface: peer_if,
+                            entries: entries.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn ospf_apply(&mut self) -> bool {
+        let mut changed = false;
+        let mut deliveries = std::mem::take(&mut self.pending_ospf);
+        for msg in self.sidecar.drain().expect("well-formed peer traffic") {
+            if let Message::OspfAdvertisement {
+                target_node,
+                via_iface,
+                entries,
+            } = msg
+            {
+                deliveries.push((target_node, via_iface, entries));
+            }
+        }
+        for (node, via_iface, entries) in deliveries {
+            let cost = self.model.ospf_adj[node.index()]
+                .iter()
+                .find(|a| a.local_if == via_iface)
+                .map(|a| a.cost)
+                .expect("advertisement arrived on an OSPF adjacency");
+            let adv: BTreeMap<Prefix, u32> = entries.into_iter().collect();
+            let sw = self.switches.get_mut(&node).expect("target is local");
+            changed |= sw.ospf.receive(&adv, cost, via_iface);
+        }
+        changed
+    }
+
+    fn bgp_export(&mut self) {
+        for &node in &self.local_nodes {
+            let sw = &self.switches[&node];
+            for (si, session) in sw.sessions.iter().enumerate() {
+                let adv = sw.bgp_export(si);
+                // Incremental updates: an advertisement identical to the
+                // previous round's carries no information (the receiver's
+                // replace-compare would be a no-op) and is not re-sent.
+                if self.last_adv.get(&(node, si)) == Some(&adv) {
+                    continue;
+                }
+                let target = session.peer_node;
+                let target_session = session.peer_session_index;
+                if self.sidecar.is_local(target) {
+                    self.pending_bgp.push((target, target_session, adv.clone()));
+                } else {
+                    self.sidecar.send(
+                        target,
+                        &Message::BgpAdvertisement {
+                            target_node: target,
+                            target_session,
+                            routes: adv.clone(),
+                        },
+                    );
+                }
+                self.last_adv.insert((node, si), adv);
+            }
+        }
+    }
+
+    fn bgp_apply(&mut self) -> bool {
+        let mut changed = false;
+        let mut deliveries = std::mem::take(&mut self.pending_bgp);
+        for msg in self.sidecar.drain().expect("well-formed peer traffic") {
+            if let Message::BgpAdvertisement {
+                target_node,
+                target_session,
+                routes,
+            } = msg
+            {
+                deliveries.push((target_node, target_session, routes));
+            }
+        }
+        for (node, session, routes) in deliveries {
+            let sw = self.switches.get_mut(&node).expect("target is local");
+            changed |= sw.bgp_receive(session as usize, &routes);
+        }
+        let shard = self.shard.clone();
+        for &node in &self.local_nodes {
+            let sw = self.switches.get_mut(&node).expect("local node");
+            changed |= sw.bgp_decide(shard.as_deref());
+        }
+        changed
+    }
+
+    // ---- data plane ----
+
+    fn dp_setup(
+        &mut self,
+        rib: &RibSnapshot,
+        meta_bits: u16,
+        waypoints: &BTreeMap<NodeId, u16>,
+        max_hops: u16,
+    ) {
+        self.space = PacketSpace::new(meta_bits);
+        let mut manager = self.space.manager();
+        self.preds = self
+            .local_nodes
+            .iter()
+            .map(|&n| {
+                let fib = Fib::from_rib(rib.node(n));
+                let p = NodePredicates::compile(&self.model, n, &fib, &self.space, &mut manager);
+                (n, p)
+            })
+            .collect();
+        self.manager = Some(manager);
+        self.fwd_opts = ForwardOptions {
+            max_hops,
+            waypoint_bits: waypoints.clone(),
+            ..Default::default()
+        };
+        self.level.clear();
+        self.finals.clear();
+    }
+
+    fn inject(&mut self, injections: &[(NodeId, Prefix)]) {
+        let manager = self.manager.as_mut().expect("DpSetup ran");
+        for &(src, dst_space) in injections {
+            if !self.sidecar.is_local(src) {
+                continue;
+            }
+            let dst = self.space.dst_in(manager, dst_space);
+            let clear = self.space.meta_clear(manager);
+            let set = manager.and(dst, clear);
+            merge_packet(
+                manager,
+                &mut self.level,
+                SymbolicPacket {
+                    src,
+                    node: src,
+                    ingress: None,
+                    set,
+                    hops: 0,
+                },
+            );
+        }
+    }
+
+    /// Processes one hop level: ingest remote fragments (re-encoding their
+    /// BDDs into the private manager), step every merged fragment, stage
+    /// local next-hop fragments, and ship merged remote fragments — one
+    /// serialized BDD per (worker, merge-key).
+    fn forward_round(&mut self) -> (usize, usize) {
+        let manager = self.manager.as_mut().expect("DpSetup ran");
+        for msg in self.sidecar.drain().expect("well-formed peer traffic") {
+            if let Message::Packet {
+                src,
+                node,
+                ingress,
+                hops,
+                bdd,
+            } = msg
+            {
+                let set = bdd_io::from_bytes(manager, &bdd).expect("valid BDD payload");
+                merge_packet(
+                    manager,
+                    &mut self.level,
+                    SymbolicPacket {
+                        src,
+                        node,
+                        ingress,
+                        set,
+                        hops,
+                    },
+                );
+            }
+        }
+
+        let mut processed = 0;
+        let mut sent_remote = 0;
+        let mut next: BTreeMap<PacketKey, s2_bdd::Bdd> = BTreeMap::new();
+        let mut outbound: BTreeMap<PacketKey, s2_bdd::Bdd> = BTreeMap::new();
+        for ((src, node, ingress, hops), set) in std::mem::take(&mut self.level) {
+            let preds = self.preds.get(&node).expect("packet is at a local node");
+            let pkt = SymbolicPacket {
+                src,
+                node,
+                ingress,
+                set,
+                hops,
+            };
+            let out = step(
+                &self.model.topology,
+                preds,
+                &self.space,
+                manager,
+                pkt,
+                &self.fwd_opts,
+            );
+            processed += 1;
+            self.finals.extend(out.finals);
+            for fwd in out.forwarded {
+                if self.sidecar.is_local(fwd.node) {
+                    merge_packet(manager, &mut next, fwd);
+                } else {
+                    merge_packet(manager, &mut outbound, fwd);
+                }
+            }
+        }
+        for ((src, node, ingress, hops), set) in outbound {
+            let bdd = Bytes::from(bdd_io::to_bytes(manager, set));
+            self.sidecar.send(
+                node,
+                &Message::Packet {
+                    src,
+                    node,
+                    ingress,
+                    hops,
+                    bdd,
+                },
+            );
+            sent_remote += 1;
+        }
+        self.level = next;
+        (processed, sent_remote)
+    }
+
+    fn check_arrivals(
+        &mut self,
+        sources: &[NodeId],
+        expected: &[(NodeId, Vec<Prefix>)],
+        transits: &[(NodeId, u16)],
+    ) -> Reply {
+        let manager = self.manager.as_mut().expect("DpSetup ran");
+        let mut reachable = Vec::new();
+        let mut unreachable = Vec::new();
+        let mut waypoint_violations = Vec::new();
+        // Index arrivals once: (src, dst) -> union of arrived sets.
+        let mut arrivals: BTreeMap<(NodeId, NodeId), s2_bdd::Bdd> = BTreeMap::new();
+        for f in &self.finals {
+            if f.kind == FinalKind::Arrive {
+                let entry = arrivals
+                    .entry((f.src, f.node))
+                    .or_insert(s2_bdd::Bdd::FALSE);
+                *entry = manager.or(*entry, f.set);
+            }
+        }
+        for (dst, prefixes) in expected {
+            if !self.sidecar.is_local(*dst) {
+                continue;
+            }
+            let wanted: Vec<_> = prefixes
+                .iter()
+                .map(|p| self.space.dst_in(manager, *p))
+                .collect();
+            let want = manager.or_all(wanted);
+            for &src in sources {
+                if src == *dst {
+                    continue;
+                }
+                let arrived = arrivals
+                    .get(&(src, *dst))
+                    .copied()
+                    .unwrap_or(s2_bdd::Bdd::FALSE);
+                if manager.implies(want, arrived) {
+                    reachable.push((src, *dst));
+                } else {
+                    unreachable.push((src, *dst));
+                }
+                for &(transit, bit) in transits {
+                    let visited = self.space.with_meta(manager, arrived, bit);
+                    if visited != arrived {
+                        waypoint_violations.push((src, *dst, transit));
+                    }
+                }
+            }
+        }
+        Reply::Arrivals {
+            reachable,
+            unreachable,
+            waypoint_violations,
+        }
+    }
+
+    fn collect_finals(&mut self) -> Reply {
+        let manager = self.manager.as_mut().expect("DpSetup ran");
+        let meta_vars: Vec<u16> = (0..self.space.meta_bits)
+            .map(|i| self.space.meta_var(i))
+            .collect();
+        let mut loops = 0;
+        let mut blackholes = 0;
+        let mut unions: BTreeMap<(NodeId, FinalKind), s2_bdd::Bdd> = BTreeMap::new();
+        for f in &self.finals {
+            match f.kind {
+                FinalKind::Loop => loops += 1,
+                FinalKind::Blackhole => blackholes += 1,
+                _ => {}
+            }
+            let stripped = manager.exists_all(f.set, meta_vars.iter().copied());
+            let entry = unions.entry((f.src, f.kind)).or_insert(s2_bdd::Bdd::FALSE);
+            *entry = manager.or(*entry, stripped);
+        }
+        let sets = unions
+            .into_iter()
+            .filter(|(_, set)| !set.is_false())
+            .map(|((src, kind), set)| {
+                (src, kind, Bytes::from(bdd_io::to_bytes(manager, set)))
+            })
+            .collect();
+        Reply::Finals {
+            loops,
+            blackholes,
+            sets,
+        }
+    }
+
+    // ---- bookkeeping ----
+
+    /// Bytes of the Adj-RIB-Out cache (also real per-worker state).
+    fn adj_out_bytes(&self) -> usize {
+        self.last_adv
+            .values()
+            .flatten()
+            .map(BgpRoute::approx_bytes)
+            .sum()
+    }
+
+    fn update_gauge(&mut self) {
+        let routes: usize = self.switches.values().map(SwitchModel::approx_bgp_bytes).sum();
+        let bdd = self.manager.as_ref().map_or(0, BddManager::approx_bytes);
+        self.gauge.set(routes + self.adj_out_bytes() + bdd);
+    }
+
+    fn mem_report(&self) -> MemReport {
+        let routes: usize = self.switches.values().map(SwitchModel::approx_bgp_bytes).sum::<usize>()
+            + self.adj_out_bytes();
+        let bdd = self.manager.as_ref().map_or(0, BddManager::approx_bytes);
+        MemReport {
+            route_bytes: routes,
+            bdd_bytes: bdd,
+            peak_bytes: self.gauge.peak(),
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The `s2` command-line verifier.
+//!
+//! ```text
+//! s2 verify --topology topo.txt --configs confdir/ [--workers N] [--shards M]
+//!           [--source HOST]... [--expect HOST=PREFIX]... [--dst-space PREFIX]
+//! s2 simulate --topology topo.txt --configs confdir/ [--workers N] [--shards M]
+//! s2 gen-fattree K OUTDIR          # synthesize a demo network to verify
+//! ```
+//!
+//! `verify` checks all-pair reachability between the `--expect` endpoints
+//! (each of which also acts as a source unless `--source` is given);
+//! `simulate` prints the converged RIB summary only.
+
+use s2::{ingest, topofile, S2Options, S2Verifier, VerificationRequest};
+use s2_net::topology::NodeId;
+use s2_net::Prefix;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M]\n  s2 gen-fattree K OUTDIR"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    topology: PathBuf,
+    configs: PathBuf,
+    workers: u32,
+    shards: usize,
+    expects: Vec<(String, Prefix)>,
+    sources: Vec<String>,
+    dst_space: Prefix,
+}
+
+fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
+    let mut args = Args {
+        topology: PathBuf::new(),
+        configs: PathBuf::new(),
+        workers: 1,
+        shards: 1,
+        expects: Vec::new(),
+        sources: Vec::new(),
+        dst_space: "0.0.0.0/0".parse().expect("valid"),
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--topology" => args.topology = PathBuf::from(value()?),
+            "--configs" => args.configs = PathBuf::from(value()?),
+            "--workers" => args.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--shards" => args.shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--dst-space" => {
+                args.dst_space = value()?.parse().map_err(|e| format!("--dst-space: {e}"))?
+            }
+            "--source" => args.sources.push(value()?),
+            "--expect" => {
+                let v = value()?;
+                let (host, prefix) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--expect wants HOST=PREFIX, got {v}"))?;
+                let prefix: Prefix = prefix.parse().map_err(|e| format!("--expect: {e}"))?;
+                args.expects.push((host.to_string(), prefix));
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.topology.as_os_str().is_empty() || args.configs.as_os_str().is_empty() {
+        return Err("--topology and --configs are required".into());
+    }
+    Ok(args)
+}
+
+fn load(args: &Args) -> Result<s2::NetworkModel, String> {
+    let topo_text = std::fs::read_to_string(&args.topology)
+        .map_err(|e| format!("{}: {e}", args.topology.display()))?;
+    let topology = topofile::parse(&topo_text).map_err(|e| e.to_string())?;
+    let mut texts = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&args.configs)
+        .map_err(|e| format!("{}: {e}", args.configs.display()))?
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().map_or(false, |e| e == "cfg") {
+            texts.push(
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?,
+            );
+        }
+    }
+    if texts.is_empty() {
+        return Err(format!("no .cfg files in {}", args.configs.display()));
+    }
+    ingest(topology, &texts).map_err(|e| e.to_string())
+}
+
+fn resolve(model: &s2::NetworkModel, host: &str) -> Result<NodeId, String> {
+    model
+        .topology
+        .node_by_name(host)
+        .ok_or_else(|| format!("unknown host {host}"))
+}
+
+fn cmd_verify(args: Args) -> Result<(), String> {
+    let model = load(&args)?;
+    for d in &model.session_diagnostics {
+        eprintln!("warning: session diagnostic: {d:?}");
+    }
+    let mut expected = Vec::new();
+    for (host, prefix) in &args.expects {
+        let node = resolve(&model, host)?;
+        match expected.iter_mut().find(|(n, _): &&mut (NodeId, Vec<Prefix>)| *n == node) {
+            Some((_, ps)) => ps.push(*prefix),
+            None => expected.push((node, vec![*prefix])),
+        }
+    }
+    if expected.is_empty() {
+        return Err("at least one --expect HOST=PREFIX is required".into());
+    }
+    let sources: Vec<NodeId> = if args.sources.is_empty() {
+        expected.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.sources
+            .iter()
+            .map(|h| resolve(&model, h))
+            .collect::<Result<_, _>>()?
+    };
+    let request = VerificationRequest {
+        sources,
+        expected,
+        dst_space: args.dst_space,
+        transits: Vec::new(),
+    };
+    let opts = S2Options {
+        workers: args.workers,
+        shards: args.shards,
+        ..Default::default()
+    };
+    let verifier = S2Verifier::new(model, &opts).map_err(|e| e.to_string())?;
+    let report = verifier.verify(&request).map_err(|e| e.to_string())?;
+    verifier.shutdown();
+    println!("{}", report.summary());
+    for (s, d) in &report.dpv.unreachable_pairs {
+        println!("UNREACHABLE: {s} -> {d}");
+    }
+    if report.all_clear() {
+        println!("verdict: CLEAN");
+        Ok(())
+    } else {
+        Err("verdict: VIOLATIONS FOUND".into())
+    }
+}
+
+fn cmd_simulate(args: Args) -> Result<(), String> {
+    let model = load(&args)?;
+    let opts = S2Options {
+        workers: args.workers,
+        shards: args.shards,
+        ..Default::default()
+    };
+    let verifier = S2Verifier::new(model, &opts).map_err(|e| e.to_string())?;
+    let (rib, stats, shards) = verifier.simulate().map_err(|e| e.to_string())?;
+    verifier.shutdown();
+    println!(
+        "converged: {} routes, {} BGP rounds over {} shards, ospf {} rounds",
+        rib.total_routes(),
+        stats.bgp_rounds,
+        shards,
+        stats.ospf_rounds
+    );
+    println!("per-worker peak bytes: {:?}", stats.per_worker_peak);
+    println!("protocol histogram: {:?}", rib.protocol_histogram());
+    Ok(())
+}
+
+fn cmd_gen_fattree(k: usize, outdir: &Path) -> Result<(), String> {
+    let ft = s2_topogen::fattree::generate(s2_topogen::fattree::FatTreeParams::new(k));
+    std::fs::create_dir_all(outdir).map_err(|e| e.to_string())?;
+    let topo_path = outdir.join("topology.txt");
+    std::fs::write(&topo_path, topofile::emit(&ft.topology)).map_err(|e| e.to_string())?;
+    let confdir = outdir.join("configs");
+    std::fs::create_dir_all(&confdir).map_err(|e| e.to_string())?;
+    for (host, text) in s2_topogen::emit_configs(&ft.configs) {
+        std::fs::write(confdir.join(format!("{host}.cfg")), text).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "wrote {} configs + {} — try:\n  s2 verify --topology {} --configs {} \\\n    --expect pod0-edge0=10.0.0.0/24 --expect pod1-edge0=10.1.0.0/24 --dst-space 10.0.0.0/8",
+        ft.configs.len(),
+        topo_path.display(),
+        topo_path.display(),
+        confdir.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let cmd = argv.remove(0);
+    let result = match cmd.as_str() {
+        "verify" => parse_args(argv.into_iter()).and_then(cmd_verify),
+        "simulate" => parse_args(argv.into_iter()).and_then(cmd_simulate),
+        "gen-fattree" => {
+            if argv.len() != 2 {
+                return usage();
+            }
+            match argv[0].parse::<usize>() {
+                Ok(k) => cmd_gen_fattree(k, Path::new(&argv[1])),
+                Err(e) => Err(format!("bad k: {e}")),
+            }
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The verification report returned by [`S2Verifier`](crate::S2Verifier).
+
+use s2_partition::Partition;
+use s2_routing::{RibSnapshot, SessionDiagnostic};
+use s2_runtime::{CpRunStats, DpvRunStats};
+
+/// Everything a verification run produced.
+#[derive(Debug)]
+pub struct S2Report {
+    /// The converged RIBs of every node.
+    pub rib: RibSnapshot,
+    /// The partition used.
+    pub partition: Partition,
+    /// Control-plane phase statistics (rounds, shards, per-worker peaks,
+    /// cross-worker traffic).
+    pub cp: CpRunStats,
+    /// Data-plane phase statistics and property verdicts.
+    pub dpv: DpvRunStats,
+    /// BGP sessions that failed to establish (misconfigurations surfaced
+    /// during model building).
+    pub session_diagnostics: Vec<SessionDiagnostic>,
+    /// Number of prefix shards executed.
+    pub shards: usize,
+}
+
+impl S2Report {
+    /// Total routes in the final RIBs.
+    pub fn total_routes(&self) -> usize {
+        self.rib.total_routes()
+    }
+
+    /// Whether every checked property held: full reachability, no loops,
+    /// no waypoint or multipath violations, and all sessions established.
+    pub fn all_clear(&self) -> bool {
+        self.dpv.unreachable_pairs.is_empty()
+            && self.dpv.loops == 0
+            && self.dpv.waypoint_violations.is_empty()
+            && self.dpv.multipath_violations.is_empty()
+            && self.session_diagnostics.is_empty()
+    }
+
+    /// The paper's headline memory metric: the maximum per-worker peak.
+    pub fn peak_worker_memory(&self) -> usize {
+        self.cp
+            .max_worker_peak()
+            .max(self.dpv.per_worker_peak.iter().copied().max().unwrap_or(0))
+    }
+
+    /// A one-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} nodes on {} workers, {} shards: {} routes, {} BGP rounds; \
+             reachability {}/{} pairs, {} loops, {} blackhole finals, \
+             {} waypoint violations, {} multipath violations; \
+             peak worker memory {} bytes; {} cross-worker messages ({} bytes)",
+            self.partition.assignment.len(),
+            self.partition.num_workers,
+            self.shards,
+            self.total_routes(),
+            self.cp.bgp_rounds,
+            self.dpv.reachable_pairs,
+            self.dpv.reachable_pairs + self.dpv.unreachable_pairs.len(),
+            self.dpv.loops,
+            self.dpv.blackholes,
+            self.dpv.waypoint_violations.len(),
+            self.dpv.multipath_violations.len(),
+            self.peak_worker_memory(),
+            self.cp.messages,
+            self.cp.bytes,
+        )
+    }
+}

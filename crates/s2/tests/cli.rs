@@ -1,0 +1,133 @@
+//! Integration tests for the `s2` command-line binary: generate a network
+//! to disk, then verify and simulate it through the real CLI surface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn s2_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_s2"))
+}
+
+fn gen_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("s2-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let status = s2_bin()
+        .args(["gen-fattree", "4"])
+        .arg(&dir)
+        .status()
+        .expect("s2 binary runs");
+    assert!(status.success());
+    dir
+}
+
+#[test]
+fn gen_writes_topology_and_configs() {
+    let dir = gen_dir("gen");
+    assert!(dir.join("topology.txt").is_file());
+    let configs: Vec<_> = std::fs::read_dir(dir.join("configs"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(configs.len(), 20);
+    assert!(configs.iter().all(|p| p.extension().unwrap() == "cfg"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_clean_network_exits_zero() {
+    let dir = gen_dir("verify");
+    let out = s2_bin()
+        .args([
+            "verify",
+            "--topology",
+            dir.join("topology.txt").to_str().unwrap(),
+            "--configs",
+            dir.join("configs").to_str().unwrap(),
+            "--workers",
+            "2",
+            "--shards",
+            "3",
+            "--expect",
+            "pod0-edge0=10.0.0.0/24",
+            "--expect",
+            "pod2-edge1=10.2.1.0/24",
+            "--dst-space",
+            "10.0.0.0/8",
+        ])
+        .output()
+        .expect("s2 binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("verdict: CLEAN"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_broken_network_exits_nonzero() {
+    let dir = gen_dir("broken");
+    // Remove the network statement from one edge switch's config text.
+    let victim = dir.join("configs/pod0-edge0.cfg");
+    let text = std::fs::read_to_string(&victim).unwrap();
+    let patched: String = text
+        .lines()
+        .filter(|l| !l.contains("network 10.0.0.0/24"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_ne!(text, patched, "the statement must have been present");
+    std::fs::write(&victim, patched).unwrap();
+
+    let out = s2_bin()
+        .args([
+            "verify",
+            "--topology",
+            dir.join("topology.txt").to_str().unwrap(),
+            "--configs",
+            dir.join("configs").to_str().unwrap(),
+            "--expect",
+            "pod0-edge0=10.0.0.0/24",
+            "--expect",
+            "pod1-edge0=10.1.0.0/24",
+            "--dst-space",
+            "10.0.0.0/8",
+        ])
+        .output()
+        .expect("s2 binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UNREACHABLE"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_prints_route_summary() {
+    let dir = gen_dir("simulate");
+    let out = s2_bin()
+        .args([
+            "simulate",
+            "--topology",
+            dir.join("topology.txt").to_str().unwrap(),
+            "--configs",
+            dir.join("configs").to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .output()
+        .expect("s2 binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("converged: 224 routes"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_flags_fail_gracefully() {
+    for args in [
+        vec!["verify"],                      // missing everything
+        vec!["frobnicate"],                  // unknown subcommand
+        vec!["verify", "--topology"],        // dangling flag
+        vec!["gen-fattree", "nope", "/tmp"], // bad k
+    ] {
+        let out = s2_bin().args(&args).output().expect("s2 binary runs");
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}

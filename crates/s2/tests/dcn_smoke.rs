@@ -1,0 +1,35 @@
+//! End-to-end smoke test on the synthetic DCN workload: convergence,
+//! ToR-to-ToR reachability, aggregation visible at borders.
+
+use s2::{S2Options, S2Verifier, VerificationRequest};
+use s2_routing::NetworkModel;
+use s2_topogen::dcn::{generate, Dcn, DcnParams};
+
+#[test]
+fn dcn_small_converges_and_is_reachable() {
+    let dcn = generate(DcnParams::small());
+    let model = NetworkModel::build(dcn.topology.clone(), dcn.configs.clone()).unwrap();
+    assert!(model.session_diagnostics.is_empty(), "{:?}", model.session_diagnostics);
+
+    let mut endpoints = Vec::new();
+    for (c, tors) in dcn.tors.iter().enumerate() {
+        for (t, &tor) in tors.iter().enumerate() {
+            endpoints.push((tor, vec![Dcn::server_prefix(c, t)]));
+        }
+    }
+    let request =
+        VerificationRequest::all_pair_reachability(endpoints.clone(), "10.0.0.0/7".parse().unwrap());
+    let opts = S2Options { workers: 3, shards: 4, ..Default::default() };
+    let verifier = S2Verifier::new(model, &opts).unwrap();
+    let report = verifier.verify(&request).unwrap();
+    verifier.shutdown();
+    let n = endpoints.len();
+    assert_eq!(
+        report.dpv.reachable_pairs,
+        n * (n - 1),
+        "unreachable: {:?}\n{}",
+        report.dpv.unreachable_pairs,
+        report.summary()
+    );
+    assert_eq!(report.dpv.loops, 0, "{}", report.summary());
+}

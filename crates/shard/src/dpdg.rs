@@ -1,0 +1,212 @@
+//! The directed prefix dependency graph (DPDG).
+//!
+//! Nodes are prefixes; an edge `a → b` means the computation of `a`'s
+//! routes depends on `b`'s — in our model, `a` is an aggregate whose
+//! activation requires a contributing (strictly more specific) prefix `b`.
+//! Only weak connectivity matters for sharding, but the direction is kept
+//! for diagnostics and for the runtime dependency re-check.
+
+use s2_net::{Prefix, PrefixTrie};
+use std::collections::BTreeSet;
+
+/// The dependency graph over a set of prefixes.
+#[derive(Debug, Clone)]
+pub struct Dpdg {
+    /// All prefixes, sorted (index = node id).
+    pub prefixes: Vec<Prefix>,
+    /// Directed edges as (from, to) index pairs, `from` depends on `to`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Dpdg {
+    /// Builds the graph: for every aggregate prefix, add an edge to each
+    /// strictly more specific prefix it covers.
+    pub fn build(prefixes: &BTreeSet<Prefix>, aggregates: &BTreeSet<Prefix>) -> Self {
+        Self::build_with_deps(prefixes, aggregates, &[])
+    }
+
+    /// Like [`build`](Self::build), plus explicit `(dependent, dependee)`
+    /// edges — conditional advertisements gate one prefix on another
+    /// without any coverage relationship. Pairs referencing prefixes
+    /// outside the set are ignored (an unoriginated condition prefix is
+    /// statically absent, so no co-sharding is needed).
+    pub fn build_with_deps(
+        prefixes: &BTreeSet<Prefix>,
+        aggregates: &BTreeSet<Prefix>,
+        deps: &[(Prefix, Prefix)],
+    ) -> Self {
+        let prefixes: Vec<Prefix> = prefixes.iter().copied().collect();
+        let trie: PrefixTrie<usize> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i))
+            .collect();
+        let mut edges = Vec::new();
+        for agg in aggregates {
+            let Some(from) = trie.get(*agg).copied() else { continue };
+            trie.for_each_covered(*agg, |p, &to| {
+                if p != *agg {
+                    edges.push((from, to));
+                }
+            });
+        }
+        for (a, b) in deps {
+            if let (Some(&from), Some(&to)) = (trie.get(*a), trie.get(*b)) {
+                if from != to {
+                    edges.push((from, to));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Dpdg { prefixes, edges }
+    }
+
+    /// Number of prefixes.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// Computes the weakly connected components as sorted prefix groups,
+    /// using union–find. Components come out in a deterministic order
+    /// (sorted by their smallest member).
+    pub fn weakly_connected_components(&self) -> Vec<Vec<Prefix>> {
+        let n = self.prefixes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(a, b) in &self.edges {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra != rb {
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<Prefix>> =
+            std::collections::BTreeMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(self.prefixes[i]);
+        }
+        groups
+            .into_values()
+            .map(|mut g| {
+                g.sort();
+                g
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use s2_net::Ipv4Addr;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn set(items: &[&str]) -> BTreeSet<Prefix> {
+        items.iter().map(|s| p(s)).collect()
+    }
+
+    #[test]
+    fn no_aggregates_means_no_edges() {
+        let g = Dpdg::build(&set(&["10.0.0.0/24", "10.0.1.0/24"]), &BTreeSet::new());
+        assert!(g.edges.is_empty());
+        let ccs = g.weakly_connected_components();
+        assert_eq!(ccs.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_links_contributors() {
+        let prefixes = set(&["10.0.0.0/16", "10.0.1.0/24", "10.0.2.0/24", "192.168.0.0/24"]);
+        let aggs = set(&["10.0.0.0/16"]);
+        let g = Dpdg::build(&prefixes, &aggs);
+        assert_eq!(g.edges.len(), 2);
+        let ccs = g.weakly_connected_components();
+        assert_eq!(ccs.len(), 2);
+        // The 10/16 family forms one component.
+        let family: Vec<Prefix> = vec![p("10.0.0.0/16"), p("10.0.1.0/24"), p("10.0.2.0/24")];
+        assert!(ccs.contains(&family));
+        assert!(ccs.contains(&vec![p("192.168.0.0/24")]));
+    }
+
+    #[test]
+    fn nested_aggregates_chain_into_one_component() {
+        let prefixes = set(&["10.0.0.0/8", "10.1.0.0/16", "10.1.1.0/24"]);
+        let aggs = set(&["10.0.0.0/8", "10.1.0.0/16"]);
+        let g = Dpdg::build(&prefixes, &aggs);
+        let ccs = g.weakly_connected_components();
+        assert_eq!(ccs.len(), 1);
+        assert_eq!(ccs[0].len(), 3);
+    }
+
+    #[test]
+    fn aggregate_not_in_prefix_set_is_ignored() {
+        let prefixes = set(&["10.0.1.0/24"]);
+        let aggs = set(&["10.0.0.0/16"]); // not an originated prefix
+        let g = Dpdg::build(&prefixes, &aggs);
+        assert!(g.edges.is_empty());
+    }
+
+    proptest! {
+        /// Components partition the prefix set exactly.
+        #[test]
+        fn prop_components_partition(
+            addrs in proptest::collection::btree_set((any::<u32>(), 8u8..=30), 1..50),
+            agg_picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..5),
+        ) {
+            let prefixes: BTreeSet<Prefix> = addrs
+                .iter()
+                .map(|(a, l)| Prefix::new(Ipv4Addr(*a), *l))
+                .collect();
+            let plist: Vec<Prefix> = prefixes.iter().copied().collect();
+            let aggs: BTreeSet<Prefix> = agg_picks
+                .iter()
+                .map(|i| plist[i.index(plist.len())])
+                .collect();
+            let g = Dpdg::build(&prefixes, &aggs);
+            let ccs = g.weakly_connected_components();
+            let mut all: Vec<Prefix> = ccs.into_iter().flatten().collect();
+            all.sort();
+            let expect: Vec<Prefix> = prefixes.into_iter().collect();
+            prop_assert_eq!(all, expect);
+        }
+
+        /// Every aggregate ends up in the same component as everything it
+        /// covers.
+        #[test]
+        fn prop_aggregate_cosharded_with_contributors(
+            addrs in proptest::collection::btree_set((any::<u32>(), 8u8..=30), 2..40,),
+        ) {
+            let prefixes: BTreeSet<Prefix> = addrs
+                .iter()
+                .map(|(a, l)| Prefix::new(Ipv4Addr(*a), *l))
+                .collect();
+            // Use the shortest prefix as the aggregate.
+            let agg = *prefixes.iter().min_by_key(|p| p.len()).unwrap();
+            let aggs: BTreeSet<Prefix> = [agg].into_iter().collect();
+            let g = Dpdg::build(&prefixes, &aggs);
+            let ccs = g.weakly_connected_components();
+            let agg_cc = ccs.iter().find(|cc| cc.contains(&agg)).unwrap();
+            for q in &prefixes {
+                if agg.covers(*q) {
+                    prop_assert!(agg_cc.contains(q), "{q} not with {agg}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! # s2-shard
+//!
+//! Prefix sharding (§4.5): the memory-bounding mechanism that lets S2
+//! simulate networks whose total route count exceeds worker memory.
+//!
+//! Route computations for different prefixes are *mostly* independent; the
+//! exception is prefix dependency — a BGP aggregate activates only when a
+//! contributing (more specific) route exists, so the aggregate and all its
+//! potential contributors must land in the same shard. The pipeline is:
+//!
+//! 1. collect every originated prefix ([`collect_prefixes`]),
+//! 2. build the directed prefix dependency graph ([`dpdg::Dpdg`]),
+//! 3. take weakly connected components,
+//! 4. greedily bin the components into `m` shards, largest first, with
+//!    equal-sized components shuffled to avoid all shards being dominated
+//!    by prefixes from switches on the same worker ([`assign`]),
+//! 5. run the fix point once per shard, flushing results in between.
+//!
+//! The [`plan`] entry point performs 1–4; the verifier and baselines drive
+//! step 5.
+
+#![deny(missing_docs)]
+
+pub mod assign;
+pub mod dpdg;
+
+use s2_net::policy::Protocol;
+use s2_net::Prefix;
+use s2_routing::SwitchModel;
+use std::collections::{BTreeSet, HashSet};
+
+/// The shard schedule: each shard is the set of prefixes whose routes are
+/// computed in that round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// The shards, in execution order. Empty shards are dropped.
+    pub shards: Vec<HashSet<Prefix>>,
+}
+
+impl ShardPlan {
+    /// A single shard containing every prefix (i.e. sharding disabled).
+    pub fn single(prefixes: impl IntoIterator<Item = Prefix>) -> Self {
+        ShardPlan {
+            shards: vec![prefixes.into_iter().collect()],
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when no shard exists (no prefixes in the network).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Total number of prefixes across shards.
+    pub fn total_prefixes(&self) -> usize {
+        self.shards.iter().map(HashSet::len).sum()
+    }
+
+    /// The shard index holding `prefix`, if any.
+    pub fn shard_of(&self, prefix: Prefix) -> Option<usize> {
+        self.shards.iter().position(|s| s.contains(&prefix))
+    }
+
+    /// Checks the §7 soundness condition against dependencies observed at
+    /// runtime: every `(dependent, dependee)` pair whose prefixes are both
+    /// planned must be co-sharded. A dependency on an *unplanned* prefix
+    /// is harmless — that prefix is never computed, so its absence is
+    /// static and the condition evaluates identically in every shard.
+    /// Returns the violating pairs (empty = sound).
+    pub fn cross_shard_violations(&self, deps: &[(Prefix, Prefix)]) -> Vec<(Prefix, Prefix)> {
+        deps.iter()
+            .filter(|(a, b)| match (self.shard_of(*a), self.shard_of(*b)) {
+                (Some(sa), Some(sb)) => sa != sb,
+                _ => false,
+            })
+            .copied()
+            .collect()
+    }
+
+    /// The §7 refinement: returns a new plan where the shards containing
+    /// each violating pair are merged (transitively, via union-find over
+    /// shard indices). The caller recomputes routes with the new plan.
+    pub fn merged_for(&self, violations: &[(Prefix, Prefix)]) -> ShardPlan {
+        let n = self.shards.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (a, b) in violations {
+            if let (Some(sa), Some(sb)) = (self.shard_of(*a), self.shard_of(*b)) {
+                let ra = find(&mut parent, sa);
+                let rb = find(&mut parent, sb);
+                if ra != rb {
+                    parent[ra.max(rb)] = ra.min(rb);
+                }
+            }
+        }
+        let mut merged: std::collections::BTreeMap<usize, HashSet<Prefix>> =
+            std::collections::BTreeMap::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let root = find(&mut parent, i);
+            merged.entry(root).or_default().extend(shard.iter().copied());
+        }
+        ShardPlan {
+            shards: merged.into_values().collect(),
+        }
+    }
+}
+
+/// Collects every prefix any switch can originate into BGP, with the
+/// protocols involved (per §4.5: self-originated prefixes of each protocol
+/// plus prefixes pulled in through redistribution).
+pub fn collect_prefixes(switches: &[SwitchModel]) -> BTreeSet<Prefix> {
+    let mut out = BTreeSet::new();
+    for s in switches {
+        for (p, _) in s.originated_prefixes() {
+            out.insert(p);
+        }
+    }
+    out
+}
+
+/// Collects the aggregate prefixes configured anywhere in the network.
+pub fn collect_aggregates(switches: &[SwitchModel]) -> BTreeSet<Prefix> {
+    let mut out = BTreeSet::new();
+    for s in switches {
+        for (p, proto) in s.originated_prefixes() {
+            if proto == Protocol::Aggregate {
+                out.insert(p);
+            }
+        }
+    }
+    out
+}
+
+/// Collects the statically declared prefix dependencies (conditional
+/// advertisements) of every switch.
+pub fn collect_dependencies(switches: &[SwitchModel]) -> Vec<(Prefix, Prefix)> {
+    let mut out: Vec<(Prefix, Prefix)> = switches
+        .iter()
+        .flat_map(SwitchModel::prefix_dependencies)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Builds the shard plan for `switches` with `num_shards` target shards.
+/// `seed` drives the equal-size shuffle (fixed seeds keep runs
+/// reproducible).
+pub fn plan(switches: &[SwitchModel], num_shards: usize, seed: u64) -> ShardPlan {
+    let prefixes = collect_prefixes(switches);
+    let aggregates = collect_aggregates(switches);
+    let deps = collect_dependencies(switches);
+    let graph = dpdg::Dpdg::build_with_deps(&prefixes, &aggregates, &deps);
+    let components = graph.weakly_connected_components();
+    assign::greedy_assign(components, num_shards, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn single_plan_holds_everything() {
+        let plan = ShardPlan::single([p("10.0.0.0/24"), p("10.0.1.0/24")]);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.total_prefixes(), 2);
+        assert_eq!(plan.shard_of(p("10.0.0.0/24")), Some(0));
+        assert_eq!(plan.shard_of(p("99.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn violations_detect_cross_shard_deps() {
+        let plan = ShardPlan {
+            shards: vec![
+                [p("10.0.0.0/16")].into_iter().collect(),
+                [p("10.0.1.0/24")].into_iter().collect(),
+            ],
+        };
+        let deps = vec![(p("10.0.0.0/16"), p("10.0.1.0/24"))];
+        assert_eq!(plan.cross_shard_violations(&deps).len(), 1);
+        let ok_deps = vec![(p("10.0.0.0/16"), p("10.0.0.0/16"))];
+        assert!(plan.cross_shard_violations(&ok_deps).is_empty());
+        // Unknown prefixes are statically absent: not a violation.
+        let unknown = vec![(p("10.0.0.0/16"), p("99.0.0.0/8"))];
+        assert!(plan.cross_shard_violations(&unknown).is_empty());
+    }
+
+    #[test]
+    fn merged_for_unions_violating_shards() {
+        let plan = ShardPlan {
+            shards: vec![
+                [p("10.0.0.0/16")].into_iter().collect(),
+                [p("10.0.1.0/24")].into_iter().collect(),
+                [p("192.168.0.0/24")].into_iter().collect(),
+            ],
+        };
+        let violations = vec![(p("10.0.0.0/16"), p("10.0.1.0/24"))];
+        let merged = plan.merged_for(&violations);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(
+            merged.shard_of(p("10.0.0.0/16")),
+            merged.shard_of(p("10.0.1.0/24"))
+        );
+        assert!(merged.cross_shard_violations(&violations).is_empty());
+        assert_eq!(merged.total_prefixes(), 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! Synthesized k-ary FatTree configurations (ACORN-style, §5.2).
+//!
+//! A FatTree with parameter `k` (even) has `k` pods, each with `k/2`
+//! aggregation and `k/2` edge switches, plus `(k/2)²` cores. Every switch
+//! gets a unique ASN and forms eBGP sessions with all physical neighbors;
+//! every edge switch originates one server /24; ECMP allows up to 64 equal
+//! cost paths — matching the paper's synthesized workload. Note the paper
+//! names topologies by k: "FatTree40" is k=40 (2000 switches).
+
+use crate::LinkAddrAllocator;
+use s2_net::config::{BgpNeighbor, BgpProcess, DeviceConfig, InterfaceConfig, Network, Vendor};
+use s2_net::topology::{NodeId, Topology};
+use s2_net::{Ipv4Addr, Prefix};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTreeParams {
+    /// The arity `k` (must be even, ≥ 2).
+    pub k: usize,
+    /// ECMP width configured on every switch (paper: 64).
+    pub max_ecmp: u8,
+}
+
+impl FatTreeParams {
+    /// Standard parameters for a given k.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+        FatTreeParams { k, max_ecmp: 64 }
+    }
+
+    /// Total switch count: k pods × k switches + (k/2)² cores.
+    pub fn switch_count(&self) -> usize {
+        self.k * self.k + (self.k / 2) * (self.k / 2)
+    }
+
+    /// Number of server prefixes originated (one per edge switch).
+    pub fn prefix_count(&self) -> usize {
+        self.k * self.k / 2
+    }
+}
+
+/// The generated network.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// The physical topology.
+    pub topology: Topology,
+    /// One configuration per switch, aligned with topology node ids.
+    pub configs: Vec<DeviceConfig>,
+    /// The parameters used.
+    pub params: FatTreeParams,
+    /// Node ids of all edge switches, in (pod, index) order.
+    pub edges: Vec<NodeId>,
+    /// Node ids of all aggregation switches.
+    pub aggs: Vec<NodeId>,
+    /// Node ids of all core switches.
+    pub cores: Vec<NodeId>,
+}
+
+impl FatTree {
+    /// The server prefix originated by edge switch `(pod, e)`.
+    pub fn server_prefix(pod: usize, e: usize) -> Prefix {
+        Prefix::new(Ipv4Addr::new(10, pod as u8, e as u8, 0), 24)
+    }
+
+    /// The edge switch node for `(pod, e)`.
+    pub fn edge(&self, pod: usize, e: usize) -> NodeId {
+        self.edges[pod * (self.params.k / 2) + e]
+    }
+
+    /// All originated server prefixes.
+    pub fn server_prefixes(&self) -> Vec<Prefix> {
+        let half = self.params.k / 2;
+        (0..self.params.k)
+            .flat_map(|p| (0..half).map(move |e| Self::server_prefix(p, e)))
+            .collect()
+    }
+}
+
+/// Generates a FatTree.
+pub fn generate(params: FatTreeParams) -> FatTree {
+    let k = params.k;
+    let half = k / 2;
+    let mut topo = Topology::new();
+    let mut alloc = LinkAddrAllocator::new();
+
+    // Nodes: cores first, then per-pod aggs and edges.
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|i| topo.add_node(format!("core{i}")))
+        .collect();
+    let mut aggs = Vec::with_capacity(k * half);
+    let mut edges = Vec::with_capacity(k * half);
+    for p in 0..k {
+        for a in 0..half {
+            aggs.push(topo.add_node(format!("pod{p}-agg{a}")));
+        }
+        for e in 0..half {
+            edges.push(topo.add_node(format!("pod{p}-edge{e}")));
+        }
+    }
+
+    // Configurations: unique ASN per switch = 65536 + node id.
+    let mut configs: Vec<DeviceConfig> = topo
+        .nodes()
+        .map(|n| {
+            let name = topo.name(n).to_string();
+            let mut cfg = DeviceConfig::new(name, Vendor::A);
+            let id = n.0;
+            let mut bgp = BgpProcess::new(
+                65536 + id,
+                Ipv4Addr::new(1, (id >> 16) as u8, (id >> 8) as u8, id as u8),
+            );
+            bgp.max_ecmp = params.max_ecmp;
+            cfg.bgp = Some(bgp);
+            cfg
+        })
+        .collect();
+
+    // Wire a link plus the matching interface configs and BGP neighbors.
+    let mut iface_counter = vec![0usize; topo.node_count()];
+    let mut connect = |topo: &mut Topology,
+                       configs: &mut Vec<DeviceConfig>,
+                       alloc: &mut LinkAddrAllocator,
+                       x: NodeId,
+                       y: NodeId| {
+        topo.connect(x, y);
+        let (ax, ay) = alloc.next_pair();
+        for (node, addr, peer_addr) in [(x, ax, ay), (y, ay, ax)] {
+            let idx = iface_counter[node.index()];
+            iface_counter[node.index()] += 1;
+            configs[node.index()]
+                .interfaces
+                .push(InterfaceConfig::new(format!("eth{idx}"), addr, 31));
+            let peer_asn = 65536 + if node == x { y.0 } else { x.0 };
+            configs[node.index()]
+                .bgp
+                .as_mut()
+                .expect("all switches run BGP")
+                .neighbors
+                .push(BgpNeighbor {
+                    peer: peer_addr,
+                    remote_as: peer_asn,
+                    import_policy: None,
+                    export_policy: None,
+                    remove_private_as: false,
+                });
+        }
+    };
+
+    // Edge(p,e) — Agg(p,a) for all a; Agg(p,a) — Core[a*half + j].
+    for p in 0..k {
+        for e in 0..half {
+            let edge = edges[p * half + e];
+            for a in 0..half {
+                let agg = aggs[p * half + a];
+                connect(&mut topo, &mut configs, &mut alloc, edge, agg);
+            }
+        }
+        for a in 0..half {
+            let agg = aggs[p * half + a];
+            for j in 0..half {
+                let core = cores[a * half + j];
+                connect(&mut topo, &mut configs, &mut alloc, agg, core);
+            }
+        }
+    }
+
+    // Originations: each edge announces its server prefix.
+    for p in 0..k {
+        for e in 0..half {
+            let node = edges[p * half + e];
+            configs[node.index()]
+                .bgp
+                .as_mut()
+                .expect("edges run BGP")
+                .networks
+                .push(Network {
+                    prefix: FatTree::server_prefix(p, e),
+                });
+        }
+    }
+
+    FatTree {
+        topology: topo,
+        configs,
+        params,
+        edges,
+        aggs,
+        cores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_routing::NetworkModel;
+
+    #[test]
+    fn counts_match_closed_forms() {
+        let ft = generate(FatTreeParams::new(4));
+        assert_eq!(ft.topology.node_count(), 20);
+        assert_eq!(ft.params.switch_count(), 20);
+        assert_eq!(ft.cores.len(), 4);
+        assert_eq!(ft.aggs.len(), 8);
+        assert_eq!(ft.edges.len(), 8);
+        // Links: k^3/4 edge-agg + k^3/4 agg-core = 32.
+        assert_eq!(ft.topology.link_count(), 32);
+        assert_eq!(ft.params.prefix_count(), 8);
+        assert_eq!(ft.server_prefixes().len(), 8);
+    }
+
+    #[test]
+    fn all_sessions_establish() {
+        let ft = generate(FatTreeParams::new(4));
+        let model = NetworkModel::build(ft.topology.clone(), ft.configs.clone()).unwrap();
+        assert!(model.session_diagnostics.is_empty(), "{:?}", model.session_diagnostics);
+        assert_eq!(model.session_count(), crate::expected_session_endpoints(&ft.topology));
+    }
+
+    #[test]
+    fn asns_are_unique() {
+        let ft = generate(FatTreeParams::new(6));
+        let mut asns: Vec<u32> = ft
+            .configs
+            .iter()
+            .map(|c| c.bgp.as_ref().unwrap().asn)
+            .collect();
+        asns.sort_unstable();
+        asns.dedup();
+        assert_eq!(asns.len(), ft.topology.node_count());
+    }
+
+    #[test]
+    fn edge_lookup_matches_prefix() {
+        let ft = generate(FatTreeParams::new(4));
+        let e = ft.edge(1, 0);
+        assert_eq!(ft.topology.name(e), "pod1-edge0");
+        let cfg = &ft.configs[e.index()];
+        assert_eq!(
+            cfg.bgp.as_ref().unwrap().networks[0].prefix,
+            FatTree::server_prefix(1, 0)
+        );
+    }
+
+    #[test]
+    fn configs_roundtrip_through_vendor_text() {
+        let ft = generate(FatTreeParams::new(4));
+        let texts = crate::emit_configs(&ft.configs);
+        let parsed = crate::parse_configs(&texts).unwrap();
+        assert_eq!(parsed, ft.configs);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_is_rejected() {
+        FatTreeParams::new(5);
+    }
+}

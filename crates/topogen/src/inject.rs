@@ -1,0 +1,108 @@
+//! Misconfiguration injectors.
+//!
+//! The point of a verifier is to *find bugs*; these helpers plant the bug
+//! classes §2 motivates into an otherwise healthy configuration set so
+//! tests, examples and benchmarks can confirm S2 reports them.
+
+use s2_net::acl::{Acl, AclAction, AclEntry, PortRange};
+use s2_net::config::DeviceConfig;
+use s2_net::Prefix;
+
+/// Breaks a BGP session by corrupting the configured `remote-as` of
+/// `host`'s `neighbor_index`-th neighbor (an ASN-mismatch misconfig; the
+/// session will not establish and a [`SessionDiagnostic`] is produced).
+///
+/// [`SessionDiagnostic`]: s2_routing::SessionDiagnostic
+pub fn break_session(configs: &mut [DeviceConfig], host: &str, neighbor_index: usize) {
+    let cfg = configs
+        .iter_mut()
+        .find(|c| c.hostname == host)
+        .unwrap_or_else(|| panic!("no such host {host}"));
+    let bgp = cfg.bgp.as_mut().expect("host runs BGP");
+    bgp.neighbors[neighbor_index].remote_as = 65534; // wrong on purpose
+}
+
+/// Removes a `network` statement so the prefix is silently not originated
+/// (the classic "forgot to announce" bug — traffic blackholes).
+pub fn drop_network_statement(configs: &mut [DeviceConfig], host: &str, prefix: Prefix) {
+    let cfg = configs
+        .iter_mut()
+        .find(|c| c.hostname == host)
+        .unwrap_or_else(|| panic!("no such host {host}"));
+    let bgp = cfg.bgp.as_mut().expect("host runs BGP");
+    let before = bgp.networks.len();
+    bgp.networks.retain(|n| n.prefix != prefix);
+    assert!(bgp.networks.len() < before, "{host} did not originate {prefix}");
+}
+
+/// Installs an inbound ACL on every interface of `host` that drops traffic
+/// to `dst` (an over-broad filter — the ACL-blackhole bug class).
+pub fn acl_block_dst(configs: &mut [DeviceConfig], host: &str, dst: Prefix) {
+    let cfg = configs
+        .iter_mut()
+        .find(|c| c.hostname == host)
+        .unwrap_or_else(|| panic!("no such host {host}"));
+    let acl = Acl {
+        entries: vec![
+            AclEntry {
+                action: AclAction::Deny,
+                src: Prefix::DEFAULT,
+                dst,
+                proto: None,
+                src_ports: PortRange::ANY,
+                dst_ports: PortRange::ANY,
+            },
+            AclEntry::any(AclAction::Permit),
+        ],
+    };
+    cfg.acls.insert("INJECTED-BLOCK".into(), acl);
+    for iface in &mut cfg.interfaces {
+        iface.acl_in = Some("INJECTED-BLOCK".into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::{generate, FatTreeParams};
+
+    #[test]
+    fn break_session_corrupts_remote_as() {
+        let mut ft = generate(FatTreeParams::new(4));
+        let before = ft.configs[ft.edges[0].index()].bgp.as_ref().unwrap().neighbors[0].remote_as;
+        break_session(&mut ft.configs, "pod0-edge0", 0);
+        let after = ft.configs[ft.edges[0].index()].bgp.as_ref().unwrap().neighbors[0].remote_as;
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn drop_network_removes_origination() {
+        let mut ft = generate(FatTreeParams::new(4));
+        let p = crate::fattree::FatTree::server_prefix(0, 0);
+        drop_network_statement(&mut ft.configs, "pod0-edge0", p);
+        assert!(ft.configs[ft.edges[0].index()]
+            .bgp
+            .as_ref()
+            .unwrap()
+            .networks
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "did not originate")]
+    fn drop_network_panics_on_wrong_host() {
+        let mut ft = generate(FatTreeParams::new(4));
+        let p = crate::fattree::FatTree::server_prefix(0, 0);
+        drop_network_statement(&mut ft.configs, "pod1-edge0", p);
+    }
+
+    #[test]
+    fn acl_block_installs_on_all_interfaces() {
+        let mut ft = generate(FatTreeParams::new(4));
+        acl_block_dst(&mut ft.configs, "core0", "10.0.0.0/24".parse().unwrap());
+        let cfg = &ft.configs[ft.cores[0].index()];
+        assert!(cfg.acls.contains_key("INJECTED-BLOCK"));
+        assert!(cfg.interfaces.iter().all(|i| i.acl_in.is_some()));
+        assert!(cfg.validate().is_ok());
+    }
+}

@@ -1,0 +1,18 @@
+//! # s2-suite
+//!
+//! Umbrella crate for the S2 workspace: hosts the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/`. The
+//! actual functionality lives in the member crates; start with the [`s2`]
+//! crate for the verifier API, and see `README.md` / `DESIGN.md` for the
+//! architecture.
+
+pub use s2;
+pub use s2_baselines;
+pub use s2_bdd;
+pub use s2_dataplane;
+pub use s2_net;
+pub use s2_partition;
+pub use s2_routing;
+pub use s2_runtime;
+pub use s2_shard;
+pub use s2_topogen;

@@ -1,0 +1,177 @@
+//! BGP conditional advertisement (§4.5's second prefix-dependency source)
+//! and the §7 runtime dependency check / shard refinement.
+//!
+//! Scenario: a two-homed stub. `primary` originates 10.1.0.0/24. `backup`
+//! originates 10.9.0.0/24 but advertises it only while 10.1.0.0/24 is
+//! ABSENT from its RIB (a non-exist backup announcement). The two prefixes
+//! are therefore dependent and must be co-sharded.
+
+use s2::{NetworkModel, S2Options, S2Verifier, Scheme};
+use s2_net::config::{
+    BgpNeighbor, BgpProcess, ConditionalAdvertisement, DeviceConfig, InterfaceConfig, Network,
+    Vendor,
+};
+use s2_net::topology::Topology;
+use s2_net::{Ipv4Addr, Prefix};
+use s2_routing::SwitchModel;
+use s2_runtime::{Cluster, ClusterOptions};
+use s2_shard::{plan, ShardPlan};
+use std::sync::Arc;
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// Chain: primary — mid — backup.
+fn conditional_net(primary_announces: bool) -> NetworkModel {
+    let mut topo = Topology::new();
+    let names = ["primary", "mid", "backup"];
+    let ids: Vec<_> = names.iter().map(|n| topo.add_node(*n)).collect();
+    topo.connect(ids[0], ids[1]);
+    topo.connect(ids[1], ids[2]);
+
+    let mut cfgs: Vec<DeviceConfig> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let mut c = DeviceConfig::new(*n, Vendor::A);
+            c.bgp = Some(BgpProcess::new(
+                65001 + i as u32,
+                Ipv4Addr::new(1, 1, 1, i as u8 + 1),
+            ));
+            c
+        })
+        .collect();
+    let subnets = [
+        (Ipv4Addr::new(172, 16, 0, 0), Ipv4Addr::new(172, 16, 0, 1)),
+        (Ipv4Addr::new(172, 16, 0, 2), Ipv4Addr::new(172, 16, 0, 3)),
+    ];
+    for (li, (i, j)) in [(0usize, 1usize), (1, 2)].iter().copied().enumerate() {
+        let (ai, aj) = subnets[li];
+        cfgs[i].interfaces.push(InterfaceConfig::new(format!("e{li}a"), ai, 31));
+        cfgs[j].interfaces.push(InterfaceConfig::new(format!("e{li}b"), aj, 31));
+        cfgs[i].bgp.as_mut().unwrap().neighbors.push(BgpNeighbor {
+            peer: aj,
+            remote_as: 65001 + j as u32,
+            import_policy: None,
+            export_policy: None,
+            remove_private_as: false,
+        });
+        cfgs[j].bgp.as_mut().unwrap().neighbors.push(BgpNeighbor {
+            peer: ai,
+            remote_as: 65001 + i as u32,
+            import_policy: None,
+            export_policy: None,
+            remove_private_as: false,
+        });
+    }
+    if primary_announces {
+        cfgs[0].bgp.as_mut().unwrap().networks.push(Network { prefix: p("10.1.0.0/24") });
+    }
+    let backup = cfgs[2].bgp.as_mut().unwrap();
+    backup.networks.push(Network { prefix: p("10.9.0.0/24") });
+    backup.conditional.push(ConditionalAdvertisement {
+        advertise: p("10.9.0.0/24"),
+        condition: p("10.1.0.0/24"),
+        when_present: false, // non-exist-map: announce only while primary is down
+    });
+    NetworkModel::build(topo, cfgs).unwrap()
+}
+
+fn mid_has(model: &NetworkModel, rib: &s2::RibSnapshot, prefix: Prefix) -> bool {
+    let mid = model.topology.node_by_name("mid").unwrap();
+    rib.node(mid).iter().any(|r| r.prefix == prefix)
+}
+
+#[test]
+fn non_exist_condition_suppresses_while_primary_up() {
+    let model = conditional_net(true);
+    let v = S2Verifier::new(model.clone(), &S2Options::default()).unwrap();
+    let (rib, _, _) = v.simulate().unwrap();
+    v.shutdown();
+    assert!(mid_has(&model, &rib, p("10.1.0.0/24")));
+    // Backup's announcement is suppressed: the condition prefix exists.
+    assert!(!mid_has(&model, &rib, p("10.9.0.0/24")));
+    // Backup itself still holds its own route locally.
+    let backup = model.topology.node_by_name("backup").unwrap();
+    assert!(rib.node(backup).iter().any(|r| r.prefix == p("10.9.0.0/24")));
+}
+
+#[test]
+fn non_exist_condition_fires_when_primary_down() {
+    let model = conditional_net(false);
+    let v = S2Verifier::new(model.clone(), &S2Options::default()).unwrap();
+    let (rib, _, _) = v.simulate().unwrap();
+    v.shutdown();
+    assert!(!mid_has(&model, &rib, p("10.1.0.0/24")));
+    assert!(mid_has(&model, &rib, p("10.9.0.0/24")));
+}
+
+#[test]
+fn vendor_dialects_roundtrip_conditionals() {
+    let model = conditional_net(true);
+    for cfg in &model.configs {
+        for vendor in [Vendor::A, Vendor::B] {
+            let mut c = (**cfg).clone();
+            c.vendor = vendor;
+            let text = s2_net::vendor::emit(&c);
+            let parsed = s2_net::vendor::parse(&text).unwrap();
+            assert_eq!(parsed, c, "{} in {vendor:?}", c.hostname);
+        }
+    }
+}
+
+#[test]
+fn planner_coshards_conditional_pairs() {
+    let model = conditional_net(true);
+    let switches: Vec<SwitchModel> = model
+        .topology
+        .nodes()
+        .map(|n| SwitchModel::new(&model, n))
+        .collect();
+    for shards in [2usize, 4, 8] {
+        let plan = plan(&switches, shards, 3);
+        assert_eq!(
+            plan.shard_of(p("10.1.0.0/24")),
+            plan.shard_of(p("10.9.0.0/24")),
+            "{shards} shards split the conditional pair"
+        );
+    }
+}
+
+#[test]
+fn refinement_repairs_a_bad_external_plan() {
+    // A plan that deliberately splits the dependent pair: without
+    // refinement, the backup prefix would be advertised in its shard
+    // (where 10.1.0.0/24 is never computed, so the non-exist condition
+    // "holds") — a false announcement. The §7 loop must detect the
+    // observed cross-shard dependency, merge, and recompute.
+    let model = Arc::new(conditional_net(true));
+    let cluster = Cluster::new(model.clone(), vec![0, 0, 0], 1, None);
+    let opts = ClusterOptions::default();
+    cluster.run_ospf(&opts).unwrap();
+
+    let bad_plan = ShardPlan {
+        shards: vec![
+            [p("10.1.0.0/24")].into_iter().collect(),
+            [p("10.9.0.0/24")].into_iter().collect(),
+        ],
+    };
+    // Unrefined run on the bad plan: the backup prefix leaks to mid.
+    let (bad_rib, _) = cluster.run_control_plane(&bad_plan, &opts).unwrap();
+    let mid = model.topology.node_by_name("mid").unwrap();
+    assert!(
+        bad_rib.node(mid).iter().any(|r| r.prefix == p("10.9.0.0/24")),
+        "the bad plan must produce the false announcement this test is about"
+    );
+
+    // Refined run: detects the violation, merges, recomputes — and now
+    // matches the unsharded truth (suppressed announcement).
+    let (rib, _, final_plan) = cluster
+        .run_control_plane_refined(bad_plan, &opts)
+        .unwrap();
+    cluster.shutdown();
+    assert_eq!(final_plan.len(), 1, "shards were merged");
+    assert!(!rib.node(mid).iter().any(|r| r.prefix == p("10.9.0.0/24")));
+    assert!(rib.node(mid).iter().any(|r| r.prefix == p("10.1.0.0/24")));
+}

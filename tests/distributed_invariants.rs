@@ -1,0 +1,129 @@
+//! Invariants of the distributed runtime: verdicts never depend on the
+//! partition, traffic accounting behaves, OOM isolation, and randomized
+//! partition fuzzing.
+
+use proptest::prelude::*;
+use s2::{NetworkModel, S2Options, S2Verifier, Scheme, VerificationRequest};
+use s2_net::topology::NodeId;
+use s2_net::Prefix;
+use s2_partition::Partition;
+use s2_topogen::fattree::{generate as gen_ft, FatTree, FatTreeParams};
+
+fn fattree4() -> (NetworkModel, VerificationRequest) {
+    let ft = gen_ft(FatTreeParams::new(4));
+    let mut endpoints: Vec<(NodeId, Vec<Prefix>)> = Vec::new();
+    for p in 0..4 {
+        for e in 0..2 {
+            endpoints.push((ft.edge(p, e), vec![FatTree::server_prefix(p, e)]));
+        }
+    }
+    let request =
+        VerificationRequest::all_pair_reachability(endpoints, "10.0.0.0/8".parse().unwrap());
+    (NetworkModel::build(ft.topology, ft.configs).unwrap(), request)
+}
+
+#[test]
+fn single_worker_has_zero_cross_traffic() {
+    let (model, request) = fattree4();
+    let verifier = S2Verifier::new(model, &S2Options::default()).unwrap();
+    let report = verifier.verify(&request).unwrap();
+    verifier.shutdown();
+    assert_eq!(report.cp.messages, 0, "one worker must never use the sidecar");
+    assert_eq!(report.cp.bytes, 0);
+    assert!(report.all_clear());
+}
+
+#[test]
+fn cross_traffic_scales_with_edge_cut() {
+    let (model, request) = fattree4();
+    let mut traffic = Vec::new();
+    for scheme in [Scheme::Expert, Scheme::CommHeavy] {
+        let opts = S2Options {
+            workers: 4,
+            scheme,
+            ..Default::default()
+        };
+        let verifier = S2Verifier::new(model.clone(), &opts).unwrap();
+        let cut = verifier.partition().edge_cut(&verifier.model().topology);
+        let report = verifier.verify(&request).unwrap();
+        verifier.shutdown();
+        traffic.push((cut, report.cp.messages));
+    }
+    // The comm-heavy partition cuts more links and therefore moves more
+    // messages than the expert partition.
+    assert!(traffic[1].0 > traffic[0].0);
+    assert!(traffic[1].1 > traffic[0].1, "{traffic:?}");
+}
+
+#[test]
+fn per_worker_memory_shrinks_with_more_workers() {
+    let (model, request) = fattree4();
+    let mut peaks = Vec::new();
+    for workers in [1u32, 2, 4] {
+        let opts = S2Options {
+            workers,
+            shards: 1,
+            ..Default::default()
+        };
+        let verifier = S2Verifier::new(model.clone(), &opts).unwrap();
+        let report = verifier.verify(&request).unwrap();
+        verifier.shutdown();
+        peaks.push(report.cp.max_worker_peak());
+    }
+    assert!(peaks[1] < peaks[0], "{peaks:?}");
+    assert!(peaks[2] < peaks[1], "{peaks:?}");
+}
+
+#[test]
+fn oom_reports_the_overloaded_worker() {
+    let (model, _) = fattree4();
+    // Pathological partition: everything on worker 0 of 2, with a budget
+    // only the empty worker can respect.
+    let n = model.topology.node_count();
+    let partition = Partition::new(vec![0; n], 2);
+    let opts = S2Options {
+        workers: 2,
+        memory_budget: Some(4096),
+        ..Default::default()
+    };
+    let verifier = S2Verifier::with_partition(model, partition, &opts).unwrap();
+    let err = verifier.simulate().unwrap_err();
+    verifier.shutdown();
+    match err {
+        s2::verifier::S2Error::Runtime(s2_runtime::RuntimeError::OutOfMemory {
+            worker, ..
+        }) => assert_eq!(worker, 0),
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any valid random partition yields the same verdicts and RIBs.
+    #[test]
+    fn prop_arbitrary_partitions_are_equivalent(
+        assignment in proptest::collection::vec(0u32..3, 20),
+    ) {
+        let (model, request) = fattree4();
+        let reference = {
+            let v = S2Verifier::new(model.clone(), &S2Options::default()).unwrap();
+            let r = v.verify(&request).unwrap();
+            v.shutdown();
+            r
+        };
+        let partition = Partition::new(assignment, 3);
+        let v = S2Verifier::with_partition(
+            model,
+            partition,
+            &S2Options { workers: 3, ..Default::default() },
+        )
+        .unwrap();
+        let report = v.verify(&request).unwrap();
+        v.shutdown();
+        prop_assert_eq!(report.rib, reference.rib);
+        prop_assert_eq!(report.dpv.reachable_pairs, reference.dpv.reachable_pairs);
+        prop_assert_eq!(&report.dpv.unreachable_pairs, &reference.dpv.unreachable_pairs);
+        prop_assert_eq!(report.dpv.loops, reference.dpv.loops);
+    }
+}

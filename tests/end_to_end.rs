@@ -1,0 +1,136 @@
+//! Full-pipeline integration tests: vendor text → parse → model →
+//! distributed verification → property verdicts, including misconfigured
+//! networks where the verifier must find the bug.
+
+use s2::{ingest, S2Options, S2Verifier, VerificationRequest};
+use s2_net::topology::NodeId;
+use s2_net::Prefix;
+use s2_routing::NetworkModel;
+use s2_topogen::dcn::{generate as gen_dcn, Dcn, DcnParams};
+use s2_topogen::fattree::{generate as gen_ft, FatTree, FatTreeParams};
+use s2_topogen::{emit_configs, inject};
+
+fn fattree_endpoints(ft: &FatTree) -> Vec<(NodeId, Vec<Prefix>)> {
+    let mut endpoints = Vec::new();
+    for p in 0..ft.params.k {
+        for e in 0..ft.params.k / 2 {
+            endpoints.push((ft.edge(p, e), vec![FatTree::server_prefix(p, e)]));
+        }
+    }
+    endpoints
+}
+
+#[test]
+fn text_configs_to_clean_verdict() {
+    let ft = gen_ft(FatTreeParams::new(4));
+    let texts: Vec<String> = emit_configs(&ft.configs).into_iter().map(|(_, t)| t).collect();
+    let model = ingest(ft.topology.clone(), &texts).expect("emitted configs parse");
+    let request = VerificationRequest::all_pair_reachability(
+        fattree_endpoints(&ft),
+        "10.0.0.0/8".parse().unwrap(),
+    );
+    let verifier = S2Verifier::new(
+        model,
+        &S2Options {
+            workers: 3,
+            shards: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let report = verifier.verify(&request).unwrap();
+    verifier.shutdown();
+    assert!(report.all_clear(), "{}", report.summary());
+    assert_eq!(report.dpv.reachable_pairs, 8 * 7);
+}
+
+#[test]
+fn forgotten_origination_breaks_exactly_one_destination() {
+    let ft = gen_ft(FatTreeParams::new(4));
+    let mut configs = ft.configs.clone();
+    inject::drop_network_statement(&mut configs, "pod2-edge1", FatTree::server_prefix(2, 1));
+    let model = NetworkModel::build(ft.topology.clone(), configs).unwrap();
+    let request = VerificationRequest::all_pair_reachability(
+        fattree_endpoints(&ft),
+        "10.0.0.0/8".parse().unwrap(),
+    );
+    let verifier = S2Verifier::new(model, &S2Options { workers: 2, ..Default::default() }).unwrap();
+    let report = verifier.verify(&request).unwrap();
+    verifier.shutdown();
+
+    let victim = ft.edge(2, 1);
+    assert_eq!(report.dpv.unreachable_pairs.len(), 7);
+    assert!(report.dpv.unreachable_pairs.iter().all(|(_, d)| *d == victim));
+    // Each source's traffic for the missing prefix blackholes somewhere.
+    assert!(report.dpv.blackholes > 0);
+}
+
+#[test]
+fn waypoint_holds_when_single_path_enforced() {
+    // Shrink ECMP to one path by blocking one aggregation switch entirely:
+    // traffic from pod0-edge0 must then flow through pod0-agg1... still
+    // two cores beyond. Use a direct intra-pod pair instead, where the
+    // only 2 paths go via agg0/agg1, and demand transit through agg0
+    // after blocking nothing — expect a violation; then assert the
+    // healthy waypoint case via an intra-pod pair where the transit is the
+    // destination-attached aggregation layer as a whole (both paths pass
+    // *some* agg, but we can only tag one node, so the violation is the
+    // expected outcome for ECMP fabrics).
+    let ft = gen_ft(FatTreeParams::new(4));
+    let model = NetworkModel::build(ft.topology.clone(), ft.configs.clone()).unwrap();
+    let src = ft.edge(0, 0);
+    let dst = ft.edge(0, 1);
+    let request = VerificationRequest::single_pair(src, dst, FatTree::server_prefix(0, 1))
+        .via(ft.aggs[0]); // pod0-agg0
+    let verifier = S2Verifier::new(model, &S2Options { workers: 2, ..Default::default() }).unwrap();
+    let report = verifier.verify(&request).unwrap();
+    verifier.shutdown();
+    // ECMP also uses pod0-agg1, so the waypoint is violated — and the
+    // violation names the right triple.
+    assert_eq!(
+        report.dpv.waypoint_violations,
+        vec![(src, dst, ft.aggs[0])]
+    );
+}
+
+#[test]
+fn dcn_aggregation_hides_specifics_from_borders() {
+    let dcn = gen_dcn(DcnParams::small());
+    let model = NetworkModel::build(dcn.topology.clone(), dcn.configs.clone()).unwrap();
+    let verifier = S2Verifier::new(model, &S2Options { workers: 2, ..Default::default() }).unwrap();
+    let (rib, _, _) = verifier.simulate().unwrap();
+    verifier.shutdown();
+
+    // Cluster 1 is the 5-layer cluster with summary-only aggregation: the
+    // borders must hold its /16 aggregates but not its /24 specifics.
+    let border = dcn.borders[0];
+    let border_routes: Vec<_> = rib.node(border).iter().map(|r| r.prefix).collect();
+    assert!(border_routes.contains(&Dcn::server_aggregate(1)));
+    assert!(!border_routes.contains(&Dcn::server_prefix(1, 0)));
+    // Cluster 0 (3 layers, no aggregation) leaks its specifics upward.
+    assert!(border_routes.contains(&Dcn::server_prefix(0, 0)));
+}
+
+#[test]
+fn dcn_remove_private_as_strips_cluster_path_at_borders() {
+    let dcn = gen_dcn(DcnParams::small());
+    let model = NetworkModel::build(dcn.topology.clone(), dcn.configs.clone()).unwrap();
+    let verifier = S2Verifier::new(model, &S2Options::default()).unwrap();
+    let (rib, _, _) = verifier.simulate().unwrap();
+    verifier.shutdown();
+    // The spine applies remove-private-as toward borders, so the AS path
+    // of a 3-layer-cluster specific at the border keeps only the public
+    // ASNs plus the spine: path length must be well below the layer count
+    // + spine depth it traversed.
+    let border = dcn.borders[0];
+    let r = rib
+        .node(border)
+        .iter()
+        .find(|r| r.prefix == Dcn::server_prefix(0, 0))
+        .expect("specific present at border");
+    assert!(
+        r.as_path_len <= 3,
+        "private ASNs were not stripped: path length {}",
+        r.as_path_len
+    );
+}

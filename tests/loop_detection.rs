@@ -1,0 +1,107 @@
+//! Loop detection end-to-end: two routers with static default routes
+//! pointing at each other form a genuine forwarding loop for any
+//! destination neither owns; S2 must classify that traffic as `Loop`
+//! (§4.3 final state 4) in both the monolithic and distributed engines.
+
+use s2::{NetworkModel, S2Options, S2Verifier, VerificationRequest};
+use s2_net::config::{DeviceConfig, InterfaceConfig, StaticRoute, Vendor};
+use s2_net::topology::Topology;
+use s2_net::{Ipv4Addr, Prefix};
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// a — b, both with static default routes toward each other; `a` also owns
+/// 10.1.0.0/24 locally (connected), so only *unowned* space loops.
+fn looping_net() -> NetworkModel {
+    let mut topo = Topology::new();
+    let a = topo.add_node("a");
+    let b = topo.add_node("b");
+    topo.connect(a, b);
+
+    let mut ca = DeviceConfig::new("a", Vendor::A);
+    ca.interfaces.push(InterfaceConfig::new("e0", Ipv4Addr::new(172, 16, 0, 0), 31));
+    ca.interfaces.push(InterfaceConfig::new("lan", Ipv4Addr::new(10, 1, 0, 1), 24));
+    ca.static_routes.push(StaticRoute {
+        prefix: p("0.0.0.0/0"),
+        next_hop: Some(Ipv4Addr::new(172, 16, 0, 1)),
+    });
+
+    let mut cb = DeviceConfig::new("b", Vendor::A);
+    cb.interfaces.push(InterfaceConfig::new("e0", Ipv4Addr::new(172, 16, 0, 1), 31));
+    cb.static_routes.push(StaticRoute {
+        prefix: p("0.0.0.0/0"),
+        next_hop: Some(Ipv4Addr::new(172, 16, 0, 0)),
+    });
+
+    NetworkModel::build(topo, vec![ca, cb]).unwrap()
+}
+
+#[test]
+fn static_default_loop_is_reported() {
+    let model = looping_net();
+    let a = model.topology.node_by_name("a").unwrap();
+    let request = VerificationRequest {
+        sources: vec![a],
+        expected: vec![(a, vec![p("10.1.0.0/24")])],
+        dst_space: p("0.0.0.0/0"),
+        transits: vec![],
+    };
+    // Distributed across 2 workers: the looping packet ping-pongs across
+    // the worker boundary until TTL.
+    let opts = S2Options {
+        workers: 2,
+        max_hops: 8,
+        ..Default::default()
+    };
+    let verifier = S2Verifier::new(model, &opts).unwrap();
+    let report = verifier.verify(&request).unwrap();
+    verifier.shutdown();
+    assert!(report.dpv.loops > 0, "{}", report.summary());
+    assert!(!report.all_clear());
+}
+
+#[test]
+fn owned_space_does_not_loop() {
+    let model = looping_net();
+    let a = model.topology.node_by_name("a").unwrap();
+    let b = model.topology.node_by_name("b").unwrap();
+    // Traffic from b to a's LAN follows the default route once and
+    // arrives — no loop for owned space.
+    let request = VerificationRequest::single_pair(b, a, p("10.1.0.0/24"));
+    let verifier = S2Verifier::new(model, &S2Options { workers: 2, ..Default::default() }).unwrap();
+    let report = verifier.verify(&request).unwrap();
+    verifier.shutdown();
+    assert_eq!(report.dpv.reachable_pairs, 1);
+    assert_eq!(report.dpv.loops, 0);
+}
+
+#[test]
+fn loop_verdict_is_worker_count_invariant() {
+    let model = looping_net();
+    let a = model.topology.node_by_name("a").unwrap();
+    let request = VerificationRequest {
+        sources: vec![a],
+        expected: vec![(a, vec![p("10.1.0.0/24")])],
+        dst_space: p("0.0.0.0/0"),
+        transits: vec![],
+    };
+    let mut loop_headers_seen = None;
+    for workers in [1u32, 2] {
+        let opts = S2Options {
+            workers,
+            max_hops: 8,
+            ..Default::default()
+        };
+        let verifier = S2Verifier::new(model.clone(), &opts).unwrap();
+        let report = verifier.verify(&request).unwrap();
+        verifier.shutdown();
+        let has_loops = report.dpv.loops > 0;
+        match loop_headers_seen {
+            None => loop_headers_seen = Some(has_loops),
+            Some(prev) => assert_eq!(prev, has_loops, "workers={workers}"),
+        }
+        assert!(has_loops);
+    }
+}

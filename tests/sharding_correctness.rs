@@ -1,0 +1,116 @@
+//! Prefix-sharding soundness (§4.5 / §7): co-sharding of dependent
+//! prefixes, equality of sharded and unsharded results on randomized
+//! workloads, and the runtime cross-shard dependency check.
+
+use proptest::prelude::*;
+use s2::{NetworkModel, S2Options, S2Verifier, Scheme};
+use s2_routing::SwitchModel;
+use s2_shard::{collect_aggregates, collect_prefixes, plan, ShardPlan};
+use s2_topogen::dcn::{generate as gen_dcn, DcnParams};
+use s2_topogen::fattree::{generate as gen_ft, FatTreeParams};
+
+fn dcn_switches() -> (NetworkModel, Vec<SwitchModel>) {
+    let dcn = gen_dcn(DcnParams::small());
+    let model = NetworkModel::build(dcn.topology, dcn.configs).unwrap();
+    let switches = model
+        .topology
+        .nodes()
+        .map(|n| SwitchModel::new(&model, n))
+        .collect();
+    (model, switches)
+}
+
+#[test]
+fn aggregates_are_cosharded_with_contributors() {
+    let (_, switches) = dcn_switches();
+    let prefixes = collect_prefixes(&switches);
+    let aggregates = collect_aggregates(&switches);
+    assert!(!aggregates.is_empty(), "the DCN configures aggregates");
+
+    for num_shards in [2usize, 4, 8, 16] {
+        let p = plan(&switches, num_shards, 99);
+        for agg in &aggregates {
+            let agg_shard = p.shard_of(*agg).expect("aggregate is planned");
+            for q in &prefixes {
+                if agg.covers(*q) {
+                    assert_eq!(
+                        p.shard_of(*q),
+                        Some(agg_shard),
+                        "{q} split from its aggregate {agg} with {num_shards} shards"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_prefix_planned_exactly_once() {
+    let (_, switches) = dcn_switches();
+    let prefixes = collect_prefixes(&switches);
+    for num_shards in [1usize, 3, 7, 50] {
+        let p = plan(&switches, num_shards, 1);
+        assert_eq!(p.total_prefixes(), prefixes.len());
+        for q in &prefixes {
+            assert_eq!(
+                p.shards.iter().filter(|s| s.contains(q)).count(),
+                1,
+                "{q} with {num_shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_dependency_check_passes_for_planned_shards() {
+    let (_, switches) = dcn_switches();
+    let aggregates = collect_aggregates(&switches);
+    let prefixes = collect_prefixes(&switches);
+    let p = plan(&switches, 6, 5);
+    // The observed dependencies at runtime are exactly the aggregate →
+    // contributor pairs.
+    let mut deps = Vec::new();
+    for agg in &aggregates {
+        for q in &prefixes {
+            if agg.covers(*q) && agg != q {
+                deps.push((*agg, *q));
+            }
+        }
+    }
+    assert!(p.cross_shard_violations(&deps).is_empty());
+
+    // Sanity: a deliberately split plan is flagged.
+    let bad = ShardPlan {
+        shards: prefixes.iter().map(|q| [*q].into_iter().collect()).collect(),
+    };
+    assert!(!bad.cross_shard_violations(&deps).is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sharded and unsharded S2 runs produce identical RIBs for random
+    /// shard counts and seeds.
+    #[test]
+    fn prop_shard_count_never_changes_results(shards in 2usize..12, seed in any::<u64>()) {
+        let ft = gen_ft(FatTreeParams::new(4));
+        let model = NetworkModel::build(ft.topology, ft.configs).unwrap();
+        let reference = {
+            let v = S2Verifier::new(model.clone(), &S2Options::default()).unwrap();
+            let (rib, _, _) = v.simulate().unwrap();
+            v.shutdown();
+            rib
+        };
+        let opts = S2Options {
+            workers: 2,
+            shards,
+            shard_seed: seed,
+            scheme: Scheme::Metis,
+            ..Default::default()
+        };
+        let v = S2Verifier::new(model, &opts).unwrap();
+        let (rib, _, _) = v.simulate().unwrap();
+        v.shutdown();
+        prop_assert_eq!(rib, reference);
+    }
+}
