@@ -108,8 +108,10 @@ pub fn simulate_control_plane(
         .map(|n| SwitchModel::new(model, n))
         .collect();
 
-    let mut stats = CpStats::default();
-    stats.ospf_rounds = converge_ospf(model, &mut switches, opts.max_rounds)?;
+    let mut stats = CpStats {
+        ospf_rounds: converge_ospf(model, &mut switches, opts.max_rounds)?,
+        ..CpStats::default()
+    };
 
     let plan = if opts.shards <= 1 {
         ShardPlan::single(s2_shard::collect_prefixes(&switches))

@@ -13,7 +13,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
-    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| *s == name);
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
     let (fig5_ks, fig8_ks, fig6_workers, fig9_shards): (&[usize], &[usize], &[u32], &[usize]) =
         if quick {

@@ -105,7 +105,7 @@ impl Acl {
         for e in &self.entries {
             let matches = e.src.contains_addr(src)
                 && e.dst.contains_addr(dst)
-                && e.proto.map_or(true, |p| p == proto)
+                && e.proto.is_none_or(|p| p == proto)
                 && e.src_ports.contains(sport)
                 && e.dst_ports.contains(dport);
             if matches {

@@ -124,6 +124,7 @@ impl Prefix {
     }
 
     /// The mask length in bits.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }

@@ -50,7 +50,7 @@ use crate::config::{
 use crate::error::NetError;
 use crate::ip::{Ipv4Addr, Prefix};
 use crate::policy::{
-    community_string, AsPathAction, CommunityAction, MatchCondition, PolicyAction, PrefixList,
+    community_string, AsPathAction, CommunityAction, MatchCondition, PolicyAction,
     PrefixListEntry, Protocol, RouteMapClause, RouteMapDisposition,
 };
 
@@ -214,7 +214,7 @@ fn parse_prefix_list_line(cfg: &mut DeviceConfig, words: &[&str], lineno: usize)
     }
     cfg.prefix_lists
         .entry(name.to_string())
-        .or_insert_with(PrefixList::default)
+        .or_default()
         .entries
         .push(PrefixListEntry { prefix, ge, le, permit });
     Ok(())

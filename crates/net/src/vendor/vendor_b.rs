@@ -43,7 +43,7 @@ use crate::config::{
 use crate::error::NetError;
 use crate::ip::{Ipv4Addr, Prefix};
 use crate::policy::{
-    community_string, AsPathAction, CommunityAction, MatchCondition, PolicyAction, PrefixList,
+    community_string, AsPathAction, CommunityAction, MatchCondition, PolicyAction,
     PrefixListEntry, Protocol, RouteMapClause, RouteMapDisposition,
 };
 
@@ -287,7 +287,7 @@ fn parse_policy_options(cur: &mut Cursor, cfg: &mut DeviceConfig) -> Result<(), 
                     cur.next();
                     let name = cur.expect_word()?;
                     cur.expect(Tok::LBrace)?;
-                    let pl = cfg.prefix_lists.entry(name).or_insert_with(PrefixList::default);
+                    let pl = cfg.prefix_lists.entry(name).or_default();
                     while !matches!(cur.peek(), Some(Tok::RBrace)) {
                         let first = cur.expect_word()?;
                         let (words, line) = cur.statement(first)?;

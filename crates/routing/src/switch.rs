@@ -206,7 +206,7 @@ impl SwitchModel {
         self.loc_rib.clear();
         self.local_routes.clear();
         let Some(bgp) = self.cfg.bgp.as_ref() else { return };
-        let in_shard = |p: Prefix| shard.map_or(true, |s| s.contains(&p));
+        let in_shard = |p: Prefix| shard.is_none_or(|s| s.contains(&p));
 
         let mut seen: HashSet<Prefix> = HashSet::new();
         for n in &bgp.networks {

@@ -2,18 +2,35 @@
 //! (§3.2) — the control-plane orchestrator (CPO) driving Algorithm 1 round
 //! by round and shard by shard, and the data-plane orchestrator (DPO)
 //! driving distributed symbolic forwarding to quiescence.
+//!
+//! The controller is also the fault-tolerance authority. Its `RibStore`
+//! doubles as a shard-granular checkpoint: OSPF results, the base RIB, and
+//! every *completed* shard's BGP RIB (plus its observed dependencies) are
+//! flushed to the controller, so losing a worker costs at most an OSPF
+//! replay plus the one in-flight shard. Worker loss is detected two ways —
+//! a disconnected channel (crash) or a barrier deadline (hang) — and
+//! healed by [`Cluster::recover`]: quiesce the fleet with a nonce ping,
+//! bump the fabric epoch so zombie frames are discarded, respawn the dead
+//! workers on fresh inboxes, and flush everyone into the new epoch.
+//! Workers that exceed their memory budget trigger adaptive degradation:
+//! the offending shard is bisected along dependency-component boundaries
+//! and retried, so the run completes (more slowly) instead of aborting.
 
+use crate::faults::{FaultPlan, FaultState};
 use crate::memstats::MemReport;
 use crate::sidecar::{Sidecar, SidecarNet};
 use crate::worker::{Command, Reply, Worker};
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use s2_bdd::serialize as bdd_io;
 use s2_dataplane::{FinalKind, PacketSpace};
 use s2_net::topology::NodeId;
 use s2_net::Prefix;
 use s2_routing::{NetworkModel, RibSnapshot, RibStore};
 use s2_shard::ShardPlan;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,7 +44,8 @@ pub enum RuntimeError {
         /// Exhausted round budget.
         rounds: usize,
     },
-    /// A worker exceeded its memory budget.
+    /// A worker exceeded its memory budget on a shard that adaptive
+    /// degradation could not (or was not allowed to) split further.
     OutOfMemory {
         /// The worker that overflowed.
         worker: u32,
@@ -36,8 +54,29 @@ pub enum RuntimeError {
         /// Observed usage in bytes.
         observed: usize,
     },
-    /// A worker thread died or disconnected.
-    WorkerLost,
+    /// A worker crashed (channel disconnect) or hung (barrier deadline)
+    /// and the recovery budget was exhausted.
+    WorkerLost {
+        /// The worker that was lost.
+        worker: u32,
+        /// The barrier phase during which the loss was detected.
+        during: &'static str,
+    },
+    /// A worker answered a barrier with the wrong reply variant — a
+    /// controller/worker protocol bug, surfaced instead of panicking.
+    ProtocolViolation {
+        /// The reply the barrier expected.
+        expected: &'static str,
+        /// The reply (or payload state) actually received.
+        got: &'static str,
+    },
+    /// Cross-worker frames were rejected (checksum / length / decode) and
+    /// the configuration demands that be fatal, or replays could not
+    /// compensate for the losses.
+    Wire {
+        /// Rejected or lost frame count.
+        errors: u64,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -54,12 +93,51 @@ impl std::fmt::Display for RuntimeError {
                 f,
                 "worker {worker} out of memory ({observed} bytes used, budget {budget})"
             ),
-            RuntimeError::WorkerLost => write!(f, "a worker thread terminated unexpectedly"),
+            RuntimeError::WorkerLost { worker, during } => {
+                write!(f, "worker {worker} lost during {during}")
+            }
+            RuntimeError::ProtocolViolation { expected, got } => {
+                write!(f, "protocol violation: expected {expected}, got {got}")
+            }
+            RuntimeError::Wire { errors } => {
+                write!(f, "{errors} cross-worker frames rejected or lost")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// Fault-tolerance and transport configuration of a cluster.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Per-worker memory budget in bytes (`None` = unbounded).
+    pub memory_budget: Option<usize>,
+    /// How long a barrier waits for each worker before declaring it hung.
+    pub barrier_timeout: Duration,
+    /// How many worker-loss recoveries a single run may consume.
+    pub max_recoveries: usize,
+    /// How many OOM-triggered shard bisections a run may consume.
+    pub max_oom_splits: usize,
+    /// Whether any rejected cross-worker frame aborts the run with
+    /// [`RuntimeError::Wire`] instead of being healed by resync/replay.
+    pub fatal_wire_errors: bool,
+    /// Deterministic fault-injection schedule (chaos testing).
+    pub faults: FaultPlan,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            memory_budget: None,
+            barrier_timeout: Duration::from_secs(60),
+            max_recoveries: 8,
+            max_oom_splits: 64,
+            fatal_wire_errors: false,
+            faults: FaultPlan::default(),
+        }
+    }
+}
 
 /// Cluster-wide run options.
 #[derive(Debug, Clone)]
@@ -82,11 +160,11 @@ impl Default for ClusterOptions {
 /// Control-plane statistics of a distributed run.
 #[derive(Debug, Clone, Default)]
 pub struct CpRunStats {
-    /// OSPF rounds.
+    /// OSPF rounds (of the last, successful attempt).
     pub ospf_rounds: usize,
-    /// Total BGP rounds across shards.
+    /// Total BGP rounds across shards, attempts included.
     pub bgp_rounds: usize,
-    /// Shards executed.
+    /// Shards executed (after any OOM bisection).
     pub shards: usize,
     /// Per-worker peak memory (bytes, modelled).
     pub per_worker_peak: Vec<usize>,
@@ -96,6 +174,16 @@ pub struct CpRunStats {
     pub bytes: u64,
     /// Wall-clock time of the control-plane phase.
     pub elapsed: Duration,
+    /// Worker-loss recoveries performed during the run.
+    pub recoveries: usize,
+    /// OOM-triggered shard bisections performed.
+    pub oom_splits: usize,
+    /// Shards that had to be re-run (after a recovery or a split).
+    pub shard_retries: usize,
+    /// BGP adj-out resyncs forced by lost or delayed frames.
+    pub resyncs: usize,
+    /// Cross-worker frames rejected at the receiver.
+    pub wire_errors: u64,
 }
 
 impl CpRunStats {
@@ -133,6 +221,12 @@ pub struct DpvRunStats {
     pub pred_time: Duration,
     /// Time forwarding.
     pub fwd_time: Duration,
+    /// Worker-loss recoveries performed during DPV.
+    pub recoveries: usize,
+    /// Whole-phase replays (after a recovery or lost frames).
+    pub replays: usize,
+    /// Cross-worker frames rejected at the receiver.
+    pub wire_errors: u64,
 }
 
 struct WorkerHandle {
@@ -140,62 +234,170 @@ struct WorkerHandle {
     reply: Receiver<Reply>,
 }
 
+/// Mutable fleet state: live handles plus every thread ever spawned
+/// (replaced workers move to `detached` and are joined at shutdown).
+struct ClusterState {
+    handles: Vec<WorkerHandle>,
+    threads: Vec<Option<std::thread::JoinHandle<()>>>,
+    detached: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Controller-side checkpoint of an in-progress control-plane run.
+///
+/// Everything needed to resume after a worker loss without recomputing
+/// completed work: the persistent RIB store, which shards already ran
+/// (and their observed dependencies), and which are still queued.
+struct Checkpoint {
+    store: RibStore,
+    base_done: bool,
+    queue: VecDeque<HashSet<Prefix>>,
+    executed: Vec<HashSet<Prefix>>,
+    observed_deps: Vec<(Prefix, Prefix)>,
+    ospf_rounds: usize,
+    bgp_rounds: usize,
+    resyncs: usize,
+    oom_splits: usize,
+    shard_retries: usize,
+    recoveries: usize,
+}
+
+impl Checkpoint {
+    fn new(nodes: usize, plan: &ShardPlan, seed_deps: &[(Prefix, Prefix)]) -> Checkpoint {
+        Checkpoint {
+            store: RibStore::new(nodes),
+            base_done: false,
+            queue: plan.shards.iter().cloned().collect(),
+            executed: Vec::new(),
+            observed_deps: seed_deps.to_vec(),
+            ospf_rounds: 0,
+            bgp_rounds: 0,
+            resyncs: 0,
+            oom_splits: 0,
+            shard_retries: 0,
+            recoveries: 0,
+        }
+    }
+}
+
 /// A running worker fleet plus the controller-side orchestration.
 pub struct Cluster {
     model: Arc<NetworkModel>,
     net: SidecarNet,
-    handles: Vec<WorkerHandle>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    node_owner: Vec<u32>,
+    num_workers: u32,
+    config: RuntimeConfig,
+    faults: Arc<FaultState>,
+    state: Mutex<ClusterState>,
+    nonce: AtomicU64,
 }
 
 impl Cluster {
     /// Spawns `num_workers` workers hosting the nodes given by
     /// `node_owner` (node index → worker), each with an optional memory
-    /// budget.
+    /// budget. Uses the default [`RuntimeConfig`] otherwise.
     pub fn new(
         model: Arc<NetworkModel>,
         node_owner: Vec<u32>,
         num_workers: u32,
         memory_budget: Option<usize>,
     ) -> Cluster {
+        Cluster::with_config(
+            model,
+            node_owner,
+            num_workers,
+            RuntimeConfig {
+                memory_budget,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    /// [`Cluster::new`] with full fault-tolerance configuration.
+    pub fn with_config(
+        model: Arc<NetworkModel>,
+        node_owner: Vec<u32>,
+        num_workers: u32,
+        config: RuntimeConfig,
+    ) -> Cluster {
         assert_eq!(node_owner.len(), model.topology.node_count());
-        let (net, inboxes) = SidecarNet::build(node_owner.clone(), num_workers);
+        let faults = Arc::new(FaultState::new(config.faults.clone()));
+        let (net, inboxes) =
+            SidecarNet::build_with_faults(node_owner.clone(), num_workers, faults.clone());
         let mut handles = Vec::new();
         let mut threads = Vec::new();
         for (w, inbox) in inboxes.into_iter().enumerate() {
-            let (cmd_tx, cmd_rx) = unbounded();
-            let (reply_tx, reply_rx) = unbounded();
-            let local_nodes: Vec<NodeId> = node_owner
-                .iter()
-                .enumerate()
-                .filter(|(_, &o)| o == w as u32)
-                .map(|(i, _)| NodeId(i as u32))
-                .collect();
-            let sidecar = Sidecar::new(w as u32, net.clone(), inbox);
-            let model = model.clone();
-            let thread = std::thread::Builder::new()
-                .name(format!("s2-worker-{w}"))
-                .spawn(move || {
-                    Worker::new(sidecar, model, local_nodes, memory_budget).run(cmd_rx, reply_tx);
-                })
-                .expect("spawn worker thread");
-            handles.push(WorkerHandle {
-                cmd: cmd_tx,
-                reply: reply_rx,
-            });
-            threads.push(thread);
+            let (handle, thread) = Self::spawn_worker(
+                &model,
+                &node_owner,
+                &net,
+                &faults,
+                config.memory_budget,
+                w as u32,
+                inbox,
+            );
+            handles.push(handle);
+            threads.push(Some(thread));
         }
         Cluster {
             model,
             net,
-            handles,
-            threads,
+            node_owner,
+            num_workers,
+            config,
+            faults,
+            state: Mutex::new(ClusterState {
+                handles,
+                threads,
+                detached: Vec::new(),
+            }),
+            nonce: AtomicU64::new(0),
         }
+    }
+
+    fn spawn_worker(
+        model: &Arc<NetworkModel>,
+        node_owner: &[u32],
+        net: &SidecarNet,
+        faults: &Arc<FaultState>,
+        memory_budget: Option<usize>,
+        w: u32,
+        inbox: Receiver<Bytes>,
+    ) -> (WorkerHandle, std::thread::JoinHandle<()>) {
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (reply_tx, reply_rx) = unbounded();
+        let local_nodes: Vec<NodeId> = node_owner
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o == w)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let sidecar = Sidecar::new(w, net.clone(), inbox);
+        let model = model.clone();
+        let faults = faults.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("s2-worker-{w}"))
+            .spawn(move || {
+                Worker::with_faults(sidecar, model, local_nodes, memory_budget, faults)
+                    .run(cmd_rx, reply_tx);
+            })
+            .expect("spawn worker thread");
+        (
+            WorkerHandle {
+                cmd: cmd_tx,
+                reply: reply_rx,
+            },
+            thread,
+        )
     }
 
     /// Number of workers.
     pub fn num_workers(&self) -> usize {
-        self.handles.len()
+        self.num_workers as usize
+    }
+
+    /// The fault-tolerance configuration this cluster runs under.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
     }
 
     /// Cross-worker traffic so far: `(messages, bytes)`.
@@ -203,53 +405,232 @@ impl Cluster {
         self.net.stats().snapshot()
     }
 
-    /// Broadcasts a command and gathers one reply per worker (a barrier).
-    fn barrier(&self, make: impl Fn() -> Command) -> Result<Vec<Reply>, RuntimeError> {
-        for h in &self.handles {
-            h.cmd.send(make()).map_err(|_| RuntimeError::WorkerLost)?;
+    /// The shared traffic counters (disturbance and error accounting).
+    pub fn net_stats(&self) -> &crate::sidecar::TrafficStats {
+        self.net.stats()
+    }
+
+    fn reply_kind(r: &Reply) -> &'static str {
+        match r {
+            Reply::Ok => "Ok",
+            Reply::Changed(_) => "Changed",
+            Reply::Rib(_) => "Rib",
+            Reply::Prefixes { .. } => "Prefixes",
+            Reply::Deps(_) => "Deps",
+            Reply::Mem(_) => "Mem",
+            Reply::Forwarded { .. } => "Forwarded",
+            Reply::Arrivals { .. } => "Arrivals",
+            Reply::Finals { .. } => "Finals",
+            Reply::OutOfMemory { .. } => "OutOfMemory",
+            Reply::Pong(_) => "Pong",
         }
-        let mut replies = Vec::with_capacity(self.handles.len());
-        for (w, h) in self.handles.iter().enumerate() {
-            match h.reply.recv().map_err(|_| RuntimeError::WorkerLost)? {
-                Reply::OutOfMemory { budget, observed } => {
-                    // Drain the remaining replies so the fleet stays usable.
-                    for other in self.handles.iter().skip(w + 1) {
-                        let _ = other.reply.recv();
+    }
+
+    fn violation(expected: &'static str, got: &Reply) -> RuntimeError {
+        RuntimeError::ProtocolViolation {
+            expected,
+            got: Self::reply_kind(got),
+        }
+    }
+
+    /// Broadcasts a command and gathers one reply per worker (a barrier).
+    ///
+    /// Worker loss shows up here two ways: a closed channel (the worker
+    /// crashed — send or recv fails immediately) or a blown deadline (the
+    /// worker hangs). An `OutOfMemory` reply does *not* abort collection:
+    /// the remaining replies are still gathered so the fleet stays in
+    /// lockstep, then the first OOM is returned as the error.
+    fn barrier(
+        &self,
+        during: &'static str,
+        make: impl Fn() -> Command,
+    ) -> Result<Vec<Reply>, RuntimeError> {
+        let state = self.state.lock();
+        for (w, h) in state.handles.iter().enumerate() {
+            h.cmd.send(make()).map_err(|_| RuntimeError::WorkerLost {
+                worker: w as u32,
+                during,
+            })?;
+        }
+        let deadline = Instant::now() + self.config.barrier_timeout;
+        let mut replies = Vec::with_capacity(state.handles.len());
+        let mut oom = None;
+        for (w, h) in state.handles.iter().enumerate() {
+            match h.reply.recv_deadline(deadline) {
+                Ok(Reply::OutOfMemory { budget, observed }) => {
+                    if oom.is_none() {
+                        oom = Some(RuntimeError::OutOfMemory {
+                            worker: w as u32,
+                            budget,
+                            observed,
+                        });
                     }
-                    return Err(RuntimeError::OutOfMemory {
-                        worker: w as u32,
-                        budget,
-                        observed,
-                    });
                 }
-                r => replies.push(r),
+                Ok(r) => replies.push(r),
+                Err(_) => {
+                    return Err(RuntimeError::WorkerLost {
+                        worker: w as u32,
+                        during,
+                    })
+                }
             }
         }
-        Ok(replies)
+        match oom {
+            Some(e) => Err(e),
+            None => Ok(replies),
+        }
     }
 
     fn all_unchanged(replies: &[Reply]) -> bool {
         replies.iter().all(|r| matches!(r, Reply::Changed(false)))
     }
 
-    /// Collects per-worker memory reports.
-    pub fn mem_reports(&self) -> Result<Vec<MemReport>, RuntimeError> {
-        let replies = self.barrier(|| Command::MemReport)?;
-        Ok(replies
-            .into_iter()
-            .map(|r| match r {
-                Reply::Mem(m) => m,
-                other => unreachable!("expected Mem, got {other:?}"),
-            })
-            .collect())
+    /// Errors out if wire errors occurred and the config makes them fatal.
+    fn check_wire_fatal(&self) -> Result<(), RuntimeError> {
+        if self.config.fatal_wire_errors {
+            let errors = self.net.stats().wire_errors.load(Ordering::Relaxed);
+            if errors > 0 {
+                return Err(RuntimeError::Wire { errors });
+            }
+        }
+        Ok(())
     }
 
+    /// Collects per-worker memory reports.
+    pub fn mem_reports(&self) -> Result<Vec<MemReport>, RuntimeError> {
+        let mut out = Vec::new();
+        for r in self.barrier("mem-report", || Command::MemReport)? {
+            match r {
+                Reply::Mem(m) => out.push(m),
+                other => return Err(Self::violation("Mem", &other)),
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- recovery ----
+
+    /// Detects and replaces lost workers, restoring the fleet to an idle,
+    /// consistent state.
+    ///
+    /// Protocol: (1) ping every worker with a fresh nonce and wait (with
+    /// the barrier deadline) for the matching pong, discarding stale
+    /// replies of the aborted barrier — workers that fail are dead or
+    /// hung; (2) bump the fabric epoch, so any frame still in flight from
+    /// before the failure (or later produced by a zombie) is discarded on
+    /// receipt, and drop delayed frames held by the fault fabric; (3)
+    /// respawn the dead workers with fresh command channels and a fresh
+    /// sidecar inbox, detaching the old threads for joining at shutdown;
+    /// (4) barrier a `FlushInbox` so every sidecar adopts the new epoch
+    /// with an empty inbox and cleared staging queues.
+    pub fn recover(&self) -> Result<(), RuntimeError> {
+        let mut state = self.state.lock();
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut dead = Vec::new();
+        for (w, h) in state.handles.iter().enumerate() {
+            if h.cmd.send(Command::Ping(nonce)).is_err() {
+                dead.push(w);
+            }
+        }
+        let deadline = Instant::now() + self.config.barrier_timeout;
+        for (w, h) in state.handles.iter().enumerate() {
+            if dead.contains(&w) {
+                continue;
+            }
+            loop {
+                match h.reply.recv_deadline(deadline) {
+                    Ok(Reply::Pong(n)) if n == nonce => break,
+                    Ok(_) => continue, // stale reply from the aborted barrier
+                    Err(_) => {
+                        dead.push(w);
+                        break;
+                    }
+                }
+            }
+        }
+        let epoch = self.net.bump_epoch();
+        self.net.discard_held();
+        for &w in &dead {
+            self.respawn(&mut state, w);
+        }
+        for (w, h) in state.handles.iter().enumerate() {
+            h.cmd
+                .send(Command::FlushInbox { epoch })
+                .map_err(|_| RuntimeError::WorkerLost {
+                    worker: w as u32,
+                    during: "recovery",
+                })?;
+        }
+        let deadline = Instant::now() + self.config.barrier_timeout;
+        for (w, h) in state.handles.iter().enumerate() {
+            loop {
+                match h.reply.recv_deadline(deadline) {
+                    Ok(Reply::Ok) => break,
+                    Ok(_) => continue, // stale reply, discard
+                    Err(_) => {
+                        return Err(RuntimeError::WorkerLost {
+                            worker: w as u32,
+                            during: "recovery",
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn respawn(&self, state: &mut ClusterState, w: usize) {
+        let inbox = self.net.replace_inbox(w as u32);
+        let (handle, thread) = Self::spawn_worker(
+            &self.model,
+            &self.node_owner,
+            &self.net,
+            &self.faults,
+            self.config.memory_budget,
+            w as u32,
+            inbox,
+        );
+        // Replacing the handle drops the old command sender, which lets a
+        // hung predecessor's drain loop terminate; the old thread is kept
+        // for joining at shutdown.
+        state.handles[w] = handle;
+        if let Some(old) = state.threads[w].take() {
+            state.detached.push(old);
+        }
+        state.threads[w] = Some(thread);
+    }
+
+    /// Runs `recover`, spending additional recovery budget on failures
+    /// *during* recovery (a worker can die while another is respawned).
+    fn recover_with_budget(&self, attempts_left: &mut usize) -> Result<(), RuntimeError> {
+        loop {
+            match self.recover() {
+                Ok(()) => return Ok(()),
+                Err(_) if *attempts_left > 0 => *attempts_left -= 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // ---- control plane ----
+
     /// Runs the IGP phase to convergence, returning the round count.
+    ///
+    /// A round disturbed by injected drops/delays or rejected frames
+    /// cannot prove convergence, so the fix point keeps iterating; OSPF
+    /// re-exports its full table every round, which heals losses without
+    /// any explicit resync.
     pub fn run_ospf(&self, opts: &ClusterOptions) -> Result<usize, RuntimeError> {
         for round in 0..opts.max_rounds {
-            self.barrier(|| Command::OspfExport)?;
-            let replies = self.barrier(|| Command::OspfApply)?;
-            if Self::all_unchanged(&replies) {
+            let before = self.net.stats().disturbances();
+            self.barrier("ospf-export", || Command::OspfExport)?;
+            let replies = self.barrier("ospf-apply", || Command::OspfApply)?;
+            let released = self.net.tick_delayed();
+            self.check_wire_fatal()?;
+            let disturbed = self.net.stats().disturbances() != before
+                || released > 0
+                || self.net.held_count() > 0;
+            if Self::all_unchanged(&replies) && !disturbed {
                 return Ok(round + 1);
             }
         }
@@ -265,18 +646,11 @@ impl Cluster {
     #[allow(clippy::type_complexity)]
     pub fn collect_prefixes(
         &self,
-    ) -> Result<
-        (
-            std::collections::BTreeSet<Prefix>,
-            std::collections::BTreeSet<Prefix>,
-            Vec<(Prefix, Prefix)>,
-        ),
-        RuntimeError,
-    > {
-        let mut all = std::collections::BTreeSet::new();
-        let mut aggregates = std::collections::BTreeSet::new();
+    ) -> Result<(BTreeSet<Prefix>, BTreeSet<Prefix>, Vec<(Prefix, Prefix)>), RuntimeError> {
+        let mut all = BTreeSet::new();
+        let mut aggregates = BTreeSet::new();
         let mut deps = Vec::new();
-        for reply in self.barrier(|| Command::CollectPrefixes)? {
+        for reply in self.barrier("collect-prefixes", || Command::CollectPrefixes)? {
             match reply {
                 Reply::Prefixes {
                     all: a,
@@ -287,7 +661,7 @@ impl Cluster {
                     aggregates.extend(g);
                     deps.extend(d);
                 }
-                other => unreachable!("expected Prefixes, got {other:?}"),
+                other => return Err(Self::violation("Prefixes", &other)),
             }
         }
         deps.sort_unstable();
@@ -299,10 +673,10 @@ impl Cluster {
     /// computation (the §7 soundness input).
     pub fn collect_observed_deps(&self) -> Result<Vec<(Prefix, Prefix)>, RuntimeError> {
         let mut deps = Vec::new();
-        for reply in self.barrier(|| Command::CollectObservedDeps)? {
+        for reply in self.barrier("collect-observed-deps", || Command::CollectObservedDeps)? {
             match reply {
                 Reply::Deps(d) => deps.extend(d),
-                other => unreachable!("expected Deps, got {other:?}"),
+                other => return Err(Self::violation("Deps", &other)),
             }
         }
         deps.sort_unstable();
@@ -327,96 +701,259 @@ impl Cluster {
         ))
     }
 
-    /// The §7 extension: runs the control plane under `plan`, collects the
-    /// dependencies observed during computation, and — if any crosses a
-    /// shard boundary (an *unforeseen* dependency) — merges the affected
-    /// shards and recomputes, until the plan is sound. Returns the final
-    /// RIBs, stats of the last (sound) run, and the refined plan.
-    pub fn run_control_plane_refined(
+    /// Barriers a RIB-collection command and folds the entries into
+    /// `store` (idempotent per `(node, prefix)` — safe to repeat after a
+    /// recovery replay).
+    fn collect_rib(
         &self,
-        mut plan: ShardPlan,
-        opts: &ClusterOptions,
-    ) -> Result<(RibSnapshot, CpRunStats, ShardPlan), RuntimeError> {
-        loop {
-            let (rib, stats) = self.run_control_plane(&plan, opts)?;
-            let observed = self.collect_observed_deps()?;
-            let violations = plan.cross_shard_violations(&observed);
-            if violations.is_empty() {
-                return Ok((rib, stats, plan));
-            }
-            plan = plan.merged_for(&violations);
-        }
-    }
-
-    /// Runs the full distributed control-plane simulation: OSPF to
-    /// convergence, then one BGP fix point per shard, gathering the final
-    /// RIBs (the CPO role).
-    pub fn run_control_plane(
-        &self,
-        plan: &ShardPlan,
-        opts: &ClusterOptions,
-    ) -> Result<(RibSnapshot, CpRunStats), RuntimeError> {
-        let start = Instant::now();
-        let mut stats = CpRunStats::default();
-
-        // IGP before EGP (§4.2).
-        stats.ospf_rounds = self.run_ospf(opts)?;
-
-        let mut store = RibStore::new(self.model.topology.node_count());
-        for reply in self.barrier(|| Command::CollectBaseRib)? {
+        during: &'static str,
+        make: impl Fn() -> Command,
+        store: &mut RibStore,
+    ) -> Result<(), RuntimeError> {
+        for reply in self.barrier(during, make)? {
             match reply {
                 Reply::Rib(entries) => {
                     for (node, routes) in entries {
                         store.insert_all(node, routes);
                     }
                 }
-                other => unreachable!("expected Rib, got {other:?}"),
+                other => return Err(Self::violation("Rib", &other)),
             }
         }
+        Ok(())
+    }
 
-        stats.shards = plan.shards.len();
-        for shard in &plan.shards {
-            let shard = Arc::new(shard.clone());
-            self.barrier(|| Command::BgpBegin {
-                shard: Some(shard.clone()),
-            })?;
-            let mut converged = false;
-            for round in 0..opts.max_rounds {
-                self.barrier(|| Command::BgpExport)?;
-                let replies = self.barrier(|| Command::BgpApply)?;
-                stats.bgp_rounds += 1;
-                let _ = round;
-                if Self::all_unchanged(&replies) {
-                    converged = true;
-                    break;
-                }
+    /// One shard's BGP fix point, disturbance-aware: frames lost to
+    /// injected drops or receiver rejection trigger a `BgpResync` (the
+    /// incremental adj-out caches are cleared so the next export re-sends
+    /// everything), and a disturbed round never counts as converged.
+    /// Delayed frames released into inboxes likewise force a resync so
+    /// a stale advertisement can never be the last word.
+    fn run_bgp_fixpoint(
+        &self,
+        shard: &Arc<HashSet<Prefix>>,
+        opts: &ClusterOptions,
+        ck: &mut Checkpoint,
+    ) -> Result<(), RuntimeError> {
+        self.barrier("bgp-begin", || Command::BgpBegin {
+            shard: Some(shard.clone()),
+        })?;
+        for _ in 0..opts.max_rounds {
+            let d0 = self.net.stats().disturbances();
+            let l0 = self.net.stats().losses();
+            self.barrier("bgp-export", || Command::BgpExport)?;
+            let replies = self.barrier("bgp-apply", || Command::BgpApply)?;
+            ck.bgp_rounds += 1;
+            let released = self.net.tick_delayed();
+            self.check_wire_fatal()?;
+            let lost = self.net.stats().losses() != l0;
+            let disturbed = self.net.stats().disturbances() != d0
+                || released > 0
+                || self.net.held_count() > 0;
+            if lost || released > 0 {
+                self.barrier("bgp-resync", || Command::BgpResync)?;
+                ck.resyncs += 1;
             }
-            if !converged {
-                return Err(RuntimeError::NotConverged {
-                    protocol: "bgp",
-                    rounds: opts.max_rounds,
-                });
+            if Self::all_unchanged(&replies) && !disturbed {
+                return Ok(());
             }
-            // Flush the shard to the controller's persistent store.
-            for reply in self.barrier(|| Command::CollectBgpRib)? {
-                match reply {
-                    Reply::Rib(entries) => {
-                        for (node, routes) in entries {
-                            store.insert_all(node, routes);
+        }
+        Err(RuntimeError::NotConverged {
+            protocol: "bgp",
+            rounds: opts.max_rounds,
+        })
+    }
+
+    /// Splits an over-budget shard into two halves along dependency
+    /// boundaries: the shard's DPDG (static deps plus `extra` observed
+    /// ones) is decomposed into weakly connected components and the
+    /// components are binned greedily, so no dependency is ever severed.
+    /// Returns `None` when the shard is a single component — splitting it
+    /// would be unsound, so its OOM is final.
+    #[allow(clippy::type_complexity)]
+    fn bisect_shard(
+        &self,
+        shard: &HashSet<Prefix>,
+        extra: &[(Prefix, Prefix)],
+    ) -> Result<Option<(HashSet<Prefix>, HashSet<Prefix>)>, RuntimeError> {
+        let (_, aggregates, mut deps) = self.collect_prefixes()?;
+        deps.extend(extra.iter().copied());
+        let prefixes: BTreeSet<Prefix> = shard.iter().copied().collect();
+        let aggs: BTreeSet<Prefix> = aggregates
+            .into_iter()
+            .filter(|p| shard.contains(p))
+            .collect();
+        let deps: Vec<(Prefix, Prefix)> = deps
+            .into_iter()
+            .filter(|(a, b)| shard.contains(a) && shard.contains(b))
+            .collect();
+        let graph = s2_shard::dpdg::Dpdg::build_with_deps(&prefixes, &aggs, &deps);
+        let mut comps = graph.weakly_connected_components();
+        if comps.len() < 2 {
+            return Ok(None);
+        }
+        for c in comps.iter_mut() {
+            c.sort();
+        }
+        comps.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        let mut left = HashSet::new();
+        let mut right = HashSet::new();
+        for c in comps {
+            if left.len() <= right.len() {
+                left.extend(c);
+            } else {
+                right.extend(c);
+            }
+        }
+        Ok(Some((left, right)))
+    }
+
+    /// One attempt at completing the checkpointed control-plane run:
+    /// (re-)converges OSPF, collects the base RIB once, then drains the
+    /// shard queue, flushing each completed shard's RIB and observed deps
+    /// to the checkpoint. OOM on a shard triggers component-aware
+    /// bisection; worker loss aborts the attempt (the caller recovers and
+    /// retries — only the in-flight shard is redone).
+    fn cp_attempt(&self, ck: &mut Checkpoint, opts: &ClusterOptions) -> Result<(), RuntimeError> {
+        ck.ospf_rounds = self.run_ospf(opts)?;
+        if !ck.base_done {
+            self.collect_rib("collect-base-rib", || Command::CollectBaseRib, &mut ck.store)?;
+            ck.base_done = true;
+        }
+        while let Some(front) = ck.queue.front() {
+            let shard = Arc::new(front.clone());
+            match self.run_bgp_fixpoint(&shard, opts, ck) {
+                Ok(()) => {}
+                Err(RuntimeError::OutOfMemory {
+                    worker,
+                    budget,
+                    observed,
+                }) => {
+                    let split = if shard.len() > 1 && ck.oom_splits < self.config.max_oom_splits {
+                        self.bisect_shard(&shard, &ck.observed_deps)?
+                    } else {
+                        None
+                    };
+                    match split {
+                        Some((a, b)) => {
+                            ck.queue.pop_front();
+                            ck.queue.push_front(b);
+                            ck.queue.push_front(a);
+                            ck.oom_splits += 1;
+                            ck.shard_retries += 1;
+                            continue;
+                        }
+                        None => {
+                            return Err(RuntimeError::OutOfMemory {
+                                worker,
+                                budget,
+                                observed,
+                            })
                         }
                     }
-                    other => unreachable!("expected Rib, got {other:?}"),
                 }
+                Err(e) => return Err(e),
+            }
+            self.collect_rib("collect-shard-rib", || Command::CollectBgpRib, &mut ck.store)?;
+            ck.observed_deps.extend(self.collect_observed_deps()?);
+            let done = ck.queue.pop_front().expect("queue non-empty");
+            ck.executed.push(done);
+        }
+        Ok(())
+    }
+
+    /// The checkpointed control-plane driver: retries `cp_attempt` across
+    /// worker losses (within the recovery budget) and assembles the final
+    /// snapshot, stats, executed plan, and observed dependencies.
+    #[allow(clippy::type_complexity)]
+    fn run_cp_full(
+        &self,
+        plan: &ShardPlan,
+        opts: &ClusterOptions,
+        seed_deps: &[(Prefix, Prefix)],
+    ) -> Result<(RibSnapshot, CpRunStats, ShardPlan, Vec<(Prefix, Prefix)>), RuntimeError> {
+        let start = Instant::now();
+        let mut ck = Checkpoint::new(self.model.topology.node_count(), plan, seed_deps);
+        let mut attempts_left = self.config.max_recoveries;
+        loop {
+            match self.cp_attempt(&mut ck, opts) {
+                Ok(()) => break,
+                Err(RuntimeError::WorkerLost { .. }) if attempts_left > 0 => {
+                    attempts_left -= 1;
+                    ck.recoveries += 1;
+                    if ck.base_done && !ck.queue.is_empty() {
+                        ck.shard_retries += 1;
+                    }
+                    self.recover_with_budget(&mut attempts_left)?;
+                }
+                Err(e) => return Err(e),
             }
         }
-
-        stats.per_worker_peak = self.mem_reports()?.iter().map(|m| m.peak_bytes).collect();
+        let mut stats = CpRunStats {
+            ospf_rounds: ck.ospf_rounds,
+            bgp_rounds: ck.bgp_rounds,
+            shards: ck.executed.len(),
+            per_worker_peak: self.mem_reports()?.iter().map(|m| m.peak_bytes).collect(),
+            recoveries: ck.recoveries,
+            oom_splits: ck.oom_splits,
+            shard_retries: ck.shard_retries,
+            resyncs: ck.resyncs,
+            wire_errors: self.net.stats().wire_errors.load(Ordering::Relaxed),
+            ..CpRunStats::default()
+        };
         let (messages, bytes) = self.traffic();
         stats.messages = messages;
         stats.bytes = bytes;
         stats.elapsed = start.elapsed();
-        Ok((store.snapshot(), stats))
+        let executed = ShardPlan {
+            shards: ck.executed,
+        };
+        let mut deps = ck.observed_deps;
+        deps.sort_unstable();
+        deps.dedup();
+        Ok((ck.store.snapshot(), stats, executed, deps))
     }
+
+    /// The §7 extension: runs the control plane under `plan`, collects the
+    /// dependencies observed during computation, and — if any crosses a
+    /// shard boundary (an *unforeseen* dependency) — merges the affected
+    /// shards and recomputes, until the plan is sound. Returns the final
+    /// RIBs, stats of the last (sound) run, and the refined plan (as
+    /// actually executed, OOM bisections included).
+    pub fn run_control_plane_refined(
+        &self,
+        mut plan: ShardPlan,
+        opts: &ClusterOptions,
+    ) -> Result<(RibSnapshot, CpRunStats, ShardPlan), RuntimeError> {
+        // Observed deps accumulate across refinement rounds so OOM
+        // bisection never re-splits a dependency the last round merged.
+        let mut known_deps: Vec<(Prefix, Prefix)> = Vec::new();
+        loop {
+            let (rib, stats, executed, observed) = self.run_cp_full(&plan, opts, &known_deps)?;
+            let violations = executed.cross_shard_violations(&observed);
+            if violations.is_empty() {
+                return Ok((rib, stats, executed));
+            }
+            known_deps = observed;
+            plan = executed.merged_for(&violations);
+        }
+    }
+
+    /// Runs the full distributed control-plane simulation: OSPF to
+    /// convergence, then one BGP fix point per shard, gathering the final
+    /// RIBs (the CPO role). Worker losses are recovered (the checkpoint
+    /// limits rework to the in-flight shard) and over-budget shards are
+    /// bisected, within the configured budgets.
+    pub fn run_control_plane(
+        &self,
+        plan: &ShardPlan,
+        opts: &ClusterOptions,
+    ) -> Result<(RibSnapshot, CpRunStats), RuntimeError> {
+        let (rib, stats, _, _) = self.run_cp_full(plan, opts, &[])?;
+        Ok((rib, stats))
+    }
+
+    // ---- data plane ----
 
     /// Runs distributed data-plane verification (the DPO role): per-worker
     /// predicate compilation, distributed symbolic forwarding to
@@ -425,6 +962,11 @@ impl Cluster {
     /// `expected` lists, per destination node, the prefixes that must
     /// arrive from every source; `waypoints` maps transit nodes to
     /// metadata bits (callers allocate bits 0..n).
+    ///
+    /// Fault tolerance: worker loss triggers recovery and a replay of the
+    /// whole phase (`DpSetup` resets all forwarding state, so replays are
+    /// clean); frames lost in transit also force a replay, since dropped
+    /// symbolic packets would silently under-approximate reachability.
     #[allow(clippy::too_many_arguments)]
     pub fn run_dpv(
         &self,
@@ -435,12 +977,53 @@ impl Cluster {
         waypoints: BTreeMap<NodeId, u16>,
         opts: &ClusterOptions,
     ) -> Result<DpvRunStats, RuntimeError> {
+        let mut attempts_left = self.config.max_recoveries;
+        let mut recoveries = 0usize;
+        let mut replays = 0usize;
+        loop {
+            let losses0 = self.net.stats().losses();
+            match self.dpv_attempt(&rib, &sources, &expected, dst_space, &waypoints, opts) {
+                Ok(mut stats) => {
+                    let lost = self.net.stats().losses() - losses0;
+                    if lost > 0 {
+                        if attempts_left == 0 {
+                            return Err(RuntimeError::Wire { errors: lost });
+                        }
+                        attempts_left -= 1;
+                        replays += 1;
+                        continue;
+                    }
+                    stats.recoveries = recoveries;
+                    stats.replays = replays;
+                    stats.wire_errors = self.net.stats().wire_errors.load(Ordering::Relaxed);
+                    return Ok(stats);
+                }
+                Err(RuntimeError::WorkerLost { .. }) if attempts_left > 0 => {
+                    attempts_left -= 1;
+                    recoveries += 1;
+                    replays += 1;
+                    self.recover_with_budget(&mut attempts_left)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn dpv_attempt(
+        &self,
+        rib: &Arc<RibSnapshot>,
+        sources: &[NodeId],
+        expected: &[(NodeId, Vec<Prefix>)],
+        dst_space: Prefix,
+        waypoints: &BTreeMap<NodeId, u16>,
+        opts: &ClusterOptions,
+    ) -> Result<DpvRunStats, RuntimeError> {
         let mut stats = DpvRunStats::default();
         let meta_bits = waypoints.len() as u16;
 
         let t0 = Instant::now();
         let waypoints_arc = Arc::new(waypoints.clone());
-        self.barrier(|| Command::DpSetup {
+        self.barrier("dp-setup", || Command::DpSetup {
             rib: rib.clone(),
             meta_bits,
             waypoints: waypoints_arc.clone(),
@@ -449,19 +1032,16 @@ impl Cluster {
         stats.pred_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let injections = Arc::new(
-            sources
-                .iter()
-                .map(|&s| (s, dst_space))
-                .collect::<Vec<_>>(),
-        );
-        self.barrier(|| Command::Inject {
+        let injections = Arc::new(sources.iter().map(|&s| (s, dst_space)).collect::<Vec<_>>());
+        self.barrier("dp-inject", || Command::Inject {
             injections: injections.clone(),
         })?;
         loop {
-            let replies = self.barrier(|| Command::ForwardRound)?;
+            let replies = self.barrier("dp-forward", || Command::ForwardRound)?;
             stats.forward_rounds += 1;
-            let mut quiet = true;
+            let released = self.net.tick_delayed();
+            self.check_wire_fatal()?;
+            let mut quiet = released == 0 && self.net.held_count() == 0;
             for r in replies {
                 match r {
                     Reply::Forwarded {
@@ -474,7 +1054,7 @@ impl Cluster {
                             quiet = false;
                         }
                     }
-                    other => unreachable!("expected Forwarded, got {other:?}"),
+                    other => return Err(Self::violation("Forwarded", &other)),
                 }
             }
             if quiet {
@@ -484,11 +1064,11 @@ impl Cluster {
         stats.fwd_time = t1.elapsed();
 
         // Property evaluation.
-        let sources_arc = Arc::new(sources);
-        let expected_arc = Arc::new(expected);
+        let sources_arc = Arc::new(sources.to_vec());
+        let expected_arc = Arc::new(expected.to_vec());
         let transits: Arc<Vec<(NodeId, u16)>> =
             Arc::new(waypoints.iter().map(|(&n, &b)| (n, b)).collect());
-        for reply in self.barrier(|| Command::CheckArrivals {
+        for reply in self.barrier("dp-arrivals", || Command::CheckArrivals {
             sources: sources_arc.clone(),
             expected: expected_arc.clone(),
             transits: transits.clone(),
@@ -503,7 +1083,7 @@ impl Cluster {
                     stats.unreachable_pairs.extend(unreachable);
                     stats.waypoint_violations.extend(waypoint_violations);
                 }
-                other => unreachable!("expected Arrivals, got {other:?}"),
+                other => return Err(Self::violation("Arrivals", &other)),
             }
         }
 
@@ -513,7 +1093,7 @@ impl Cluster {
         let space = PacketSpace::new(meta_bits);
         let mut manager = space.manager();
         let mut by_src: BTreeMap<NodeId, BTreeMap<FinalKind, s2_bdd::Bdd>> = BTreeMap::new();
-        for reply in self.barrier(|| Command::CollectFinals)? {
+        for reply in self.barrier("dp-finals", || Command::CollectFinals)? {
             match reply {
                 Reply::Finals {
                     loops,
@@ -523,8 +1103,15 @@ impl Cluster {
                     stats.loops += loops;
                     stats.blackholes += blackholes;
                     for (src, kind, bytes) in sets {
-                        let set = bdd_io::from_bytes(&mut manager, &bytes)
-                            .expect("workers produce valid BDD payloads");
+                        let set = match bdd_io::from_bytes(&mut manager, &bytes) {
+                            Ok(set) => set,
+                            Err(_) => {
+                                return Err(RuntimeError::ProtocolViolation {
+                                    expected: "valid BDD payload",
+                                    got: "undecodable final set",
+                                })
+                            }
+                        };
                         let entry = by_src
                             .entry(src)
                             .or_default()
@@ -533,7 +1120,7 @@ impl Cluster {
                         *entry = manager.or(*entry, set);
                     }
                 }
-                other => unreachable!("expected Finals, got {other:?}"),
+                other => return Err(Self::violation("Finals", &other)),
             }
         }
         for (src, kinds) in by_src {
@@ -557,12 +1144,20 @@ impl Cluster {
         Ok(stats)
     }
 
-    /// Stops every worker and joins the threads.
+    /// Stops every worker and joins every thread ever spawned, including
+    /// the detached predecessors of respawned workers.
     pub fn shutdown(self) {
-        for h in &self.handles {
+        let state = self.state.into_inner();
+        for h in &state.handles {
             let _ = h.cmd.send(Command::Shutdown);
         }
-        for t in self.threads {
+        // Dropping the handles closes the command channels, which releases
+        // hung workers' drain loops.
+        drop(state.handles);
+        for t in state.threads.into_iter().flatten() {
+            let _ = t.join();
+        }
+        for t in state.detached {
             let _ = t.join();
         }
     }
@@ -721,6 +1316,8 @@ mod tests {
 
     #[test]
     fn memory_budget_aborts_with_oom() {
+        // A budget of 8 bytes cannot hold even a single-prefix shard, so
+        // bisection bottoms out and the OOM is surfaced.
         let model = Arc::new(line_model());
         let cluster = Cluster::new(model.clone(), vec![0, 0, 1, 1], 2, Some(8));
         let switches: Vec<_> = model
@@ -754,5 +1351,69 @@ mod tests {
         cluster.shutdown();
         assert_eq!(rib, reference);
         assert_eq!(stats.shards, 2);
+    }
+
+    #[test]
+    fn killed_worker_is_recovered_and_result_is_identical() {
+        let model = Arc::new(line_model());
+        let (reference, _) = run_cp(&model, vec![0, 0, 1, 1], 2);
+
+        let config = RuntimeConfig {
+            barrier_timeout: Duration::from_secs(5),
+            faults: FaultPlan::new().kill_worker(1, 6),
+            ..RuntimeConfig::default()
+        };
+        let cluster = Cluster::with_config(model.clone(), vec![0, 0, 1, 1], 2, config);
+        let switches: Vec<_> = model
+            .topology
+            .nodes()
+            .map(|n| s2_routing::SwitchModel::new(&model, n))
+            .collect();
+        let plan = ShardPlan::single(s2_shard::collect_prefixes(&switches));
+        let (rib, stats) = cluster
+            .run_control_plane(&plan, &ClusterOptions::default())
+            .unwrap();
+        cluster.shutdown();
+        assert_eq!(rib, reference, "recovered run must be bit-identical");
+        assert!(stats.recoveries >= 1, "the kill must trigger a recovery");
+    }
+
+    #[test]
+    fn oom_on_splittable_shard_degrades_by_bisection() {
+        // Find a budget that fits each single-prefix shard but not the
+        // two-prefix shard, then check the full shard completes via
+        // bisection instead of erroring.
+        let model = Arc::new(line_model());
+        let switches: Vec<_> = model
+            .topology
+            .nodes()
+            .map(|n| s2_routing::SwitchModel::new(&model, n))
+            .collect();
+        let all = s2_shard::collect_prefixes(&switches);
+        let (reference, full_stats) = run_cp(&model, vec![0, 0, 1, 1], 2);
+
+        // Peak with singleton shards — the per-shard high-water mark.
+        let cluster = Cluster::new(model.clone(), vec![0, 0, 1, 1], 2, None);
+        let split_plan = ShardPlan {
+            shards: all.iter().map(|p| [*p].into_iter().collect()).collect(),
+        };
+        let (_, split_stats) = cluster
+            .run_control_plane(&split_plan, &ClusterOptions::default())
+            .unwrap();
+        cluster.shutdown();
+        let split_peak = split_stats.max_worker_peak();
+        let full_peak = full_stats.max_worker_peak();
+        assert!(split_peak < full_peak, "splitting must reduce peak memory");
+        let budget = (split_peak + full_peak) / 2;
+
+        let cluster = Cluster::new(model.clone(), vec![0, 0, 1, 1], 2, Some(budget));
+        let plan = ShardPlan::single(all);
+        let (rib, stats) = cluster
+            .run_control_plane(&plan, &ClusterOptions::default())
+            .unwrap();
+        cluster.shutdown();
+        assert_eq!(rib, reference, "degraded run must be bit-identical");
+        assert!(stats.oom_splits >= 1, "the budget must force a bisection");
+        assert!(stats.shards >= 2, "the shard must have been split");
     }
 }

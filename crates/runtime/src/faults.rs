@@ -1,0 +1,202 @@
+//! Deterministic fault injection for the distributed runtime.
+//!
+//! A [`FaultPlan`] describes *when* things go wrong — a worker crash
+//! before its n-th command, a hang, the loss / duplication / corruption /
+//! delay of the n-th cross-worker frame — and is threaded into
+//! [`Cluster`](crate::Cluster) construction through
+//! [`RuntimeConfig`](crate::RuntimeConfig). Every trigger is indexed by a
+//! deterministic counter (commands processed per worker, frames attempted
+//! cluster-wide), so a given plan reproduces the same failure on every
+//! run. The chaos tests drive recovery with these plans and assert the
+//! recovered result is bit-identical to an undisturbed run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Worker index (mirrors [`crate::sidecar::WorkerId`]).
+type WorkerId = u32;
+
+/// A deterministic schedule of injected failures.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    kill: Option<(WorkerId, u64)>,
+    hang: Option<(WorkerId, u64)>,
+    drop_nth: Vec<u64>,
+    duplicate_nth: Vec<u64>,
+    corrupt_nth: Vec<u64>,
+    delay_nth: Vec<(u64, u32)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Kills worker `worker` immediately before it processes its `nth`
+    /// command (1-based; each controller barrier is one command). The
+    /// thread simply exits — the crash model of a lost logical server.
+    /// Fires once: the respawned worker is not re-killed.
+    pub fn kill_worker(mut self, worker: WorkerId, nth_command: u64) -> Self {
+        self.kill = Some((worker, nth_command));
+        self
+    }
+
+    /// Hangs worker `worker` from its `nth` command on: it keeps draining
+    /// commands but never replies again, forcing the controller's barrier
+    /// timeout. Fires once.
+    pub fn hang_worker(mut self, worker: WorkerId, nth_command: u64) -> Self {
+        self.hang = Some((worker, nth_command));
+        self
+    }
+
+    /// Silently drops the `nth` cross-worker frame (0-based attempt
+    /// index, counted cluster-wide in send order).
+    pub fn drop_message(mut self, nth: u64) -> Self {
+        self.drop_nth.push(nth);
+        self
+    }
+
+    /// Delivers the `nth` cross-worker frame twice with the same
+    /// sequence number (the receiver must deduplicate).
+    pub fn duplicate_message(mut self, nth: u64) -> Self {
+        self.duplicate_nth.push(nth);
+        self
+    }
+
+    /// Flips a byte of the `nth` cross-worker frame so the receiver's
+    /// checksum rejects it.
+    pub fn corrupt_message(mut self, nth: u64) -> Self {
+        self.corrupt_nth.push(nth);
+        self
+    }
+
+    /// Holds the `nth` cross-worker frame for `rounds` barrier rounds
+    /// before delivering it.
+    pub fn delay_message(mut self, nth: u64, rounds: u32) -> Self {
+        self.delay_nth.push((nth, rounds));
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.kill.is_none()
+            && self.hang.is_none()
+            && self.drop_nth.is_empty()
+            && self.duplicate_nth.is_empty()
+            && self.corrupt_nth.is_empty()
+            && self.delay_nth.is_empty()
+    }
+}
+
+/// Runtime state of a plan: one-shot flags plus the frame counter.
+/// Shared by every sidecar and worker of a cluster.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    plan: FaultPlan,
+    kill_fired: AtomicBool,
+    hang_fired: AtomicBool,
+    send_index: AtomicU64,
+}
+
+impl FaultState {
+    /// Arms a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            ..Default::default()
+        }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether `worker` must crash before processing command number
+    /// `command` (1-based). Consumes the trigger.
+    pub fn should_kill(&self, worker: WorkerId, command: u64) -> bool {
+        match self.plan.kill {
+            Some((w, n)) if w == worker && n == command => {
+                !self.kill_fired.swap(true, Ordering::Relaxed)
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `worker` must hang from command number `command` (1-based)
+    /// on. Consumes the trigger.
+    pub fn should_hang(&self, worker: WorkerId, command: u64) -> bool {
+        match self.plan.hang {
+            Some((w, n)) if w == worker && n == command => {
+                !self.hang_fired.swap(true, Ordering::Relaxed)
+            }
+            _ => false,
+        }
+    }
+
+    /// Claims the next cluster-wide frame index (0-based, in send order).
+    pub fn next_send_index(&self) -> u64 {
+        self.send_index.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whether frame `idx` is scheduled to be dropped.
+    pub fn drops(&self, idx: u64) -> bool {
+        self.plan.drop_nth.contains(&idx)
+    }
+
+    /// Whether frame `idx` is scheduled to be duplicated.
+    pub fn duplicates(&self, idx: u64) -> bool {
+        self.plan.duplicate_nth.contains(&idx)
+    }
+
+    /// Whether frame `idx` is scheduled to be corrupted.
+    pub fn corrupts(&self, idx: u64) -> bool {
+        self.plan.corrupt_nth.contains(&idx)
+    }
+
+    /// The delay (in barrier rounds) scheduled for frame `idx`, if any.
+    pub fn delay_of(&self, idx: u64) -> Option<u32> {
+        self.plan
+            .delay_nth
+            .iter()
+            .find(|(n, _)| *n == idx)
+            .map(|(_, r)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_trigger_fires_exactly_once() {
+        let s = FaultState::new(FaultPlan::new().kill_worker(1, 3));
+        assert!(!s.should_kill(1, 2));
+        assert!(!s.should_kill(0, 3), "wrong worker");
+        assert!(s.should_kill(1, 3));
+        assert!(!s.should_kill(1, 3), "one-shot");
+    }
+
+    #[test]
+    fn frame_triggers_index_deterministically() {
+        let s = FaultState::new(
+            FaultPlan::new()
+                .drop_message(0)
+                .corrupt_message(2)
+                .duplicate_message(2)
+                .delay_message(5, 3),
+        );
+        assert_eq!(s.next_send_index(), 0);
+        assert_eq!(s.next_send_index(), 1);
+        assert!(s.drops(0) && !s.drops(1));
+        assert!(s.corrupts(2) && s.duplicates(2));
+        assert_eq!(s.delay_of(5), Some(3));
+        assert_eq!(s.delay_of(4), None);
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(!FaultPlan::new().drop_message(1).is_empty());
+    }
+}

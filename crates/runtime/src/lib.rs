@@ -22,17 +22,31 @@
 //!   BDD nodes), standing in for the JVM `-Xmx` accounting of the paper's
 //!   testbed (see DESIGN.md, substitution #6).
 //!
+//! ## Fault tolerance
+//!
+//! The runtime survives worker crashes and hangs (shard-granular
+//! checkpoint + recovery, see [`Cluster::recover`]), degrades adaptively
+//! when a shard exceeds its memory budget (component-aware bisection),
+//! and hardens the wire against frame loss, duplication, reordering and
+//! corruption (checksummed frames with per-link sequence numbers, see
+//! [`wire`]). All failure modes can be injected deterministically through
+//! a [`FaultPlan`] for chaos testing.
+//!
 //! [`SwitchModel`]: s2_routing::SwitchModel
 
 #![deny(missing_docs)]
 
 pub mod controller;
+pub mod faults;
 pub mod memstats;
 pub mod sidecar;
 pub mod wire;
 pub mod worker;
 
-pub use controller::{Cluster, ClusterOptions, CpRunStats, DpvRunStats, RuntimeError};
+pub use controller::{
+    Cluster, ClusterOptions, CpRunStats, DpvRunStats, RuntimeConfig, RuntimeError,
+};
+pub use faults::{FaultPlan, FaultState};
 pub use memstats::{MemGauge, MemReport};
 pub use sidecar::{Sidecar, SidecarNet, TrafficStats};
 pub use wire::{Message, WireError};

@@ -39,7 +39,7 @@ impl MemGauge {
 
     /// Whether the current reading exceeds `budget`.
     pub fn over_budget(&self, budget: Option<usize>) -> bool {
-        budget.map_or(false, |b| self.current > b)
+        budget.is_some_and(|b| self.current > b)
     }
 }
 

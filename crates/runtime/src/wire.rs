@@ -10,6 +10,7 @@
 //! Layout (all integers big-endian):
 //!
 //! ```text
+//! frame     := len:u32 src:u32 epoch:u32 seq:u64 crc:u32 message
 //! message   := tag:u8 body
 //! tag       := 1 (BGP) | 2 (OSPF) | 3 (packet)
 //! bgp       := target_node:u32 target_session:u32 n:u32 route*
@@ -19,6 +20,15 @@
 //! ospf      := target_node:u32 via_iface:u16 n:u32 (addr:u32 len:u8 cost:u32)*
 //! packet    := src:u32 node:u32 ingress:u16 hops:u16 bddlen:u32 bdd-bytes
 //! ```
+//!
+//! Every message travelling between sidecars is wrapped in a *frame*
+//! carrying the sending worker, the controller epoch it was sent in, a
+//! per-link sequence number, and a CRC-32 of the message bytes. `len` is
+//! the total frame length — redundant over an in-process channel, but it
+//! is what makes truncation detectable once the transport is a byte
+//! stream, and the receiver verifies it. Decode failures are *per-frame*
+//! errors: the receiving sidecar counts and skips the bad frame rather
+//! than tearing the worker down.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use s2_net::policy::Protocol;
@@ -73,6 +83,20 @@ pub enum WireError {
     BadTag(u8),
     /// A field held an invalid value.
     BadValue(&'static str),
+    /// The frame checksum did not match the payload.
+    ChecksumMismatch {
+        /// CRC-32 carried by the frame.
+        expected: u32,
+        /// CRC-32 computed over the received payload.
+        actual: u32,
+    },
+    /// The frame's length field disagrees with the received byte count.
+    LengthMismatch {
+        /// Length carried by the frame.
+        declared: u32,
+        /// Bytes actually received.
+        received: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -81,11 +105,102 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "truncated message"),
             WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
             WireError::BadValue(what) => write!(f, "invalid {what}"),
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(f, "frame checksum mismatch (expected {expected:#010x}, got {actual:#010x})")
+            }
+            WireError::LengthMismatch { declared, received } => {
+                write!(f, "frame length mismatch (declared {declared}, received {received})")
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+// ---- framing ----
+
+/// Size of the frame header preceding the message bytes.
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 4 + 8 + 4;
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// A decoded frame header plus the message payload it guarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending worker.
+    pub src: u32,
+    /// Controller epoch the frame was sent in.
+    pub epoch: u32,
+    /// Per-(sender, receiver) sequence number.
+    pub seq: u64,
+    /// The encoded [`Message`].
+    pub payload: Bytes,
+}
+
+/// Wraps an encoded message in a checksummed frame.
+pub fn frame(src: u32, epoch: u32, seq: u64, payload: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.put_u32((FRAME_HEADER_LEN + payload.len()) as u32);
+    buf.put_u32(src);
+    buf.put_u32(epoch);
+    buf.put_u64(seq);
+    buf.put_u32(crc32(payload));
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Validates and strips a frame header: length first, then checksum.
+pub fn deframe(bytes: Bytes) -> Result<Frame, WireError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let mut buf = bytes.clone();
+    let declared = buf.get_u32();
+    if declared as usize != bytes.len() {
+        return Err(WireError::LengthMismatch {
+            declared,
+            received: bytes.len() as u32,
+        });
+    }
+    let src = buf.get_u32();
+    let epoch = buf.get_u32();
+    let seq = buf.get_u64();
+    let expected = buf.get_u32();
+    let payload = bytes.slice(FRAME_HEADER_LEN..);
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    Ok(Frame {
+        src,
+        epoch,
+        seq,
+        payload,
+    })
+}
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
     if buf.remaining() < n {
@@ -378,6 +493,65 @@ mod tests {
     #[test]
     fn bad_tag_rejected() {
         assert_eq!(decode(Bytes::from_static(&[9])), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let payload = encode(&Message::OspfAdvertisement {
+            target_node: NodeId(3),
+            via_iface: InterfaceId(1),
+            entries: vec![("10.0.0.0/24".parse().unwrap(), 5)],
+        });
+        let framed = frame(2, 7, 41, &payload);
+        let f = deframe(framed).unwrap();
+        assert_eq!((f.src, f.epoch, f.seq), (2, 7, 41));
+        assert_eq!(f.payload, payload);
+        assert!(decode(f.payload).is_ok());
+    }
+
+    #[test]
+    fn corrupted_frame_fails_checksum() {
+        let payload = encode(&Message::BgpAdvertisement {
+            target_node: NodeId(0),
+            target_session: 0,
+            routes: vec![sample_route()],
+        });
+        let framed = frame(0, 0, 0, &payload);
+        // Flip the last byte (payload region) — the checksum must catch it.
+        let mut raw: Vec<u8> = framed.as_ref().to_vec();
+        *raw.last_mut().unwrap() ^= 0xff;
+        assert!(matches!(
+            deframe(Bytes::from(raw)),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_or_padded_frame_fails_length_check() {
+        let payload = encode(&Message::BgpAdvertisement {
+            target_node: NodeId(0),
+            target_session: 0,
+            routes: vec![],
+        });
+        let framed = frame(0, 0, 0, &payload);
+        assert!(matches!(
+            deframe(framed.slice(..framed.len() - 1)),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        let mut padded: Vec<u8> = framed.as_ref().to_vec();
+        padded.push(0);
+        assert!(matches!(
+            deframe(Bytes::from(padded)),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        assert_eq!(deframe(Bytes::new()), Err(WireError::Truncated));
     }
 
     proptest! {

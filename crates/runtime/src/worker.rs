@@ -12,6 +12,7 @@
 //! is the exact Jacobi schedule of the monolithic engine — which is what
 //! makes S2's RIBs bit-identical to the baseline's (§5.3).
 
+use crate::faults::FaultState;
 use crate::memstats::{MemGauge, MemReport};
 use crate::sidecar::Sidecar;
 use crate::wire::Message;
@@ -94,6 +95,21 @@ pub enum Command {
     CollectObservedDeps,
     /// Report the memory gauge.
     MemReport,
+    /// Liveness / resynchronization probe: replies `Pong` with the same
+    /// nonce. The controller uses it after a failed barrier to discard
+    /// stale replies until the channel is back in lockstep.
+    Ping(u64),
+    /// Recovery: discard everything queued in the sidecar inbox, adopt
+    /// `epoch` as current, reset sequence tracking, and clear staged
+    /// same-worker deliveries from the aborted round.
+    FlushInbox {
+        /// The controller epoch to adopt.
+        epoch: u32,
+    },
+    /// Recovery: forget the Adj-RIB-Out cache so the next `BgpExport`
+    /// re-sends full state (heals receivers that missed an incremental
+    /// update to loss, corruption, or a worker replacement).
+    BgpResync,
     /// Terminate the worker thread.
     Shutdown,
 }
@@ -153,11 +169,17 @@ pub enum Reply {
         /// Observed usage in bytes.
         observed: usize,
     },
+    /// Liveness probe answer, echoing the `Ping` nonce.
+    Pong(u64),
 }
+
+/// A staged OSPF delivery: (destination node, arriving interface, routes).
+type PendingOspf = (NodeId, s2_net::topology::InterfaceId, Vec<(Prefix, u32)>);
 
 /// The worker's mutable state.
 pub struct Worker {
     sidecar: Sidecar,
+    faults: Arc<FaultState>,
     model: Arc<NetworkModel>,
     local_nodes: Vec<NodeId>,
     switches: BTreeMap<NodeId, SwitchModel>,
@@ -172,7 +194,7 @@ pub struct Worker {
     /// behaviour of real BGP, and what keeps cross-worker traffic
     /// proportional to convergence activity rather than round count.
     last_adv: BTreeMap<(NodeId, usize), Vec<BgpRoute>>,
-    pending_ospf: Vec<(NodeId, s2_net::topology::InterfaceId, Vec<(Prefix, u32)>)>,
+    pending_ospf: Vec<PendingOspf>,
     // Data plane.
     space: PacketSpace,
     manager: Option<BddManager>,
@@ -193,12 +215,30 @@ impl Worker {
         local_nodes: Vec<NodeId>,
         memory_budget: Option<usize>,
     ) -> Self {
+        Self::with_faults(
+            sidecar,
+            model,
+            local_nodes,
+            memory_budget,
+            Arc::new(FaultState::default()),
+        )
+    }
+
+    /// [`Worker::new`] with an armed fault plan (shared cluster-wide).
+    pub fn with_faults(
+        sidecar: Sidecar,
+        model: Arc<NetworkModel>,
+        local_nodes: Vec<NodeId>,
+        memory_budget: Option<usize>,
+        faults: Arc<FaultState>,
+    ) -> Self {
         let switches = local_nodes
             .iter()
             .map(|&n| (n, SwitchModel::new(&model, n)))
             .collect();
         Worker {
             sidecar,
+            faults,
             model,
             local_nodes,
             switches,
@@ -218,12 +258,27 @@ impl Worker {
     }
 
     /// The command-processing loop; runs until `Shutdown`.
+    ///
+    /// Fault hooks: an armed *kill* makes the thread return before the
+    /// triggering command (a crashed logical server — the controller sees
+    /// closed channels); an armed *hang* keeps the thread alive but mute
+    /// (the controller sees a barrier timeout), draining commands until
+    /// the controller abandons the channel so the thread stays joinable.
     pub fn run(
         mut self,
         commands: crossbeam::channel::Receiver<Command>,
         replies: crossbeam::channel::Sender<Reply>,
     ) {
+        let mut processed: u64 = 0;
         while let Ok(cmd) = commands.recv() {
+            processed += 1;
+            if self.faults.should_kill(self.sidecar.worker, processed) {
+                return;
+            }
+            if self.faults.should_hang(self.sidecar.worker, processed) {
+                while commands.recv().is_ok() {}
+                return;
+            }
             let reply = match cmd {
                 Command::Shutdown => break,
                 other => self.handle(other),
@@ -339,6 +394,19 @@ impl Worker {
                 Reply::Deps(deps)
             }
             Command::MemReport => Reply::Mem(self.mem_report()),
+            Command::Ping(nonce) => Reply::Pong(nonce),
+            Command::FlushInbox { epoch } => {
+                self.sidecar.flush(epoch);
+                // Staged same-worker deliveries belong to the aborted
+                // round; the recovery rerun regenerates them.
+                self.pending_ospf.clear();
+                self.pending_bgp.clear();
+                Reply::Ok
+            }
+            Command::BgpResync => {
+                self.last_adv.clear();
+                Reply::Ok
+            }
             Command::Shutdown => unreachable!("handled by run()"),
         }
     }
@@ -377,7 +445,7 @@ impl Worker {
     fn ospf_apply(&mut self) -> bool {
         let mut changed = false;
         let mut deliveries = std::mem::take(&mut self.pending_ospf);
-        for msg in self.sidecar.drain().expect("well-formed peer traffic") {
+        for msg in self.sidecar.drain() {
             if let Message::OspfAdvertisement {
                 target_node,
                 via_iface,
@@ -433,7 +501,7 @@ impl Worker {
     fn bgp_apply(&mut self) -> bool {
         let mut changed = false;
         let mut deliveries = std::mem::take(&mut self.pending_bgp);
-        for msg in self.sidecar.drain().expect("well-formed peer traffic") {
+        for msg in self.sidecar.drain() {
             if let Message::BgpAdvertisement {
                 target_node,
                 target_session,
@@ -514,7 +582,7 @@ impl Worker {
     /// serialized BDD per (worker, merge-key).
     fn forward_round(&mut self) -> (usize, usize) {
         let manager = self.manager.as_mut().expect("DpSetup ran");
-        for msg in self.sidecar.drain().expect("well-formed peer traffic") {
+        for msg in self.sidecar.drain() {
             if let Message::Packet {
                 src,
                 node,
@@ -523,7 +591,20 @@ impl Worker {
                 bdd,
             } = msg
             {
-                let set = bdd_io::from_bytes(manager, &bdd).expect("valid BDD payload");
+                // An undecodable BDD payload is a per-message wire error
+                // (counted, packet skipped), not a worker crash; the
+                // controller's disturbance tracking replays the phase.
+                let set = match bdd_io::from_bytes(manager, &bdd) {
+                    Ok(set) => set,
+                    Err(_) => {
+                        self.sidecar
+                            .net()
+                            .stats()
+                            .wire_errors
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        continue;
+                    }
+                };
                 merge_packet(
                     manager,
                     &mut self.level,

@@ -84,7 +84,7 @@ fn load(args: &Args) -> Result<s2::NetworkModel, String> {
     entries.sort_by_key(|e| e.path());
     for entry in entries {
         let path = entry.path();
-        if path.extension().map_or(false, |e| e == "cfg") {
+        if path.extension().is_some_and(|e| e == "cfg") {
             texts.push(
                 std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?,
             );

@@ -66,4 +66,5 @@ pub use verifier::{ingest, S2Error, S2Options, S2Verifier};
 
 // Re-export the workspace layers a downstream user needs.
 pub use s2_partition::schemes::Scheme;
+pub use s2_runtime::{FaultPlan, RuntimeConfig, RuntimeError};
 pub use s2_routing::{NetworkModel, RibSnapshot};

@@ -48,7 +48,7 @@ impl S2Report {
 
     /// A one-paragraph human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} nodes on {} workers, {} shards: {} routes, {} BGP rounds; \
              reachability {}/{} pairs, {} loops, {} blackhole finals, \
              {} waypoint violations, {} multipath violations; \
@@ -67,6 +67,16 @@ impl S2Report {
             self.peak_worker_memory(),
             self.cp.messages,
             self.cp.bytes,
-        )
+        );
+        let recoveries = self.cp.recoveries + self.dpv.recoveries;
+        let wire_errors = self.cp.wire_errors + self.dpv.wire_errors;
+        if recoveries + self.cp.oom_splits > 0 || wire_errors > 0 {
+            s.push_str(&format!(
+                "; survived {} worker recoveries, {} OOM shard splits \
+                 ({} shard retries), {} wire errors",
+                recoveries, self.cp.oom_splits, self.cp.shard_retries, wire_errors,
+            ));
+        }
+        s
     }
 }

@@ -9,7 +9,7 @@ use s2_net::{NetError, Prefix};
 use s2_partition::schemes::{compute, Scheme};
 use s2_partition::Partition;
 use s2_routing::{NetworkModel, RibSnapshot};
-use s2_runtime::{Cluster, ClusterOptions, CpRunStats, RuntimeError};
+use s2_runtime::{Cluster, ClusterOptions, CpRunStats, FaultPlan, RuntimeConfig, RuntimeError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -38,6 +38,10 @@ pub struct S2Options {
     /// switch-level parallelism of the workers, exactly as the paper
     /// describes. `0` or `1` keeps the default sequential-shard schedule.
     pub parallel_shard_groups: usize,
+    /// Fault-tolerance and transport configuration (barrier timeout,
+    /// recovery/bisection budgets, fault injection). `memory_budget`
+    /// above takes precedence over `runtime.memory_budget` when set.
+    pub runtime: RuntimeConfig,
 }
 
 impl Default for S2Options {
@@ -51,6 +55,7 @@ impl Default for S2Options {
             max_rounds: s2_routing::DEFAULT_MAX_ROUNDS,
             max_hops: 0,
             parallel_shard_groups: 1,
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -122,11 +127,15 @@ impl S2Verifier {
         opts: &S2Options,
     ) -> Result<Self, S2Error> {
         let model = Arc::new(model);
-        let cluster = Cluster::new(
+        let config = RuntimeConfig {
+            memory_budget: opts.memory_budget.or(opts.runtime.memory_budget),
+            ..opts.runtime.clone()
+        };
+        let cluster = Cluster::with_config(
             model.clone(),
             partition.assignment.clone(),
             partition.num_workers,
-            opts.memory_budget,
+            config,
         );
         Ok(S2Verifier {
             model,
@@ -166,11 +175,24 @@ impl S2Verifier {
         let copts = self.cluster_opts();
         // IGP first so the shard planner sees redistribution targets; the
         // control-plane run repeats the (cheap, already converged) OSPF
-        // rounds.
-        self.cluster.run_ospf(&copts)?;
-        let plan = self
-            .cluster
-            .plan_shards(self.opts.shards, self.opts.shard_seed)?;
+        // rounds. A worker lost during this pre-phase is recovered and
+        // the pre-phase retried (losses inside the control-plane run are
+        // handled by the cluster's own checkpointed retry loop).
+        let mut attempts = self.opts.runtime.max_recoveries;
+        let plan = loop {
+            let attempt = self.cluster.run_ospf(&copts).and_then(|_| {
+                self.cluster
+                    .plan_shards(self.opts.shards, self.opts.shard_seed)
+            });
+            match attempt {
+                Ok(plan) => break plan,
+                Err(RuntimeError::WorkerLost { .. }) if attempts > 0 => {
+                    attempts -= 1;
+                    self.cluster.recover()?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         if self.opts.parallel_shard_groups > 1 && plan.shards.len() > 1 {
             return self.simulate_parallel(plan, &copts);
         }
@@ -206,7 +228,7 @@ impl S2Verifier {
                     .map(|(g, gplan)| {
                         let model = self.model.clone();
                         let partition = &self.partition;
-                        let budget = self.opts.memory_budget;
+                        let budget = self.opts.memory_budget.or(self.opts.runtime.memory_budget);
                         let copts = copts.clone();
                         scope.spawn(move || {
                             // Group 0 reuses the main fleet; others get
@@ -215,11 +237,18 @@ impl S2Verifier {
                             if g == 0 {
                                 self.cluster.run_control_plane(&gplan, &copts)
                             } else {
-                                let cluster = Cluster::new(
+                                // Replicas never re-inject the faults the
+                                // main fleet already played out.
+                                let config = RuntimeConfig {
+                                    memory_budget: budget,
+                                    faults: FaultPlan::default(),
+                                    ..self.opts.runtime.clone()
+                                };
+                                let cluster = Cluster::with_config(
                                     model,
                                     partition.assignment.clone(),
                                     partition.num_workers,
-                                    budget,
+                                    config,
                                 );
                                 let out = cluster.run_control_plane(&gplan, &copts);
                                 cluster.shutdown();
@@ -254,6 +283,11 @@ impl S2Verifier {
                     }
                     acc_stats.messages += stats.messages;
                     acc_stats.bytes += stats.bytes;
+                    acc_stats.recoveries += stats.recoveries;
+                    acc_stats.oom_splits += stats.oom_splits;
+                    acc_stats.shard_retries += stats.shard_retries;
+                    acc_stats.resyncs += stats.resyncs;
+                    acc_stats.wire_errors += stats.wire_errors;
                     acc_stats.elapsed = acc_stats.elapsed.max(stats.elapsed);
                     (acc_rib, acc_stats)
                 }

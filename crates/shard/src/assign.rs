@@ -19,7 +19,7 @@ pub fn greedy_assign(components: Vec<Vec<Prefix>>, num_shards: usize, seed: u64)
     // this, components ordered by origin switch dominate shards unevenly
     // across workers (the paper observed exactly this imbalance).
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    components.sort_by(|a, b| b.len().cmp(&a.len()));
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
     let mut start = 0;
     while start < components.len() {
         let size = components[start].len();

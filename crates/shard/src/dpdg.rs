@@ -78,7 +78,7 @@ impl Dpdg {
     pub fn weakly_connected_components(&self) -> Vec<Vec<Prefix>> {
         let n = self.prefixes.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -87,7 +87,7 @@ impl ShardPlan {
     pub fn merged_for(&self, violations: &[(Prefix, Prefix)]) -> ShardPlan {
         let n = self.shards.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -143,7 +143,7 @@ impl Dcn {
 /// ASN of a cluster layer: even layers private, odd layers public, unique
 /// per (cluster, layer).
 fn layer_asn(cluster: usize, layer: usize) -> u32 {
-    if layer % 2 == 0 {
+    if layer.is_multiple_of(2) {
         64512 + (cluster * 8 + layer) as u32
     } else {
         60000 + (cluster * 8 + layer) as u32

@@ -24,7 +24,7 @@ pub struct FatTreeParams {
 impl FatTreeParams {
     /// Standard parameters for a given k.
     pub fn new(k: usize) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+        assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
         FatTreeParams { k, max_ecmp: 64 }
     }
 

@@ -6,7 +6,7 @@
 //! ABSENT from its RIB (a non-exist backup announcement). The two prefixes
 //! are therefore dependent and must be co-sharded.
 
-use s2::{NetworkModel, S2Options, S2Verifier, Scheme};
+use s2::{NetworkModel, S2Options, S2Verifier};
 use s2_net::config::{
     BgpNeighbor, BgpProcess, ConditionalAdvertisement, DeviceConfig, InterfaceConfig, Network,
     Vendor,

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench targets compiling and runnable without the real
+//! harness: `cargo bench` executes each benchmark body once and prints
+//! its wall-clock time. No statistics, warm-up, or report output.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding `value` or the work behind it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Accepted as a benchmark name: plain strings or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display form of the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Runs one benchmark body.
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Times a single execution of `routine` (upstream runs many).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub always runs one iteration.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` once and prints the elapsed time.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_id();
+        let start = Instant::now();
+        routine(&mut Bencher { _private: () });
+        println!("{}/{label}: {:?}", self.name, start.elapsed());
+        self
+    }
+
+    /// Runs `routine` once with `input` and prints the elapsed time.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_id();
+        let start = Instant::now();
+        routine(&mut Bencher { _private: () }, input);
+        println!("{}/{label}: {:?}", self.name, start.elapsed());
+        self
+    }
+
+    /// Ends the group (no report to flush here).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_id();
+        let start = Instant::now();
+        routine(&mut Bencher { _private: () });
+        println!("{label}: {:?}", start.elapsed());
+        self
+    }
+}
+
+/// Declares a group function invoking each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

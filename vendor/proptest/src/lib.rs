@@ -1,0 +1,559 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! seeded random generation through `Strategy` combinators and the
+//! `proptest!` macro. Differences from upstream: no shrinking (a failing
+//! case is reported as-is), fixed per-test seeds derived from the test
+//! path (fully reproducible runs), and a smaller default case count.
+
+use std::fmt;
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Per-block configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps offline CI fast while
+            // still exercising each property broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// Deterministic generator driving all strategies (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x6a09_e667_f3bc_c909,
+            }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty range");
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+
+    /// FNV-1a over a string — used to derive stable per-test seeds.
+    pub fn fnv(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let inner = self;
+            BoxedStrategy {
+                sample: Rc::new(move |rng| inner.sample_value(rng)),
+            }
+        }
+
+        /// Builds recursive structures: `f` lifts a strategy for depth-k
+        /// values to depth-(k+1); leaves are drawn from `self`. `_size`
+        /// and `_branch` (upstream's expected node count and branching
+        /// factor) are ignored — depth alone bounds the tree here.
+        fn prop_recursive<F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(cur);
+                let leaf = leaf.clone();
+                cur = BoxedStrategy {
+                    sample: Rc::new(move |rng| {
+                        // 1-in-4 chance of stopping early keeps generated
+                        // trees varied in depth, as upstream does.
+                        if rng.below(4) == 0 {
+                            leaf.sample_value(rng)
+                        } else {
+                            deeper.sample_value(rng)
+                        }
+                    }),
+                };
+            }
+            cur
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        sample: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sample: Rc::clone(&self.sample),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            (self.sample)(rng)
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample_value(rng))
+        }
+    }
+
+    /// Uniform choice between the arms of `prop_oneof!`.
+    #[derive(Debug, Clone)]
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A / 0, B / 1);
+        (A / 0, B / 1, C / 2);
+        (A / 0, B / 1, C / 2, D / 3);
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: fmt::Debug {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use super::strategy::TestRng;
+
+    /// A deferred index into a collection whose length is unknown at
+    /// generation time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Projects onto `[0, len)`; panics if `len == 0`, like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size specifications for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.lo < self.hi, "empty size range");
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates collapse, so bound the draw count in case the
+            // element domain is smaller than the requested size.
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 20 + 100 {
+                set.insert(self.element.sample_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + fmt::Debug,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    // Upstream's prelude re-exports the crate root as `prop`, enabling
+    // paths like `prop::sample::Index`.
+    pub use crate as prop;
+}
+
+/// Runs each contained `fn` as a property: every argument is drawn from
+/// its strategy for each of `cases` seeded iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let __seed = $crate::strategy::fnv(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::strategy::TestRng::new(
+                        __seed ^ u64::from(__case).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample_value(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property assertion — plain `assert!` here (no shrinking to drive).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion — plain `assert_eq!` here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::strategy::TestRng::new(1);
+        for _ in 0..200 {
+            let v = (3u32..17).sample_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0u8..=255).sample_value(&mut rng);
+            let _ = w; // full domain: nothing to bound
+        }
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = crate::strategy::TestRng::new(2);
+        for _ in 0..50 {
+            let v = crate::collection::vec(any::<u32>(), 2..5).sample_value(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 5);
+            let s = crate::collection::btree_set(any::<u64>(), 3..4).sample_value(&mut rng);
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself: bindings, maps, oneof, and Index all work.
+        #[test]
+        fn macro_end_to_end(
+            x in (0u16..10).prop_map(|v| v * 2),
+            pick in prop_oneof![0u32..1, 5u32..6],
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(x % 2 == 0 && x < 20);
+            prop_assert!(pick == 0 || pick == 5);
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! S2 uses randomness only for seeded, reproducible shuffles (partition
+//! and shard assignment). A splitmix64/xoshiro-style generator behind the
+//! same `SeedableRng` + `SliceRandom` API covers that; the streams differ
+//! from upstream rand's, which is fine — every fixed seed still yields a
+//! deterministic shuffle, and any permutation is a valid assignment.
+
+/// Core RNG interface: uniform 64-bit output plus a bounded sampler.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `[0, bound)` via Lemire-style rejection.
+    fn gen_bound(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Construction of RNGs from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seeded generator (xorshift* core seeded by splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 step so that small seeds don't yield small states.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            StdRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* — tiny, fast, good enough for shuffles.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// In-place Fisher–Yates shuffling for slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly with `rng`.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_bound(i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_sensitive() {
+        let orig: Vec<u32> = (0..50).collect();
+        let mut x = orig.clone();
+        x.shuffle(&mut StdRng::seed_from_u64(1));
+        let mut y = orig.clone();
+        y.shuffle(&mut StdRng::seed_from_u64(1));
+        assert_eq!(x, y, "same seed, same permutation");
+        let mut z = orig.clone();
+        z.shuffle(&mut StdRng::seed_from_u64(2));
+        assert_ne!(x, z, "different seed shuffles differently");
+        let mut sorted = x.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle permutes, never drops");
+    }
+
+    #[test]
+    fn gen_bound_is_in_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        for bound in [1u64, 2, 7, 100] {
+            for _ in 0..100 {
+                assert!(r.gen_bound(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! S2 only *derives* the traits on model types (for downstream users);
+//! nothing in the workspace serializes through serde, so empty marker
+//! traits plus no-op derives satisfy every use site.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait SerializeTrait {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait DeserializeTrait {}
