@@ -18,9 +18,10 @@
 
 use crate::faults::{FaultPlan, FaultState};
 use crate::memstats::MemReport;
-use crate::sidecar::{Sidecar, SidecarNet};
+use crate::remote;
+use crate::sidecar::{Sidecar, SidecarNet, TrafficSnapshot};
+use crate::transport::{Inbox, TransportKind};
 use crate::worker::{Command, Reply, Worker};
-use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use s2_bdd::serialize as bdd_io;
@@ -68,7 +69,7 @@ pub enum RuntimeError {
         /// The reply the barrier expected.
         expected: &'static str,
         /// The reply (or payload state) actually received.
-        got: &'static str,
+        got: String,
     },
     /// Cross-worker frames were rejected (checksum / length / decode) and
     /// the configuration demands that be fatal, or replays could not
@@ -124,6 +125,8 @@ pub struct RuntimeConfig {
     pub fatal_wire_errors: bool,
     /// Deterministic fault-injection schedule (chaos testing).
     pub faults: FaultPlan,
+    /// Data-fabric backend (in-process channels by default).
+    pub transport: TransportKind,
 }
 
 impl Default for RuntimeConfig {
@@ -135,6 +138,7 @@ impl Default for RuntimeConfig {
             max_oom_splits: 64,
             fatal_wire_errors: false,
             faults: FaultPlan::default(),
+            transport: TransportKind::default(),
         }
     }
 }
@@ -184,6 +188,9 @@ pub struct CpRunStats {
     pub resyncs: usize,
     /// Cross-worker frames rejected at the receiver.
     pub wire_errors: u64,
+    /// Full transport counters (reconnects, backpressure stalls, …),
+    /// aggregated across processes in multi-process mode.
+    pub traffic: TrafficSnapshot,
 }
 
 impl CpRunStats {
@@ -227,11 +234,22 @@ pub struct DpvRunStats {
     pub replays: usize,
     /// Cross-worker frames rejected at the receiver.
     pub wire_errors: u64,
+    /// Full transport counters (reconnects, backpressure stalls, …),
+    /// aggregated across processes in multi-process mode.
+    pub traffic: TrafficSnapshot,
 }
 
 struct WorkerHandle {
     cmd: Sender<Command>,
     reply: Receiver<Reply>,
+}
+
+/// One sample of the transport state feeding a convergence decision.
+#[derive(Debug, Clone, Copy, Default)]
+struct NetProbe {
+    in_flight: u64,
+    disturbances: u64,
+    losses: u64,
 }
 
 /// Mutable fleet state: live handles plus every thread ever spawned
@@ -289,6 +307,10 @@ pub struct Cluster {
     faults: Arc<FaultState>,
     state: Mutex<ClusterState>,
     nonce: AtomicU64,
+    /// Whether workers live in other processes (commands travel over the
+    /// control sockets through per-worker proxy threads). Remote workers
+    /// cannot be respawned, so recovery is unsupported.
+    remote: bool,
 }
 
 impl Cluster {
@@ -321,8 +343,13 @@ impl Cluster {
     ) -> Cluster {
         assert_eq!(node_owner.len(), model.topology.node_count());
         let faults = Arc::new(FaultState::new(config.faults.clone()));
-        let (net, inboxes) =
-            SidecarNet::build_with_faults(node_owner.clone(), num_workers, faults.clone());
+        let (net, inboxes) = SidecarNet::build_with_transport(
+            node_owner.clone(),
+            num_workers,
+            faults.clone(),
+            config.transport.clone(),
+        )
+        .expect("cluster transport failed to bind (loopback listeners)");
         let mut handles = Vec::new();
         let mut threads = Vec::new();
         for (w, inbox) in inboxes.into_iter().enumerate() {
@@ -351,7 +378,57 @@ impl Cluster {
                 detached: Vec::new(),
             }),
             nonce: AtomicU64::new(0),
+            remote: false,
         }
+    }
+
+    /// Builds a cluster whose workers are separate processes: waits on
+    /// `listener` until `num_workers` worker processes register, sends
+    /// each its identity and the peer data-fabric addresses, and runs one
+    /// proxy thread per worker translating commands and replies to
+    /// control-socket envelopes. The orchestration code above notices no
+    /// difference; worker loss is fatal (a remote process cannot be
+    /// respawned from here).
+    pub fn connect_remote(
+        model: Arc<NetworkModel>,
+        node_owner: Vec<u32>,
+        num_workers: u32,
+        listener: std::net::TcpListener,
+        config: RuntimeConfig,
+    ) -> std::io::Result<Cluster> {
+        assert_eq!(node_owner.len(), model.topology.node_count());
+        let faults = Arc::new(FaultState::new(FaultPlan::default()));
+        // The controller does not participate in the data fabric; this
+        // net only carries the epoch and a zeroed local stats block.
+        let (net, _inboxes) = SidecarNet::build(node_owner.clone(), num_workers);
+        let streams = remote::accept_fleet(
+            &listener,
+            num_workers,
+            &node_owner,
+            config.memory_budget,
+        )?;
+        let mut handles = Vec::new();
+        let mut threads = Vec::new();
+        for (w, stream) in streams.into_iter().enumerate() {
+            let (cmd, reply, thread) = remote::spawn_proxy(w as u32, stream);
+            handles.push(WorkerHandle { cmd, reply });
+            threads.push(Some(thread));
+        }
+        Ok(Cluster {
+            model,
+            net,
+            node_owner,
+            num_workers,
+            config,
+            faults,
+            state: Mutex::new(ClusterState {
+                handles,
+                threads,
+                detached: Vec::new(),
+            }),
+            nonce: AtomicU64::new(0),
+            remote: true,
+        })
     }
 
     fn spawn_worker(
@@ -361,7 +438,7 @@ impl Cluster {
         faults: &Arc<FaultState>,
         memory_budget: Option<usize>,
         w: u32,
-        inbox: Receiver<Bytes>,
+        inbox: Inbox,
     ) -> (WorkerHandle, std::thread::JoinHandle<()>) {
         let (cmd_tx, cmd_rx) = unbounded();
         let (reply_tx, reply_rx) = unbounded();
@@ -423,14 +500,17 @@ impl Cluster {
             Reply::Finals { .. } => "Finals",
             Reply::OutOfMemory { .. } => "OutOfMemory",
             Reply::Pong(_) => "Pong",
+            Reply::Net { .. } => "Net",
+            Reply::Violation(_) => "Violation",
         }
     }
 
     fn violation(expected: &'static str, got: &Reply) -> RuntimeError {
-        RuntimeError::ProtocolViolation {
-            expected,
-            got: Self::reply_kind(got),
-        }
+        let got = match got {
+            Reply::Violation(what) => format!("Violation({what})"),
+            other => Self::reply_kind(other).to_string(),
+        };
+        RuntimeError::ProtocolViolation { expected, got }
     }
 
     /// Broadcasts a command and gathers one reply per worker (a barrier).
@@ -485,6 +565,62 @@ impl Cluster {
         replies.iter().all(|r| matches!(r, Reply::Changed(false)))
     }
 
+    /// Samples the disturbance-relevant transport state. Locally this
+    /// reads the shared counters; in multi-process mode it barriers a
+    /// `NetStats` and sums the per-worker answers.
+    ///
+    /// `in_flight` is read strictly *before* the counters: a reconnect
+    /// bumps its loss counters before resetting the credit window (see
+    /// `tcp::dial`), so sampling in this order guarantees at least one of
+    /// the two probes witnesses frames that died with a connection.
+    fn probe_net(&self, during: &'static str) -> Result<NetProbe, RuntimeError> {
+        if !self.remote {
+            let in_flight = self.net.in_flight() as u64;
+            let stats = self.net.stats();
+            return Ok(NetProbe {
+                in_flight,
+                disturbances: stats.disturbances(),
+                losses: stats.losses(),
+            });
+        }
+        let mut probe = NetProbe::default();
+        for r in self.barrier(during, || Command::NetStats)? {
+            match r {
+                Reply::Net { traffic, in_flight } => {
+                    probe.in_flight += in_flight;
+                    probe.disturbances += traffic.disturbances();
+                    probe.losses += traffic.losses();
+                }
+                other => return Err(Self::violation("Net", &other)),
+            }
+        }
+        Ok(probe)
+    }
+
+    /// The cluster-wide transport counters: local stats plus (in
+    /// multi-process mode) every worker process's counters.
+    fn traffic_snapshot(&self) -> Result<TrafficSnapshot, RuntimeError> {
+        let mut snap = self.net.stats().full_snapshot();
+        if self.remote {
+            for r in self.barrier("net-stats", || Command::NetStats)? {
+                match r {
+                    Reply::Net { traffic, .. } => snap.merge(&traffic),
+                    other => return Err(Self::violation("Net", &other)),
+                }
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Parks the round loop briefly while the transport still has frames
+    /// in flight, so asynchronous delivery does not burn the round budget
+    /// at full speed (channel backend: in-flight is always zero).
+    fn stall_for_in_flight(&self, probe: &NetProbe) {
+        if probe.in_flight > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     /// Errors out if wire errors occurred and the config makes them fatal.
     fn check_wire_fatal(&self) -> Result<(), RuntimeError> {
         if self.config.fatal_wire_errors {
@@ -524,6 +660,14 @@ impl Cluster {
     /// (4) barrier a `FlushInbox` so every sidecar adopts the new epoch
     /// with an empty inbox and cleared staging queues.
     pub fn recover(&self) -> Result<(), RuntimeError> {
+        if self.remote {
+            // A remote worker process cannot be respawned from here; its
+            // loss is final.
+            return Err(RuntimeError::WorkerLost {
+                worker: u32::MAX,
+                during: "remote-recovery-unsupported",
+            });
+        }
         let mut state = self.state.lock();
         let nonce = self.nonce.fetch_add(1, Ordering::Relaxed) + 1;
         let mut dead = Vec::new();
@@ -621,18 +765,35 @@ impl Cluster {
     /// re-exports its full table every round, which heals losses without
     /// any explicit resync.
     pub fn run_ospf(&self, opts: &ClusterOptions) -> Result<usize, RuntimeError> {
-        for round in 0..opts.max_rounds {
-            let before = self.net.stats().disturbances();
+        let mut round = 0;
+        let mut stalled_since: Option<Instant> = None;
+        while round < opts.max_rounds {
+            let before = self.probe_net("ospf-probe")?;
             self.barrier("ospf-export", || Command::OspfExport)?;
             let replies = self.barrier("ospf-apply", || Command::OspfApply)?;
             let released = self.net.tick_delayed();
             self.check_wire_fatal()?;
-            let disturbed = self.net.stats().disturbances() != before
-                || released > 0
-                || self.net.held_count() > 0;
-            if Self::all_unchanged(&replies) && !disturbed {
+            let probe = self.probe_net("ospf-probe")?;
+            let quiet = Self::all_unchanged(&replies)
+                && probe.disturbances == before.disturbances
+                && released == 0
+                && self.net.held_count() == 0;
+            if quiet && probe.in_flight == 0 {
                 return Ok(round + 1);
             }
+            // A quiet round with frames still in flight is transport
+            // delay (e.g. a partition window), not protocol iteration:
+            // bound it by the barrier timeout, not the round budget.
+            if quiet {
+                let since = *stalled_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > self.config.barrier_timeout {
+                    break;
+                }
+            } else {
+                stalled_since = None;
+                round += 1;
+            }
+            self.stall_for_in_flight(&probe);
         }
         Err(RuntimeError::NotConverged {
             protocol: "ospf",
@@ -738,26 +899,44 @@ impl Cluster {
         self.barrier("bgp-begin", || Command::BgpBegin {
             shard: Some(shard.clone()),
         })?;
-        for _ in 0..opts.max_rounds {
-            let d0 = self.net.stats().disturbances();
-            let l0 = self.net.stats().losses();
+        let mut round = 0;
+        let mut stalled_since: Option<Instant> = None;
+        while round < opts.max_rounds {
+            let before = self.probe_net("bgp-probe")?;
             self.barrier("bgp-export", || Command::BgpExport)?;
             let replies = self.barrier("bgp-apply", || Command::BgpApply)?;
-            ck.bgp_rounds += 1;
             let released = self.net.tick_delayed();
             self.check_wire_fatal()?;
-            let lost = self.net.stats().losses() != l0;
-            let disturbed = self.net.stats().disturbances() != d0
-                || released > 0
-                || self.net.held_count() > 0;
+            let probe = self.probe_net("bgp-probe")?;
+            let lost = probe.losses != before.losses;
+            let quiet = Self::all_unchanged(&replies)
+                && !lost
+                && probe.disturbances == before.disturbances
+                && released == 0
+                && self.net.held_count() == 0;
             if lost || released > 0 {
                 self.barrier("bgp-resync", || Command::BgpResync)?;
                 ck.resyncs += 1;
             }
-            if Self::all_unchanged(&replies) && !disturbed {
+            if quiet && probe.in_flight == 0 {
+                ck.bgp_rounds += round + 1;
                 return Ok(());
             }
+            // A quiet round with frames still in flight is transport
+            // delay (e.g. a partition window), not protocol iteration:
+            // bound it by the barrier timeout, not the round budget.
+            if quiet {
+                let since = *stalled_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > self.config.barrier_timeout {
+                    break;
+                }
+            } else {
+                stalled_since = None;
+                round += 1;
+            }
+            self.stall_for_in_flight(&probe);
         }
+        ck.bgp_rounds += round;
         Err(RuntimeError::NotConverged {
             protocol: "bgp",
             rounds: opts.max_rounds,
@@ -898,12 +1077,13 @@ impl Cluster {
             oom_splits: ck.oom_splits,
             shard_retries: ck.shard_retries,
             resyncs: ck.resyncs,
-            wire_errors: self.net.stats().wire_errors.load(Ordering::Relaxed),
             ..CpRunStats::default()
         };
-        let (messages, bytes) = self.traffic();
-        stats.messages = messages;
-        stats.bytes = bytes;
+        let traffic = self.traffic_snapshot()?;
+        stats.messages = traffic.messages;
+        stats.bytes = traffic.bytes;
+        stats.wire_errors = traffic.wire_errors;
+        stats.traffic = traffic;
         stats.elapsed = start.elapsed();
         let executed = ShardPlan {
             shards: ck.executed,
@@ -981,10 +1161,10 @@ impl Cluster {
         let mut recoveries = 0usize;
         let mut replays = 0usize;
         loop {
-            let losses0 = self.net.stats().losses();
+            let losses0 = self.probe_net("dpv-probe")?.losses;
             match self.dpv_attempt(&rib, &sources, &expected, dst_space, &waypoints, opts) {
                 Ok(mut stats) => {
-                    let lost = self.net.stats().losses() - losses0;
+                    let lost = self.probe_net("dpv-probe")?.losses - losses0;
                     if lost > 0 {
                         if attempts_left == 0 {
                             return Err(RuntimeError::Wire { errors: lost });
@@ -995,7 +1175,9 @@ impl Cluster {
                     }
                     stats.recoveries = recoveries;
                     stats.replays = replays;
-                    stats.wire_errors = self.net.stats().wire_errors.load(Ordering::Relaxed);
+                    let traffic = self.traffic_snapshot()?;
+                    stats.wire_errors = traffic.wire_errors;
+                    stats.traffic = traffic;
                     return Ok(stats);
                 }
                 Err(RuntimeError::WorkerLost { .. }) if attempts_left > 0 => {
@@ -1041,7 +1223,8 @@ impl Cluster {
             stats.forward_rounds += 1;
             let released = self.net.tick_delayed();
             self.check_wire_fatal()?;
-            let mut quiet = released == 0 && self.net.held_count() == 0;
+            let probe = self.probe_net("dp-probe")?;
+            let mut quiet = released == 0 && self.net.held_count() == 0 && probe.in_flight == 0;
             for r in replies {
                 match r {
                     Reply::Forwarded {
@@ -1060,6 +1243,7 @@ impl Cluster {
             if quiet {
                 break;
             }
+            self.stall_for_in_flight(&probe);
         }
         stats.fwd_time = t1.elapsed();
 
@@ -1108,7 +1292,7 @@ impl Cluster {
                             Err(_) => {
                                 return Err(RuntimeError::ProtocolViolation {
                                     expected: "valid BDD payload",
-                                    got: "undecodable final set",
+                                    got: "undecodable final set".to_string(),
                                 })
                             }
                         };
@@ -1160,6 +1344,9 @@ impl Cluster {
         for t in state.detached {
             let _ = t.join();
         }
+        // With every worker gone, stop the transport's supervision
+        // threads and close its sockets (no-op for the channel backend).
+        self.net.shutdown_transport();
     }
 }
 

@@ -10,7 +10,9 @@
 //! run. The chaos tests drive recovery with these plans and assert the
 //! recovered result is bit-identical to an undisturbed run.
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Worker index (mirrors [`crate::sidecar::WorkerId`]).
 type WorkerId = u32;
@@ -24,6 +26,12 @@ pub struct FaultPlan {
     duplicate_nth: Vec<u64>,
     corrupt_nth: Vec<u64>,
     delay_nth: Vec<(u64, u32)>,
+    /// (src, dst, nth data frame on that link) — TCP backend only.
+    sever: Vec<(WorkerId, WorkerId, u64)>,
+    /// (worker, armed after the nth cluster-wide send, duration).
+    partition: Option<(WorkerId, u64, Duration)>,
+    /// (src, dst, per-frame delay in ms) — TCP backend only.
+    throttle: Vec<(WorkerId, WorkerId, u64)>,
 }
 
 impl FaultPlan {
@@ -77,6 +85,32 @@ impl FaultPlan {
         self
     }
 
+    /// Severs the live TCP connection of link `src → dst` as it is about
+    /// to carry its `nth` data frame (0-based, per link). The frame
+    /// itself travels on the replacement connection; frames buffered in
+    /// the dead one may be lost. TCP backend only — the channel backend
+    /// has no connections to sever.
+    pub fn sever_connection(mut self, src: WorkerId, dst: WorkerId, nth_frame: u64) -> Self {
+        self.sever.push((src, dst, nth_frame));
+        self
+    }
+
+    /// Cuts every link to and from `worker` for `window` once the
+    /// cluster-wide send counter passes `after_nth` (the counter
+    /// [`FaultState::next_send_index`] claims). TCP backend only.
+    pub fn partition_worker(mut self, worker: WorkerId, after_nth: u64, window: Duration) -> Self {
+        self.partition = Some((worker, after_nth, window));
+        self
+    }
+
+    /// Slows link `src → dst` down to one data frame per `per_frame_ms`
+    /// milliseconds, so its outbox fills and senders feel backpressure.
+    /// TCP backend only.
+    pub fn throttle_link(mut self, src: WorkerId, dst: WorkerId, per_frame_ms: u64) -> Self {
+        self.throttle.push((src, dst, per_frame_ms));
+        self
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
         self.kill.is_none()
@@ -85,6 +119,9 @@ impl FaultPlan {
             && self.duplicate_nth.is_empty()
             && self.corrupt_nth.is_empty()
             && self.delay_nth.is_empty()
+            && self.sever.is_empty()
+            && self.partition.is_none()
+            && self.throttle.is_empty()
     }
 }
 
@@ -96,13 +133,19 @@ pub struct FaultState {
     kill_fired: AtomicBool,
     hang_fired: AtomicBool,
     send_index: AtomicU64,
+    /// One-shot flags, parallel to `plan.sever`.
+    sever_fired: Vec<AtomicBool>,
+    /// Set when the cluster send counter passes the partition trigger.
+    partition_until: Mutex<Option<Instant>>,
 }
 
 impl FaultState {
     /// Arms a plan.
     pub fn new(plan: FaultPlan) -> Self {
+        let sever_fired = plan.sever.iter().map(|_| AtomicBool::new(false)).collect();
         FaultState {
             plan,
+            sever_fired,
             ..Default::default()
         }
     }
@@ -135,8 +178,15 @@ impl FaultState {
     }
 
     /// Claims the next cluster-wide frame index (0-based, in send order).
+    /// Passing a scheduled partition trigger arms the partition window.
     pub fn next_send_index(&self) -> u64 {
-        self.send_index.fetch_add(1, Ordering::Relaxed)
+        let idx = self.send_index.fetch_add(1, Ordering::Relaxed);
+        if let Some((_, after_nth, window)) = self.plan.partition {
+            if idx == after_nth {
+                *self.partition_until.lock() = Some(Instant::now() + window);
+            }
+        }
+        idx
     }
 
     /// Whether frame `idx` is scheduled to be dropped.
@@ -161,6 +211,43 @@ impl FaultState {
             .iter()
             .find(|(n, _)| *n == idx)
             .map(|(_, r)| *r)
+    }
+
+    /// Whether the connection of link `src → dst` must be severed before
+    /// carrying its data frame `idx` (0-based, per link). Fires at the
+    /// first frame at or after the planned index — the transport only
+    /// asks when a live connection exists to sever, and connections are
+    /// dialed lazily, so the planned frame itself may be the one that
+    /// establishes the connection. Consumes the trigger.
+    pub fn should_sever(&self, src: WorkerId, dst: WorkerId, idx: u64) -> bool {
+        self.plan
+            .sever
+            .iter()
+            .zip(&self.sever_fired)
+            .any(|(&(s, d, n), fired)| {
+                s == src && d == dst && idx >= n && !fired.swap(true, Ordering::Relaxed)
+            })
+    }
+
+    /// Whether link `src → dst` is currently inside an armed partition
+    /// window (either endpoint being the partitioned worker).
+    pub fn partition_active(&self, src: WorkerId, dst: WorkerId) -> bool {
+        let Some((w, _, _)) = self.plan.partition else {
+            return false;
+        };
+        if w != src && w != dst {
+            return false;
+        }
+        matches!(*self.partition_until.lock(), Some(until) if Instant::now() < until)
+    }
+
+    /// The per-frame delay (ms) scheduled for link `src → dst`, if any.
+    pub fn throttle_of(&self, src: WorkerId, dst: WorkerId) -> Option<u64> {
+        self.plan
+            .throttle
+            .iter()
+            .find(|&&(s, d, _)| s == src && d == dst)
+            .map(|&(_, _, ms)| ms)
     }
 }
 
@@ -198,5 +285,40 @@ mod tests {
     fn empty_plan_reports_empty() {
         assert!(FaultPlan::new().is_empty());
         assert!(!FaultPlan::new().drop_message(1).is_empty());
+        assert!(!FaultPlan::new().sever_connection(0, 1, 0).is_empty());
+        assert!(!FaultPlan::new().throttle_link(0, 1, 5).is_empty());
+        assert!(!FaultPlan::new()
+            .partition_worker(0, 0, Duration::from_millis(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn sever_trigger_fires_once_per_link_frame() {
+        let s = FaultState::new(FaultPlan::new().sever_connection(0, 1, 2));
+        assert!(!s.should_sever(0, 1, 1));
+        assert!(!s.should_sever(1, 0, 2), "wrong direction");
+        assert!(s.should_sever(0, 1, 3), "fires at or after the index");
+        assert!(!s.should_sever(0, 1, 4), "one-shot");
+    }
+
+    #[test]
+    fn partition_arms_on_send_index_and_expires() {
+        let s = FaultState::new(FaultPlan::new().partition_worker(1, 1, Duration::from_millis(40)));
+        assert!(!s.partition_active(0, 1), "not armed yet");
+        s.next_send_index(); // 0
+        assert!(!s.partition_active(0, 1));
+        s.next_send_index(); // 1: trigger
+        assert!(s.partition_active(0, 1));
+        assert!(s.partition_active(1, 0));
+        assert!(!s.partition_active(0, 2), "uninvolved link unaffected");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!s.partition_active(0, 1), "window elapsed");
+    }
+
+    #[test]
+    fn throttle_applies_per_directed_link() {
+        let s = FaultState::new(FaultPlan::new().throttle_link(0, 1, 7));
+        assert_eq!(s.throttle_of(0, 1), Some(7));
+        assert_eq!(s.throttle_of(1, 0), None);
     }
 }

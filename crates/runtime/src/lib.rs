@@ -32,6 +32,16 @@
 //! [`wire`]). All failure modes can be injected deterministically through
 //! a [`FaultPlan`] for chaos testing.
 //!
+//! ## Transport
+//!
+//! The data fabric between sidecars is pluggable ([`transport`]): the
+//! default backend keeps the seed's in-process channels, while the
+//! [`tcp`] backend speaks length-prefixed framed TCP with per-peer
+//! connection supervision (heartbeats, reconnect with backoff + jitter,
+//! bounded outboxes with credit-based flow control) and powers the
+//! multi-process mode ([`remote`]): a controller process plus `s2 worker`
+//! processes connected over sockets.
+//!
 //! [`SwitchModel`]: s2_routing::SwitchModel
 
 #![deny(missing_docs)]
@@ -39,7 +49,10 @@
 pub mod controller;
 pub mod faults;
 pub mod memstats;
+pub mod remote;
 pub mod sidecar;
+pub mod tcp;
+pub mod transport;
 pub mod wire;
 pub mod worker;
 
@@ -48,5 +61,7 @@ pub use controller::{
 };
 pub use faults::{FaultPlan, FaultState};
 pub use memstats::{MemGauge, MemReport};
-pub use sidecar::{Sidecar, SidecarNet, TrafficStats};
+pub use sidecar::{Sidecar, SidecarNet, TrafficSnapshot, TrafficStats};
+pub use tcp::{TcpConfig, TcpTransport};
+pub use transport::{ChannelTransport, Inbox, Transport, TransportError, TransportKind};
 pub use wire::{Message, WireError};

@@ -1,0 +1,1218 @@
+//! Multi-process mode: the control-channel protocol between a controller
+//! process and `s2 worker` processes.
+//!
+//! The data fabric (routes, packets) between workers is the [`crate::tcp`]
+//! transport; this module adds the *control* dimension: every
+//! [`Command`]/[`Reply`] that the in-process cluster moves over crossbeam
+//! channels is serialized into the same `kind:u8 len:u32 payload` stream
+//! envelope the data sockets use, over one TCP connection per worker.
+//!
+//! Handshake:
+//!
+//! 1. the worker process binds its data listener, connects to the
+//!    controller's `--listen` address, and sends `Register{data_addr}`,
+//! 2. the controller accepts all `num_workers` registrations, assigns
+//!    worker ids in accept order, and answers each with
+//!    `Setup{worker_id, num_workers, node_owner, peers, memory_budget}`,
+//! 3. the worker builds its [`crate::tcp::TcpTransport`] endpoint from
+//!    `peers` and enters a command loop; the controller wraps each
+//!    connection in a proxy thread ([`spawn_proxy`]) so the barrier logic
+//!    upstream is byte-for-byte the single-process code path.
+//!
+//! The command loop is strict request/reply: one `Reply` per `Command`,
+//! except `Shutdown` which has no reply. A decode failure or socket error
+//! on either side tears the control connection down; the controller then
+//! observes a closed proxy channel, which surfaces as the same
+//! `WorkerLost` error a crashed in-process worker produces.
+//!
+//! All codecs here are defensive in the [`crate::wire`] style: every read
+//! is bounds-checked, every tag validated, and a malformed peer yields a
+//! [`WireError`] — never a panic.
+
+use crate::faults::FaultState;
+use crate::memstats::MemReport;
+use crate::sidecar::{Sidecar, SidecarNet, TrafficSnapshot, TrafficStats};
+use crate::tcp::{
+    read_envelope, write_envelope, TcpConfig, TcpTransport, K_COMMAND, K_REGISTER, K_REPLY,
+    K_SETUP,
+};
+use crate::wire::WireError;
+use crate::worker::{Command, Reply, Worker};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use s2_dataplane::FinalKind;
+use s2_net::policy::Protocol;
+use s2_net::topology::{InterfaceId, NodeId};
+use s2_net::{Ipv4Addr, Prefix};
+use s2_routing::{NetworkModel, RibRoute, RibSnapshot};
+use std::collections::{BTreeMap, HashSet};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Upper bound on a control-channel envelope. `DpSetup` ships the full
+/// converged RIB snapshot, so this is far larger than the data-plane
+/// frame cap — but still bounded, so a corrupt length prefix cannot ask
+/// the receiver to allocate without limit.
+pub const MAX_CONTROL_FRAME: usize = 256 << 20;
+
+// ---- primitive codecs ----
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_prefix(buf: &mut BytesMut, p: &Prefix) {
+    buf.put_u32(p.addr().0);
+    buf.put_u8(p.len());
+}
+
+fn get_prefix(buf: &mut impl Buf) -> Result<Prefix, WireError> {
+    need(buf, 5)?;
+    let addr = buf.get_u32();
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(WireError::BadValue("prefix length"));
+    }
+    Ok(Prefix::new(Ipv4Addr(addr), len))
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    need(buf, n)?;
+    let raw = buf.copy_to_bytes(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadValue("utf-8 string"))
+}
+
+fn put_addr(buf: &mut BytesMut, addr: &SocketAddr) {
+    put_str(buf, &addr.to_string());
+}
+
+fn get_addr(buf: &mut Bytes) -> Result<SocketAddr, WireError> {
+    get_str(buf)?
+        .parse()
+        .map_err(|_| WireError::BadValue("socket address"))
+}
+
+fn put_opt_u64(buf: &mut BytesMut, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            buf.put_u8(1);
+            buf.put_u64(v);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_u64(buf: &mut impl Buf) -> Result<Option<u64>, WireError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            need(buf, 8)?;
+            Ok(Some(buf.get_u64()))
+        }
+        _ => Err(WireError::BadValue("option discriminant")),
+    }
+}
+
+fn put_protocol(buf: &mut BytesMut, p: Protocol) {
+    buf.put_u8(match p {
+        Protocol::Connected => 0,
+        Protocol::Static => 1,
+        Protocol::Ospf => 2,
+        Protocol::Bgp => 3,
+        Protocol::Aggregate => 4,
+    });
+}
+
+fn get_protocol(buf: &mut impl Buf) -> Result<Protocol, WireError> {
+    need(buf, 1)?;
+    Ok(match buf.get_u8() {
+        0 => Protocol::Connected,
+        1 => Protocol::Static,
+        2 => Protocol::Ospf,
+        3 => Protocol::Bgp,
+        4 => Protocol::Aggregate,
+        _ => return Err(WireError::BadValue("protocol")),
+    })
+}
+
+fn put_rib_route(buf: &mut BytesMut, r: &RibRoute) {
+    put_prefix(buf, &r.prefix);
+    put_protocol(buf, r.protocol);
+    buf.put_u16(r.egress.len() as u16);
+    for e in &r.egress {
+        buf.put_u16(e.0);
+    }
+    buf.put_u8(u8::from(r.is_local));
+    buf.put_u32(r.as_path_len);
+}
+
+fn get_rib_route(buf: &mut impl Buf) -> Result<RibRoute, WireError> {
+    let prefix = get_prefix(buf)?;
+    let protocol = get_protocol(buf)?;
+    need(buf, 2)?;
+    let n = buf.get_u16() as usize;
+    need(buf, n * 2)?;
+    let egress = (0..n).map(|_| InterfaceId(buf.get_u16())).collect();
+    need(buf, 5)?;
+    let is_local = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::BadValue("bool")),
+    };
+    let as_path_len = buf.get_u32();
+    Ok(RibRoute {
+        prefix,
+        protocol,
+        egress,
+        is_local,
+        as_path_len,
+    })
+}
+
+fn put_traffic(buf: &mut BytesMut, t: &TrafficSnapshot) {
+    for v in [
+        t.messages,
+        t.bytes,
+        t.wire_errors,
+        t.dup_skips,
+        t.seq_gaps,
+        t.stale_drops,
+        t.injected_drops,
+        t.injected_dups,
+        t.injected_corruptions,
+        t.injected_delays,
+        t.reconnects,
+        t.send_drops,
+        t.backpressure_stalls,
+        t.heartbeats,
+        t.protocol_violations,
+    ] {
+        buf.put_u64(v);
+    }
+}
+
+fn get_traffic(buf: &mut impl Buf) -> Result<TrafficSnapshot, WireError> {
+    need(buf, 15 * 8)?;
+    Ok(TrafficSnapshot {
+        messages: buf.get_u64(),
+        bytes: buf.get_u64(),
+        wire_errors: buf.get_u64(),
+        dup_skips: buf.get_u64(),
+        seq_gaps: buf.get_u64(),
+        stale_drops: buf.get_u64(),
+        injected_drops: buf.get_u64(),
+        injected_dups: buf.get_u64(),
+        injected_corruptions: buf.get_u64(),
+        injected_delays: buf.get_u64(),
+        reconnects: buf.get_u64(),
+        send_drops: buf.get_u64(),
+        backpressure_stalls: buf.get_u64(),
+        heartbeats: buf.get_u64(),
+        protocol_violations: buf.get_u64(),
+    })
+}
+
+fn get_node(buf: &mut impl Buf) -> Result<NodeId, WireError> {
+    need(buf, 4)?;
+    Ok(NodeId(buf.get_u32()))
+}
+
+/// `with_capacity` guard: trust the declared element count only up to a
+/// sanity bound so a corrupt count cannot pre-allocate gigabytes.
+fn cap(n: usize) -> usize {
+    n.min(1 << 16)
+}
+
+// ---- handshake messages ----
+
+/// The worker's first message on the control channel: where its data
+/// listener can be reached by peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Register {
+    /// Address of the worker's bound data listener.
+    pub data_addr: SocketAddr,
+}
+
+/// Encodes a [`Register`].
+pub fn encode_register(r: &Register) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    put_addr(&mut buf, &r.data_addr);
+    buf.freeze()
+}
+
+/// Decodes a [`Register`].
+pub fn decode_register(mut buf: Bytes) -> Result<Register, WireError> {
+    let data_addr = get_addr(&mut buf)?;
+    Ok(Register { data_addr })
+}
+
+/// The controller's answer to a [`Register`]: everything the worker
+/// process needs to become a cluster member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Setup {
+    /// The id assigned to this worker.
+    pub worker_id: u32,
+    /// Cluster size.
+    pub num_workers: u32,
+    /// Node index → owning worker.
+    pub node_owner: Vec<u32>,
+    /// Every worker's data address, indexed by worker id.
+    pub peers: Vec<SocketAddr>,
+    /// Per-worker memory budget in bytes, if any.
+    pub memory_budget: Option<usize>,
+}
+
+/// Encodes a [`Setup`].
+pub fn encode_setup(s: &Setup) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + 4 * s.node_owner.len());
+    buf.put_u32(s.worker_id);
+    buf.put_u32(s.num_workers);
+    buf.put_u32(s.node_owner.len() as u32);
+    for &w in &s.node_owner {
+        buf.put_u32(w);
+    }
+    buf.put_u32(s.peers.len() as u32);
+    for p in &s.peers {
+        put_addr(&mut buf, p);
+    }
+    put_opt_u64(&mut buf, s.memory_budget.map(|b| b as u64));
+    buf.freeze()
+}
+
+/// Decodes a [`Setup`].
+pub fn decode_setup(mut buf: Bytes) -> Result<Setup, WireError> {
+    need(&buf, 12)?;
+    let worker_id = buf.get_u32();
+    let num_workers = buf.get_u32();
+    let n = buf.get_u32() as usize;
+    need(&buf, n * 4)?;
+    let node_owner = (0..n).map(|_| buf.get_u32()).collect();
+    need(&buf, 4)?;
+    let m = buf.get_u32() as usize;
+    let mut peers = Vec::with_capacity(cap(m));
+    for _ in 0..m {
+        peers.push(get_addr(&mut buf)?);
+    }
+    let memory_budget = get_opt_u64(&mut buf)?.map(|b| b as usize);
+    Ok(Setup {
+        worker_id,
+        num_workers,
+        node_owner,
+        peers,
+        memory_budget,
+    })
+}
+
+// ---- Command codec ----
+
+/// Encodes a [`Command`] for the control channel.
+pub fn encode_command(cmd: &Command) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    match cmd {
+        Command::OspfExport => buf.put_u8(1),
+        Command::OspfApply => buf.put_u8(2),
+        Command::BgpBegin { shard } => {
+            buf.put_u8(3);
+            match shard {
+                None => buf.put_u8(0),
+                Some(set) => {
+                    buf.put_u8(1);
+                    buf.put_u32(set.len() as u32);
+                    for p in set.iter() {
+                        put_prefix(&mut buf, p);
+                    }
+                }
+            }
+        }
+        Command::BgpExport => buf.put_u8(4),
+        Command::BgpApply => buf.put_u8(5),
+        Command::CollectBaseRib => buf.put_u8(6),
+        Command::CollectBgpRib => buf.put_u8(7),
+        Command::DpSetup {
+            rib,
+            meta_bits,
+            waypoints,
+            max_hops,
+        } => {
+            buf.put_u8(8);
+            buf.put_u32(rib.per_node.len() as u32);
+            for routes in &rib.per_node {
+                buf.put_u32(routes.len() as u32);
+                for r in routes {
+                    put_rib_route(&mut buf, r);
+                }
+            }
+            buf.put_u16(*meta_bits);
+            buf.put_u32(waypoints.len() as u32);
+            for (node, bit) in waypoints.iter() {
+                buf.put_u32(node.0);
+                buf.put_u16(*bit);
+            }
+            buf.put_u16(*max_hops);
+        }
+        Command::Inject { injections } => {
+            buf.put_u8(9);
+            buf.put_u32(injections.len() as u32);
+            for (node, prefix) in injections.iter() {
+                buf.put_u32(node.0);
+                put_prefix(&mut buf, prefix);
+            }
+        }
+        Command::ForwardRound => buf.put_u8(10),
+        Command::CheckArrivals {
+            sources,
+            expected,
+            transits,
+        } => {
+            buf.put_u8(11);
+            buf.put_u32(sources.len() as u32);
+            for s in sources.iter() {
+                buf.put_u32(s.0);
+            }
+            buf.put_u32(expected.len() as u32);
+            for (dst, prefixes) in expected.iter() {
+                buf.put_u32(dst.0);
+                buf.put_u32(prefixes.len() as u32);
+                for p in prefixes {
+                    put_prefix(&mut buf, p);
+                }
+            }
+            buf.put_u32(transits.len() as u32);
+            for (node, bit) in transits.iter() {
+                buf.put_u32(node.0);
+                buf.put_u16(*bit);
+            }
+        }
+        Command::CollectFinals => buf.put_u8(12),
+        Command::CollectPrefixes => buf.put_u8(13),
+        Command::CollectObservedDeps => buf.put_u8(14),
+        Command::MemReport => buf.put_u8(15),
+        Command::Ping(nonce) => {
+            buf.put_u8(16);
+            buf.put_u64(*nonce);
+        }
+        Command::FlushInbox { epoch } => {
+            buf.put_u8(17);
+            buf.put_u32(*epoch);
+        }
+        Command::BgpResync => buf.put_u8(18),
+        Command::NetStats => buf.put_u8(19),
+        Command::Shutdown => buf.put_u8(20),
+    }
+    buf.freeze()
+}
+
+/// Decodes a [`Command`] from the control channel.
+pub fn decode_command(mut buf: Bytes) -> Result<Command, WireError> {
+    need(&buf, 1)?;
+    Ok(match buf.get_u8() {
+        1 => Command::OspfExport,
+        2 => Command::OspfApply,
+        3 => {
+            need(&buf, 1)?;
+            let shard = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    need(&buf, 4)?;
+                    let n = buf.get_u32() as usize;
+                    let mut set = HashSet::with_capacity(cap(n));
+                    for _ in 0..n {
+                        set.insert(get_prefix(&mut buf)?);
+                    }
+                    Some(Arc::new(set))
+                }
+                _ => return Err(WireError::BadValue("option discriminant")),
+            };
+            Command::BgpBegin { shard }
+        }
+        4 => Command::BgpExport,
+        5 => Command::BgpApply,
+        6 => Command::CollectBaseRib,
+        7 => Command::CollectBgpRib,
+        8 => {
+            need(&buf, 4)?;
+            let nodes = buf.get_u32() as usize;
+            let mut per_node = Vec::with_capacity(cap(nodes));
+            for _ in 0..nodes {
+                need(&buf, 4)?;
+                let m = buf.get_u32() as usize;
+                let mut routes = Vec::with_capacity(cap(m));
+                for _ in 0..m {
+                    routes.push(get_rib_route(&mut buf)?);
+                }
+                per_node.push(routes);
+            }
+            need(&buf, 6)?;
+            let meta_bits = buf.get_u16();
+            let w = buf.get_u32() as usize;
+            let mut waypoints = BTreeMap::new();
+            for _ in 0..w {
+                need(&buf, 6)?;
+                let node = NodeId(buf.get_u32());
+                let bit = buf.get_u16();
+                waypoints.insert(node, bit);
+            }
+            need(&buf, 2)?;
+            let max_hops = buf.get_u16();
+            Command::DpSetup {
+                rib: Arc::new(RibSnapshot { per_node }),
+                meta_bits,
+                waypoints: Arc::new(waypoints),
+                max_hops,
+            }
+        }
+        9 => {
+            need(&buf, 4)?;
+            let n = buf.get_u32() as usize;
+            let mut injections = Vec::with_capacity(cap(n));
+            for _ in 0..n {
+                let node = get_node(&mut buf)?;
+                let prefix = get_prefix(&mut buf)?;
+                injections.push((node, prefix));
+            }
+            Command::Inject {
+                injections: Arc::new(injections),
+            }
+        }
+        10 => Command::ForwardRound,
+        11 => {
+            need(&buf, 4)?;
+            let ns = buf.get_u32() as usize;
+            need(&buf, ns * 4)?;
+            let sources = (0..ns).map(|_| NodeId(buf.get_u32())).collect();
+            need(&buf, 4)?;
+            let ne = buf.get_u32() as usize;
+            let mut expected = Vec::with_capacity(cap(ne));
+            for _ in 0..ne {
+                let dst = get_node(&mut buf)?;
+                need(&buf, 4)?;
+                let np = buf.get_u32() as usize;
+                let mut prefixes = Vec::with_capacity(cap(np));
+                for _ in 0..np {
+                    prefixes.push(get_prefix(&mut buf)?);
+                }
+                expected.push((dst, prefixes));
+            }
+            need(&buf, 4)?;
+            let nt = buf.get_u32() as usize;
+            need(&buf, nt * 6)?;
+            let transits = (0..nt)
+                .map(|_| (NodeId(buf.get_u32()), buf.get_u16()))
+                .collect();
+            Command::CheckArrivals {
+                sources: Arc::new(sources),
+                expected: Arc::new(expected),
+                transits: Arc::new(transits),
+            }
+        }
+        12 => Command::CollectFinals,
+        13 => Command::CollectPrefixes,
+        14 => Command::CollectObservedDeps,
+        15 => Command::MemReport,
+        16 => {
+            need(&buf, 8)?;
+            Command::Ping(buf.get_u64())
+        }
+        17 => {
+            need(&buf, 4)?;
+            Command::FlushInbox {
+                epoch: buf.get_u32(),
+            }
+        }
+        18 => Command::BgpResync,
+        19 => Command::NetStats,
+        20 => Command::Shutdown,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+// ---- Reply codec ----
+
+fn put_prefix_pairs(buf: &mut BytesMut, pairs: &[(Prefix, Prefix)]) {
+    buf.put_u32(pairs.len() as u32);
+    for (a, b) in pairs {
+        put_prefix(buf, a);
+        put_prefix(buf, b);
+    }
+}
+
+fn get_prefix_pairs(buf: &mut Bytes) -> Result<Vec<(Prefix, Prefix)>, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    let mut pairs = Vec::with_capacity(cap(n));
+    for _ in 0..n {
+        let a = get_prefix(buf)?;
+        let b = get_prefix(buf)?;
+        pairs.push((a, b));
+    }
+    Ok(pairs)
+}
+
+/// Encodes a [`Reply`] for the control channel.
+pub fn encode_reply(reply: &Reply) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    match reply {
+        Reply::Ok => buf.put_u8(1),
+        Reply::Changed(changed) => {
+            buf.put_u8(2);
+            buf.put_u8(u8::from(*changed));
+        }
+        Reply::Rib(per_node) => {
+            buf.put_u8(3);
+            buf.put_u32(per_node.len() as u32);
+            for (node, routes) in per_node {
+                buf.put_u32(node.0);
+                buf.put_u32(routes.len() as u32);
+                for r in routes {
+                    put_rib_route(&mut buf, r);
+                }
+            }
+        }
+        Reply::Forwarded {
+            processed,
+            sent_remote,
+        } => {
+            buf.put_u8(4);
+            buf.put_u64(*processed as u64);
+            buf.put_u64(*sent_remote as u64);
+        }
+        Reply::Arrivals {
+            reachable,
+            unreachable,
+            waypoint_violations,
+        } => {
+            buf.put_u8(5);
+            buf.put_u32(reachable.len() as u32);
+            for (s, d) in reachable {
+                buf.put_u32(s.0);
+                buf.put_u32(d.0);
+            }
+            buf.put_u32(unreachable.len() as u32);
+            for (s, d) in unreachable {
+                buf.put_u32(s.0);
+                buf.put_u32(d.0);
+            }
+            buf.put_u32(waypoint_violations.len() as u32);
+            for (s, d, t) in waypoint_violations {
+                buf.put_u32(s.0);
+                buf.put_u32(d.0);
+                buf.put_u32(t.0);
+            }
+        }
+        Reply::Finals {
+            loops,
+            blackholes,
+            sets,
+        } => {
+            buf.put_u8(6);
+            buf.put_u64(*loops as u64);
+            buf.put_u64(*blackholes as u64);
+            buf.put_u32(sets.len() as u32);
+            for (node, kind, bytes) in sets {
+                buf.put_u32(node.0);
+                buf.put_u8(match kind {
+                    FinalKind::Arrive => 0,
+                    FinalKind::Exit => 1,
+                    FinalKind::Blackhole => 2,
+                    FinalKind::Loop => 3,
+                });
+                buf.put_u32(bytes.len() as u32);
+                buf.put_slice(bytes);
+            }
+        }
+        Reply::Prefixes {
+            all,
+            aggregates,
+            deps,
+        } => {
+            buf.put_u8(7);
+            buf.put_u32(all.len() as u32);
+            for p in all {
+                put_prefix(&mut buf, p);
+            }
+            buf.put_u32(aggregates.len() as u32);
+            for p in aggregates {
+                put_prefix(&mut buf, p);
+            }
+            put_prefix_pairs(&mut buf, deps);
+        }
+        Reply::Deps(deps) => {
+            buf.put_u8(8);
+            put_prefix_pairs(&mut buf, deps);
+        }
+        Reply::Mem(report) => {
+            buf.put_u8(9);
+            buf.put_u64(report.route_bytes as u64);
+            buf.put_u64(report.bdd_bytes as u64);
+            buf.put_u64(report.peak_bytes as u64);
+        }
+        Reply::OutOfMemory { budget, observed } => {
+            buf.put_u8(10);
+            buf.put_u64(*budget as u64);
+            buf.put_u64(*observed as u64);
+        }
+        Reply::Pong(nonce) => {
+            buf.put_u8(11);
+            buf.put_u64(*nonce);
+        }
+        Reply::Net { traffic, in_flight } => {
+            buf.put_u8(12);
+            put_traffic(&mut buf, traffic);
+            buf.put_u64(*in_flight);
+        }
+        Reply::Violation(what) => {
+            buf.put_u8(13);
+            put_str(&mut buf, what);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a [`Reply`] from the control channel.
+pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
+    need(&buf, 1)?;
+    Ok(match buf.get_u8() {
+        1 => Reply::Ok,
+        2 => {
+            need(&buf, 1)?;
+            match buf.get_u8() {
+                0 => Reply::Changed(false),
+                1 => Reply::Changed(true),
+                _ => return Err(WireError::BadValue("bool")),
+            }
+        }
+        3 => {
+            need(&buf, 4)?;
+            let n = buf.get_u32() as usize;
+            let mut per_node = Vec::with_capacity(cap(n));
+            for _ in 0..n {
+                let node = get_node(&mut buf)?;
+                need(&buf, 4)?;
+                let m = buf.get_u32() as usize;
+                let mut routes = Vec::with_capacity(cap(m));
+                for _ in 0..m {
+                    routes.push(get_rib_route(&mut buf)?);
+                }
+                per_node.push((node, routes));
+            }
+            Reply::Rib(per_node)
+        }
+        4 => {
+            need(&buf, 16)?;
+            Reply::Forwarded {
+                processed: buf.get_u64() as usize,
+                sent_remote: buf.get_u64() as usize,
+            }
+        }
+        5 => {
+            need(&buf, 4)?;
+            let nr = buf.get_u32() as usize;
+            need(&buf, nr * 8)?;
+            let reachable = (0..nr)
+                .map(|_| (NodeId(buf.get_u32()), NodeId(buf.get_u32())))
+                .collect();
+            need(&buf, 4)?;
+            let nu = buf.get_u32() as usize;
+            need(&buf, nu * 8)?;
+            let unreachable = (0..nu)
+                .map(|_| (NodeId(buf.get_u32()), NodeId(buf.get_u32())))
+                .collect();
+            need(&buf, 4)?;
+            let nw = buf.get_u32() as usize;
+            need(&buf, nw * 12)?;
+            let waypoint_violations = (0..nw)
+                .map(|_| {
+                    (
+                        NodeId(buf.get_u32()),
+                        NodeId(buf.get_u32()),
+                        NodeId(buf.get_u32()),
+                    )
+                })
+                .collect();
+            Reply::Arrivals {
+                reachable,
+                unreachable,
+                waypoint_violations,
+            }
+        }
+        6 => {
+            need(&buf, 20)?;
+            let loops = buf.get_u64() as usize;
+            let blackholes = buf.get_u64() as usize;
+            let n = buf.get_u32() as usize;
+            let mut sets = Vec::with_capacity(cap(n));
+            for _ in 0..n {
+                need(&buf, 9)?;
+                let node = NodeId(buf.get_u32());
+                let kind = match buf.get_u8() {
+                    0 => FinalKind::Arrive,
+                    1 => FinalKind::Exit,
+                    2 => FinalKind::Blackhole,
+                    3 => FinalKind::Loop,
+                    _ => return Err(WireError::BadValue("final kind")),
+                };
+                let blen = buf.get_u32() as usize;
+                need(&buf, blen)?;
+                sets.push((node, kind, buf.copy_to_bytes(blen)));
+            }
+            Reply::Finals {
+                loops,
+                blackholes,
+                sets,
+            }
+        }
+        7 => {
+            need(&buf, 4)?;
+            let na = buf.get_u32() as usize;
+            let mut all = Vec::with_capacity(cap(na));
+            for _ in 0..na {
+                all.push(get_prefix(&mut buf)?);
+            }
+            need(&buf, 4)?;
+            let ng = buf.get_u32() as usize;
+            let mut aggregates = Vec::with_capacity(cap(ng));
+            for _ in 0..ng {
+                aggregates.push(get_prefix(&mut buf)?);
+            }
+            let deps = get_prefix_pairs(&mut buf)?;
+            Reply::Prefixes {
+                all,
+                aggregates,
+                deps,
+            }
+        }
+        8 => Reply::Deps(get_prefix_pairs(&mut buf)?),
+        9 => {
+            need(&buf, 24)?;
+            Reply::Mem(MemReport {
+                route_bytes: buf.get_u64() as usize,
+                bdd_bytes: buf.get_u64() as usize,
+                peak_bytes: buf.get_u64() as usize,
+            })
+        }
+        10 => {
+            need(&buf, 16)?;
+            Reply::OutOfMemory {
+                budget: buf.get_u64() as usize,
+                observed: buf.get_u64() as usize,
+            }
+        }
+        11 => {
+            need(&buf, 8)?;
+            Reply::Pong(buf.get_u64())
+        }
+        12 => {
+            let traffic = get_traffic(&mut buf)?;
+            need(&buf, 8)?;
+            Reply::Net {
+                traffic,
+                in_flight: buf.get_u64(),
+            }
+        }
+        13 => Reply::Violation(get_str(&mut buf)?),
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+// ---- controller side ----
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Accepts `num_workers` worker-process registrations on `listener`,
+/// assigns worker ids in accept order, and sends each its [`Setup`].
+/// Returns the control streams indexed by assigned worker id.
+pub fn accept_fleet(
+    listener: &TcpListener,
+    num_workers: u32,
+    node_owner: &[u32],
+    memory_budget: Option<usize>,
+) -> io::Result<Vec<TcpStream>> {
+    let mut fleet: Vec<(TcpStream, SocketAddr)> = Vec::with_capacity(num_workers as usize);
+    for _ in 0..num_workers {
+        let (mut stream, _) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        let (kind, payload) = read_envelope(&mut stream, MAX_CONTROL_FRAME)?;
+        if kind != K_REGISTER {
+            return Err(bad_data("expected worker registration"));
+        }
+        let reg = decode_register(Bytes::from(payload))
+            .map_err(|e| bad_data(&format!("bad registration: {e}")))?;
+        fleet.push((stream, reg.data_addr));
+    }
+    let peers: Vec<SocketAddr> = fleet.iter().map(|(_, addr)| *addr).collect();
+    let mut streams = Vec::with_capacity(fleet.len());
+    for (w, (mut stream, _)) in fleet.into_iter().enumerate() {
+        let setup = Setup {
+            worker_id: w as u32,
+            num_workers,
+            node_owner: node_owner.to_vec(),
+            peers: peers.clone(),
+            memory_budget,
+        };
+        write_envelope(&mut stream, K_SETUP, &encode_setup(&setup))?;
+        streams.push(stream);
+    }
+    Ok(streams)
+}
+
+/// Wraps one worker's control stream in a proxy thread that translates
+/// the controller's channel protocol to the socket protocol: each
+/// [`Command`] received on the returned sender is written as a
+/// `K_COMMAND` envelope, and (except for `Shutdown`) exactly one
+/// `K_REPLY` envelope is read back and forwarded to the returned
+/// receiver. Any socket or decode error ends the thread, closing both
+/// channels — which the controller's barrier observes as the same
+/// `WorkerLost` a crashed in-process worker produces.
+pub fn spawn_proxy(
+    w: u32,
+    mut stream: TcpStream,
+) -> (Sender<Command>, Receiver<Reply>, JoinHandle<()>) {
+    let (cmd_tx, cmd_rx) = unbounded::<Command>();
+    let (reply_tx, reply_rx) = unbounded::<Reply>();
+    let handle = thread::Builder::new()
+        .name(format!("s2-proxy-{w}"))
+        .spawn(move || {
+            while let Ok(cmd) = cmd_rx.recv() {
+                let is_shutdown = matches!(cmd, Command::Shutdown);
+                if write_envelope(&mut stream, K_COMMAND, &encode_command(&cmd)).is_err() {
+                    return;
+                }
+                if is_shutdown {
+                    return;
+                }
+                let reply = match read_envelope(&mut stream, MAX_CONTROL_FRAME) {
+                    Ok((K_REPLY, payload)) => match decode_reply(Bytes::from(payload)) {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    },
+                    _ => return,
+                };
+                if reply_tx.send(reply).is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawning a proxy thread cannot fail");
+    (cmd_tx, reply_rx, handle)
+}
+
+// ---- worker side ----
+
+/// Runs one worker process to completion: registers with the controller
+/// at `connect`, receives its [`Setup`], joins the TCP data fabric, and
+/// serves commands until `Shutdown` or the control connection closes.
+///
+/// `bind` is the local address for the data listener (use
+/// `"127.0.0.1:0"` for an ephemeral local port; bind a routable address
+/// when workers run on different hosts).
+pub fn serve(model: Arc<NetworkModel>, connect: &str, bind: &str) -> io::Result<()> {
+    let data_listener = TcpListener::bind(bind)?;
+    let data_addr = data_listener.local_addr()?;
+    let mut ctrl = TcpStream::connect(connect)?;
+    ctrl.set_nodelay(true)?;
+    write_envelope(
+        &mut ctrl,
+        K_REGISTER,
+        &encode_register(&Register { data_addr }),
+    )?;
+    let (kind, payload) = read_envelope(&mut ctrl, MAX_CONTROL_FRAME)?;
+    if kind != K_SETUP {
+        return Err(bad_data("expected setup from controller"));
+    }
+    let setup = decode_setup(Bytes::from(payload))
+        .map_err(|e| bad_data(&format!("bad setup: {e}")))?;
+    if setup.worker_id >= setup.num_workers || setup.peers.len() != setup.num_workers as usize {
+        return Err(bad_data("inconsistent setup"));
+    }
+
+    // Join the data fabric. Remote workers run without fault injection:
+    // chaos plans live in the controller process (and the in-process
+    // harness); real networks supply the faults out here.
+    let stats = Arc::new(TrafficStats::default());
+    let faults = Arc::new(FaultState::default());
+    let (transport, inbox) = TcpTransport::single(
+        setup.worker_id,
+        setup.num_workers,
+        data_listener,
+        setup.peers.clone(),
+        TcpConfig::default(),
+        stats.clone(),
+        faults.clone(),
+    )?;
+    let net = SidecarNet::with_transport(
+        setup.node_owner.clone(),
+        setup.num_workers,
+        faults.clone(),
+        transport,
+        stats,
+    );
+    let sidecar = Sidecar::new(setup.worker_id, net.clone(), inbox);
+    let local_nodes: Vec<NodeId> = setup
+        .node_owner
+        .iter()
+        .enumerate()
+        .filter(|&(_, &owner)| owner == setup.worker_id)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect();
+    let worker = Worker::with_faults(sidecar, model, local_nodes, setup.memory_budget, faults);
+
+    // The worker keeps its thread-based shape; this loop is the channel
+    // half of the proxy pair on the controller side.
+    let (cmd_tx, cmd_rx) = unbounded::<Command>();
+    let (reply_tx, reply_rx) = unbounded::<Reply>();
+    let worker_thread = thread::Builder::new()
+        .name(format!("s2-worker-{}", setup.worker_id))
+        .spawn(move || worker.run(cmd_rx, reply_tx))
+        .expect("spawning the worker thread cannot fail");
+
+    // Any error — controller gone, unknown kind, malformed payload, dead
+    // worker thread — breaks the loop and tears the process down cleanly.
+    while let Ok((kind, payload)) = read_envelope(&mut ctrl, MAX_CONTROL_FRAME) {
+        if kind != K_COMMAND {
+            break;
+        }
+        let cmd = match decode_command(Bytes::from(payload)) {
+            Ok(cmd) => cmd,
+            Err(_) => break,
+        };
+        let is_shutdown = matches!(cmd, Command::Shutdown);
+        if cmd_tx.send(cmd).is_err() {
+            break; // worker thread died
+        }
+        if is_shutdown {
+            break;
+        }
+        let reply = match reply_rx.recv() {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        if write_envelope(&mut ctrl, K_REPLY, &encode_reply(&reply)).is_err() {
+            break;
+        }
+    }
+    drop(cmd_tx);
+    let _ = worker_thread.join();
+    net.shutdown_transport();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_routing::RibRoute;
+
+    fn sample_rib_route() -> RibRoute {
+        RibRoute {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            protocol: Protocol::Bgp,
+            egress: vec![InterfaceId(1), InterfaceId(4)],
+            is_local: false,
+            as_path_len: 3,
+        }
+    }
+
+    #[test]
+    fn handshake_roundtrip() {
+        let reg = Register {
+            data_addr: "127.0.0.1:4821".parse().unwrap(),
+        };
+        assert_eq!(decode_register(encode_register(&reg)).unwrap(), reg);
+
+        let setup = Setup {
+            worker_id: 2,
+            num_workers: 3,
+            node_owner: vec![0, 1, 2, 2, 0],
+            peers: vec![
+                "127.0.0.1:1001".parse().unwrap(),
+                "127.0.0.1:1002".parse().unwrap(),
+                "127.0.0.1:1003".parse().unwrap(),
+            ],
+            memory_budget: Some(64 << 20),
+        };
+        assert_eq!(decode_setup(encode_setup(&setup)).unwrap(), setup);
+    }
+
+    #[test]
+    fn simple_commands_roundtrip() {
+        for cmd in [
+            Command::OspfExport,
+            Command::OspfApply,
+            Command::BgpExport,
+            Command::BgpApply,
+            Command::CollectBaseRib,
+            Command::CollectBgpRib,
+            Command::ForwardRound,
+            Command::CollectFinals,
+            Command::CollectPrefixes,
+            Command::CollectObservedDeps,
+            Command::MemReport,
+            Command::Ping(0xdead_beef),
+            Command::FlushInbox { epoch: 7 },
+            Command::BgpResync,
+            Command::NetStats,
+            Command::Shutdown,
+        ] {
+            let encoded = encode_command(&cmd);
+            let decoded = decode_command(encoded).unwrap();
+            assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));
+        }
+    }
+
+    #[test]
+    fn payload_commands_roundtrip() {
+        let shard: HashSet<Prefix> = ["10.0.0.0/8".parse().unwrap(), "192.168.1.0/24".parse().unwrap()]
+            .into_iter()
+            .collect();
+        let cmd = Command::BgpBegin {
+            shard: Some(Arc::new(shard.clone())),
+        };
+        match decode_command(encode_command(&cmd)).unwrap() {
+            Command::BgpBegin { shard: Some(s) } => assert_eq!(*s, shard),
+            other => panic!("wrong decode: {other:?}"),
+        }
+
+        let rib = RibSnapshot {
+            per_node: vec![vec![sample_rib_route()], vec![]],
+        };
+        let waypoints: BTreeMap<NodeId, u16> = [(NodeId(1), 2u16)].into_iter().collect();
+        let cmd = Command::DpSetup {
+            rib: Arc::new(rib.clone()),
+            meta_bits: 3,
+            waypoints: Arc::new(waypoints.clone()),
+            max_hops: 64,
+        };
+        match decode_command(encode_command(&cmd)).unwrap() {
+            Command::DpSetup {
+                rib: r,
+                meta_bits,
+                waypoints: w,
+                max_hops,
+            } => {
+                assert_eq!(r.per_node, rib.per_node);
+                assert_eq!(meta_bits, 3);
+                assert_eq!(*w, waypoints);
+                assert_eq!(max_hops, 64);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+
+        let cmd = Command::CheckArrivals {
+            sources: Arc::new(vec![NodeId(0), NodeId(3)]),
+            expected: Arc::new(vec![(NodeId(3), vec!["10.0.0.0/8".parse().unwrap()])]),
+            transits: Arc::new(vec![(NodeId(1), 0u16)]),
+        };
+        let decoded = decode_command(encode_command(&cmd)).unwrap();
+        assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let replies = vec![
+            Reply::Ok,
+            Reply::Changed(true),
+            Reply::Rib(vec![(NodeId(4), vec![sample_rib_route()])]),
+            Reply::Forwarded {
+                processed: 10,
+                sent_remote: 2,
+            },
+            Reply::Arrivals {
+                reachable: vec![(NodeId(0), NodeId(1))],
+                unreachable: vec![(NodeId(2), NodeId(3))],
+                waypoint_violations: vec![(NodeId(0), NodeId(1), NodeId(5))],
+            },
+            Reply::Finals {
+                loops: 1,
+                blackholes: 2,
+                sets: vec![(NodeId(9), FinalKind::Loop, Bytes::from_static(b"bddbits"))],
+            },
+            Reply::Prefixes {
+                all: vec!["10.0.0.0/8".parse().unwrap()],
+                aggregates: vec![],
+                deps: vec![(
+                    "10.0.0.0/8".parse().unwrap(),
+                    "10.1.0.0/16".parse().unwrap(),
+                )],
+            },
+            Reply::Deps(vec![]),
+            Reply::Mem(MemReport {
+                route_bytes: 1,
+                bdd_bytes: 2,
+                peak_bytes: 3,
+            }),
+            Reply::OutOfMemory {
+                budget: 100,
+                observed: 150,
+            },
+            Reply::Pong(42),
+            Reply::Net {
+                traffic: TrafficSnapshot {
+                    messages: 5,
+                    reconnects: 1,
+                    ..TrafficSnapshot::default()
+                },
+                in_flight: 3,
+            },
+            Reply::Violation("bad phase".to_string()),
+        ];
+        for reply in replies {
+            let decoded = decode_reply(encode_reply(&reply)).unwrap();
+            assert_eq!(format!("{reply:?}"), format!("{decoded:?}"));
+        }
+    }
+
+    proptest::proptest! {
+        /// Adversarial control-channel payloads must never panic either
+        /// decoder — a malformed peer degrades to a closed connection,
+        /// not a crashed process.
+        #[test]
+        fn prop_arbitrary_control_bytes_never_panic(
+            raw in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..512),
+        ) {
+            let bytes = Bytes::from(raw);
+            let _ = decode_command(bytes.clone());
+            let _ = decode_reply(bytes.clone());
+            let _ = decode_register(bytes.clone());
+            let _ = decode_setup(bytes);
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_control_payloads_error() {
+        // Garbage tags.
+        assert!(decode_command(Bytes::from_static(&[99])).is_err());
+        assert!(decode_reply(Bytes::from_static(&[99])).is_err());
+        assert!(decode_command(Bytes::new()).is_err());
+        assert!(decode_reply(Bytes::new()).is_err());
+        // Every prefix of a valid encoding must error, never panic.
+        let cmd = Command::CheckArrivals {
+            sources: Arc::new(vec![NodeId(0)]),
+            expected: Arc::new(vec![(NodeId(1), vec!["10.0.0.0/8".parse().unwrap()])]),
+            transits: Arc::new(vec![(NodeId(2), 1u16)]),
+        };
+        let bytes = encode_command(&cmd);
+        for cut in 0..bytes.len() {
+            assert!(decode_command(bytes.slice(..cut)).is_err());
+        }
+        let reply = Reply::Rib(vec![(NodeId(4), vec![sample_rib_route()])]);
+        let bytes = encode_reply(&reply);
+        for cut in 0..bytes.len() {
+            assert!(decode_reply(bytes.slice(..cut)).is_err());
+        }
+    }
+}

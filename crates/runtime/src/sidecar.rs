@@ -32,12 +32,14 @@
 //! from a clean slate.
 
 use crate::faults::FaultState;
+use crate::tcp::TcpTransport;
+use crate::transport::{ChannelTransport, Inbox, Transport, TransportKind};
 use crate::wire::{self, Message};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use s2_net::topology::NodeId;
 use std::collections::BTreeMap;
+use std::io;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -68,6 +70,19 @@ pub struct TrafficStats {
     pub injected_corruptions: AtomicU64,
     /// Frames delayed by fault injection.
     pub injected_delays: AtomicU64,
+    /// TCP connections re-established after a failure (frames buffered in
+    /// the dead connection may be lost, so reconnects count as losses).
+    pub reconnects: AtomicU64,
+    /// Frames dropped because a backpressured `send` hit its deadline.
+    pub send_drops: AtomicU64,
+    /// `send` calls that had to block on a full outbox.
+    pub backpressure_stalls: AtomicU64,
+    /// Keepalive probes written on idle connections.
+    pub heartbeats: AtomicU64,
+    /// Messages or envelopes a peer sent that violated the protocol
+    /// (unknown kind, malformed handshake, non-local target…); each one
+    /// is skipped, never fatal.
+    pub protocol_violations: AtomicU64,
 }
 
 impl TrafficStats {
@@ -88,13 +103,120 @@ impl TrafficStats {
         self.injected_drops.load(Ordering::Relaxed)
             + self.injected_delays.load(Ordering::Relaxed)
             + self.wire_errors.load(Ordering::Relaxed)
+            + self.reconnects.load(Ordering::Relaxed)
+            + self.send_drops.load(Ordering::Relaxed)
+            + self.protocol_violations.load(Ordering::Relaxed)
     }
 
-    /// Frames lost to the receiver (injected drops + rejected frames) —
-    /// the subset of disturbances that needs active healing.
+    /// Frames lost to the receiver (injected drops, rejected frames,
+    /// reconnects with possibly-buffered frames, deadline-dropped sends,
+    /// protocol-violating messages that were skipped) — the subset of
+    /// disturbances that needs active healing.
     pub fn losses(&self) -> u64 {
         self.injected_drops.load(Ordering::Relaxed)
             + self.wire_errors.load(Ordering::Relaxed)
+            + self.reconnects.load(Ordering::Relaxed)
+            + self.send_drops.load(Ordering::Relaxed)
+            + self.protocol_violations.load(Ordering::Relaxed)
+    }
+
+    /// A plain-value copy of every counter (for reports and for shipping
+    /// worker-side statistics to a remote controller).
+    pub fn full_snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            dup_skips: self.dup_skips.load(Ordering::Relaxed),
+            seq_gaps: self.seq_gaps.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            injected_drops: self.injected_drops.load(Ordering::Relaxed),
+            injected_dups: self.injected_dups.load(Ordering::Relaxed),
+            injected_corruptions: self.injected_corruptions.load(Ordering::Relaxed),
+            injected_delays: self.injected_delays.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            send_drops: self.send_drops.load(Ordering::Relaxed),
+            backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            protocol_violations: self.protocol_violations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value snapshot of [`TrafficStats`] — what run statistics and
+/// remote workers report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// See [`TrafficStats::messages`].
+    pub messages: u64,
+    /// See [`TrafficStats::bytes`].
+    pub bytes: u64,
+    /// See [`TrafficStats::wire_errors`].
+    pub wire_errors: u64,
+    /// See [`TrafficStats::dup_skips`].
+    pub dup_skips: u64,
+    /// See [`TrafficStats::seq_gaps`].
+    pub seq_gaps: u64,
+    /// See [`TrafficStats::stale_drops`].
+    pub stale_drops: u64,
+    /// See [`TrafficStats::injected_drops`].
+    pub injected_drops: u64,
+    /// See [`TrafficStats::injected_dups`].
+    pub injected_dups: u64,
+    /// See [`TrafficStats::injected_corruptions`].
+    pub injected_corruptions: u64,
+    /// See [`TrafficStats::injected_delays`].
+    pub injected_delays: u64,
+    /// See [`TrafficStats::reconnects`].
+    pub reconnects: u64,
+    /// See [`TrafficStats::send_drops`].
+    pub send_drops: u64,
+    /// See [`TrafficStats::backpressure_stalls`].
+    pub backpressure_stalls: u64,
+    /// See [`TrafficStats::heartbeats`].
+    pub heartbeats: u64,
+    /// See [`TrafficStats::protocol_violations`].
+    pub protocol_violations: u64,
+}
+
+impl TrafficSnapshot {
+    /// Field-wise sum (aggregating per-process snapshots of a
+    /// multi-process cluster).
+    pub fn merge(&mut self, other: &TrafficSnapshot) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.wire_errors += other.wire_errors;
+        self.dup_skips += other.dup_skips;
+        self.seq_gaps += other.seq_gaps;
+        self.stale_drops += other.stale_drops;
+        self.injected_drops += other.injected_drops;
+        self.injected_dups += other.injected_dups;
+        self.injected_corruptions += other.injected_corruptions;
+        self.injected_delays += other.injected_delays;
+        self.reconnects += other.reconnects;
+        self.send_drops += other.send_drops;
+        self.backpressure_stalls += other.backpressure_stalls;
+        self.heartbeats += other.heartbeats;
+        self.protocol_violations += other.protocol_violations;
+    }
+
+    /// Mirror of [`TrafficStats::disturbances`] over plain values.
+    pub fn disturbances(&self) -> u64 {
+        self.injected_drops
+            + self.injected_delays
+            + self.wire_errors
+            + self.reconnects
+            + self.send_drops
+            + self.protocol_violations
+    }
+
+    /// Mirror of [`TrafficStats::losses`] over plain values.
+    pub fn losses(&self) -> u64 {
+        self.injected_drops
+            + self.wire_errors
+            + self.reconnects
+            + self.send_drops
+            + self.protocol_violations
     }
 }
 
@@ -111,8 +233,8 @@ struct HeldMessage {
 #[derive(Debug, Clone)]
 pub struct SidecarNet {
     node_owner: Arc<Vec<WorkerId>>,
-    /// Senders are swappable so a respawned worker gets a fresh inbox.
-    senders: Arc<Vec<Mutex<Sender<Bytes>>>>,
+    /// The pluggable data fabric frames travel on.
+    transport: Arc<dyn Transport>,
     stats: Arc<TrafficStats>,
     /// Current controller epoch; bumped on every recovery so frames from
     /// replaced (zombie) workers identify themselves as stale.
@@ -125,39 +247,92 @@ pub struct SidecarNet {
 
 impl SidecarNet {
     /// Builds the fabric for `num_workers` workers given the node→worker
-    /// assignment, returning the net plus each worker's inbox receiver.
-    pub fn build(node_owner: Vec<WorkerId>, num_workers: u32) -> (SidecarNet, Vec<Receiver<Bytes>>) {
+    /// assignment, returning the net plus each worker's inbox (channel
+    /// backend).
+    pub fn build(node_owner: Vec<WorkerId>, num_workers: u32) -> (SidecarNet, Vec<Inbox>) {
         Self::build_with_faults(node_owner, num_workers, Arc::new(FaultState::default()))
     }
 
-    /// [`SidecarNet::build`] with an armed fault plan.
+    /// [`SidecarNet::build`] with an armed fault plan (channel backend).
     pub fn build_with_faults(
         node_owner: Vec<WorkerId>,
         num_workers: u32,
         faults: Arc<FaultState>,
-    ) -> (SidecarNet, Vec<Receiver<Bytes>>) {
-        let mut senders = Vec::with_capacity(num_workers as usize);
-        let mut receivers = Vec::with_capacity(num_workers as usize);
-        for _ in 0..num_workers {
-            let (tx, rx) = unbounded();
-            senders.push(Mutex::new(tx));
-            receivers.push(rx);
-        }
+    ) -> (SidecarNet, Vec<Inbox>) {
+        Self::build_with_transport(node_owner, num_workers, faults, TransportKind::Channel)
+            .expect("the channel backend cannot fail to build")
+    }
+
+    /// Builds the fabric on the requested transport backend. Only the TCP
+    /// backend can fail (socket binds).
+    pub fn build_with_transport(
+        node_owner: Vec<WorkerId>,
+        num_workers: u32,
+        faults: Arc<FaultState>,
+        kind: TransportKind,
+    ) -> io::Result<(SidecarNet, Vec<Inbox>)> {
+        let stats = Arc::new(TrafficStats::default());
+        let (transport, inboxes): (Arc<dyn Transport>, Vec<Inbox>) = match kind {
+            TransportKind::Channel => {
+                let (t, inboxes) = ChannelTransport::build(num_workers);
+                (t, inboxes)
+            }
+            TransportKind::Tcp(cfg) => {
+                let (t, inboxes) =
+                    TcpTransport::mesh(num_workers, cfg, stats.clone(), faults.clone())?;
+                (t, inboxes)
+            }
+        };
+        Ok((
+            Self::assemble(node_owner, num_workers, faults, transport, stats),
+            inboxes,
+        ))
+    }
+
+    /// Builds the fabric around an externally constructed transport (the
+    /// multi-process worker endpoint, where the single-worker TCP
+    /// transport is built from the controller's `Setup` message).
+    pub fn with_transport(
+        node_owner: Vec<WorkerId>,
+        num_workers: u32,
+        faults: Arc<FaultState>,
+        transport: Arc<dyn Transport>,
+        stats: Arc<TrafficStats>,
+    ) -> SidecarNet {
+        Self::assemble(node_owner, num_workers, faults, transport, stats)
+    }
+
+    fn assemble(
+        node_owner: Vec<WorkerId>,
+        num_workers: u32,
+        faults: Arc<FaultState>,
+        transport: Arc<dyn Transport>,
+        stats: Arc<TrafficStats>,
+    ) -> SidecarNet {
         let seq = (0..num_workers)
             .map(|_| (0..num_workers).map(|_| AtomicU64::new(0)).collect())
             .collect();
-        (
-            SidecarNet {
-                node_owner: Arc::new(node_owner),
-                senders: Arc::new(senders),
-                stats: Arc::new(TrafficStats::default()),
-                epoch: Arc::new(AtomicU32::new(0)),
-                seq: Arc::new(seq),
-                faults,
-                held: Arc::new(Mutex::new(Vec::new())),
-            },
-            receivers,
-        )
+        SidecarNet {
+            node_owner: Arc::new(node_owner),
+            transport,
+            stats,
+            epoch: Arc::new(AtomicU32::new(0)),
+            seq: Arc::new(seq),
+            faults,
+            held: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Frames accepted by the transport but not yet drained by their
+    /// destination worker (always 0 on the synchronous channel backend).
+    pub fn in_flight(&self) -> usize {
+        self.transport.in_flight()
+    }
+
+    /// Shuts the transport down (closes sockets, joins supervision
+    /// threads; no-op for channels).
+    pub fn shutdown_transport(&self) {
+        self.transport.shutdown();
     }
 
     /// The worker hosting `node`.
@@ -182,13 +357,11 @@ impl SidecarNet {
         self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Replaces worker `w`'s inbox with a fresh channel and returns the
-    /// new receiver (for the respawned worker). Frames still queued in
-    /// the old channel die with the old receiver.
-    pub fn replace_inbox(&self, w: WorkerId) -> Receiver<Bytes> {
-        let (tx, rx) = unbounded();
-        *self.senders[w as usize].lock() = tx;
-        rx
+    /// Replaces worker `w`'s inbox with a fresh, empty one and returns it
+    /// (for the respawned worker). Frames still queued in the old inbox
+    /// are discarded.
+    pub fn replace_inbox(&self, w: WorkerId) -> Inbox {
+        self.transport.replace_inbox(w)
     }
 
     /// Messages currently held back by injected delays.
@@ -240,9 +413,10 @@ impl SidecarNet {
         } else {
             framed
         };
-        // A closed inbox means the cluster is shutting down; dropping the
-        // message is then correct.
-        let _ = self.senders[dst as usize].lock().send(framed);
+        // Failures are accounted inside the transport (send_drops /
+        // backpressure) or mean shutdown; either way the frame is gone
+        // and the disturbance machinery heals real losses.
+        let _ = self.transport.send(src, dst, framed);
     }
 
     /// Routes an encoded message from worker `src` to the worker owning
@@ -283,7 +457,7 @@ impl SidecarNet {
             // receiver must drop it by sequence number.
             let seq = self.seq[src as usize][dst as usize].load(Ordering::Relaxed) - 1;
             let framed = wire::frame(src, self.epoch(), seq, &payload);
-            let _ = self.senders[dst as usize].lock().send(framed);
+            let _ = self.transport.send(src, dst, framed);
         }
     }
 }
@@ -294,7 +468,7 @@ pub struct Sidecar {
     /// This worker's id.
     pub worker: WorkerId,
     net: SidecarNet,
-    inbox: Receiver<Bytes>,
+    inbox: Inbox,
     /// The epoch this worker believes is current (updated by the
     /// controller's `FlushInbox` during recovery).
     epoch: u32,
@@ -304,7 +478,7 @@ pub struct Sidecar {
 
 impl Sidecar {
     /// Wraps a worker's endpoint.
-    pub fn new(worker: WorkerId, net: SidecarNet, inbox: Receiver<Bytes>) -> Self {
+    pub fn new(worker: WorkerId, net: SidecarNet, inbox: Inbox) -> Self {
         let epoch = net.epoch();
         Sidecar {
             worker,
@@ -337,7 +511,7 @@ impl Sidecar {
     /// current, and resets sequence tracking — the receiver half of the
     /// controller's recovery protocol.
     pub fn flush(&mut self, epoch: u32) {
-        while self.inbox.try_recv().is_ok() {}
+        while self.inbox.try_recv().is_some() {}
         self.epoch = epoch;
         self.last_seq.clear();
     }
@@ -351,8 +525,8 @@ impl Sidecar {
         let mut out = Vec::new();
         loop {
             let bytes = match self.inbox.try_recv() {
-                Ok(bytes) => bytes,
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return out,
+                Some(bytes) => bytes,
+                None => return out,
             };
             let frame = match wire::deframe(bytes) {
                 Ok(f) => f,

@@ -14,7 +14,7 @@
 
 use crate::faults::FaultState;
 use crate::memstats::{MemGauge, MemReport};
-use crate::sidecar::Sidecar;
+use crate::sidecar::{Sidecar, TrafficSnapshot};
 use crate::wire::Message;
 use bytes::Bytes;
 use s2_bdd::serialize as bdd_io;
@@ -110,6 +110,10 @@ pub enum Command {
     /// re-sends full state (heals receivers that missed an incremental
     /// update to loss, corruption, or a worker replacement).
     BgpResync,
+    /// Report the worker-side transport counters and in-flight frame
+    /// count. Replies `Net`. In multi-process mode this is how the
+    /// controller folds remote disturbances into its convergence checks.
+    NetStats,
     /// Terminate the worker thread.
     Shutdown,
 }
@@ -171,6 +175,30 @@ pub enum Reply {
     },
     /// Liveness probe answer, echoing the `Ping` nonce.
     Pong(u64),
+    /// Worker-side transport counters.
+    Net {
+        /// Snapshot of the worker's traffic stats.
+        traffic: TrafficSnapshot,
+        /// Frames accepted by the worker's transport but not yet drained
+        /// by their destination.
+        in_flight: u64,
+    },
+    /// The command violated the controller/worker protocol (e.g. a
+    /// data-plane command before `DpSetup`); the worker refuses it
+    /// instead of panicking.
+    Violation(String),
+}
+
+/// Counts a peer protocol violation (malformed or misrouted payload) on
+/// the shared traffic stats. Violations feed the disturbance and loss
+/// counters, so a round that skipped a bad frame can never converge on
+/// it and the resync machinery re-sends the real state.
+fn note_violation(sidecar: &Sidecar) {
+    sidecar
+        .net()
+        .stats()
+        .protocol_violations
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// A staged OSPF delivery: (destination node, arriving interface, routes).
@@ -344,10 +372,16 @@ impl Worker {
                 Reply::Ok
             }
             Command::Inject { injections } => {
+                if self.manager.is_none() {
+                    return Reply::Violation("Inject before DpSetup".to_string());
+                }
                 self.inject(&injections);
                 Reply::Ok
             }
             Command::ForwardRound => {
+                if self.manager.is_none() {
+                    return Reply::Violation("ForwardRound before DpSetup".to_string());
+                }
                 let (processed, sent_remote) = self.forward_round();
                 self.update_gauge();
                 if self.gauge.over_budget(self.memory_budget) {
@@ -407,7 +441,16 @@ impl Worker {
                 self.last_adv.clear();
                 Reply::Ok
             }
-            Command::Shutdown => unreachable!("handled by run()"),
+            Command::NetStats => {
+                // `in_flight` strictly before the counter snapshot: a
+                // concurrent reconnect bumps `reconnects` before resetting
+                // the credit window (see `tcp::dial`), so sampling in this
+                // order means at least one of the two witnesses it.
+                let in_flight = self.sidecar.net().in_flight() as u64;
+                let traffic = self.sidecar.net().stats().full_snapshot();
+                Reply::Net { traffic, in_flight }
+            }
+            Command::Shutdown => Reply::Violation("Shutdown reached handle()".to_string()),
         }
     }
 
@@ -420,11 +463,9 @@ impl Worker {
             for adj in &self.model.ospf_adj[node.index()] {
                 // The receiver applies its own interface cost; it finds the
                 // adjacency by its receiving interface.
-                let (peer, peer_if) = self
-                    .model
-                    .topology
-                    .peer_of(node, adj.local_if)
-                    .expect("adjacency rides a link");
+                let Some((peer, peer_if)) = self.model.topology.peer_of(node, adj.local_if) else {
+                    continue; // adjacency without a link: nothing to export to
+                };
                 debug_assert_eq!(peer, adj.peer_node);
                 if self.sidecar.is_local(peer) {
                     self.pending_ospf.push((peer, peer_if, entries.clone()));
@@ -456,14 +497,21 @@ impl Worker {
             }
         }
         for (node, via_iface, entries) in deliveries {
-            let cost = self.model.ospf_adj[node.index()]
-                .iter()
-                .find(|a| a.local_if == via_iface)
-                .map(|a| a.cost)
-                .expect("advertisement arrived on an OSPF adjacency");
+            // Target node and interface come off the wire: an unknown
+            // node, a non-local target, or an interface that is not an
+            // OSPF adjacency is a peer protocol violation — counted and
+            // skipped, never a panic.
+            let cost = self
+                .model
+                .ospf_adj
+                .get(node.index())
+                .and_then(|adjs| adjs.iter().find(|a| a.local_if == via_iface))
+                .map(|a| a.cost);
             let adv: BTreeMap<Prefix, u32> = entries.into_iter().collect();
-            let sw = self.switches.get_mut(&node).expect("target is local");
-            changed |= sw.ospf.receive(&adv, cost, via_iface);
+            match (cost, self.switches.get_mut(&node)) {
+                (Some(cost), Some(sw)) => changed |= sw.ospf.receive(&adv, cost, via_iface),
+                _ => note_violation(&self.sidecar),
+            }
         }
         changed
     }
@@ -512,13 +560,21 @@ impl Worker {
             }
         }
         for (node, session, routes) in deliveries {
-            let sw = self.switches.get_mut(&node).expect("target is local");
-            changed |= sw.bgp_receive(session as usize, &routes);
+            // Both the target node and the session index come off the
+            // wire; a non-local node or out-of-range session is a peer
+            // protocol violation, not a reason to panic.
+            match self.switches.get_mut(&node) {
+                Some(sw) if (session as usize) < sw.sessions.len() => {
+                    changed |= sw.bgp_receive(session as usize, &routes);
+                }
+                _ => note_violation(&self.sidecar),
+            }
         }
         let shard = self.shard.clone();
         for &node in &self.local_nodes {
-            let sw = self.switches.get_mut(&node).expect("local node");
-            changed |= sw.bgp_decide(shard.as_deref());
+            if let Some(sw) = self.switches.get_mut(&node) {
+                changed |= sw.bgp_decide(shard.as_deref());
+            }
         }
         changed
     }
@@ -554,7 +610,9 @@ impl Worker {
     }
 
     fn inject(&mut self, injections: &[(NodeId, Prefix)]) {
-        let manager = self.manager.as_mut().expect("DpSetup ran");
+        let Some(manager) = self.manager.as_mut() else {
+            return; // guarded in handle(); kept panic-free regardless
+        };
         for &(src, dst_space) in injections {
             if !self.sidecar.is_local(src) {
                 continue;
@@ -581,7 +639,9 @@ impl Worker {
     /// local next-hop fragments, and ship merged remote fragments — one
     /// serialized BDD per (worker, merge-key).
     fn forward_round(&mut self) -> (usize, usize) {
-        let manager = self.manager.as_mut().expect("DpSetup ran");
+        let Some(manager) = self.manager.as_mut() else {
+            return (0, 0); // guarded in handle(); kept panic-free regardless
+        };
         for msg in self.sidecar.drain() {
             if let Message::Packet {
                 src,
@@ -624,7 +684,14 @@ impl Worker {
         let mut next: BTreeMap<PacketKey, s2_bdd::Bdd> = BTreeMap::new();
         let mut outbound: BTreeMap<PacketKey, s2_bdd::Bdd> = BTreeMap::new();
         for ((src, node, ingress, hops), set) in std::mem::take(&mut self.level) {
-            let preds = self.preds.get(&node).expect("packet is at a local node");
+            // The packet's location came off the wire for remote
+            // fragments; a node this worker does not host is a peer
+            // protocol violation — count it and drop the fragment (the
+            // disturbance machinery forces a replay).
+            let Some(preds) = self.preds.get(&node) else {
+                note_violation(&self.sidecar);
+                continue;
+            };
             let pkt = SymbolicPacket {
                 src,
                 node,
@@ -674,7 +741,9 @@ impl Worker {
         expected: &[(NodeId, Vec<Prefix>)],
         transits: &[(NodeId, u16)],
     ) -> Reply {
-        let manager = self.manager.as_mut().expect("DpSetup ran");
+        let Some(manager) = self.manager.as_mut() else {
+            return Reply::Violation("CheckArrivals before DpSetup".to_string());
+        };
         let mut reachable = Vec::new();
         let mut unreachable = Vec::new();
         let mut waypoint_violations = Vec::new();
@@ -726,7 +795,9 @@ impl Worker {
     }
 
     fn collect_finals(&mut self) -> Reply {
-        let manager = self.manager.as_mut().expect("DpSetup ran");
+        let Some(manager) = self.manager.as_mut() else {
+            return Reply::Violation("CollectFinals before DpSetup".to_string());
+        };
         let meta_vars: Vec<u16> = (0..self.space.meta_bits)
             .map(|i| self.space.meta_var(i))
             .collect();

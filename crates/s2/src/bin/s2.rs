@@ -3,23 +3,35 @@
 //! ```text
 //! s2 verify --topology topo.txt --configs confdir/ [--workers N] [--shards M]
 //!           [--source HOST]... [--expect HOST=PREFIX]... [--dst-space PREFIX]
+//!           [--transport channel|tcp] [--listen ADDR]
 //! s2 simulate --topology topo.txt --configs confdir/ [--workers N] [--shards M]
+//!             [--transport channel|tcp] [--listen ADDR]
+//! s2 worker --topology topo.txt --configs confdir/ --connect ADDR [--bind ADDR]
 //! s2 gen-fattree K OUTDIR          # synthesize a demo network to verify
 //! ```
 //!
 //! `verify` checks all-pair reachability between the `--expect` endpoints
 //! (each of which also acts as a source unless `--source` is given);
 //! `simulate` prints the converged RIB summary only.
+//!
+//! Multi-process mode: start the controller with `--listen ADDR`, then
+//! start `--workers` separate `s2 worker` processes pointing `--connect`
+//! at that address (each with the same topology + configs). Workers form
+//! their own TCP data fabric; `--bind` sets the local address of a
+//! worker's data listener (default `127.0.0.1:0` — set a routable
+//! address when workers run on different hosts). Single-process runs can
+//! still exercise the TCP fabric with `--transport tcp`.
 
 use s2::{ingest, topofile, S2Options, S2Verifier, VerificationRequest};
 use s2_net::topology::NodeId;
 use s2_net::Prefix;
+use s2_runtime::TransportKind;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M]\n  s2 gen-fattree K OUTDIR"
+        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--transport channel|tcp] [--listen ADDR]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--transport channel|tcp] [--listen ADDR]\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
     );
     ExitCode::from(2)
 }
@@ -32,6 +44,10 @@ struct Args {
     expects: Vec<(String, Prefix)>,
     sources: Vec<String>,
     dst_space: Prefix,
+    transport: TransportKind,
+    listen: Option<String>,
+    connect: Option<String>,
+    bind: String,
 }
 
 fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
@@ -43,6 +59,10 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
         expects: Vec::new(),
         sources: Vec::new(),
         dst_space: "0.0.0.0/0".parse().expect("valid"),
+        transport: TransportKind::Channel,
+        listen: None,
+        connect: None,
+        bind: "127.0.0.1:0".to_string(),
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -63,6 +83,16 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
                 let prefix: Prefix = prefix.parse().map_err(|e| format!("--expect: {e}"))?;
                 args.expects.push((host.to_string(), prefix));
             }
+            "--transport" => {
+                args.transport = match value()?.as_str() {
+                    "channel" => TransportKind::Channel,
+                    "tcp" => TransportKind::tcp(),
+                    other => return Err(format!("--transport wants channel|tcp, got {other}")),
+                }
+            }
+            "--listen" => args.listen = Some(value()?),
+            "--connect" => args.connect = Some(value()?),
+            "--bind" => args.bind = value()?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -103,6 +133,30 @@ fn resolve(model: &s2::NetworkModel, host: &str) -> Result<NodeId, String> {
         .ok_or_else(|| format!("unknown host {host}"))
 }
 
+/// Builds the verifier for the selected mode: in-process (channel or TCP
+/// fabric) or multi-process controller (`--listen`).
+fn make_verifier(model: s2::NetworkModel, args: &Args) -> Result<S2Verifier, String> {
+    let mut opts = S2Options {
+        workers: args.workers,
+        shards: args.shards,
+        ..Default::default()
+    };
+    opts.runtime.transport = args.transport.clone();
+    match &args.listen {
+        None => S2Verifier::new(model, &opts).map_err(|e| e.to_string()),
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
+            eprintln!(
+                "listening on {} for {} worker process(es)...",
+                listener.local_addr().map_err(|e| e.to_string())?,
+                args.workers
+            );
+            S2Verifier::listen(model, &opts, listener).map_err(|e| e.to_string())
+        }
+    }
+}
+
 fn cmd_verify(args: Args) -> Result<(), String> {
     let model = load(&args)?;
     for d in &model.session_diagnostics {
@@ -133,12 +187,7 @@ fn cmd_verify(args: Args) -> Result<(), String> {
         dst_space: args.dst_space,
         transits: Vec::new(),
     };
-    let opts = S2Options {
-        workers: args.workers,
-        shards: args.shards,
-        ..Default::default()
-    };
-    let verifier = S2Verifier::new(model, &opts).map_err(|e| e.to_string())?;
+    let verifier = make_verifier(model, &args)?;
     let report = verifier.verify(&request).map_err(|e| e.to_string())?;
     verifier.shutdown();
     println!("{}", report.summary());
@@ -155,12 +204,7 @@ fn cmd_verify(args: Args) -> Result<(), String> {
 
 fn cmd_simulate(args: Args) -> Result<(), String> {
     let model = load(&args)?;
-    let opts = S2Options {
-        workers: args.workers,
-        shards: args.shards,
-        ..Default::default()
-    };
-    let verifier = S2Verifier::new(model, &opts).map_err(|e| e.to_string())?;
+    let verifier = make_verifier(model, &args)?;
     let (rib, stats, shards) = verifier.simulate().map_err(|e| e.to_string())?;
     verifier.shutdown();
     println!(
@@ -172,7 +216,24 @@ fn cmd_simulate(args: Args) -> Result<(), String> {
     );
     println!("per-worker peak bytes: {:?}", stats.per_worker_peak);
     println!("protocol histogram: {:?}", rib.protocol_histogram());
+    let t = &stats.traffic;
+    println!(
+        "transport: {} messages ({} bytes), {} reconnects, {} send drops, {} backpressure stalls, {} heartbeats, {} protocol violations",
+        t.messages, t.bytes, t.reconnects, t.send_drops, t.backpressure_stalls, t.heartbeats, t.protocol_violations
+    );
     Ok(())
+}
+
+/// Runs one worker process: builds the same model as the controller,
+/// registers, and serves commands until shutdown.
+fn cmd_worker(args: Args) -> Result<(), String> {
+    let connect = args
+        .connect
+        .as_deref()
+        .ok_or_else(|| "s2 worker requires --connect ADDR".to_string())?;
+    let model = load(&args)?;
+    s2_runtime::remote::serve(std::sync::Arc::new(model), connect, &args.bind)
+        .map_err(|e| format!("worker: {e}"))
 }
 
 fn cmd_gen_fattree(k: usize, outdir: &Path) -> Result<(), String> {
@@ -204,6 +265,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "verify" => parse_args(argv.into_iter()).and_then(cmd_verify),
         "simulate" => parse_args(argv.into_iter()).and_then(cmd_simulate),
+        "worker" => parse_args(argv.into_iter()).and_then(cmd_worker),
         "gen-fattree" => {
             if argv.len() != 2 {
                 return usage();

@@ -77,6 +77,32 @@ impl S2Report {
                 recoveries, self.cp.oom_splits, self.cp.shard_retries, wire_errors,
             ));
         }
+        let t = self.traffic();
+        if t.reconnects + t.send_drops + t.backpressure_stalls + t.protocol_violations > 0
+            || t.heartbeats > 0
+        {
+            s.push_str(&format!(
+                "; transport: {} reconnects, {} send drops, \
+                 {} backpressure stalls, {} heartbeats, {} protocol violations",
+                t.reconnects,
+                t.send_drops,
+                t.backpressure_stalls,
+                t.heartbeats,
+                t.protocol_violations,
+            ));
+        }
         s
+    }
+
+    /// Transport/traffic counters summed over both phases. The
+    /// data-plane phase snapshot is cumulative over the run (counters
+    /// are never reset), so it alone already covers the control plane;
+    /// use the later (larger) snapshot rather than double-counting.
+    pub fn traffic(&self) -> s2_runtime::TrafficSnapshot {
+        if self.dpv.traffic.messages >= self.cp.traffic.messages {
+            self.dpv.traffic
+        } else {
+            self.cp.traffic
+        }
     }
 }

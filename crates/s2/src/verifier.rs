@@ -67,6 +67,8 @@ pub enum S2Error {
     Model(NetError),
     /// The distributed run failed (non-convergence, worker OOM, ...).
     Runtime(RuntimeError),
+    /// Multi-process setup failed (bind, accept, handshake).
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for S2Error {
@@ -74,6 +76,7 @@ impl std::fmt::Display for S2Error {
         match self {
             S2Error::Model(e) => write!(f, "model error: {e}"),
             S2Error::Runtime(e) => write!(f, "runtime error: {e}"),
+            S2Error::Io(e) => write!(f, "io error: {e}"),
         }
     }
 }
@@ -89,6 +92,12 @@ impl From<NetError> for S2Error {
 impl From<RuntimeError> for S2Error {
     fn from(e: RuntimeError) -> Self {
         S2Error::Runtime(e)
+    }
+}
+
+impl From<std::io::Error> for S2Error {
+    fn from(e: std::io::Error) -> Self {
+        S2Error::Io(e)
     }
 }
 
@@ -137,6 +146,38 @@ impl S2Verifier {
             partition.num_workers,
             config,
         );
+        Ok(S2Verifier {
+            model,
+            partition,
+            cluster,
+            opts: opts.clone(),
+        })
+    }
+
+    /// Multi-process mode: partitions `model`, listens on `listener`, and
+    /// waits for `opts.workers` `s2 worker` processes to register before
+    /// returning. The workers form their own TCP data fabric; this
+    /// process only orchestrates. Recovery is unavailable in this mode
+    /// (a lost worker process fails the run), and `opts.runtime.faults`
+    /// are not shipped to remote workers.
+    pub fn listen(
+        model: NetworkModel,
+        opts: &S2Options,
+        listener: std::net::TcpListener,
+    ) -> Result<Self, S2Error> {
+        let partition = compute(&model.topology, opts.workers, opts.scheme);
+        let model = Arc::new(model);
+        let config = RuntimeConfig {
+            memory_budget: opts.memory_budget.or(opts.runtime.memory_budget),
+            ..opts.runtime.clone()
+        };
+        let cluster = Cluster::connect_remote(
+            model.clone(),
+            partition.assignment.clone(),
+            partition.num_workers,
+            listener,
+            config,
+        )?;
         Ok(S2Verifier {
             model,
             partition,
@@ -288,6 +329,7 @@ impl S2Verifier {
                     acc_stats.shard_retries += stats.shard_retries;
                     acc_stats.resyncs += stats.resyncs;
                     acc_stats.wire_errors += stats.wire_errors;
+                    acc_stats.traffic.merge(&stats.traffic);
                     acc_stats.elapsed = acc_stats.elapsed.max(stats.elapsed);
                     (acc_rib, acc_stats)
                 }

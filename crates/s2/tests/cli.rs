@@ -120,6 +120,76 @@ fn simulate_prints_route_summary() {
 }
 
 #[test]
+fn multi_process_verify_over_tcp() {
+    use std::io::BufRead;
+
+    let dir = gen_dir("remote");
+    let topo = dir.join("topology.txt");
+    let confs = dir.join("configs");
+    let common = [
+        "--topology",
+        topo.to_str().unwrap(),
+        "--configs",
+        confs.to_str().unwrap(),
+    ];
+
+    // Controller on an ephemeral port; it announces the bound address on
+    // stderr before it starts accepting workers.
+    let mut controller = s2_bin()
+        .args([
+            "verify",
+            "--workers",
+            "2",
+            "--listen",
+            "127.0.0.1:0",
+            "--expect",
+            "pod0-edge0=10.0.0.0/24",
+            "--expect",
+            "pod2-edge1=10.2.1.0/24",
+            "--dst-space",
+            "10.0.0.0/8",
+        ])
+        .args(common)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("controller spawns");
+    let mut stderr = std::io::BufReader::new(controller.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split(' ').next())
+        .unwrap_or_else(|| panic!("unexpected controller banner: {line:?}"))
+        .to_string();
+    // Keep draining stderr so the controller never blocks on a full pipe.
+    let drain = std::thread::spawn(move || {
+        for _ in stderr.lines() {}
+    });
+
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            s2_bin()
+                .args(["worker", "--connect", &addr])
+                .args(common)
+                .spawn()
+                .expect("worker spawns")
+        })
+        .collect();
+
+    let out = controller.wait_with_output().expect("controller finishes");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("verdict: CLEAN"), "{stdout}");
+    for mut w in workers {
+        let status = w.wait().expect("worker finishes");
+        assert!(status.success(), "worker must exit cleanly after shutdown");
+    }
+    drain.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_flags_fail_gracefully() {
     for args in [
         vec!["verify"],                      // missing everything
