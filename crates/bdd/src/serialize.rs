@@ -20,7 +20,7 @@
 
 use crate::manager::{Bdd, BddManager};
 use bytes::{Buf, BufMut};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Errors from [`deserialize`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,11 +46,18 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Serializes `f` into `buf`. The encoding is self-delimiting.
+///
+/// The record order is the post-order DFS of the DAG — a pure function
+/// of the function's canonical (ROBDD) structure, never of manager node
+/// ids or hash-table layout — so two managers that built the same
+/// boolean function independently emit byte-identical payloads (R2:
+/// wire bytes must be deterministic; the chaos tests diff them).
 pub fn serialize(m: &BddManager, f: Bdd, buf: &mut impl BufMut) {
     // Topological order: children before parents. A post-order DFS gives
-    // exactly that.
+    // exactly that. The node-id→slot index is a BTreeMap purely for
+    // determinism hygiene: nothing may iterate it in hash order.
     let mut order: Vec<u32> = Vec::new();
-    let mut index: HashMap<u32, u32> = HashMap::new();
+    let mut index: BTreeMap<u32, u32> = BTreeMap::new();
     let mut stack: Vec<(u32, bool)> = vec![(f.0, false)];
     while let Some((i, expanded)) = stack.pop() {
         if i <= 1 || index.contains_key(&i) {
@@ -69,7 +76,7 @@ pub fn serialize(m: &BddManager, f: Bdd, buf: &mut impl BufMut) {
         }
     }
 
-    let encode_ref = |i: u32, index: &HashMap<u32, u32>| -> u32 {
+    let encode_ref = |i: u32, index: &BTreeMap<u32, u32>| -> u32 {
         if i <= 1 {
             i
         } else {
@@ -187,6 +194,51 @@ mod tests {
         let b2 = m2.var(1);
         let native = m2.and(a2, b2);
         assert_eq!(g1, native);
+    }
+
+    #[test]
+    fn equivalent_bdds_serialize_byte_identically() {
+        // Two managers build the same function along very different
+        // construction paths (different operand orders, intermediate
+        // results, and therefore different internal node ids); the wire
+        // bytes must still be identical, because downstream consumers
+        // (checkpoint digests, cross-run RIB diffs) compare them.
+        let mut m1 = BddManager::new(8);
+        let f1 = {
+            let a = m1.var(0);
+            let b = m1.var(3);
+            let c = m1.nvar(5);
+            let ab = m1.and(a, b);
+            m1.or(ab, c)
+        };
+
+        let mut m2 = BddManager::new(8);
+        let f2 = {
+            // Same function, built inside-out with extra garbage nodes
+            // created along the way to desynchronize the managers' ids.
+            let junk1 = m2.var(7);
+            let junk2 = m2.var(6);
+            let _ = m2.xor(junk1, junk2);
+            let c = m2.nvar(5);
+            let b = m2.var(3);
+            let a = m2.var(0);
+            let ba = m2.and(b, a);
+            m2.or(c, ba)
+        };
+
+        let bytes1 = to_bytes(&m1, f1);
+        let bytes2 = to_bytes(&m2, f2);
+        assert_eq!(
+            bytes1, bytes2,
+            "equivalent functions must serialize to identical bytes"
+        );
+
+        // And the common prerequisite actually holds: they are the same
+        // function (checked semantically, not just assumed).
+        for bits in 0u32..256 {
+            let assign: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(m1.eval(f1, &assign), m2.eval(f2, &assign));
+        }
     }
 
     #[test]

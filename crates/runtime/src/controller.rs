@@ -410,7 +410,7 @@ impl Cluster {
         let mut handles = Vec::new();
         let mut threads = Vec::new();
         for (w, stream) in streams.into_iter().enumerate() {
-            let (cmd, reply, thread) = remote::spawn_proxy(w as u32, stream);
+            let (cmd, reply, thread) = remote::spawn_proxy(w as u32, stream)?;
             handles.push(WorkerHandle { cmd, reply });
             threads.push(Some(thread));
         }

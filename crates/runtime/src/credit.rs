@@ -1,0 +1,242 @@
+//! Pure credit-accounting state machine for the TCP transport's
+//! per-link backpressure window.
+//!
+//! [`CreditLedger`] holds the race-prone part of a link's sending state
+//! — the remaining credit window, the connection generation fence, and
+//! the frame-in-hand marker — with no I/O, no locking, and no clock, so
+//! the exact transition rules the writer / credit-reader / dial threads
+//! race over can be model-checked exhaustively. `tcp.rs` embeds one
+//! ledger per link under the existing link mutex; the loom test
+//! (`tests/loom.rs`, built with `RUSTFLAGS="--cfg loom"`) drives the
+//! same type through every interleaving of those three roles and checks
+//! the invariants the controller's convergence detection depends on:
+//!
+//! * `credits` never exceeds `window` (refills are clamped, so a
+//!   duplicated or late credit cannot mint send capacity);
+//! * a refill or connection-death notice carrying a stale generation is
+//!   a no-op (a reader of a dead connection cannot affect a newer one);
+//! * `outstanding()` — consumed credits plus the frame in the writer's
+//!   hand — never undercounts: a frame accepted from the sender is
+//!   visible in `outbox.len() + outstanding()` until the receiver
+//!   drains it, which is what keeps "cluster quiescent" honest.
+
+/// Credit window, generation fence, and in-hand marker for one link.
+///
+/// All methods are total and non-panicking; generation-fenced methods
+/// return whether they applied so callers can count stale events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreditLedger {
+    window: u32,
+    /// Remaining send credits; resets to the full window on (re)connect.
+    credits: u32,
+    /// Bumped per successful dial so a stale credit reader cannot kill
+    /// or refill a newer connection.
+    conn_gen: u64,
+    /// Set by the credit reader when the current connection died.
+    conn_dead: bool,
+    /// A frame the writer popped but has not yet written or requeued —
+    /// without this, a frame parked during a partition (popped with no
+    /// credit spent) would vanish from `in_flight` and let the cluster
+    /// declare convergence with a message still pending.
+    in_hand: bool,
+}
+
+impl CreditLedger {
+    /// A fresh ledger with a full window and generation 0 (no
+    /// connection has been dialed yet).
+    pub fn new(window: u32) -> Self {
+        CreditLedger {
+            window,
+            credits: window,
+            conn_gen: 0,
+            conn_dead: false,
+            in_hand: false,
+        }
+    }
+
+    /// Whether the writer may pop a frame now: always while
+    /// disconnected (the dial handshake will spend the credit), only
+    /// with credits in hand while connected.
+    pub fn can_send(&self, connected: bool) -> bool {
+        !connected || self.credits > 0
+    }
+
+    /// The writer pops a frame: marks it in hand and, on a live
+    /// connection, spends one credit. Returns whether a credit was
+    /// spent (the caller threads this through requeue on failure).
+    /// Callers must check [`can_send`](Self::can_send) first; a
+    /// connected consume with an empty window is saturating, never
+    /// underflowing.
+    pub fn begin_send(&mut self, connected: bool) -> bool {
+        if connected {
+            self.credits = self.credits.saturating_sub(1);
+        }
+        self.in_hand = true;
+        connected
+    }
+
+    /// The in-hand frame reached the socket; its consumed credit now
+    /// accounts for it until the receiver pops it and grants the credit
+    /// back.
+    pub fn sent(&mut self) {
+        self.in_hand = false;
+    }
+
+    /// The in-hand frame went back to the outbox (connection loss or
+    /// partition); returns its credit if one was spent.
+    pub fn requeue(&mut self, credit_spent: bool) {
+        self.in_hand = false;
+        if credit_spent {
+            self.credits = (self.credits + 1).min(self.window);
+        }
+    }
+
+    /// A successful dial: fences off every older reader by bumping the
+    /// generation, clears the death flag, and resets the window.
+    /// Returns the new generation for the connection's credit reader.
+    pub fn reconnect(&mut self) -> u64 {
+        self.conn_gen += 1;
+        self.conn_dead = false;
+        self.credits = self.window;
+        self.conn_gen
+    }
+
+    /// Spends the lazily-dialed frame's credit out of the fresh window
+    /// (the pop skipped it while disconnected). Deliberately an
+    /// assignment, not a decrement: any refill that raced in between
+    /// [`reconnect`](Self::reconnect) and this call is forfeited, which
+    /// can only overstate `outstanding()` — the conservative direction
+    /// for convergence detection.
+    pub fn debit_fresh_window(&mut self) {
+        self.credits = self.window.saturating_sub(1);
+    }
+
+    /// Credit grant from the receiver, clamped to the window. Applied
+    /// only if `gen` matches the current connection; returns whether it
+    /// applied (a stale reader's grant must not mint capacity on a
+    /// newer connection).
+    pub fn refill(&mut self, n: u32, gen: u64) -> bool {
+        if self.conn_gen != gen {
+            return false;
+        }
+        self.credits = self.credits.saturating_add(n).min(self.window);
+        true
+    }
+
+    /// Death notice from a credit reader. Applied only if `gen` matches
+    /// the current connection; returns whether it applied (a stale
+    /// reader must not kill a newer connection).
+    pub fn connection_lost(&mut self, gen: u64) -> bool {
+        if self.conn_gen != gen {
+            return false;
+        }
+        self.conn_dead = true;
+        true
+    }
+
+    /// The writer acknowledges a death notice (and will drop its
+    /// socket); clears the flag so one loss is observed exactly once.
+    pub fn take_conn_dead(&mut self) -> bool {
+        std::mem::take(&mut self.conn_dead)
+    }
+
+    /// Frames accounted by this ledger: the one in the writer's hand
+    /// plus every consumed credit (sent but not yet drained by the
+    /// receiver). The link's `in_flight` is `outbox.len() + outstanding()`.
+    pub fn outstanding(&self) -> usize {
+        self.in_hand as usize + (self.window - self.credits.min(self.window)) as usize
+    }
+
+    /// Core safety invariant, asserted by the loom model after every
+    /// transition: the clamp discipline keeps the window bounded.
+    pub fn invariant_holds(&self) -> bool {
+        self.credits <= self.window
+    }
+
+    /// Remaining credits (model-check observability).
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Current connection generation (model-check observability).
+    pub fn generation(&self) -> u64 {
+        self.conn_gen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CreditLedger;
+
+    #[test]
+    fn consume_refill_round_trip() {
+        let mut l = CreditLedger::new(4);
+        let gen = l.reconnect();
+        assert!(l.can_send(true));
+        assert!(l.begin_send(true));
+        l.sent();
+        assert_eq!(l.credits(), 3);
+        assert_eq!(l.outstanding(), 1);
+        assert!(l.refill(1, gen));
+        assert_eq!(l.credits(), 4);
+        assert_eq!(l.outstanding(), 0);
+        assert!(l.invariant_holds());
+    }
+
+    #[test]
+    fn refill_clamps_to_window() {
+        let mut l = CreditLedger::new(2);
+        let gen = l.reconnect();
+        assert!(l.refill(100, gen));
+        assert_eq!(l.credits(), 2);
+        assert!(l.invariant_holds());
+    }
+
+    #[test]
+    fn stale_generation_is_fenced() {
+        let mut l = CreditLedger::new(4);
+        let old = l.reconnect();
+        assert!(l.begin_send(true));
+        l.sent();
+        let fresh = l.reconnect();
+        assert_ne!(old, fresh);
+        assert!(!l.refill(4, old), "stale refill must not apply");
+        assert!(!l.connection_lost(old), "stale death must not apply");
+        assert!(!l.take_conn_dead());
+        assert_eq!(l.credits(), 4, "reconnect reset stands");
+    }
+
+    #[test]
+    fn exhausted_window_blocks_connected_sends() {
+        let mut l = CreditLedger::new(1);
+        l.reconnect();
+        assert!(l.begin_send(true));
+        l.sent();
+        assert!(!l.can_send(true), "window exhausted");
+        assert!(l.can_send(false), "disconnected pops are always allowed");
+    }
+
+    #[test]
+    fn requeue_returns_only_spent_credits() {
+        let mut l = CreditLedger::new(2);
+        l.reconnect();
+        let spent = l.begin_send(true);
+        l.requeue(spent);
+        assert_eq!(l.credits(), 2);
+        assert_eq!(l.outstanding(), 0);
+        let spent = l.begin_send(false);
+        assert!(!spent);
+        l.requeue(spent);
+        assert_eq!(l.credits(), 2, "no credit minted for an unspent pop");
+    }
+
+    #[test]
+    fn debit_fresh_window_forfeits_raced_refills() {
+        let mut l = CreditLedger::new(4);
+        let gen = l.reconnect();
+        assert!(l.refill(2, gen), "refill racing the lazy dial");
+        l.debit_fresh_window();
+        assert_eq!(l.credits(), 3);
+        assert!(l.invariant_holds());
+    }
+}

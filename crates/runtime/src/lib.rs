@@ -47,6 +47,7 @@
 #![deny(missing_docs)]
 
 pub mod controller;
+pub mod credit;
 pub mod faults;
 pub mod memstats;
 pub mod remote;

@@ -45,6 +45,7 @@ use s2_net::policy::Protocol;
 use s2_net::topology::{InterfaceId, NodeId};
 use s2_net::{Ipv4Addr, Prefix};
 use s2_routing::{NetworkModel, RibRoute, RibSnapshot};
+// s2-lint: allow(r2-deterministic-iteration): HashSet is decode-side only (BgpBegin shard membership); encode_command sorts before writing.
 use std::collections::{BTreeMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -332,7 +333,13 @@ pub fn encode_command(cmd: &Command) -> Bytes {
                 Some(set) => {
                     buf.put_u8(1);
                     buf.put_u32(set.len() as u32);
-                    for p in set.iter() {
+                    // The shard is a HashSet; encode in sorted order so
+                    // the wire bytes are a pure function of the shard
+                    // contents (R2: re-runs and replicas must produce
+                    // identical frames).
+                    let mut prefixes: Vec<Prefix> = set.iter().copied().collect();
+                    prefixes.sort_unstable();
+                    for p in &prefixes {
                         put_prefix(&mut buf, p);
                     }
                 }
@@ -429,6 +436,7 @@ pub fn decode_command(mut buf: Bytes) -> Result<Command, WireError> {
                 1 => {
                     need(&buf, 4)?;
                     let n = buf.get_u32() as usize;
+                    // s2-lint: allow(r2-deterministic-iteration): decode direction — the set serves O(1) membership in the worker and is never iterated into an encoding.
                     let mut set = HashSet::with_capacity(cap(n));
                     for _ in 0..n {
                         set.insert(get_prefix(&mut buf)?);
@@ -882,7 +890,7 @@ pub fn accept_fleet(
 pub fn spawn_proxy(
     w: u32,
     mut stream: TcpStream,
-) -> (Sender<Command>, Receiver<Reply>, JoinHandle<()>) {
+) -> io::Result<(Sender<Command>, Receiver<Reply>, JoinHandle<()>)> {
     let (cmd_tx, cmd_rx) = unbounded::<Command>();
     let (reply_tx, reply_rx) = unbounded::<Reply>();
     let handle = thread::Builder::new()
@@ -907,9 +915,8 @@ pub fn spawn_proxy(
                     return;
                 }
             }
-        })
-        .expect("spawning a proxy thread cannot fail");
-    (cmd_tx, reply_rx, handle)
+        })?;
+    Ok((cmd_tx, reply_rx, handle))
 }
 
 // ---- worker side ----
@@ -937,7 +944,13 @@ pub fn serve(model: Arc<NetworkModel>, connect: &str, bind: &str) -> io::Result<
     }
     let setup = decode_setup(Bytes::from(payload))
         .map_err(|e| bad_data(&format!("bad setup: {e}")))?;
-    if setup.worker_id >= setup.num_workers || setup.peers.len() != setup.num_workers as usize {
+    if setup.worker_id >= setup.num_workers
+        || setup.peers.len() != setup.num_workers as usize
+        || setup
+            .node_owner
+            .iter()
+            .any(|&owner| owner >= setup.num_workers)
+    {
         return Err(bad_data("inconsistent setup"));
     }
 
@@ -978,8 +991,7 @@ pub fn serve(model: Arc<NetworkModel>, connect: &str, bind: &str) -> io::Result<
     let (reply_tx, reply_rx) = unbounded::<Reply>();
     let worker_thread = thread::Builder::new()
         .name(format!("s2-worker-{}", setup.worker_id))
-        .spawn(move || worker.run(cmd_rx, reply_tx))
-        .expect("spawning the worker thread cannot fail");
+        .spawn(move || worker.run(cmd_rx, reply_tx))?;
 
     // Any error — controller gone, unknown kind, malformed payload, dead
     // worker thread — breaks the loop and tears the process down cleanly.

@@ -259,8 +259,14 @@ impl SidecarNet {
         num_workers: u32,
         faults: Arc<FaultState>,
     ) -> (SidecarNet, Vec<Inbox>) {
-        Self::build_with_transport(node_owner, num_workers, faults, TransportKind::Channel)
-            .expect("the channel backend cannot fail to build")
+        // Built directly (not through `build_with_transport`) so this
+        // path is statically infallible: only socket binds can fail.
+        let stats = Arc::new(TrafficStats::default());
+        let (transport, inboxes) = ChannelTransport::build(num_workers);
+        (
+            Self::assemble(node_owner, num_workers, faults, transport, stats),
+            inboxes,
+        )
     }
 
     /// Builds the fabric on the requested transport backend. Only the TCP
@@ -338,7 +344,15 @@ impl SidecarNet {
     /// The worker hosting `node`.
     #[inline]
     pub fn owner(&self, node: NodeId) -> WorkerId {
+        // s2-lint: allow(r1-panic-freedom): wire-supplied node ids are range-checked against node_owner in Sidecar::drain before surfacing; all other callers pass locally-owned topology ids that node_owner covers by construction.
         self.node_owner[node.index()]
+    }
+
+    /// Whether `node` exists in the node→worker map (the range check
+    /// [`drain`](Sidecar::drain) applies to peer-supplied node ids).
+    #[inline]
+    pub fn knows_node(&self, node: NodeId) -> bool {
+        node.index() < self.node_owner.len()
     }
 
     /// Cross-worker traffic counters.
@@ -400,6 +414,7 @@ impl SidecarNet {
     /// Frames `payload` and pushes it into `dst`'s inbox, optionally
     /// corrupted.
     fn deliver(&self, src: WorkerId, dst: WorkerId, payload: &Bytes, corrupt: bool) {
+        // s2-lint: allow(r1-panic-freedom): src is this process's own worker id and dst comes from node_owner, validated against num_workers at setup (remote::serve) or built locally by the controller; seq is num_workers².
         let seq = self.seq[src as usize][dst as usize].fetch_add(1, Ordering::Relaxed);
         let framed = wire::frame(src, self.epoch(), seq, payload);
         let framed = if corrupt {
@@ -455,6 +470,7 @@ impl SidecarNet {
             self.stats.injected_dups.fetch_add(1, Ordering::Relaxed);
             // Replay the frame verbatim (fresh frame, same intent): the
             // receiver must drop it by sequence number.
+            // s2-lint: allow(r1-panic-freedom): same bounds argument as `deliver` above — src/dst are setup-validated worker ids.
             let seq = self.seq[src as usize][dst as usize].load(Ordering::Relaxed) - 1;
             let framed = wire::frame(src, self.epoch(), seq, &payload);
             let _ = self.transport.send(src, dst, framed);
@@ -556,10 +572,27 @@ impl Sidecar {
             }
             self.last_seq.insert(frame.src, frame.seq);
             match wire::decode(frame.payload) {
-                Ok(msg) => out.push(msg),
+                // Peer-supplied node ids are range-checked here, at the
+                // trust boundary, so downstream ownership lookups and
+                // switch-table indexing cannot go out of bounds.
+                Ok(msg) if self.targets_known_nodes(&msg) => out.push(msg),
+                Ok(_) => {
+                    stats.protocol_violations.fetch_add(1, Ordering::Relaxed);
+                }
                 Err(_) => {
                     stats.wire_errors.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+        }
+    }
+
+    /// Every node id carried by `msg` exists in the node→worker map.
+    fn targets_known_nodes(&self, msg: &Message) -> bool {
+        match msg {
+            Message::BgpAdvertisement { target_node, .. }
+            | Message::OspfAdvertisement { target_node, .. } => self.net.knows_node(*target_node),
+            Message::Packet { src, node, .. } => {
+                self.net.knows_node(*src) && self.net.knows_node(*node)
             }
         }
     }

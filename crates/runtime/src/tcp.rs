@@ -33,6 +33,7 @@
 
 use crate::faults::FaultState;
 use crate::sidecar::{TrafficStats, WorkerId};
+use crate::credit::CreditLedger;
 use crate::transport::{Inbox, Transport, TransportError};
 use bytes::Bytes;
 use std::collections::VecDeque;
@@ -99,9 +100,8 @@ impl Default for TcpConfig {
 
 /// Writes one `kind len payload` envelope.
 pub(crate) fn write_envelope(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
-    let mut head = [0u8; 5];
-    head[0] = kind;
-    head[1..5].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    let [l0, l1, l2, l3] = (payload.len() as u32).to_be_bytes();
+    let head = [kind, l0, l1, l2, l3];
     w.write_all(&head)?;
     w.write_all(payload)?;
     w.flush()
@@ -111,7 +111,8 @@ pub(crate) fn write_envelope(w: &mut impl Write, kind: u8, payload: &[u8]) -> io
 pub(crate) fn read_envelope(r: &mut impl Read, max_len: usize) -> io::Result<(u8, Vec<u8>)> {
     let mut head = [0u8; 5];
     r.read_exact(&mut head)?;
-    let len = u32::from_be_bytes([head[1], head[2], head[3], head[4]]) as usize;
+    let [kind, l0, l1, l2, l3] = head;
+    let len = u32::from_be_bytes([l0, l1, l2, l3]) as usize;
     if len > max_len {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -120,7 +121,7 @@ pub(crate) fn read_envelope(r: &mut impl Read, max_len: usize) -> io::Result<(u8
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok((head[0], payload))
+    Ok((kind, payload))
 }
 
 /// Recovers a poisoned std mutex guard: supervision state stays usable
@@ -221,26 +222,18 @@ impl TcpInbox {
     }
 }
 
-/// Sending-side state of one (src, dst) link.
+/// Sending-side state of one (src, dst) link. The race-prone credit /
+/// generation bookkeeping lives in [`CreditLedger`], a pure state
+/// machine shared with the loom model check (`tests/loom.rs`).
 #[derive(Debug)]
 struct LinkState {
     outbox: VecDeque<Bytes>,
-    /// Remaining send credits; resets to the full window on (re)connect.
-    credits: u32,
+    /// Credit window, connection-generation fence, frame-in-hand marker.
+    ledger: CreditLedger,
     /// Largest outbox depth ever observed (bounded-memory evidence).
     outbox_peak: usize,
     /// Data frames handed to the writer so far (per-link fault index).
     frames_attempted: u64,
-    /// A frame the writer popped but has not yet written or requeued —
-    /// without this, a frame parked during a partition (popped with no
-    /// credit spent) would vanish from `in_flight` and let the cluster
-    /// declare convergence with a message still pending.
-    in_hand: bool,
-    /// Set by the credit reader when the current connection died.
-    conn_dead: bool,
-    /// Bumped per successful dial so a stale credit reader cannot kill a
-    /// newer connection.
-    conn_gen: u64,
     writer_spawned: bool,
     closed: bool,
 }
@@ -260,12 +253,9 @@ impl Link {
             dst,
             state: Mutex::new(LinkState {
                 outbox: VecDeque::new(),
-                credits: window,
+                ledger: CreditLedger::new(window),
                 outbox_peak: 0,
                 frames_attempted: 0,
-                in_hand: false,
-                conn_dead: false,
-                conn_gen: 0,
                 writer_spawned: false,
                 closed: false,
             }),
@@ -275,9 +265,9 @@ impl Link {
 
     /// Outbox frames plus consumed credits: everything accepted from the
     /// sender but not yet drained by the destination worker.
-    fn in_flight(&self, window: u32) -> usize {
+    fn in_flight(&self) -> usize {
         let st = lock_unpoisoned(&self.state);
-        st.outbox.len() + st.in_hand as usize + (window - st.credits.min(window)) as usize
+        st.outbox.len() + st.ledger.outstanding()
     }
 }
 
@@ -321,9 +311,7 @@ impl TcpTransport {
             .collect::<io::Result<_>>()?;
         let local: Vec<WorkerId> = (0..num_workers).collect();
         let t = Self::assemble(num_workers, cfg, stats, faults, &local, addrs, listeners)?;
-        let inboxes = (0..num_workers)
-            .map(|w| Inbox::Tcp(t.inboxes[w as usize].clone().unwrap_or_default()))
-            .collect();
+        let inboxes = (0..num_workers).map(|w| Inbox::Tcp(t.inbox_of(w))).collect();
         Ok((t, inboxes))
     }
 
@@ -341,7 +329,7 @@ impl TcpTransport {
         faults: Arc<FaultState>,
     ) -> io::Result<(Arc<TcpTransport>, Inbox)> {
         let t = Self::assemble(num_workers, cfg, stats, faults, &[worker], addrs, vec![listener])?;
-        let inbox = Inbox::Tcp(t.inboxes[worker as usize].clone().unwrap_or_default());
+        let inbox = Inbox::Tcp(t.inbox_of(worker));
         Ok((t, inbox))
     }
 
@@ -357,17 +345,30 @@ impl TcpTransport {
         listeners: Vec<TcpListener>,
     ) -> io::Result<Arc<TcpTransport>> {
         let n = num_workers as usize;
-        let mut links: Vec<Option<Arc<Link>>> = (0..n * n).map(|_| None).collect();
-        let mut inboxes: Vec<Option<TcpInbox>> = (0..n).map(|_| None).collect();
-        for &src in local {
-            for dst in 0..num_workers {
-                links[src as usize * n + dst as usize] =
-                    Some(Arc::new(Link::new(src, dst, cfg.credit_window)));
-            }
+        // `addrs` and `local` can come from a remote controller's Setup
+        // message: validate the shape here, at the trust boundary, so no
+        // later lookup can be out of range.
+        if addrs.len() != n || local.iter().any(|&w| (w as usize) >= n) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "transport setup inconsistent: {} addrs / {} local workers for a {}-worker mesh",
+                    addrs.len(),
+                    local.len(),
+                    n
+                ),
+            ));
         }
-        for &w in local {
-            inboxes[w as usize] = Some(TcpInbox::default());
-        }
+        let is_local = |w: WorkerId| local.contains(&w);
+        let links: Vec<Option<Arc<Link>>> = (0..n * n)
+            .map(|i| {
+                let (src, dst) = ((i / n) as WorkerId, (i % n) as WorkerId);
+                is_local(src).then(|| Arc::new(Link::new(src, dst, cfg.credit_window)))
+            })
+            .collect();
+        let inboxes: Vec<Option<TcpInbox>> = (0..num_workers)
+            .map(|w| is_local(w).then(TcpInbox::default))
+            .collect();
         let t = Arc::new(TcpTransport {
             cfg,
             num_workers,
@@ -381,7 +382,7 @@ impl TcpTransport {
         });
         for (listener, &w) in listeners.into_iter().zip(local) {
             listener.set_nonblocking(true)?;
-            let inbox = t.inboxes[w as usize].clone().unwrap_or_default();
+            let inbox = t.inbox_of(w);
             let (cfg, stats) = (t.cfg.clone(), t.stats.clone());
             let (closed, registry) = (t.closed.clone(), t.threads.clone());
             let handle = thread::spawn(move || {
@@ -396,6 +397,16 @@ impl TcpTransport {
         self.links
             .get(src as usize * self.num_workers as usize + dst as usize)?
             .as_ref()
+    }
+
+    /// The inbox of a local worker. Out-of-range or non-local ids yield
+    /// a fresh detached inbox rather than a panic — callers treat it as
+    /// an empty queue.
+    fn inbox_of(&self, w: WorkerId) -> TcpInbox {
+        self.inboxes
+            .get(w as usize)
+            .and_then(Clone::clone)
+            .unwrap_or_default()
     }
 
     /// Largest outbox depth any link ever reached (bounded-memory
@@ -415,9 +426,15 @@ impl TcpTransport {
             return;
         }
         st.writer_spawned = true;
+        let Some(addr) = self.addrs.get(link.dst as usize).copied() else {
+            // Unreachable: `assemble` validated `addrs.len()` against the
+            // mesh size and `link()` bounds every dst. Counted, not paniced.
+            self.stats.protocol_violations.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
         let ctx = WriterCtx {
             link: link.clone(),
-            addr: self.addrs[link.dst as usize],
+            addr,
             cfg: self.cfg.clone(),
             stats: self.stats.clone(),
             faults: self.faults.clone(),
@@ -467,7 +484,7 @@ impl Transport for TcpTransport {
         // drained (granting credits) rather than swapped; staleness of
         // frames sent to the dead worker is handled by the epoch filter
         // in `Sidecar::drain`.
-        let inbox = self.inboxes[w as usize].clone().unwrap_or_default();
+        let inbox = self.inbox_of(w);
         inbox.clear();
         Inbox::Tcp(inbox)
     }
@@ -476,7 +493,7 @@ impl Transport for TcpTransport {
         self.links
             .iter()
             .flatten()
-            .map(|l| l.in_flight(self.cfg.credit_window))
+            .map(|l| l.in_flight())
             .sum()
     }
 
@@ -553,20 +570,17 @@ fn writer_loop(ctx: WriterCtx) {
                 if st.closed {
                     break Wake::Closed;
                 }
-                if st.conn_dead {
-                    st.conn_dead = false;
+                if st.ledger.take_conn_dead() {
                     conn = None;
                 }
                 // Out of credits with a live connection: wait for the
                 // receiver to drain. With no connection, proceed — the
                 // dial handshake resets the window.
-                if !st.outbox.is_empty() && (st.credits > 0 || conn.is_none()) {
-                    let credit_spent = conn.is_some();
-                    if credit_spent {
-                        st.credits -= 1;
-                    }
-                    let frame = st.outbox.pop_front().expect("outbox checked non-empty");
-                    st.in_hand = true;
+                if let Some(frame) = (st.ledger.can_send(conn.is_some()))
+                    .then(|| st.outbox.pop_front())
+                    .flatten()
+                {
+                    let credit_spent = st.ledger.begin_send(conn.is_some());
                     let idx = st.frames_attempted;
                     st.frames_attempted += 1;
                     link.cond.notify_all(); // wake senders blocked on a full outbox
@@ -615,7 +629,7 @@ fn writer_loop(ctx: WriterCtx) {
                 // window elapses. Park the frame back and poll.
                 if ctx.faults.partition_active(link.src, link.dst) {
                     conn = None;
-                    requeue(link, frame, credit_spent, ctx.cfg.credit_window);
+                    requeue(link, frame, credit_spent);
                     thread::sleep(Duration::from_millis(2));
                     continue;
                 }
@@ -627,8 +641,7 @@ fn writer_loop(ctx: WriterCtx) {
                             // The fresh connection starts with a full
                             // window; spend this frame's credit now
                             // (skipped above while disconnected).
-                            let mut st = lock_unpoisoned(&link.state);
-                            st.credits = ctx.cfg.credit_window - 1;
+                            lock_unpoisoned(&link.state).ledger.debit_fresh_window();
                         }
                         None => {
                             // Shut down while dialing; frame dies with
@@ -649,12 +662,12 @@ fn writer_loop(ctx: WriterCtx) {
                     last_write = Instant::now();
                     // Delivered to the socket: the consumed credit now
                     // accounts for the frame until the receiver pops it.
-                    lock_unpoisoned(&link.state).in_hand = false;
+                    lock_unpoisoned(&link.state).ledger.sent();
                 } else {
                     // Requeue at the front: the frame is retried on the
                     // next connection in order.
                     conn = None;
-                    requeue(link, frame, true, ctx.cfg.credit_window);
+                    requeue(link, frame, true);
                 }
             }
         }
@@ -663,14 +676,11 @@ fn writer_loop(ctx: WriterCtx) {
 
 /// Puts a frame back at the head of the outbox (connection loss or
 /// partition), returning its credit if one was consumed.
-fn requeue(link: &Arc<Link>, frame: Bytes, credit_spent: bool, window: u32) {
+fn requeue(link: &Arc<Link>, frame: Bytes, credit_spent: bool) {
     let mut st = lock_unpoisoned(&link.state);
     st.outbox.push_front(frame);
-    st.in_hand = false;
-    st.frames_attempted -= 1;
-    if credit_spent {
-        st.credits = (st.credits + 1).min(window);
-    }
+    st.frames_attempted = st.frames_attempted.saturating_sub(1);
+    st.ledger.requeue(credit_spent);
 }
 
 /// Dials the peer with exponential backoff until it answers or the link
@@ -708,13 +718,7 @@ fn dial(ctx: &WriterCtx, reconnect: bool) -> Option<TcpStream> {
                 if reconnect {
                     ctx.stats.reconnects.fetch_add(1, Ordering::Relaxed);
                 }
-                let gen = {
-                    let mut st = lock_unpoisoned(&link.state);
-                    st.conn_gen += 1;
-                    st.conn_dead = false;
-                    st.credits = ctx.cfg.credit_window;
-                    st.conn_gen
-                };
+                let gen = lock_unpoisoned(&link.state).ledger.reconnect();
                 if let Ok(read_half) = stream.try_clone() {
                     let (link, cfg) = (link.clone(), ctx.cfg.clone());
                     let stats = ctx.stats.clone();
@@ -749,12 +753,14 @@ fn credit_reader(
     loop {
         match read_envelope(&mut stream, cfg.max_frame_len) {
             Ok((K_CREDIT, payload)) if payload.len() == 4 => {
-                let n = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+                let Ok(bytes) = <[u8; 4]>::try_from(payload.as_slice()) else {
+                    continue; // unreachable: length checked by the guard
+                };
+                let n = u32::from_be_bytes(bytes);
                 let mut st = lock_unpoisoned(&link.state);
-                if st.conn_gen != gen {
-                    return;
+                if !st.ledger.refill(n, gen) {
+                    return; // stale generation: this reader is done
                 }
-                st.credits = (st.credits + n).min(cfg.credit_window);
                 link.cond.notify_all();
             }
             Ok((K_HEARTBEAT, _)) => {}
@@ -763,8 +769,7 @@ fn credit_reader(
             }
             Err(_) => {
                 let mut st = lock_unpoisoned(&link.state);
-                if st.conn_gen == gen {
-                    st.conn_dead = true;
+                if st.ledger.connection_lost(gen) {
                     link.cond.notify_all();
                 }
                 return;

@@ -1,0 +1,205 @@
+//! Loader for `s2-lint.toml` — the rule → path-scope mapping.
+//!
+//! A deliberately small TOML subset (no external parser is vendored):
+//! `[rules.<name>]` section headers, `paths = ["...", ...]` string
+//! arrays (single- or multi-line), `level = "deny" | "warn"` strings,
+//! and `#` comments. Anything else is a hard error — better to reject a
+//! config than to silently lint nothing.
+//!
+//! ```toml
+//! [rules.r1-panic-freedom]
+//! level = "deny"
+//! paths = [
+//!     "crates/runtime/src/tcp.rs",
+//!     "crates/runtime/src/remote.rs",
+//! ]
+//! ```
+//!
+//! A path naming a directory means "every `.rs` file under it,
+//! recursively".
+
+use std::collections::BTreeMap;
+
+/// Enforcement level of one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Live findings fail the run.
+    Deny,
+    /// Live findings are reported but do not affect the exit code
+    /// (unless `--deny-all` promotes them).
+    Warn,
+}
+
+/// Scope + level of one rule.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// Files or directories (repo-relative) the rule applies to.
+    pub paths: Vec<String>,
+    /// Enforcement level.
+    pub level: Level,
+}
+
+/// The parsed config: rule name → scope.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Per-rule configuration, in name order.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+/// Parses the config text. Errors carry the offending line.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut current: Option<String> = None;
+    let mut pending_array: Option<Vec<String>> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(items) = pending_array.as_mut() {
+            // Inside a multi-line array: accumulate strings until `]`.
+            let closed = line.contains(']');
+            let body = line.trim_end_matches(']').trim().trim_end_matches(',');
+            if !body.is_empty() {
+                for s in split_strings(body, lineno)? {
+                    items.push(s);
+                }
+            }
+            if closed {
+                let items = pending_array.take().unwrap_or_default();
+                rule_mut(&mut cfg, &current, lineno)?.paths = items;
+            }
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = section
+                .strip_prefix("rules.")
+                .ok_or_else(|| format!("line {}: only [rules.<name>] sections are supported", lineno + 1))?;
+            cfg.rules.insert(
+                name.to_string(),
+                RuleConfig {
+                    paths: Vec::new(),
+                    level: Level::Deny,
+                },
+            );
+            current = Some(name.to_string());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`", lineno + 1));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "paths" => {
+                let inner = value
+                    .strip_prefix('[')
+                    .ok_or_else(|| format!("line {}: paths must be an array", lineno + 1))?;
+                if let Some(done) = inner.strip_suffix(']') {
+                    rule_mut(&mut cfg, &current, lineno)?.paths = split_strings(done, lineno)?;
+                } else {
+                    pending_array = Some(split_strings(inner, lineno)?);
+                }
+            }
+            "level" => {
+                let level = match value.trim_matches('"') {
+                    "deny" => Level::Deny,
+                    "warn" => Level::Warn,
+                    other => {
+                        return Err(format!(
+                            "line {}: level must be \"deny\" or \"warn\", got {other:?}",
+                            lineno + 1
+                        ))
+                    }
+                };
+                rule_mut(&mut cfg, &current, lineno)?.level = level;
+            }
+            other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+        }
+    }
+    if pending_array.is_some() {
+        return Err("unterminated paths array".into());
+    }
+    Ok(cfg)
+}
+
+fn rule_mut<'a>(
+    cfg: &'a mut Config,
+    current: &Option<String>,
+    lineno: usize,
+) -> Result<&'a mut RuleConfig, String> {
+    let name = current
+        .as_ref()
+        .ok_or_else(|| format!("line {}: key outside a [rules.<name>] section", lineno + 1))?;
+    cfg.rules
+        .get_mut(name)
+        .ok_or_else(|| format!("line {}: internal: section {name:?} missing", lineno + 1))
+}
+
+/// Splits `"a", "b"` into the contained strings.
+fn split_strings(body: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let s = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("line {}: expected a quoted string, got {part:?}", lineno + 1))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+/// Comments start at a `#` outside quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_levels() {
+        let cfg = parse(
+            r#"
+# comment
+[rules.r1-panic-freedom]
+level = "deny"
+paths = [
+    "crates/runtime/src/tcp.rs", # trailing comment
+    "crates/runtime/src/remote.rs",
+]
+
+[rules.r3-no-wallclock-rng]
+level = "warn"
+paths = ["crates/routing/src"]
+"#,
+        )
+        .unwrap();
+        let r1 = &cfg.rules["r1-panic-freedom"];
+        assert_eq!(r1.level, Level::Deny);
+        assert_eq!(r1.paths.len(), 2);
+        let r3 = &cfg.rules["r3-no-wallclock-rng"];
+        assert_eq!(r3.level, Level::Warn);
+        assert_eq!(r3.paths, vec!["crates/routing/src".to_string()]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_sections() {
+        assert!(parse("[other.section]\n").is_err());
+        assert!(parse("[rules.x]\nbogus = 1\n").is_err());
+        assert!(parse("[rules.x]\nlevel = \"fatal\"\n").is_err());
+    }
+}

@@ -1,0 +1,511 @@
+//! A minimal Rust token scanner for s2-lint.
+//!
+//! The environment vendors no `syn`, so the lint pass runs on a
+//! purpose-built lexer instead of a full AST. It produces the three
+//! things the rules need and nothing more:
+//!
+//! * a token stream (identifiers, punctuation, literals) with line
+//!   numbers, with comments and string/char literal *contents* removed
+//!   so rule matching never fires inside text;
+//! * the `// s2-lint: allow(rule): justification` pragmas, each bound
+//!   to the line of the next code token (so a pragma suppresses exactly
+//!   the statement it annotates, trailing or preceding);
+//! * the line spans of `#[cfg(test)]` items, so test code is exempt.
+//!
+//! The scanner understands line/block comments (nested), string
+//! literals with escapes, raw strings with `#` fences, byte strings,
+//! char literals, and lifetimes (so `'a` does not start a "string").
+
+/// Token kinds s2-lint distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String/char/number literal (contents not retained for strings).
+    Literal,
+}
+
+/// One scanned token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// The text (for `Punct`, a single character; for string literals,
+    /// the placeholder `"\"\""`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `// s2-lint: allow(rule[, rule...])[: justification]` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma comment is on.
+    pub line: u32,
+    /// Rules the pragma allows.
+    pub rules: Vec<String>,
+    /// Free-text justification after the closing paren (may be empty —
+    /// which is itself a lint violation).
+    pub justification: String,
+    /// Line of the first code token after the pragma: the line the
+    /// pragma suppresses (besides its own, for trailing pragmas).
+    pub applies_to_line: u32,
+}
+
+/// Lexing output: the full token stream plus pragma and test-span
+/// side tables.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Code tokens in order.
+    pub toks: Vec<Tok>,
+    /// Pragmas found in comments.
+    pub pragmas: Vec<Pragma>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl Scanned {
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Pragmas allowing `rule` on `line` (the pragma's own line or the
+    /// first code line after it).
+    pub fn pragma_for(&self, rule: &str, line: u32) -> Option<&Pragma> {
+        self.pragmas.iter().find(|p| {
+            (p.line == line || p.applies_to_line == line)
+                && p.rules.iter().any(|r| r == rule)
+        })
+    }
+}
+
+/// Scans `src` into tokens, pragmas, and test spans.
+pub fn scan(src: &str) -> Scanned {
+    let mut out = Scanned::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Pragmas whose `applies_to_line` is still unknown (no code token
+    // seen after them yet); indices into out.pragmas.
+    let mut open_pragmas: Vec<usize> = Vec::new();
+
+    macro_rules! bind_open_pragmas {
+        () => {
+            if !open_pragmas.is_empty() {
+                for idx in open_pragmas.drain(..) {
+                    out.pragmas[idx].applies_to_line = line;
+                }
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &src[start..i];
+                if let Some(p) = parse_pragma(comment, line) {
+                    out.pragmas.push(p);
+                    open_pragmas.push(out.pragmas.len() - 1);
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nested per Rust rules.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                bind_open_pragmas!();
+                i = skip_string(b, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"\"".into(),
+                    line,
+                });
+            }
+            b'r' | b'b'
+                if starts_raw_string(b, i) =>
+            {
+                bind_open_pragmas!();
+                i = skip_raw_string(b, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"\"".into(),
+                    line,
+                });
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'\'' => {
+                bind_open_pragmas!();
+                i = skip_char(b, i + 1, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "b''".into(),
+                    line,
+                });
+            }
+            b'\'' => {
+                bind_open_pragmas!();
+                if is_lifetime(b, i) {
+                    // 'ident — consume the quote, the ident lexes next.
+                    i += 1;
+                } else {
+                    i = skip_char(b, i, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: "''".into(),
+                        line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                bind_open_pragmas!();
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                bind_open_pragmas!();
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Stop a range expression `0..x` from being eaten as
+                    // one number.
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                bind_open_pragmas!();
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    find_test_spans(&mut out);
+    out
+}
+
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    // 'x is a char literal iff a closing quote follows the single
+    // character; 'ident (no closing quote after one char) is a lifetime.
+    // `'_'` is a char literal; `'_` followed by non-quote is a lifetime.
+    if i + 1 >= b.len() {
+        return false;
+    }
+    let c1 = b[i + 1];
+    if !(c1 == b'_' || c1.is_ascii_alphabetic()) {
+        return false; // '\n', '(' etc: a char literal or malformed
+    }
+    // If the char after the single ident-char is a quote, it's 'x'.
+    !(i + 2 < b.len() && b[i + 2] == b'\'')
+}
+
+fn skip_char(b: &[u8], start: usize, line: &mut u32) -> usize {
+    // start points at the opening quote.
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                // Malformed; bail at end of line.
+                *line += 1;
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    // r" r#" br" b" rb# etc. Check the next few bytes for an optional
+    // b/r pair followed by #* and a quote.
+    let mut j = i;
+    let mut saw_r = false;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        saw_r |= b[j] == b'r';
+        j += 1;
+        if j - i > 2 {
+            return false;
+        }
+    }
+    if !saw_r {
+        // b"..." — a plain byte string.
+        return j < b.len() && b[j] == b'"' && j - i <= 1;
+    }
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn skip_raw_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start;
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    let mut fences = 0;
+    while i < b.len() && b[i] == b'#' {
+        fences += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+    }
+    // Scan for `"` followed by `fences` hashes.
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut k = 0;
+            while k < fences && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == fences {
+                return i + 1 + fences;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses a `// s2-lint: allow(rule[, rule]) [: justification]` comment.
+fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("s2-lint:")?.trim();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let after = rest[close + 1..].trim();
+    let justification = after.strip_prefix(':').unwrap_or("").trim().to_string();
+    Some(Pragma {
+        line,
+        rules,
+        justification,
+        applies_to_line: line,
+    })
+}
+
+/// Finds line spans of items annotated `#[cfg(test)]` (or
+/// `#[cfg(all(test, ...))]` — any attribute whose argument list contains
+/// the `test` token) by brace matching from the token stream.
+fn find_test_spans(out: &mut Scanned) {
+    let toks = &out.toks;
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].text == "#" && toks[i + 1].text == "[" {
+            // Collect the attribute tokens up to the matching ']'.
+            let attr_start = i;
+            let mut depth = 0;
+            let mut j = i + 1;
+            let mut is_test_cfg = false;
+            let mut saw_cfg = false;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "cfg" => saw_cfg = true,
+                    "test" if saw_cfg => is_test_cfg = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test_cfg {
+                // The item body: first '{' after the attribute, to its
+                // matching '}' (covers `mod`, `fn`, `impl`). Items with
+                // no braces (e.g. `use`) end at the next ';'.
+                let mut k = j + 1;
+                let mut brace_depth = 0;
+                let mut started = false;
+                let start_line = toks[attr_start].line;
+                let mut end_line = start_line;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => {
+                            brace_depth += 1;
+                            started = true;
+                        }
+                        "}" => {
+                            brace_depth -= 1;
+                            if started && brace_depth == 0 {
+                                end_line = toks[k].line;
+                                break;
+                            }
+                        }
+                        ";" if !started && brace_depth == 0 => {
+                            end_line = toks[k].line;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if k >= toks.len() {
+                    end_line = toks.last().map(|t| t.line).unwrap_or(start_line);
+                }
+                out.test_spans.push((start_line, end_line));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_tokenize() {
+        let s = scan(r#"let x = "unwrap() panic!"; // unwrap in comment"#);
+        assert!(s.toks.iter().all(|t| t.text != "unwrap" && t.text != "panic"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let idents: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(idents.contains(&"a"), "lifetime ident lexed: {idents:?}");
+        assert!(idents.contains(&"str"));
+    }
+
+    #[test]
+    fn pragma_binds_to_next_code_line() {
+        let src = "\
+// s2-lint: allow(r1-panic-freedom): index is masked
+// continued explanation
+let x = v[0];
+";
+        let s = scan(src);
+        assert_eq!(s.pragmas.len(), 1);
+        let p = &s.pragmas[0];
+        assert_eq!(p.line, 1);
+        assert_eq!(p.applies_to_line, 3);
+        assert_eq!(p.justification, "index is masked");
+        assert!(s.pragma_for("r1-panic-freedom", 3).is_some());
+        assert!(s.pragma_for("r2-deterministic-iteration", 3).is_none());
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        let src = "let x = v[0]; // s2-lint: allow(r1-panic-freedom): bounded above\n";
+        let s = scan(src);
+        assert!(s.pragma_for("r1-panic-freedom", 1).is_some());
+    }
+
+    #[test]
+    fn pragma_without_justification_is_kept_empty() {
+        let s = scan("// s2-lint: allow(r3-no-wallclock-rng)\nlet t = 1;\n");
+        assert_eq!(s.pragmas.len(), 1);
+        assert!(s.pragmas[0].justification.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module() {
+        let src = "\
+fn prod() { v[0]; }
+
+#[cfg(test)]
+mod tests {
+    fn t() { v[1]; }
+}
+";
+        let s = scan(src);
+        assert!(!s.in_test_code(1));
+        assert!(s.in_test_code(4));
+        assert!(s.in_test_code(5));
+        assert!(!s.in_test_code(7));
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        let s = scan("let x = r#\"unwrap() \"quoted\" panic!\"#; let y = 1;");
+        assert!(s.toks.iter().all(|t| t.text != "unwrap"));
+        assert!(s.toks.iter().any(|t| t.text == "y"));
+    }
+}

@@ -1,0 +1,197 @@
+//! s2-lint: the S2 workspace static-analysis pass.
+//!
+//! Run as `cargo xtask lint` (see the `xtask` alias in
+//! `.cargo/config.toml`). The pass enforces the source-level invariants
+//! S2's distributed-correctness story depends on — panic-freedom on
+//! peer-input paths, deterministic iteration on wire-encoding paths, no
+//! ambient time/randomness in the pure crates, and the BDD re-encode
+//! boundary — as machine-checked rules over the token stream of each
+//! configured file. See DESIGN.md § "Static analysis" for the rule ↔
+//! paper-invariant mapping and `s2-lint.toml` for the scope of each
+//! rule.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::{Config, Level};
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Every finding (live and suppressed), in file/line order.
+    pub findings: Vec<Finding>,
+    /// Files scanned (repo-relative), for `--verbose`-style output.
+    pub files_scanned: usize,
+    /// Whether any live finding belongs to a deny-level rule.
+    pub failed: bool,
+}
+
+/// Runs every configured rule over the tree rooted at `root`.
+///
+/// `deny_all` promotes warn-level rules to deny (the CI mode).
+pub fn run(root: &Path, cfg: &Config, deny_all: bool) -> Result<LintReport, String> {
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // file path -> scanned tokens, shared across rules scoping the file.
+    let mut cache: Vec<(String, lexer::Scanned)> = Vec::new();
+
+    for (rule, rc) in &cfg.rules {
+        if !rules::RULES.contains(&rule.as_str()) {
+            return Err(format!(
+                "unknown rule {rule:?} in config (known: {})",
+                rules::RULES.join(", ")
+            ));
+        }
+        for path in &rc.paths {
+            for rel in expand(root, path)? {
+                let idx = match cache.iter().position(|(p, _)| p == &rel) {
+                    Some(i) => i,
+                    None => {
+                        let text = std::fs::read_to_string(root.join(&rel))
+                            .map_err(|e| format!("{rel}: {e}"))?;
+                        cache.push((rel.clone(), lexer::scan(&text)));
+                        cache.len() - 1
+                    }
+                };
+                let (file, s) = &cache[idx];
+                let before = findings.len();
+                rules::run_rule(rule, file, s, &mut findings);
+                // Tag warn-level findings unless promoted.
+                if rc.level == Level::Warn && !deny_all {
+                    for f in &mut findings[before..] {
+                        if f.is_live() {
+                            f.suppressed_by = Some("(warn-level rule)".into());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Pragma hygiene runs on every file any rule touched.
+    for (file, s) in &cache {
+        rules::check_pragma_hygiene(file, s, &mut findings);
+    }
+    let files_scanned = cache.len();
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    let failed = findings.iter().any(|f| f.is_live());
+    Ok(LintReport {
+        findings,
+        files_scanned,
+        failed,
+    })
+}
+
+/// Expands a configured path: a file maps to itself, a directory to
+/// every `.rs` file under it (recursively), sorted for stable output.
+fn expand(root: &Path, rel: &str) -> Result<Vec<String>, String> {
+    let full = root.join(rel);
+    if full.is_file() {
+        return Ok(vec![rel.to_string()]);
+    }
+    if full.is_dir() {
+        let mut out = Vec::new();
+        walk(&full, &mut out).map_err(|e| format!("{rel}: {e}"))?;
+        let mut rels: Vec<String> = out
+            .into_iter()
+            .filter_map(|p| {
+                p.strip_prefix(root)
+                    .ok()
+                    .map(|r| r.to_string_lossy().into_owned())
+            })
+            .collect();
+        rels.sort();
+        return Ok(rels);
+    }
+    Err(format!("configured path {rel:?} does not exist"))
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings for humans.
+pub fn render_human(report: &LintReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let mut live = 0;
+    let mut suppressed = 0;
+    for f in &report.findings {
+        match &f.suppressed_by {
+            None => {
+                live += 1;
+                let _ = writeln!(s, "deny[{}]: {}:{}: {}", f.rule, f.file, f.line, f.message);
+            }
+            Some(why) => {
+                suppressed += 1;
+                let _ = writeln!(
+                    s,
+                    "allow[{}]: {}:{} — {}",
+                    f.rule, f.file, f.line, why
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        s,
+        "s2-lint: {} file(s), {} violation(s), {} suppressed",
+        report.files_scanned, live, suppressed
+    );
+    s
+}
+
+/// Renders findings as a JSON array (machine mode, `--format json`).
+pub fn render_json(report: &LintReport) -> String {
+    let mut s = String::from("[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{},\"suppressed\":{},\"justification\":{}}}",
+            json_str(&f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            !f.is_live(),
+            f.suppressed_by
+                .as_deref()
+                .map(json_str)
+                .unwrap_or_else(|| "null".into()),
+        ));
+    }
+    s.push(']');
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

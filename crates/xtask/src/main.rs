@@ -1,0 +1,106 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! Subcommands:
+//!
+//! * `lint [--format json] [--deny-all] [--config <path>] [--root <dir>]`
+//!   — run the s2-lint static-analysis pass (see `xtask::run`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(args.collect()),
+        Some(other) => {
+            eprintln!("unknown xtask command {other:?}; available: lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--format json] [--deny-all] [--config <path>] [--root <dir>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: Vec<String>) -> ExitCode {
+    let mut format_json = false;
+    let mut deny_all = false;
+    let mut config_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("human") => format_json = false,
+                other => {
+                    eprintln!("--format takes `json` or `human`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-all" => deny_all = true,
+            "--config" => match it.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--config needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown lint flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace (xtask lives at <root>/crates/xtask).
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let config_path = config_path.unwrap_or_else(|| root.join("s2-lint.toml"));
+
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("s2-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match xtask::config::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("s2-lint: bad config {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::run(&root, &cfg, deny_all) {
+        Ok(report) => {
+            if format_json {
+                println!("{}", xtask::render_json(&report));
+            } else {
+                print!("{}", xtask::render_human(&report));
+            }
+            if report.failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("s2-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

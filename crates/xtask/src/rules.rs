@@ -1,0 +1,381 @@
+//! The s2-lint rules: token-level checks of the S2 invariants.
+//!
+//! Each rule walks the [`Scanned`] token stream of one file and emits
+//! [`Finding`]s. Test code (`#[cfg(test)]` spans) is exempt; findings
+//! covered by a justified `// s2-lint: allow(rule): why` pragma are
+//! reported as suppressed. A pragma with *no* justification text never
+//! suppresses — it produces a `pragma-justification` finding instead.
+
+use crate::lexer::{Scanned, Tok, TokKind};
+
+/// Rule identifier for the pragma-hygiene meta rule.
+pub const RULE_PRAGMA: &str = "pragma-justification";
+
+/// The four S2 rules, in severity-of-invariant order.
+pub const RULES: [&str; 4] = [
+    "r1-panic-freedom",
+    "r2-deterministic-iteration",
+    "r3-no-wallclock-rng",
+    "r4-bdd-node-boundary",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired (one of [`RULES`] or [`RULE_PRAGMA`]).
+    pub rule: String,
+    /// Repo-relative path of the file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(justification)` when an allow pragma suppressed this
+    /// finding; `None` for live violations.
+    pub suppressed_by: Option<String>,
+}
+
+impl Finding {
+    /// Whether this finding still counts against the exit code.
+    pub fn is_live(&self) -> bool {
+        self.suppressed_by.is_none()
+    }
+}
+
+/// Runs `rule` over one scanned file, appending findings.
+pub fn run_rule(rule: &str, file: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    let raw: Vec<Finding> = match rule {
+        "r1-panic-freedom" => r1(file, s),
+        "r2-deterministic-iteration" => r2(file, s),
+        "r3-no-wallclock-rng" => r3(file, s),
+        "r4-bdd-node-boundary" => r4(file, s),
+        _ => Vec::new(),
+    };
+    for mut f in raw {
+        if s.in_test_code(f.line) {
+            continue;
+        }
+        if let Some(p) = s.pragma_for(rule, f.line) {
+            if p.justification.is_empty() {
+                // An unjustified pragma does not suppress; the hygiene
+                // rule (checked per file below) reports the pragma
+                // itself, and the underlying violation stays live.
+            } else {
+                f.suppressed_by = Some(p.justification.clone());
+            }
+        }
+        out.push(f);
+    }
+}
+
+/// Emits `pragma-justification` findings for pragmas with no written
+/// justification (checked once per file, not per rule).
+pub fn check_pragma_hygiene(file: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    for p in &s.pragmas {
+        if p.justification.is_empty() {
+            out.push(Finding {
+                rule: RULE_PRAGMA.into(),
+                file: file.into(),
+                line: p.line,
+                message: format!(
+                    "allow({}) pragma has no justification — write why the \
+                     invariant holds after the colon",
+                    p.rules.join(", ")
+                ),
+                suppressed_by: None,
+            });
+        }
+    }
+}
+
+fn finding(rule: &str, file: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule: rule.into(),
+        file: file.into(),
+        line,
+        message,
+        suppressed_by: None,
+    }
+}
+
+/// R1: no `unwrap()` / `expect()` / panicking macros / slice indexing
+/// in peer-input paths. A remote peer's bytes must never be able to
+/// take a worker down: every malformed input becomes a typed error or
+/// a counted protocol violation.
+fn r1(file: &str, s: &Scanned) -> Vec<Finding> {
+    const RULE: &str = "r1-panic-freedom";
+    const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    let mut out = Vec::new();
+    let toks = &s.toks;
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if (t.text == "unwrap" || t.text == "expect") => {
+                // `.unwrap()` / `.expect(` — method position only, so
+                // `unwrap_or_else` (different ident) and local fns named
+                // in other positions don't fire.
+                let after_dot = i > 0 && toks[i - 1].text == ".";
+                let called = toks.get(i + 1).map(|n| n.text == "(").unwrap_or(false);
+                if after_dot && called {
+                    out.push(finding(
+                        RULE,
+                        file,
+                        t.line,
+                        format!(
+                            ".{}() in a peer-input path — convert to the typed \
+                             error path (WireError / io::Error / counted skip)",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            TokKind::Ident
+                if PANIC_MACROS.contains(&t.text.as_str())
+                    && toks.get(i + 1).map(|n| n.text == "!").unwrap_or(false) =>
+            {
+                out.push(finding(
+                    RULE,
+                    file,
+                    t.line,
+                    format!(
+                        "{}! in a peer-input path — peers must not be able to trigger a panic",
+                        t.text
+                    ),
+                ));
+            }
+            TokKind::Punct if t.text == "[" && is_index_expression(toks, i) => {
+                out.push(finding(
+                    RULE,
+                    file,
+                    t.line,
+                    "slice/array indexing in a peer-input path — use .get() \
+                     or destructuring so out-of-range input cannot panic"
+                        .into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether the `[` at `toks[i]` indexes a value (as opposed to starting
+/// an attribute, an array literal/type, or a macro invocation body).
+fn is_index_expression(toks: &[Tok], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|j| toks.get(j)) else {
+        return false;
+    };
+    match prev.kind {
+        // `expr[...]` forms: an identifier, call/paren result, or prior
+        // index directly before `[`. Keywords introduce patterns or
+        // array expressions (`let [a, b] = ...`, `return [x]`), not
+        // indexing; `vec![...]`-style macro bodies are `ident ! [` so
+        // their `[` follows `!`, and array types `[u8; 4]` follow
+        // `:`/`<`/`(`/`->` — none of which reach the Ident arm.
+        TokKind::Ident => !matches!(
+            prev.text.as_str(),
+            "let" | "mut" | "ref" | "in" | "return" | "break" | "else" | "match" | "move" | "if"
+        ),
+        TokKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
+        TokKind::Literal => false,
+    }
+}
+
+/// R2: no `HashMap`/`HashSet` in modules whose output feeds wire
+/// frames, checkpoints, or BDD serialization. Hash iteration order is
+/// nondeterministic across processes (SipHash keys differ), which
+/// silently breaks S2's bit-identical-RIB guarantee; use `BTreeMap`/
+/// `BTreeSet` or an explicit sort at the encoding boundary.
+fn r2(file: &str, s: &Scanned) -> Vec<Finding> {
+    const RULE: &str = "r2-deterministic-iteration";
+    let mut out = Vec::new();
+    for t in &s.toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(finding(
+                RULE,
+                file,
+                t.line,
+                format!(
+                    "{} in a wire-encoding module — hash iteration order is \
+                     nondeterministic; use BTreeMap/BTreeSet or sort before \
+                     encoding",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// R3: no wall clock or ambient RNG in the pure deterministic crates
+/// (`routing`, `bdd`, `dataplane`). These crates compute the fixed
+/// point whose bit-identity across partitionings is the paper's
+/// headline guarantee; time and randomness may only enter through the
+/// runtime layer.
+fn r3(file: &str, s: &Scanned) -> Vec<Finding> {
+    const RULE: &str = "r3-no-wallclock-rng";
+    const BANNED: [&str; 5] = [
+        "Instant",
+        "SystemTime",
+        "thread_rng",
+        "from_entropy",
+        "random",
+    ];
+    let mut out = Vec::new();
+    for t in &s.toks {
+        if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+            out.push(finding(
+                RULE,
+                file,
+                t.line,
+                format!(
+                    "{} in a deterministic crate — wall clock / ambient RNG \
+                     would break bit-identical replay; inject via the runtime \
+                     layer instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// R4: raw BDD node handles must not cross the Transport/wire API
+/// boundary. A `Bdd`/`BddManager` index is private to one worker's
+/// manager (§4.3); the only legal crossing is the byte format of
+/// `s2_bdd::serialize`, re-encoded on arrival.
+fn r4(file: &str, s: &Scanned) -> Vec<Finding> {
+    const RULE: &str = "r4-bdd-node-boundary";
+    let mut out = Vec::new();
+    let toks = &s.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "s2_bdd" => {
+                // `s2_bdd::serialize::...` is the sanctioned crossing.
+                let via_serialize = toks.get(i + 1).map(|a| a.text == ":").unwrap_or(false)
+                    && toks.get(i + 2).map(|a| a.text == ":").unwrap_or(false)
+                    && toks
+                        .get(i + 3)
+                        .map(|a| a.text == "serialize")
+                        .unwrap_or(false);
+                if !via_serialize {
+                    out.push(finding(
+                        RULE,
+                        file,
+                        t.line,
+                        "s2_bdd used in a wire-boundary module outside the \
+                         serialize layer — raw node ids are meaningless across \
+                         workers"
+                            .into(),
+                    ));
+                }
+            }
+            "BddManager" | "Bdd" => {
+                out.push(finding(
+                    RULE,
+                    file,
+                    t.line,
+                    format!(
+                        "{} handle in a wire-boundary module — BDD nodes cross \
+                         workers only as s2_bdd::serialize bytes, re-encoded on \
+                         arrival",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn live(rule: &str, src: &str) -> Vec<Finding> {
+        let s = scan(src);
+        let mut out = Vec::new();
+        run_rule(rule, "test.rs", &s, &mut out);
+        out.into_iter().filter(|f| f.is_live()).collect()
+    }
+
+    #[test]
+    fn r1_catches_unwrap_and_indexing_but_not_lookalikes() {
+        let f = live(
+            "r1-panic-freedom",
+            "fn f(v: Vec<u8>) { v.unwrap(); let x = v[0]; v.unwrap_or_else(|| 1); }",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(live("r1-panic-freedom", "let v = vec![1, 2];").is_empty());
+        assert!(live("r1-panic-freedom", "#[derive(Debug)] struct S;").is_empty());
+        assert!(live("r1-panic-freedom", "fn g(x: [u8; 4]) -> [u8; 2] { todo() }").is_empty());
+    }
+
+    #[test]
+    fn r1_catches_panic_macros() {
+        assert_eq!(live("r1-panic-freedom", "panic!(\"boom\");").len(), 1);
+        assert_eq!(live("r1-panic-freedom", "unreachable!();").len(), 1);
+        // `panic` as a path segment (std::panic::catch_unwind) is fine.
+        assert!(live("r1-panic-freedom", "std::panic::catch_unwind(f);").is_empty());
+    }
+
+    #[test]
+    fn r2_flags_hash_collections() {
+        assert_eq!(live("r2-deterministic-iteration", "use std::collections::HashMap;").len(), 1);
+        assert!(live("r2-deterministic-iteration", "use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn r3_flags_clock_and_rng() {
+        assert_eq!(live("r3-no-wallclock-rng", "let t = Instant::now();").len(), 1);
+        assert_eq!(live("r3-no-wallclock-rng", "let r = thread_rng();").len(), 1);
+        assert!(live("r3-no-wallclock-rng", "let d = Duration::from_secs(1);").is_empty());
+    }
+
+    #[test]
+    fn r4_allows_only_the_serialize_path() {
+        assert!(live("r4-bdd-node-boundary", "let b = s2_bdd::serialize::to_bytes(m, f);").is_empty());
+        assert_eq!(live("r4-bdd-node-boundary", "use s2_bdd::manager::Bdd;").len(), 2);
+        assert_eq!(live("r4-bdd-node-boundary", "fn f(m: &BddManager) {}").len(), 1);
+    }
+
+    #[test]
+    fn pragmas_suppress_with_justification_only() {
+        let justified = "\
+// s2-lint: allow(r1-panic-freedom): index masked with & 0xff
+let x = table[i];
+";
+        let s = scan(justified);
+        let mut out = Vec::new();
+        run_rule("r1-panic-freedom", "t.rs", &s, &mut out);
+        check_pragma_hygiene("t.rs", &s, &mut out);
+        assert!(out.iter().all(|f| !f.is_live()), "{out:?}");
+
+        let bare = "\
+// s2-lint: allow(r1-panic-freedom)
+let x = table[i];
+";
+        let s = scan(bare);
+        let mut out = Vec::new();
+        run_rule("r1-panic-freedom", "t.rs", &s, &mut out);
+        check_pragma_hygiene("t.rs", &s, &mut out);
+        let live: Vec<_> = out.iter().filter(|f| f.is_live()).collect();
+        assert_eq!(live.len(), 2, "violation + hygiene finding: {live:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { v.unwrap(); }
+}
+";
+        assert!(live("r1-panic-freedom", src).is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: a violation suppressed by a justified pragma.
+
+fn checked(buf: &[u8]) -> u8 {
+    assert!(!buf.is_empty());
+    // s2-lint: allow(r1-panic-freedom): length asserted on the previous line; index 0 is in range.
+    buf[0]
+}

@@ -1,0 +1,7 @@
+// Fixture: a pragma with no justification does NOT suppress, and
+// additionally earns a pragma-justification finding of its own.
+
+fn sloppy(buf: &[u8]) -> u8 {
+    // s2-lint: allow(r1-panic-freedom)
+    buf[0]
+}

@@ -1,0 +1,14 @@
+// Fixture: panic-free peer-input handling; r1 must report nothing.
+
+fn decode(buf: &[u8]) -> Option<u32> {
+    let first = *buf.first()?;
+    // `let`-destructuring of a fixed-size pattern is not an index
+    // expression, and neither is an array literal after `in`.
+    let [a, b] = [first, first];
+    let mut total = 0u32;
+    for v in [a, b] {
+        total = total.checked_add(u32::from(v))?;
+    }
+    let map: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    map.get(&total).copied()
+}

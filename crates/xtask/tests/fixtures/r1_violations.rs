@@ -1,0 +1,19 @@
+// Fixture: every line below should trip r1-panic-freedom.
+// Not compiled — subdirectories of tests/ are not cargo targets.
+
+fn decode(buf: &[u8]) -> u32 {
+    let first = buf[0]; // line 5: slice indexing
+    let tail = parse(buf).unwrap(); // line 6: unwrap
+    let head = parse(buf).expect("peer sent garbage"); // line 7: expect
+    if first == 0 {
+        panic!("zero kind"); // line 9: panic!
+    }
+    if tail > head {
+        unreachable!(); // line 12: unreachable!
+    }
+    tail
+}
+
+fn parse(_b: &[u8]) -> Option<u32> {
+    None
+}

@@ -1,0 +1,15 @@
+// Fixture: hash-ordered containers in an encode path; trips r2.
+
+use std::collections::HashMap; // line 3
+use std::collections::HashSet; // line 4
+
+fn encode(routes: &HashMap<u32, u32>, out: &mut Vec<u8>) {
+    for (k, v) in routes {
+        out.extend_from_slice(&k.to_be_bytes());
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+fn dedup(xs: &[u32]) -> HashSet<u32> {
+    xs.iter().copied().collect()
+}

@@ -1,0 +1,15 @@
+// Fixture: ambient time and randomness in a pure crate; trips r3.
+
+use std::time::Instant; // line 3
+use std::time::SystemTime; // line 4
+
+fn stamp() -> Instant {
+    Instant::now() // line 7
+}
+
+fn entropy() -> u64 {
+    let _ = SystemTime::now(); // line 11
+    let rng = thread_rng(); // line 12
+    let _ = random::<u64>(); // line 13
+    rng
+}

@@ -1,0 +1,10 @@
+// Fixture: raw BDD handles at the wire boundary; trips r4.
+// `s2_bdd::serialize` is the sanctioned crossing and must NOT trip.
+
+use s2_bdd::serialize::serialize; // sanctioned: no finding
+use s2_bdd::Bdd; // line 5: raw type at the boundary
+
+fn frame(manager: &s2_bdd::BddManager, bdd: Bdd) -> Vec<u8> {
+    // line 7 above: `s2_bdd::BddManager` and `Bdd` both trip.
+    serialize(manager, bdd)
+}

@@ -1,0 +1,20 @@
+// Fixture: violations inside #[cfg(test)] code are not reported —
+// tests may unwrap and index freely.
+
+fn shipped(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn unwraps_are_fine_here() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.get(&0).is_none());
+        let v = vec![1u8, 2, 3];
+        assert_eq!(v[0], shipped(&v).unwrap());
+    }
+}
