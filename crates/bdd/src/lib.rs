@@ -28,4 +28,4 @@ pub mod ops;
 pub mod sat;
 pub mod serialize;
 
-pub use manager::{Bdd, BddManager};
+pub use manager::{Bdd, BddManager, CacheConfig, CacheStats};

@@ -20,14 +20,14 @@ impl BddManager {
         if f == 1 {
             return 0;
         }
-        if let Some(&r) = self.not_cache.get(&f) {
+        if let Some(r) = self.not_cache_get(f) {
             return r;
         }
         let n = self.nodes[f as usize];
         let lo = self.not_rec(n.lo);
         let hi = self.not_rec(n.hi);
         let r = self.mk(n.var, lo, hi);
-        self.not_cache.insert(f, r);
+        self.not_cache_put(f, r);
         r
     }
 
@@ -152,7 +152,7 @@ impl BddManager {
             Op::And | Op::Or | Op::Xor if f > g => (g, f),
             _ => (f, g),
         };
-        if let Some(&r) = self.bin_cache.get(&(op, f, g)) {
+        if let Some(r) = self.bin_cache_get(op, f, g) {
             return r;
         }
         let nf = self.nodes[f as usize];
@@ -164,23 +164,21 @@ impl BddManager {
         let lo = self.apply(op, flo, glo);
         let hi = self.apply(op, fhi, ghi);
         let r = self.mk(var, lo, hi);
-        self.bin_cache.insert((op, f, g), r);
+        self.bin_cache_put(op, f, g, r);
         r
     }
 
     /// Restricts variable `var` to the constant `value` in `f` (cofactor).
+    ///
+    /// Memoized through the manager's reusable direct-mapped memo buffer
+    /// (one generation per call) instead of a per-call `HashMap` — the
+    /// memo is lossy, which is safe because `mk` is canonical.
     pub fn restrict(&mut self, f: Bdd, var: u16, value: bool) -> Bdd {
-        let mut memo = std::collections::HashMap::new();
-        Bdd(self.restrict_rec(f.0, var, value, &mut memo))
+        self.memo_begin();
+        Bdd(self.restrict_rec(f.0, var, value))
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: u32,
-        var: u16,
-        value: bool,
-        memo: &mut std::collections::HashMap<u32, u32>,
-    ) -> u32 {
+    fn restrict_rec(&mut self, f: u32, var: u16, value: bool) -> u32 {
         if f <= 1 {
             return f;
         }
@@ -188,7 +186,7 @@ impl BddManager {
         if n.var > var {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
+        if let Some(r) = self.memo_get(f) {
             return r;
         }
         let r = if n.var == var {
@@ -198,11 +196,11 @@ impl BddManager {
                 n.lo
             }
         } else {
-            let lo = self.restrict_rec(n.lo, var, value, memo);
-            let hi = self.restrict_rec(n.hi, var, value, memo);
+            let lo = self.restrict_rec(n.lo, var, value);
+            let hi = self.restrict_rec(n.hi, var, value);
             self.mk(n.var, lo, hi)
         };
-        memo.insert(f, r);
+        self.memo_put(f, r);
         r
     }
 

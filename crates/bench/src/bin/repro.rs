@@ -6,11 +6,95 @@
 //! cargo run -p bench --bin repro --release            # everything
 //! cargo run -p bench --bin repro --release -- fig5    # one figure
 //! ```
+//!
+//! `--json` switches to the PR-4 performance-trajectory mode: a pinned
+//! FatTree sweep at intra-worker thread widths 1 and 4, written as
+//! `s2-bench-trajectory/v1` JSON:
+//!
+//! ```text
+//! cargo run -p bench --bin repro --release -- --json                # k=4,6,8 -> BENCH_PR4.json
+//! cargo run -p bench --bin repro --release -- --json --smoke       # k=4 only (CI)
+//! cargo run -p bench --bin repro --release -- --json --out FILE    # custom path
+//! cargo run -p bench --bin repro -- --json --check FILE            # validate only
+//! ```
 
-use bench::figs;
+use bench::{figs, trajectory};
+use std::process::ExitCode;
 
-fn main() {
+fn run_json_mode(args: &[String]) -> ExitCode {
+    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut smoke = false;
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {}
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => {
+                    eprintln!("--check needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown --json mode flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(path) = check {
+        return match std::fs::read_to_string(&path) {
+            Ok(text) => match trajectory::validate(&text) {
+                Ok(()) => {
+                    println!("{path}: valid {}", trajectory::SCHEMA);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: schema violation: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let (ks, widths): (&[usize], &[usize]) = if smoke {
+        (&[4], &[1, 2])
+    } else {
+        (&[4, 6, 8], &[1, 4])
+    };
+    let t = trajectory::run_sweep(ks, widths, 2);
+    let json = trajectory::to_json(&t);
+    if let Err(e) = trajectory::validate(&json) {
+        eprintln!("internal error: emitted JSON fails its own schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("{out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for (k, base, wide, s) in trajectory::cp_speedups(&t) {
+        println!("FatTree{k}: cp speedup x{s:.2} ({base} -> {wide} threads)");
+    }
+    println!("wrote {out_path} ({} entries, host cpus: {})", t.entries.len(), t.host_cpus);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--json") {
+        return run_json_mode(&args);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
@@ -46,4 +130,5 @@ fn main() {
     if want("fig11") {
         print!("{}", figs::fig11().render());
     }
+    ExitCode::SUCCESS
 }

@@ -12,6 +12,7 @@
 //! configurations.
 
 pub mod figs;
+pub mod trajectory;
 pub mod workloads;
 
 /// A printable result table (one per paper figure).

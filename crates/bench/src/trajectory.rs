@@ -1,0 +1,559 @@
+//! The PR-4 performance trajectory: a pinned FatTree sweep, timed per
+//! phase at intra-worker thread widths 1 and 4, emitted as JSON
+//! (`BENCH_PR4.json` at the repo root).
+//!
+//! Serialization is hand-rolled: the workspace deliberately carries no
+//! JSON dependency, and the schema (`s2-bench-trajectory/v1`) is flat
+//! enough that a small writer plus a minimal recursive-descent reader
+//! (used by `repro --json --check`, and by CI's `bench-smoke` job) is
+//! less code than a serde integration.
+
+use crate::workloads::{self, Workload};
+use s2::{S2Options, S2Verifier};
+use s2_runtime::CacheStats;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema identifier embedded in (and required of) every trajectory file.
+pub const SCHEMA: &str = "s2-bench-trajectory/v1";
+
+/// One timed verification run at a fixed `(k, threads)` point.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// FatTree arity.
+    pub k: usize,
+    /// Switch count of the topology.
+    pub nodes: usize,
+    /// Intra-worker thread width.
+    pub threads: usize,
+    /// Worker count (fixed across the sweep).
+    pub workers: u32,
+    /// Control-plane wall-clock, milliseconds.
+    pub cp_ms: f64,
+    /// Predicate-compilation wall-clock, milliseconds.
+    pub pred_ms: f64,
+    /// Symbolic-forwarding wall-clock, milliseconds.
+    pub fwd_ms: f64,
+    /// End-to-end wall-clock, milliseconds.
+    pub total_ms: f64,
+    /// Largest BDD node-table high-water mark across workers.
+    pub bdd_peak_nodes: usize,
+    /// Peak modelled per-worker memory, bytes.
+    pub peak_bytes: usize,
+    /// Merged BDD cache counters of the DPV phase.
+    pub bdd: CacheStats,
+    /// Reachable `(src, dst)` pairs — a cross-width invariant.
+    pub reachable_pairs: usize,
+    /// Scratch-buffer reuses observed in the forwarding hot loop.
+    pub scratch_reuses: u64,
+}
+
+/// A complete sweep plus the environment it ran in.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// CPUs visible to the process (speedups are bounded by this).
+    pub host_cpus: usize,
+    /// Workload family description.
+    pub workload: String,
+    /// The timed points, in sweep order.
+    pub entries: Vec<Entry>,
+}
+
+/// Runs one verification of `w` and extracts the trajectory metrics.
+fn run_point(w: &Workload, k: usize, workers: u32, threads: usize) -> Entry {
+    let t0 = Instant::now();
+    let opts = S2Options {
+        workers,
+        intra_worker_threads: threads,
+        ..Default::default()
+    };
+    let verifier = S2Verifier::new(w.model.clone(), &opts).expect("model is valid");
+    let report = verifier.verify(&w.request).expect("S2 run succeeds");
+    verifier.shutdown();
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Entry {
+        k,
+        nodes: w.model.topology.node_count(),
+        threads,
+        workers,
+        cp_ms: report.cp.elapsed.as_secs_f64() * 1e3,
+        pred_ms: report.dpv.pred_time.as_secs_f64() * 1e3,
+        fwd_ms: report.dpv.fwd_time.as_secs_f64() * 1e3,
+        total_ms,
+        bdd_peak_nodes: report.dpv.bdd_peak_nodes.max(report.cp.bdd_peak_nodes),
+        peak_bytes: report.peak_worker_memory(),
+        bdd: report.dpv.bdd_cache,
+        reachable_pairs: report.dpv.reachable_pairs,
+        scratch_reuses: report.dpv.traffic.scratch_reuses,
+    }
+}
+
+/// Runs the pinned sweep: every `k` at every thread width, fixed worker
+/// count. Sweep order is `(k, threads)` lexicographic so the emitted
+/// file diffs cleanly between runs.
+pub fn run_sweep(ks: &[usize], thread_widths: &[usize], workers: u32) -> Trajectory {
+    let mut entries = Vec::new();
+    for &k in ks {
+        let w = workloads::fattree(k);
+        for &threads in thread_widths {
+            eprintln!("trajectory: FatTree{k} threads={threads} ...");
+            entries.push(run_point(&w, k, workers, threads));
+        }
+    }
+    Trajectory {
+        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        workload: "fattree-sweep".to_string(),
+        entries,
+    }
+}
+
+/// CP speedup of the widest thread width over width 1, per `k`
+/// (`(k, base_threads, wide_threads, speedup)`).
+pub fn cp_speedups(t: &Trajectory) -> Vec<(usize, usize, usize, f64)> {
+    let mut out = Vec::new();
+    let ks: Vec<usize> = {
+        let mut ks: Vec<usize> = t.entries.iter().map(|e| e.k).collect();
+        ks.dedup();
+        ks
+    };
+    for k in ks {
+        let at_k: Vec<&Entry> = t.entries.iter().filter(|e| e.k == k).collect();
+        let base = at_k.iter().find(|e| e.threads == 1);
+        let wide = at_k.iter().max_by_key(|e| e.threads);
+        if let (Some(base), Some(wide)) = (base, wide) {
+            if wide.threads > 1 && wide.cp_ms > 0.0 {
+                out.push((k, base.threads, wide.threads, base.cp_ms / wide.cp_ms));
+            }
+        }
+    }
+    out
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.3}");
+    } else {
+        out.push('0');
+    }
+}
+
+/// Renders the trajectory as the `s2-bench-trajectory/v1` JSON document.
+pub fn to_json(t: &Trajectory) -> String {
+    let mut o = String::new();
+    o.push_str("{\n");
+    let _ = writeln!(o, "  \"schema\": \"{SCHEMA}\",");
+    o.push_str("  \"pr\": 4,\n");
+    let _ = writeln!(o, "  \"host\": {{ \"cpus\": {} }},", t.host_cpus);
+    let _ = writeln!(o, "  \"workload\": \"{}\",", t.workload);
+    o.push_str("  \"entries\": [\n");
+    for (i, e) in t.entries.iter().enumerate() {
+        o.push_str("    {");
+        let _ = write!(
+            o,
+            " \"k\": {}, \"nodes\": {}, \"threads\": {}, \"workers\": {},",
+            e.k, e.nodes, e.threads, e.workers
+        );
+        o.push_str(" \"cp_ms\": ");
+        push_f64(&mut o, e.cp_ms);
+        o.push_str(", \"pred_ms\": ");
+        push_f64(&mut o, e.pred_ms);
+        o.push_str(", \"fwd_ms\": ");
+        push_f64(&mut o, e.fwd_ms);
+        o.push_str(", \"total_ms\": ");
+        push_f64(&mut o, e.total_ms);
+        let _ = write!(
+            o,
+            ", \"bdd_peak_nodes\": {}, \"peak_bytes\": {}, \"reachable_pairs\": {}, \"scratch_reuses\": {},",
+            e.bdd_peak_nodes, e.peak_bytes, e.reachable_pairs, e.scratch_reuses
+        );
+        o.push_str("\n      \"bdd\": {");
+        let b = &e.bdd;
+        let _ = write!(
+            o,
+            " \"unique_lookups\": {}, \"unique_hits\": {}, \"unique_probe_misses\": {}, \"unique_resizes\": {}, \"bin_lookups\": {}, \"bin_hits\": {}, \"not_lookups\": {}, \"not_hits\": {}, \"memo_lookups\": {}, \"memo_hits\": {}, \"generation_clears\": {},",
+            b.unique_lookups,
+            b.unique_hits,
+            b.unique_probe_misses,
+            b.unique_resizes,
+            b.bin_lookups,
+            b.bin_hits,
+            b.not_lookups,
+            b.not_hits,
+            b.memo_lookups,
+            b.memo_hits,
+            b.generation_clears
+        );
+        o.push_str(" \"unique_hit_rate\": ");
+        push_f64(&mut o, b.unique_hit_rate());
+        o.push_str(", \"bin_hit_rate\": ");
+        push_f64(&mut o, b.bin_hit_rate());
+        o.push_str(" }");
+        o.push_str(" }");
+        o.push_str(if i + 1 < t.entries.len() { ",\n" } else { "\n" });
+    }
+    o.push_str("  ],\n");
+    o.push_str("  \"cp_speedups\": [\n");
+    let speedups = cp_speedups(t);
+    for (i, (k, base, wide, s)) in speedups.iter().enumerate() {
+        let _ = write!(
+            o,
+            "    {{ \"k\": {k}, \"base_threads\": {base}, \"wide_threads\": {wide}, \"speedup\": "
+        );
+        push_f64(&mut o, *s);
+        o.push_str(" }");
+        o.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    o.push_str("  ]\n");
+    o.push_str("}\n");
+    o
+}
+
+// ---- minimal JSON reader (for `--check`) ----
+
+/// A parsed JSON value (just enough structure for schema validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (held as f64; trajectory files stay well within range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\r' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        let end = self.pos + lit.len();
+        if self.bytes.get(self.pos..end) == Some(lit.as_bytes()) {
+            self.pos = end;
+            Ok(())
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null").map(|()| Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    // The writer never emits escapes, but accept the
+                    // simple ones so hand-edited files still validate.
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Validates `text` against the `s2-bench-trajectory/v1` schema: required
+/// top-level keys, a non-empty entry list, and per-entry numeric fields.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema key missing or not '{SCHEMA}'"));
+    }
+    doc.get("pr").and_then(Json::as_num).ok_or("missing numeric 'pr'")?;
+    doc.get("host")
+        .and_then(|h| h.get("cpus"))
+        .and_then(Json::as_num)
+        .ok_or("missing 'host.cpus'")?;
+    doc.get("workload").and_then(Json::as_str).ok_or("missing 'workload'")?;
+    let entries = doc.get("entries").and_then(Json::as_arr).ok_or("missing 'entries' array")?;
+    if entries.is_empty() {
+        return Err("'entries' is empty".to_string());
+    }
+    const ENTRY_NUMS: [&str; 10] = [
+        "k",
+        "nodes",
+        "threads",
+        "workers",
+        "cp_ms",
+        "pred_ms",
+        "fwd_ms",
+        "total_ms",
+        "bdd_peak_nodes",
+        "reachable_pairs",
+    ];
+    const BDD_NUMS: [&str; 6] = [
+        "unique_lookups",
+        "unique_hits",
+        "unique_resizes",
+        "bin_lookups",
+        "bin_hits",
+        "bin_hit_rate",
+    ];
+    for (i, e) in entries.iter().enumerate() {
+        for key in ENTRY_NUMS {
+            if e.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("entry {i}: missing numeric '{key}'"));
+            }
+        }
+        let bdd = e.get("bdd").ok_or_else(|| format!("entry {i}: missing 'bdd'"))?;
+        for key in BDD_NUMS {
+            if bdd.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("entry {i}: missing numeric 'bdd.{key}'"));
+            }
+        }
+    }
+    let speedups = doc.get("cp_speedups").and_then(Json::as_arr).ok_or("missing 'cp_speedups'")?;
+    for (i, s) in speedups.iter().enumerate() {
+        for key in ["k", "base_threads", "wide_threads", "speedup"] {
+            if s.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("cp_speedups {i}: missing numeric '{key}'"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trajectory {
+        let entry = |k: usize, threads: usize, cp_ms: f64| Entry {
+            k,
+            nodes: 20,
+            threads,
+            workers: 2,
+            cp_ms,
+            pred_ms: 1.5,
+            fwd_ms: 2.5,
+            total_ms: cp_ms + 4.0,
+            bdd_peak_nodes: 1000,
+            peak_bytes: 4096,
+            bdd: CacheStats {
+                unique_lookups: 100,
+                unique_hits: 60,
+                bin_lookups: 50,
+                bin_hits: 25,
+                ..Default::default()
+            },
+            reachable_pairs: 56,
+            scratch_reuses: 7,
+        };
+        Trajectory {
+            host_cpus: 1,
+            workload: "fattree-sweep".to_string(),
+            entries: vec![entry(4, 1, 10.0), entry(4, 4, 5.0)],
+        }
+    }
+
+    #[test]
+    fn emitted_json_validates() {
+        let json = to_json(&sample());
+        validate(&json).expect("writer output passes the schema check");
+    }
+
+    #[test]
+    fn speedups_divide_base_by_wide() {
+        let s = cp_speedups(&sample());
+        assert_eq!(s.len(), 1);
+        let (k, base, wide, speedup) = s[0];
+        assert_eq!((k, base, wide), (4, 1, 4));
+        assert!((speedup - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_roundtrips_structures() {
+        let doc = parse_json(r#"{"a": [1, 2.5, "x"], "b": {"c": true, "d": null}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("b").unwrap().get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
+        assert!(parse_json(r#"{"a": 01x}"#).is_err());
+    }
+
+    #[test]
+    fn validate_flags_missing_fields() {
+        assert!(validate("{}").is_err());
+        let mut json = to_json(&sample());
+        json = json.replace("\"cp_ms\"", "\"renamed\"");
+        assert!(validate(&json).is_err());
+        let wrong_schema = to_json(&sample()).replace(SCHEMA, "other/v9");
+        assert!(validate(&wrong_schema).is_err());
+    }
+}

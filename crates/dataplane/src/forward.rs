@@ -112,6 +112,15 @@ pub struct StepOutput {
     pub trace: Vec<TraceStep>,
 }
 
+impl StepOutput {
+    /// Empties the buffers, keeping their allocations for reuse.
+    pub fn clear(&mut self) {
+        self.forwarded.clear();
+        self.finals.clear();
+        self.trace.clear();
+    }
+}
+
 /// Executes one hop of symbolic forwarding at `pkt.node`, applying Eq. (1):
 /// `pkt ← pkt ∧ p1_in ∧ p2_fwd ∧ p2_out`.
 pub fn step(
@@ -122,8 +131,26 @@ pub fn step(
     pkt: SymbolicPacket,
     opts: &ForwardOptions,
 ) -> StepOutput {
-    debug_assert_eq!(preds.node, pkt.node);
     let mut out = StepOutput::default();
+    step_into(topology, preds, space, manager, pkt, opts, &mut out);
+    out
+}
+
+/// [`step`] into a caller-owned [`StepOutput`], *appending* to its
+/// buffers. Hot loops keep one `StepOutput` per worker and [`clear`]
+/// (`StepOutput::clear`) it between switches, avoiding three Vec
+/// allocations per step.
+#[allow(clippy::too_many_arguments)]
+pub fn step_into(
+    topology: &Topology,
+    preds: &NodePredicates,
+    space: &PacketSpace,
+    manager: &mut BddManager,
+    pkt: SymbolicPacket,
+    opts: &ForwardOptions,
+    out: &mut StepOutput,
+) {
+    debug_assert_eq!(preds.node, pkt.node);
     let finalize = |kind: FinalKind, set: Bdd, out: &mut StepOutput| {
         if !set.is_false() {
             out.finals.push(FinalPacket {
@@ -139,9 +166,9 @@ pub fn step(
     let acl_in = preds.acl_in(pkt.ingress);
     let mut set = manager.and(pkt.set, acl_in);
     let denied = manager.diff(pkt.set, acl_in);
-    finalize(FinalKind::Blackhole, denied, &mut out);
+    finalize(FinalKind::Blackhole, denied, &mut *out);
     if set.is_false() {
-        return out;
+        return;
     }
 
     // Waypoint write rule.
@@ -151,15 +178,15 @@ pub fn step(
 
     // Local delivery.
     let arrived = manager.and(set, preds.local);
-    finalize(FinalKind::Arrive, arrived, &mut out);
+    finalize(FinalKind::Arrive, arrived, &mut *out);
     let remaining = manager.diff(set, preds.local);
     if remaining.is_false() {
-        return out;
+        return;
     }
 
     // Explicit drops.
     let dropped = manager.and(remaining, preds.drop);
-    finalize(FinalKind::Blackhole, dropped, &mut out);
+    finalize(FinalKind::Blackhole, dropped, &mut *out);
 
     // Forwarding, one copy per egress port (ECMP explores all paths).
     for (&port, &fwd) in &preds.fwd {
@@ -170,15 +197,15 @@ pub fn step(
         let acl_out = preds.acl_out(port);
         let permitted = manager.and(egress_set, acl_out);
         let blocked = manager.diff(egress_set, acl_out);
-        finalize(FinalKind::Blackhole, blocked, &mut out);
+        finalize(FinalKind::Blackhole, blocked, &mut *out);
         if permitted.is_false() {
             continue;
         }
         match topology.peer_of(pkt.node, port) {
-            None => finalize(FinalKind::Exit, permitted, &mut out),
+            None => finalize(FinalKind::Exit, permitted, &mut *out),
             Some((peer, peer_if)) => {
                 if pkt.hops + 1 > opts.ttl() {
-                    finalize(FinalKind::Loop, permitted, &mut out);
+                    finalize(FinalKind::Loop, permitted, &mut *out);
                 } else {
                     if opts.record_trace {
                         out.trace.push(TraceStep {
@@ -199,7 +226,6 @@ pub fn step(
             }
         }
     }
-    out
 }
 
 /// Result of a full forwarding run.

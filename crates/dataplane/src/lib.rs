@@ -23,7 +23,7 @@ pub mod properties;
 
 pub use fib::{Fib, FibEntry};
 pub use forward::{
-    forward, merge_packet, packet_key, step, FinalKind, FinalPacket, ForwardOptions,
+    forward, merge_packet, packet_key, step, step_into, FinalKind, FinalPacket, ForwardOptions,
     ForwardResult, PacketKey, StepOutput, SymbolicPacket, TraceStep, DEFAULT_MAX_HOPS,
 };
 pub use packetspace::PacketSpace;

@@ -17,7 +17,7 @@
 //! and retried, so the run completes (more slowly) instead of aborting.
 
 use crate::faults::{FaultPlan, FaultState};
-use crate::memstats::MemReport;
+use crate::memstats::{CacheStats, MemReport};
 use crate::remote;
 use crate::sidecar::{Sidecar, SidecarNet, TrafficSnapshot};
 use crate::transport::{Inbox, TransportKind};
@@ -127,6 +127,9 @@ pub struct RuntimeConfig {
     pub faults: FaultPlan,
     /// Data-fabric backend (in-process channels by default).
     pub transport: TransportKind,
+    /// Threads each worker uses to evaluate independent switches within
+    /// a round (1 = sequential; results are identical at any width).
+    pub intra_worker_threads: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -139,6 +142,7 @@ impl Default for RuntimeConfig {
             fatal_wire_errors: false,
             faults: FaultPlan::default(),
             transport: TransportKind::default(),
+            intra_worker_threads: 1,
         }
     }
 }
@@ -191,6 +195,12 @@ pub struct CpRunStats {
     /// Full transport counters (reconnects, backpressure stalls, …),
     /// aggregated across processes in multi-process mode.
     pub traffic: TrafficSnapshot,
+    /// Largest BDD node-table high-water mark across workers (zero
+    /// during the control plane, which runs without a manager).
+    pub bdd_peak_nodes: usize,
+    /// BDD unique-table and computed-cache counters, merged across
+    /// workers.
+    pub bdd_cache: CacheStats,
 }
 
 impl CpRunStats {
@@ -237,6 +247,25 @@ pub struct DpvRunStats {
     /// Full transport counters (reconnects, backpressure stalls, …),
     /// aggregated across processes in multi-process mode.
     pub traffic: TrafficSnapshot,
+    /// Largest BDD node-table high-water mark across workers.
+    pub bdd_peak_nodes: usize,
+    /// BDD unique-table and computed-cache counters, merged across
+    /// workers.
+    pub bdd_cache: CacheStats,
+    /// Serialized per-(source, kind) final BDD sets exactly as they
+    /// crossed the wire, sorted — the raw verdict material, kept so
+    /// determinism tests can assert byte-identity across intra-worker
+    /// thread widths.
+    pub verdict_sets: Vec<(NodeId, FinalKind, Vec<u8>)>,
+}
+
+/// Folds every worker's BDD cache counters into one cluster-wide view.
+fn merge_cache_stats(reports: &[MemReport]) -> CacheStats {
+    let mut total = CacheStats::default();
+    for r in reports {
+        total.merge(&r.bdd_cache);
+    }
+    total
 }
 
 struct WorkerHandle {
@@ -359,6 +388,7 @@ impl Cluster {
                 &net,
                 &faults,
                 config.memory_budget,
+                config.intra_worker_threads,
                 w as u32,
                 inbox,
             );
@@ -406,6 +436,7 @@ impl Cluster {
             num_workers,
             &node_owner,
             config.memory_budget,
+            config.intra_worker_threads as u32,
         )?;
         let mut handles = Vec::new();
         let mut threads = Vec::new();
@@ -431,12 +462,14 @@ impl Cluster {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn spawn_worker(
         model: &Arc<NetworkModel>,
         node_owner: &[u32],
         net: &SidecarNet,
         faults: &Arc<FaultState>,
         memory_budget: Option<usize>,
+        intra_worker_threads: usize,
         w: u32,
         inbox: Inbox,
     ) -> (WorkerHandle, std::thread::JoinHandle<()>) {
@@ -454,8 +487,15 @@ impl Cluster {
         let thread = std::thread::Builder::new()
             .name(format!("s2-worker-{w}"))
             .spawn(move || {
-                Worker::with_faults(sidecar, model, local_nodes, memory_budget, faults)
-                    .run(cmd_rx, reply_tx);
+                Worker::with_faults(
+                    sidecar,
+                    model,
+                    local_nodes,
+                    memory_budget,
+                    faults,
+                    intra_worker_threads,
+                )
+                .run(cmd_rx, reply_tx);
             })
             .expect("spawn worker thread");
         (
@@ -731,6 +771,7 @@ impl Cluster {
             &self.net,
             &self.faults,
             self.config.memory_budget,
+            self.config.intra_worker_threads,
             w as u32,
             inbox,
         );
@@ -1068,11 +1109,14 @@ impl Cluster {
                 Err(e) => return Err(e),
             }
         }
+        let reports = self.mem_reports()?;
         let mut stats = CpRunStats {
             ospf_rounds: ck.ospf_rounds,
             bgp_rounds: ck.bgp_rounds,
             shards: ck.executed.len(),
-            per_worker_peak: self.mem_reports()?.iter().map(|m| m.peak_bytes).collect(),
+            per_worker_peak: reports.iter().map(|m| m.peak_bytes).collect(),
+            bdd_peak_nodes: reports.iter().map(|m| m.bdd_peak_nodes).max().unwrap_or(0),
+            bdd_cache: merge_cache_stats(&reports),
             recoveries: ck.recoveries,
             oom_splits: ck.oom_splits,
             shard_retries: ck.shard_retries,
@@ -1287,6 +1331,7 @@ impl Cluster {
                     stats.loops += loops;
                     stats.blackholes += blackholes;
                     for (src, kind, bytes) in sets {
+                        stats.verdict_sets.push((src, kind, bytes.to_vec()));
                         let set = match bdd_io::from_bytes(&mut manager, &bytes) {
                             Ok(set) => set,
                             Err(_) => {
@@ -1322,9 +1367,13 @@ impl Cluster {
             }
         }
 
-        stats.per_worker_peak = self.mem_reports()?.iter().map(|m| m.peak_bytes).collect();
+        let reports = self.mem_reports()?;
+        stats.per_worker_peak = reports.iter().map(|m| m.peak_bytes).collect();
+        stats.bdd_peak_nodes = reports.iter().map(|m| m.bdd_peak_nodes).max().unwrap_or(0);
+        stats.bdd_cache = merge_cache_stats(&reports);
         stats.unreachable_pairs.sort();
         stats.waypoint_violations.sort();
+        stats.verdict_sets.sort();
         Ok(stats)
     }
 

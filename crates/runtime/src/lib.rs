@@ -50,6 +50,7 @@ pub mod controller;
 pub mod credit;
 pub mod faults;
 pub mod memstats;
+pub mod pool;
 pub mod remote;
 pub mod sidecar;
 pub mod tcp;
@@ -61,7 +62,8 @@ pub use controller::{
     Cluster, ClusterOptions, CpRunStats, DpvRunStats, RuntimeConfig, RuntimeError,
 };
 pub use faults::{FaultPlan, FaultState};
-pub use memstats::{MemGauge, MemReport};
+pub use memstats::{CacheStats, MemGauge, MemReport};
+pub use pool::EvalPool;
 pub use sidecar::{Sidecar, SidecarNet, TrafficSnapshot, TrafficStats};
 pub use tcp::{TcpConfig, TcpTransport};
 pub use transport::{ChannelTransport, Inbox, Transport, TransportError, TransportKind};

@@ -6,6 +6,8 @@
 //! manager's node table and caches. The gauges drive both the reported
 //! peak-memory figures and the out-of-memory behaviour of budgeted runs.
 
+pub use s2_bdd::CacheStats;
+
 /// A watermark gauge: tracks a current value and its historical peak.
 #[derive(Debug, Clone, Default)]
 pub struct MemGauge {
@@ -52,6 +54,12 @@ pub struct MemReport {
     pub bdd_bytes: usize,
     /// Peak of the combined gauge.
     pub peak_bytes: usize,
+    /// High-water mark of the BDD manager's node table (0 when the
+    /// worker has no manager, i.e. during the control plane).
+    pub bdd_peak_nodes: usize,
+    /// Unique-table and computed-cache counters of the worker's BDD
+    /// manager (zeros when the worker has no manager).
+    pub bdd_cache: CacheStats,
 }
 
 impl MemReport {
@@ -91,6 +99,7 @@ mod tests {
             route_bytes: 10,
             bdd_bytes: 5,
             peak_bytes: 20,
+            ..Default::default()
         };
         assert_eq!(r.total(), 15);
     }

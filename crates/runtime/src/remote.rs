@@ -201,13 +201,49 @@ fn put_traffic(buf: &mut BytesMut, t: &TrafficSnapshot) {
         t.backpressure_stalls,
         t.heartbeats,
         t.protocol_violations,
+        t.scratch_reuses,
     ] {
         buf.put_u64(v);
     }
 }
 
+fn put_cache_stats(buf: &mut BytesMut, c: &crate::memstats::CacheStats) {
+    for v in [
+        c.unique_lookups,
+        c.unique_hits,
+        c.unique_probe_misses,
+        c.unique_resizes,
+        c.bin_lookups,
+        c.bin_hits,
+        c.not_lookups,
+        c.not_hits,
+        c.memo_lookups,
+        c.memo_hits,
+        c.generation_clears,
+    ] {
+        buf.put_u64(v);
+    }
+}
+
+fn get_cache_stats(buf: &mut impl Buf) -> Result<crate::memstats::CacheStats, WireError> {
+    need(buf, 11 * 8)?;
+    Ok(crate::memstats::CacheStats {
+        unique_lookups: buf.get_u64(),
+        unique_hits: buf.get_u64(),
+        unique_probe_misses: buf.get_u64(),
+        unique_resizes: buf.get_u64(),
+        bin_lookups: buf.get_u64(),
+        bin_hits: buf.get_u64(),
+        not_lookups: buf.get_u64(),
+        not_hits: buf.get_u64(),
+        memo_lookups: buf.get_u64(),
+        memo_hits: buf.get_u64(),
+        generation_clears: buf.get_u64(),
+    })
+}
+
 fn get_traffic(buf: &mut impl Buf) -> Result<TrafficSnapshot, WireError> {
-    need(buf, 15 * 8)?;
+    need(buf, 16 * 8)?;
     Ok(TrafficSnapshot {
         messages: buf.get_u64(),
         bytes: buf.get_u64(),
@@ -224,6 +260,7 @@ fn get_traffic(buf: &mut impl Buf) -> Result<TrafficSnapshot, WireError> {
         backpressure_stalls: buf.get_u64(),
         heartbeats: buf.get_u64(),
         protocol_violations: buf.get_u64(),
+        scratch_reuses: buf.get_u64(),
     })
 }
 
@@ -275,6 +312,9 @@ pub struct Setup {
     pub peers: Vec<SocketAddr>,
     /// Per-worker memory budget in bytes, if any.
     pub memory_budget: Option<usize>,
+    /// Intra-worker evaluation threads (see `RuntimeConfig`); 0 and 1
+    /// both mean sequential.
+    pub intra_worker_threads: u32,
 }
 
 /// Encodes a [`Setup`].
@@ -291,6 +331,7 @@ pub fn encode_setup(s: &Setup) -> Bytes {
         put_addr(&mut buf, p);
     }
     put_opt_u64(&mut buf, s.memory_budget.map(|b| b as u64));
+    buf.put_u32(s.intra_worker_threads);
     buf.freeze()
 }
 
@@ -309,12 +350,15 @@ pub fn decode_setup(mut buf: Bytes) -> Result<Setup, WireError> {
         peers.push(get_addr(&mut buf)?);
     }
     let memory_budget = get_opt_u64(&mut buf)?.map(|b| b as usize);
+    need(&buf, 4)?;
+    let intra_worker_threads = buf.get_u32();
     Ok(Setup {
         worker_id,
         num_workers,
         node_owner,
         peers,
         memory_budget,
+        intra_worker_threads,
     })
 }
 
@@ -667,6 +711,8 @@ pub fn encode_reply(reply: &Reply) -> Bytes {
             buf.put_u64(report.route_bytes as u64);
             buf.put_u64(report.bdd_bytes as u64);
             buf.put_u64(report.peak_bytes as u64);
+            buf.put_u64(report.bdd_peak_nodes as u64);
+            put_cache_stats(&mut buf, &report.bdd_cache);
         }
         Reply::OutOfMemory { budget, observed } => {
             buf.put_u8(10);
@@ -805,11 +851,13 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
         }
         8 => Reply::Deps(get_prefix_pairs(&mut buf)?),
         9 => {
-            need(&buf, 24)?;
+            need(&buf, 32)?;
             Reply::Mem(MemReport {
                 route_bytes: buf.get_u64() as usize,
                 bdd_bytes: buf.get_u64() as usize,
                 peak_bytes: buf.get_u64() as usize,
+                bdd_peak_nodes: buf.get_u64() as usize,
+                bdd_cache: get_cache_stats(&mut buf)?,
             })
         }
         10 => {
@@ -850,6 +898,7 @@ pub fn accept_fleet(
     num_workers: u32,
     node_owner: &[u32],
     memory_budget: Option<usize>,
+    intra_worker_threads: u32,
 ) -> io::Result<Vec<TcpStream>> {
     let mut fleet: Vec<(TcpStream, SocketAddr)> = Vec::with_capacity(num_workers as usize);
     for _ in 0..num_workers {
@@ -872,6 +921,7 @@ pub fn accept_fleet(
             node_owner: node_owner.to_vec(),
             peers: peers.clone(),
             memory_budget,
+            intra_worker_threads,
         };
         write_envelope(&mut stream, K_SETUP, &encode_setup(&setup))?;
         streams.push(stream);
@@ -983,7 +1033,14 @@ pub fn serve(model: Arc<NetworkModel>, connect: &str, bind: &str) -> io::Result<
         .filter(|&(_, &owner)| owner == setup.worker_id)
         .map(|(i, _)| NodeId(i as u32))
         .collect();
-    let worker = Worker::with_faults(sidecar, model, local_nodes, setup.memory_budget, faults);
+    let worker = Worker::with_faults(
+        sidecar,
+        model,
+        local_nodes,
+        setup.memory_budget,
+        faults,
+        setup.intra_worker_threads as usize,
+    );
 
     // The worker keeps its thread-based shape; this loop is the channel
     // half of the proxy pair on the controller side.
@@ -1056,6 +1113,7 @@ mod tests {
                 "127.0.0.1:1003".parse().unwrap(),
             ],
             memory_budget: Some(64 << 20),
+            intra_worker_threads: 4,
         };
         assert_eq!(decode_setup(encode_setup(&setup)).unwrap(), setup);
     }
@@ -1166,6 +1224,12 @@ mod tests {
                 route_bytes: 1,
                 bdd_bytes: 2,
                 peak_bytes: 3,
+                bdd_peak_nodes: 4,
+                bdd_cache: crate::memstats::CacheStats {
+                    unique_lookups: 5,
+                    bin_hits: 6,
+                    ..Default::default()
+                },
             }),
             Reply::OutOfMemory {
                 budget: 100,

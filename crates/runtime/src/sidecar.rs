@@ -83,6 +83,10 @@ pub struct TrafficStats {
     /// (unknown kind, malformed handshake, non-local target…); each one
     /// is skipped, never fatal.
     pub protocol_violations: AtomicU64,
+    /// Per-switch scratch-buffer reuses in the forwarding hot loop —
+    /// each one is a `StepOutput` (three Vecs) that was *not* freshly
+    /// allocated. An allocation-pressure metric, not a wire event.
+    pub scratch_reuses: AtomicU64,
 }
 
 impl TrafficStats {
@@ -139,6 +143,7 @@ impl TrafficStats {
             backpressure_stalls: self.backpressure_stalls.load(Ordering::Relaxed),
             heartbeats: self.heartbeats.load(Ordering::Relaxed),
             protocol_violations: self.protocol_violations.load(Ordering::Relaxed),
+            scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -177,6 +182,8 @@ pub struct TrafficSnapshot {
     pub heartbeats: u64,
     /// See [`TrafficStats::protocol_violations`].
     pub protocol_violations: u64,
+    /// See [`TrafficStats::scratch_reuses`].
+    pub scratch_reuses: u64,
 }
 
 impl TrafficSnapshot {
@@ -198,6 +205,7 @@ impl TrafficSnapshot {
         self.backpressure_stalls += other.backpressure_stalls;
         self.heartbeats += other.heartbeats;
         self.protocol_violations += other.protocol_violations;
+        self.scratch_reuses += other.scratch_reuses;
     }
 
     /// Mirror of [`TrafficStats::disturbances`] over plain values.

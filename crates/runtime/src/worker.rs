@@ -14,14 +14,15 @@
 
 use crate::faults::FaultState;
 use crate::memstats::{MemGauge, MemReport};
+use crate::pool::EvalPool;
 use crate::sidecar::{Sidecar, TrafficSnapshot};
 use crate::wire::Message;
 use bytes::Bytes;
 use s2_bdd::serialize as bdd_io;
 use s2_bdd::BddManager;
 use s2_dataplane::{
-    merge_packet, step, Fib, FinalKind, FinalPacket, ForwardOptions, NodePredicates, PacketKey,
-    PacketSpace, SymbolicPacket,
+    merge_packet, step_into, Fib, FinalKind, FinalPacket, ForwardOptions, NodePredicates,
+    PacketKey, PacketSpace, StepOutput, SymbolicPacket,
 };
 use s2_net::topology::NodeId;
 use s2_net::Prefix;
@@ -233,6 +234,14 @@ pub struct Worker {
     /// sending is what keeps the cross-worker BDD traffic polynomial.
     level: BTreeMap<PacketKey, s2_bdd::Bdd>,
     finals: Vec<FinalPacket>,
+    /// Intra-worker evaluation pool (width 1 = sequential).
+    pool: EvalPool,
+    /// Reusable per-worker step buffers (see `forward_round`): avoids
+    /// allocating three Vecs per switch per hop level.
+    step_scratch: StepOutput,
+    /// Whether `step_scratch` has served at least one step (the first
+    /// use allocates; every later one is a counted reuse).
+    scratch_primed: bool,
 }
 
 impl Worker {
@@ -249,16 +258,19 @@ impl Worker {
             local_nodes,
             memory_budget,
             Arc::new(FaultState::default()),
+            1,
         )
     }
 
-    /// [`Worker::new`] with an armed fault plan (shared cluster-wide).
+    /// [`Worker::new`] with an armed fault plan (shared cluster-wide) and
+    /// an intra-worker thread count (1 = today's sequential behavior).
     pub fn with_faults(
         sidecar: Sidecar,
         model: Arc<NetworkModel>,
         local_nodes: Vec<NodeId>,
         memory_budget: Option<usize>,
         faults: Arc<FaultState>,
+        intra_worker_threads: usize,
     ) -> Self {
         let switches = local_nodes
             .iter()
@@ -282,6 +294,9 @@ impl Worker {
             fwd_opts: ForwardOptions::default(),
             level: BTreeMap::new(),
             finals: Vec::new(),
+            pool: EvalPool::new(intra_worker_threads),
+            step_scratch: StepOutput::default(),
+            scratch_primed: false,
         }
     }
 
@@ -457,9 +472,18 @@ impl Worker {
     // ---- control plane ----
 
     fn ospf_export(&mut self) {
-        for &node in &self.local_nodes {
-            let adv = self.switches[&node].ospf.export();
-            let entries: Vec<(Prefix, u32)> = adv.into_iter().collect();
+        // Phase 1 (parallel): per-switch export is read-only on the
+        // switch models, so independent switches compute concurrently.
+        let exports: Vec<Vec<(Prefix, u32)>> = {
+            let nodes = &self.local_nodes;
+            let switches = &self.switches;
+            self.pool.map_indexed(nodes.len(), |i| {
+                switches[&nodes[i]].ospf.export().into_iter().collect()
+            })
+        };
+        // Phase 2 (sequential, node-id order): staging and wire sends —
+        // identical frame order to the sequential path.
+        for (&node, entries) in self.local_nodes.iter().zip(exports) {
             for adj in &self.model.ospf_adj[node.index()] {
                 // The receiver applies its own interface cost; it finds the
                 // adjacency by its receiving interface.
@@ -496,6 +520,11 @@ impl Worker {
                 deliveries.push((target_node, via_iface, entries));
             }
         }
+        // Validate and group per target node (arrival order preserved
+        // within a node; applying different nodes' deliveries in any
+        // order is equivalent because each touches only its own switch).
+        type OspfBatch = Vec<(BTreeMap<Prefix, u32>, u32, s2_net::topology::InterfaceId)>;
+        let mut grouped: BTreeMap<NodeId, OspfBatch> = BTreeMap::new();
         for (node, via_iface, entries) in deliveries {
             // Target node and interface come off the wire: an unknown
             // node, a non-local target, or an interface that is not an
@@ -508,25 +537,63 @@ impl Worker {
                 .and_then(|adjs| adjs.iter().find(|a| a.local_if == via_iface))
                 .map(|a| a.cost);
             let adv: BTreeMap<Prefix, u32> = entries.into_iter().collect();
-            match (cost, self.switches.get_mut(&node)) {
-                (Some(cost), Some(sw)) => changed |= sw.ospf.receive(&adv, cost, via_iface),
+            match (cost, self.switches.contains_key(&node)) {
+                (Some(cost), true) => {
+                    grouped.entry(node).or_default().push((adv, cost, via_iface));
+                }
                 _ => note_violation(&self.sidecar),
             }
         }
+        // Parallel SPF: each switch applies its own batch; flags are
+        // OR-folded, so thread scheduling cannot affect the result.
+        let pool = self.pool;
+        let grouped = &grouped;
+        let mut targets: Vec<(NodeId, &mut SwitchModel)> = self
+            .switches
+            .iter_mut()
+            .filter(|(n, _)| grouped.contains_key(n))
+            .map(|(&n, sw)| (n, sw))
+            .collect();
+        let flags = pool.map_mut(&mut targets, |_, (node, sw)| {
+            let mut local_changed = false;
+            if let Some(batch) = grouped.get(node) {
+                for (adv, cost, via_iface) in batch {
+                    local_changed |= sw.ospf.receive(adv, *cost, *via_iface);
+                }
+            }
+            local_changed
+        });
+        changed |= flags.into_iter().any(|c| c);
         changed
     }
 
     fn bgp_export(&mut self) {
-        for &node in &self.local_nodes {
+        // Phase 1 (parallel): per-session export policy evaluation is
+        // read-only on the switch models — the expensive part of the
+        // phase — so independent switches compute concurrently.
+        let exports: Vec<Vec<Vec<BgpRoute>>> = {
+            let nodes = &self.local_nodes;
+            let switches = &self.switches;
+            self.pool.map_indexed(nodes.len(), |i| {
+                let sw = &switches[&nodes[i]];
+                (0..sw.sessions.len()).map(|si| sw.bgp_export(si)).collect()
+            })
+        };
+        // Phase 2 (sequential, node-id order): Adj-RIB-Out compare,
+        // staging and wire sends — identical frame order and identical
+        // incremental-update decisions to the sequential path.
+        for (&node, advs) in self.local_nodes.iter().zip(exports) {
             let sw = &self.switches[&node];
-            for (si, session) in sw.sessions.iter().enumerate() {
-                let adv = sw.bgp_export(si);
+            for (si, adv) in advs.into_iter().enumerate() {
                 // Incremental updates: an advertisement identical to the
                 // previous round's carries no information (the receiver's
                 // replace-compare would be a no-op) and is not re-sent.
                 if self.last_adv.get(&(node, si)) == Some(&adv) {
                     continue;
                 }
+                let Some(session) = sw.sessions.get(si) else {
+                    continue; // unreachable: advs has one entry per session
+                };
                 let target = session.peer_node;
                 let target_session = session.peer_session_index;
                 if self.sidecar.is_local(target) {
@@ -559,23 +626,40 @@ impl Worker {
                 deliveries.push((target_node, target_session, routes));
             }
         }
+        // Validate and group per target node (arrival order preserved
+        // within a node — replace-compare semantics make per-node order
+        // the only order that matters).
+        let mut grouped: BTreeMap<NodeId, Vec<(usize, Vec<BgpRoute>)>> = BTreeMap::new();
         for (node, session, routes) in deliveries {
             // Both the target node and the session index come off the
             // wire; a non-local node or out-of-range session is a peer
             // protocol violation, not a reason to panic.
-            match self.switches.get_mut(&node) {
+            match self.switches.get(&node) {
                 Some(sw) if (session as usize) < sw.sessions.len() => {
-                    changed |= sw.bgp_receive(session as usize, &routes);
+                    grouped.entry(node).or_default().push((session as usize, routes));
                 }
                 _ => note_violation(&self.sidecar),
             }
         }
+        // Parallel receive + decide: a switch's best-path selection reads
+        // only its own Adj-RIB-Ins, so fusing its receives with its
+        // decision keeps the exact Jacobi schedule while letting
+        // independent switches run concurrently.
+        let pool = self.pool;
+        let grouped = &grouped;
         let shard = self.shard.clone();
-        for &node in &self.local_nodes {
-            if let Some(sw) = self.switches.get_mut(&node) {
-                changed |= sw.bgp_decide(shard.as_deref());
+        let mut targets: Vec<(NodeId, &mut SwitchModel)> =
+            self.switches.iter_mut().map(|(&n, sw)| (n, sw)).collect();
+        let flags = pool.map_mut(&mut targets, |_, (node, sw)| {
+            let mut local_changed = false;
+            if let Some(batch) = grouped.get(node) {
+                for (si, routes) in batch {
+                    local_changed |= sw.bgp_receive(*si, routes);
+                }
             }
-        }
+            local_changed | sw.bgp_decide(shard.as_deref())
+        });
+        changed |= flags.into_iter().any(|c| c);
         changed
     }
 
@@ -681,6 +765,7 @@ impl Worker {
 
         let mut processed = 0;
         let mut sent_remote = 0;
+        let mut scratch_reuses: u64 = 0;
         let mut next: BTreeMap<PacketKey, s2_bdd::Bdd> = BTreeMap::new();
         let mut outbound: BTreeMap<PacketKey, s2_bdd::Bdd> = BTreeMap::new();
         for ((src, node, ingress, hops), set) in std::mem::take(&mut self.level) {
@@ -699,17 +784,26 @@ impl Worker {
                 set,
                 hops,
             };
-            let out = step(
+            // Reusable per-worker scratch instead of three fresh Vecs
+            // per switch; each reuse is counted as a saved allocation.
+            self.step_scratch.clear();
+            if self.scratch_primed {
+                scratch_reuses += 1;
+            } else {
+                self.scratch_primed = true;
+            }
+            step_into(
                 &self.model.topology,
                 preds,
                 &self.space,
                 manager,
                 pkt,
                 &self.fwd_opts,
+                &mut self.step_scratch,
             );
             processed += 1;
-            self.finals.extend(out.finals);
-            for fwd in out.forwarded {
+            self.finals.append(&mut self.step_scratch.finals);
+            for fwd in self.step_scratch.forwarded.drain(..) {
                 if self.sidecar.is_local(fwd.node) {
                     merge_packet(manager, &mut next, fwd);
                 } else {
@@ -730,6 +824,13 @@ impl Worker {
                 },
             );
             sent_remote += 1;
+        }
+        if scratch_reuses > 0 {
+            self.sidecar
+                .net()
+                .stats()
+                .scratch_reuses
+                .fetch_add(scratch_reuses, std::sync::atomic::Ordering::Relaxed);
         }
         self.level = next;
         (processed, sent_remote)
@@ -853,6 +954,12 @@ impl Worker {
             route_bytes: routes,
             bdd_bytes: bdd,
             peak_bytes: self.gauge.peak(),
+            bdd_peak_nodes: self.manager.as_ref().map_or(0, BddManager::peak_node_count),
+            bdd_cache: self
+                .manager
+                .as_ref()
+                .map(BddManager::cache_stats)
+                .unwrap_or_default(),
         }
     }
 }

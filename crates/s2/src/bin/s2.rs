@@ -3,9 +3,9 @@
 //! ```text
 //! s2 verify --topology topo.txt --configs confdir/ [--workers N] [--shards M]
 //!           [--source HOST]... [--expect HOST=PREFIX]... [--dst-space PREFIX]
-//!           [--transport channel|tcp] [--listen ADDR]
+//!           [--threads T] [--transport channel|tcp] [--listen ADDR]
 //! s2 simulate --topology topo.txt --configs confdir/ [--workers N] [--shards M]
-//!             [--transport channel|tcp] [--listen ADDR]
+//!             [--threads T] [--transport channel|tcp] [--listen ADDR]
 //! s2 worker --topology topo.txt --configs confdir/ --connect ADDR [--bind ADDR]
 //! s2 gen-fattree K OUTDIR          # synthesize a demo network to verify
 //! ```
@@ -21,6 +21,11 @@
 //! worker's data listener (default `127.0.0.1:0` — set a routable
 //! address when workers run on different hosts). Single-process runs can
 //! still exercise the TCP fabric with `--transport tcp`.
+//!
+//! `--threads T` sets the *intra-worker* pool: each worker evaluates
+//! independent switches on up to `T` threads within a round. Results are
+//! byte-identical to `--threads 1`; in multi-process mode the value is
+//! shipped to worker processes in their setup frame.
 
 use s2::{ingest, topofile, S2Options, S2Verifier, VerificationRequest};
 use s2_net::topology::NodeId;
@@ -31,7 +36,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--transport channel|tcp] [--listen ADDR]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--transport channel|tcp] [--listen ADDR]\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
+        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR]\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
     );
     ExitCode::from(2)
 }
@@ -41,6 +46,7 @@ struct Args {
     configs: PathBuf,
     workers: u32,
     shards: usize,
+    threads: usize,
     expects: Vec<(String, Prefix)>,
     sources: Vec<String>,
     dst_space: Prefix,
@@ -56,6 +62,7 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
         configs: PathBuf::new(),
         workers: 1,
         shards: 1,
+        threads: 1,
         expects: Vec::new(),
         sources: Vec::new(),
         dst_space: "0.0.0.0/0".parse().expect("valid"),
@@ -71,6 +78,7 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
             "--configs" => args.configs = PathBuf::from(value()?),
             "--workers" => args.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?,
             "--shards" => args.shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--threads" => args.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?,
             "--dst-space" => {
                 args.dst_space = value()?.parse().map_err(|e| format!("--dst-space: {e}"))?
             }
@@ -139,6 +147,7 @@ fn make_verifier(model: s2::NetworkModel, args: &Args) -> Result<S2Verifier, Str
     let mut opts = S2Options {
         workers: args.workers,
         shards: args.shards,
+        intra_worker_threads: args.threads.max(1),
         ..Default::default()
     };
     opts.runtime.transport = args.transport.clone();

@@ -38,6 +38,11 @@ pub struct S2Options {
     /// switch-level parallelism of the workers, exactly as the paper
     /// describes. `0` or `1` keeps the default sequential-shard schedule.
     pub parallel_shard_groups: usize,
+    /// Threads each worker uses to evaluate independent switches within
+    /// a round (the intra-worker pool; 1 = sequential). Results are
+    /// byte-identical at any width — this only trades CPU for latency.
+    /// Takes precedence over `runtime.intra_worker_threads` when > 1.
+    pub intra_worker_threads: usize,
     /// Fault-tolerance and transport configuration (barrier timeout,
     /// recovery/bisection budgets, fault injection). `memory_budget`
     /// above takes precedence over `runtime.memory_budget` when set.
@@ -55,6 +60,7 @@ impl Default for S2Options {
             max_rounds: s2_routing::DEFAULT_MAX_ROUNDS,
             max_hops: 0,
             parallel_shard_groups: 1,
+            intra_worker_threads: 1,
             runtime: RuntimeConfig::default(),
         }
     }
@@ -138,6 +144,7 @@ impl S2Verifier {
         let model = Arc::new(model);
         let config = RuntimeConfig {
             memory_budget: opts.memory_budget.or(opts.runtime.memory_budget),
+            intra_worker_threads: opts.intra_worker_threads.max(opts.runtime.intra_worker_threads),
             ..opts.runtime.clone()
         };
         let cluster = Cluster::with_config(
@@ -169,6 +176,7 @@ impl S2Verifier {
         let model = Arc::new(model);
         let config = RuntimeConfig {
             memory_budget: opts.memory_budget.or(opts.runtime.memory_budget),
+            intra_worker_threads: opts.intra_worker_threads.max(opts.runtime.intra_worker_threads),
             ..opts.runtime.clone()
         };
         let cluster = Cluster::connect_remote(
