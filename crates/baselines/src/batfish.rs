@@ -19,7 +19,8 @@ use s2_routing::{
     DEFAULT_MAX_ROUNDS,
 };
 use s2_shard::ShardPlan;
-use std::time::{Duration, Instant};
+use s2_obs::Stopwatch;
+use std::time::Duration;
 
 /// Options for the monolithic run.
 #[derive(Debug, Clone)]
@@ -101,7 +102,7 @@ pub fn simulate_control_plane(
     model: &NetworkModel,
     opts: &MonolithicOptions,
 ) -> Result<(RibSnapshot, CpStats), RoutingError> {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut switches: Vec<SwitchModel> = model
         .topology
         .nodes()
@@ -165,7 +166,7 @@ pub fn run_dpv(
     let mut manager = space.manager();
     let mut report = DpvReport::default();
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let preds: Vec<NodePredicates> = model
         .topology
         .nodes()
@@ -176,7 +177,7 @@ pub fn run_dpv(
         .collect();
     report.pred_time = t0.elapsed();
 
-    let t1 = Instant::now();
+    let t1 = Stopwatch::start();
     let inject_set = space.dst_in(&mut manager, dst_space);
     for &src in sources {
         let result = forward(

@@ -15,7 +15,8 @@ use s2_net::topology::NodeId;
 use s2_net::Prefix;
 use s2_routing::{NetworkModel, RoutingError};
 use s2_topogen::fattree::{FatTree, FatTreeParams};
-use std::time::{Duration, Instant};
+use s2_obs::Stopwatch;
+use std::time::Duration;
 
 /// Report of a Bonsai-style all-pair verification.
 #[derive(Debug, Clone, Default)]
@@ -108,7 +109,7 @@ pub fn quotient_for_destination(dst_prefix: Prefix) -> (NetworkModel, Vec<(NodeI
 /// quotient verification per destination prefix, run on `threads` OS
 /// threads (the "cores of a single logical server").
 pub fn verify_fattree(params: FatTreeParams, threads: usize) -> Result<BonsaiReport, RoutingError> {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let half = params.k / 2;
     let destinations: Vec<Prefix> = (0..params.k)
         .flat_map(|p| (0..half).map(move |e| FatTree::server_prefix(p, e)))

@@ -344,6 +344,7 @@ impl BddManager {
     /// shards to bound stale-entry footprint, mirroring the paper's
     /// observation that cache/GC pressure dominates when memory is tight.
     pub fn clear_caches(&mut self) {
+        s2_obs::event!("bdd.cache_clear", self.nodes.len());
         self.stats.generation_clears += 1;
         self.generation += 1;
         if self.generation >= GENERATION_LIMIT {
@@ -422,8 +423,9 @@ impl BddManager {
     }
 
     fn grow_unique(&mut self) {
-        self.stats.unique_resizes += 1;
         let new_len = self.unique_slots.len() * 2;
+        s2_obs::event!("bdd.resize", new_len);
+        self.stats.unique_resizes += 1;
         let mask = new_len - 1;
         let mut slots = vec![EMPTY; new_len];
         for (idx, n) in self.nodes.iter().enumerate().skip(2) {

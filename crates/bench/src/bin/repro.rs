@@ -17,9 +17,96 @@
 //! cargo run -p bench --bin repro --release -- --json --out FILE    # custom path
 //! cargo run -p bench --bin repro -- --json --check FILE            # validate only
 //! ```
+//!
+//! `--trace-out FILE` / `--metrics-out FILE` switch to the observability
+//! mode: one pinned FatTree verification (default k=4, 4 workers) with
+//! structured tracing on, emitting a Chrome `trace_event` JSON and the
+//! unified metrics snapshot (see `cargo xtask trace-check`).
 
-use bench::{figs, trajectory};
+use bench::{figs, trajectory, workloads};
+use s2::{S2Options, S2Verifier};
 use std::process::ExitCode;
+
+/// Observability mode: one pinned FatTree repro with structured tracing
+/// enabled, writing a Chrome `trace_event` JSON (`--trace-out`) and/or
+/// the unified metrics snapshot (`--metrics-out`). Selected whenever
+/// either flag is present:
+///
+/// ```text
+/// cargo run -p bench --bin repro --release -- --trace-out t.json --metrics-out m.json
+/// cargo run -p bench --bin repro --release -- --trace-out t.json --k 6 --workers 8
+/// ```
+fn run_obs_mode(args: &[String]) -> ExitCode {
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut k = 4usize;
+    let mut workers = 4u32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{flag} needs a value")),
+        };
+        let parsed = match a.as_str() {
+            "--trace-out" => value("--trace-out").map(|v| trace_out = Some(v)),
+            "--metrics-out" => value("--metrics-out").map(|v| metrics_out = Some(v)),
+            "--k" => value("--k").and_then(|v| {
+                v.parse().map(|n| k = n).map_err(|e| format!("--k: {e}"))
+            }),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse().map(|n| workers = n).map_err(|e| format!("--workers: {e}"))
+            }),
+            other => Err(format!("unknown obs mode flag: {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    if trace_out.is_some() {
+        s2_obs::trace::set_enabled(true);
+        s2_obs::recorder::install_panic_hook();
+    }
+    let w = workloads::fattree(k);
+    let opts = S2Options {
+        workers,
+        shards: 3,
+        ..Default::default()
+    };
+    let verifier = match S2Verifier::new(w.model.clone(), &opts) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("verifier: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match verifier.verify(&w.request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verify: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    verifier.shutdown();
+    if let Some(path) = &trace_out {
+        let events = s2_obs::trace::take_events();
+        let json = s2_obs::trace::export_chrome_trace(&events);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("trace: {} events -> {path}", events.len());
+    }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, report.metrics.to_json()) {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics: -> {path}");
+    }
+    println!("{}", report.summary());
+    ExitCode::SUCCESS
+}
 
 fn run_json_mode(args: &[String]) -> ExitCode {
     let mut out_path = "BENCH_PR4.json".to_string();
@@ -94,6 +181,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--json") {
         return run_json_mode(&args);
+    }
+    if args.iter().any(|a| a == "--trace-out" || a == "--metrics-out") {
+        return run_obs_mode(&args);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();

@@ -12,7 +12,8 @@ use s2_baselines::{run_dpv, simulate_control_plane, MonolithicOptions};
 use s2_net::topology::NodeId;
 use s2_partition::schemes;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use s2_obs::Stopwatch;
+use std::time::Duration;
 
 /// Outcome of one system run.
 #[derive(Debug, Clone, Default)]
@@ -46,7 +47,7 @@ pub struct RunOutcome {
 
 /// Runs the monolithic baseline (optionally with prefix sharding).
 pub fn run_batfish(w: &Workload, shards: usize) -> RunOutcome {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let opts = MonolithicOptions {
         shards,
         ..Default::default()
@@ -78,7 +79,7 @@ pub fn run_batfish(w: &Workload, shards: usize) -> RunOutcome {
 
 /// Runs S2 with the given worker count / scheme / shard count.
 pub fn run_s2(w: &Workload, workers: u32, shards: usize, scheme: Scheme) -> RunOutcome {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let opts = S2Options {
         workers,
         shards,
@@ -104,7 +105,7 @@ pub fn run_s2(w: &Workload, workers: u32, shards: usize, scheme: Scheme) -> RunO
 
 /// Runs the Bonsai-style compression baseline (FatTree-only).
 pub fn run_bonsai(k: usize, threads: usize) -> RunOutcome {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let report = s2_baselines::bonsai_verify_fattree(
         s2_topogen::fattree::FatTreeParams::new(k),
         threads,
@@ -280,7 +281,7 @@ pub fn fig7(k: usize, workers: u32) -> Table {
 /// Runs only S2's distributed control-plane simulation (Figs. 8 and 9
 /// measure the *simulation*, not full verification).
 pub fn run_s2_cp(w: &Workload, workers: u32, shards: usize) -> RunOutcome {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let opts = S2Options {
         workers,
         shards,
@@ -383,7 +384,7 @@ pub fn fig10(ks: &[usize]) -> Table {
             let last = w.endpoints.last().unwrap();
             (last.0, last.1[0])
         };
-        let t_sp = Instant::now();
+        let t_sp = Stopwatch::start();
         let _ = run_dpv(
             &w.model,
             &rib,
@@ -405,7 +406,7 @@ pub fn fig10(ks: &[usize]) -> Table {
         let (s2_rib, _, _) = verifier.simulate().unwrap();
         let s2_rib = Arc::new(s2_rib);
         let s2_all = verifier.run_dpv_only(s2_rib.clone(), &w.request).unwrap();
-        let t_sp2 = Instant::now();
+        let t_sp2 = Stopwatch::start();
         let _ = verifier
             .run_dpv_only(
                 s2_rib,

@@ -12,7 +12,7 @@ use crate::workloads::{self, Workload};
 use s2::{S2Options, S2Verifier};
 use s2_runtime::CacheStats;
 use std::fmt::Write as _;
-use std::time::Instant;
+use s2_obs::Stopwatch;
 
 /// Schema identifier embedded in (and required of) every trajectory file.
 pub const SCHEMA: &str = "s2-bench-trajectory/v1";
@@ -61,7 +61,7 @@ pub struct Trajectory {
 
 /// Runs one verification of `w` and extracts the trajectory metrics.
 fn run_point(w: &Workload, k: usize, workers: u32, threads: usize) -> Entry {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let opts = S2Options {
         workers,
         intra_worker_threads: threads,
@@ -129,13 +129,7 @@ pub fn cp_speedups(t: &Trajectory) -> Vec<(usize, usize, usize, f64)> {
     out
 }
 
-fn push_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        let _ = write!(out, "{v:.3}");
-    } else {
-        out.push('0');
-    }
-}
+use s2_obs::json::push_f64;
 
 /// Renders the trajectory as the `s2-bench-trajectory/v1` JSON document.
 pub fn to_json(t: &Trajectory) -> String {
@@ -208,219 +202,11 @@ pub fn to_json(t: &Trajectory) -> String {
     o
 }
 
-// ---- minimal JSON reader (for `--check`) ----
-
-/// A parsed JSON value (just enough structure for schema validation).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any number (held as f64; trajectory files stay well within range).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, insertion-ordered.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Looks up a key in an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\n' || b == b'\r' || b == b'\t' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
-        let end = self.pos + lit.len();
-        if self.bytes.get(self.pos..end) == Some(lit.as_bytes()) {
-            self.pos = end;
-            Ok(())
-        } else {
-            Err(format!("expected '{lit}' at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.eat_lit("true").map(|()| Json::Bool(true)),
-            Some(b'f') => self.eat_lit("false").map(|()| Json::Bool(false)),
-            Some(b'n') => self.eat_lit("null").map(|()| Json::Null),
-            Some(_) => self.number(),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    // The writer never emits escapes, but accept the
-                    // simple ones so hand-edited files still validate.
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
-                    }
-                    self.pos += 1;
-                }
-                Some(c) => {
-                    out.push(c as char);
-                    self.pos += 1;
-                }
-                None => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "non-utf8 number".to_string())?;
-        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number '{text}': {e}"))
-    }
-}
-
-/// Parses a JSON document.
-pub fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing data at byte {}", p.pos));
-    }
-    Ok(v)
-}
+// The JSON value type and parser grew up here and moved to the
+// observability crate (shared with the metrics codec and the
+// Chrome-trace validator); re-exported so existing callers keep
+// working unchanged.
+pub use s2_obs::json::{parse_json, Json};
 
 /// Validates `text` against the `s2-bench-trajectory/v1` schema: required
 /// top-level keys, a non-empty entry list, and per-entry numeric fields.

@@ -50,6 +50,7 @@ impl NodePredicates {
         space: &PacketSpace,
         manager: &mut BddManager,
     ) -> Self {
+        let _span = s2_obs::span!("dpv.compile_preds", fib.len());
         let mut fwd: BTreeMap<InterfaceId, Bdd> = BTreeMap::new();
         let mut local = Bdd::FALSE;
         let mut drop = Bdd::FALSE;

@@ -96,6 +96,9 @@ pub fn evaluate(
     query: &Query,
     waypoint_bits: &BTreeMap<NodeId, u16>,
 ) -> QueryReport {
+    // Spans the whole verdict construction for this query: arrival,
+    // waypoint, loop/blackhole, and multipath checks.
+    let _span = s2_obs::span!("dpv.verdict", query.sources.len() * query.dests.len());
     let mut reachable = BTreeMap::new();
     let mut looped: BTreeMap<NodeId, Bdd> = BTreeMap::new();
     let mut blackholed: BTreeMap<NodeId, Bdd> = BTreeMap::new();

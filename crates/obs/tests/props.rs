@@ -1,0 +1,187 @@
+//! Property tests of the observability layer's encoding and bounds
+//! invariants: snapshot JSON is deterministic and lossless, merge is a
+//! commutative monoid action (counters sum, gauges max, histogram
+//! buckets add), histograms never leave their fixed bucket range, and
+//! the flight-recorder ring never exceeds its capacity.
+
+use proptest::prelude::*;
+use s2_obs::metrics::HIST_BUCKETS;
+use s2_obs::{Histogram, MetricsSnapshot};
+
+/// Metric-name pool shaped like the real naming scheme
+/// (`subsystem.thing.aspect`), plus names with quotes, backslashes, and
+/// spaces so the JSON string encoder's escaping is exercised. Repeated
+/// draws of the same name fold into one entry, which is exactly what
+/// the snapshot API does anyway.
+const NAMES: [&str; 10] = [
+    "bdd.unique.lookups",
+    "bdd.cache.hits",
+    "net.frames.sent",
+    "cp.rounds",
+    "dp.verdicts",
+    "pool.claims",
+    "a",
+    "weird \"quoted\" name",
+    "back\\slash",
+    "tab\there",
+];
+
+fn name() -> impl Strategy<Value = String> {
+    (0usize..NAMES.len()).prop_map(|i| NAMES[i].to_string())
+}
+
+fn snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        proptest::collection::vec((name(), any::<u32>()), 0..8),
+        proptest::collection::vec((name(), any::<u32>()), 0..8),
+        // Sample values stay below 2^32 so histogram sums remain
+        // exactly representable through the JSON f64 number path.
+        proptest::collection::vec(
+            (name(), proptest::collection::vec(0u64..(1 << 32), 0..32)),
+            0..4,
+        ),
+    )
+        .prop_map(|(counters, gauges, hists)| {
+            let mut s = MetricsSnapshot::default();
+            for (k, v) in counters {
+                s.counter(&k, u64::from(v));
+            }
+            for (k, v) in gauges {
+                s.gauge_max(&k, u64::from(v));
+            }
+            for (k, samples) in hists {
+                let h = Histogram::default();
+                for v in &samples {
+                    h.record(*v);
+                }
+                s.histograms.insert(k, h.snapshot());
+            }
+            s
+        })
+}
+
+proptest! {
+    /// Encoding is lossless and byte-deterministic: decode(encode(s))
+    /// equals `s`, and re-encoding yields the identical bytes.
+    #[test]
+    fn prop_snapshot_json_roundtrips_deterministically(s in snapshot()) {
+        let text = s.to_json();
+        let back = MetricsSnapshot::from_json(&text).expect("own output decodes");
+        prop_assert_eq!(&back, &s);
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    /// Merge semantics: counters sum, gauges max, histogram counts and
+    /// sums add — for every key of either side.
+    #[test]
+    fn prop_merge_sums_counters_maxes_gauges(a in snapshot(), b in snapshot()) {
+        let mut m = a.clone();
+        m.merge(&b);
+        for k in a.counters.keys().chain(b.counters.keys()) {
+            prop_assert_eq!(
+                m.counter_value(k),
+                a.counter_value(k) + b.counter_value(k),
+                "counter {}", k
+            );
+        }
+        for k in a.gauges.keys().chain(b.gauges.keys()) {
+            prop_assert_eq!(
+                m.gauge_value(k),
+                a.gauge_value(k).max(b.gauge_value(k)),
+                "gauge {}", k
+            );
+        }
+        for k in a.histograms.keys().chain(b.histograms.keys()) {
+            let count = |s: &MetricsSnapshot| s.histograms.get(k).map_or(0, |h| h.count);
+            let sum = |s: &MetricsSnapshot| s.histograms.get(k).map_or(0, |h| h.sum);
+            prop_assert_eq!(count(&m), count(&a) + count(&b), "hist count {}", k);
+            prop_assert_eq!(sum(&m), sum(&a).wrapping_add(sum(&b)), "hist sum {}", k);
+        }
+    }
+
+    /// Merge is commutative, so the controller may fold worker
+    /// snapshots in any arrival order.
+    #[test]
+    fn prop_merge_is_commutative(a in snapshot(), b in snapshot()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Histograms stay inside their fixed bucket array for any input:
+    /// every sample lands in `[0, HIST_BUCKETS)`, nothing is dropped,
+    /// and no bucket is ever allocated past initialization.
+    #[test]
+    fn prop_histogram_buckets_are_bounded(samples in proptest::collection::vec(any::<u64>(), 0..256)) {
+        let h = Histogram::default();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert!(s.buckets.iter().all(|&(i, _)| (i as usize) < HIST_BUCKETS));
+        prop_assert_eq!(
+            s.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+            samples.len() as u64
+        );
+        let mut sorted = s.buckets.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, s.buckets, "buckets ascending by index");
+    }
+}
+
+#[cfg(feature = "obs")]
+mod traced {
+    use proptest::prelude::*;
+
+    /// Lane tag isolating this test's events from anything else the
+    /// process traces concurrently.
+    const LANE: u16 = 911;
+
+    proptest! {
+        // The ring and sink are process-global, so keep the case count
+        // modest; each case still pushes up to ~1k events.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The flight-recorder ring is hard-bounded: however many
+        /// events are emitted, `recent()` returns at most the ring
+        /// capacity, newest-last.
+        #[test]
+        fn prop_ring_never_exceeds_capacity(n in 0usize..1024) {
+            s2_obs::trace::set_enabled(true);
+            s2_obs::trace::set_lane(LANE);
+            for i in 0..n {
+                s2_obs::event!("props.ring", i as u64);
+            }
+            let recent = s2_obs::recorder::recent();
+            prop_assert!(recent.len() <= 4096, "ring overflow: {}", recent.len());
+        }
+
+        /// Chrome-trace export is a pure function of the event list:
+        /// two exports of the same events are byte-identical, and the
+        /// output parses as a JSON object with a traceEvents array.
+        #[test]
+        fn prop_chrome_export_is_deterministic(n in 1usize..64) {
+            s2_obs::trace::set_enabled(true);
+            s2_obs::trace::set_lane(LANE);
+            for i in 0..n {
+                let _span = s2_obs::span!("props.span", i as u64);
+            }
+            let events: Vec<_> = s2_obs::trace::take_events()
+                .into_iter()
+                .filter(|e| e.lane == LANE)
+                .collect();
+            prop_assert!(events.len() >= n);
+            let once = s2_obs::trace::export_chrome_trace(&events);
+            let twice = s2_obs::trace::export_chrome_trace(&events);
+            prop_assert_eq!(&once, &twice);
+            let doc = s2_obs::parse_json(&once).expect("export parses");
+            match doc.get("traceEvents") {
+                Some(s2_obs::Json::Arr(rows)) => prop_assert!(rows.len() >= events.len()),
+                other => prop_assert!(false, "traceEvents missing: {:?}", other),
+            }
+        }
+    }
+}

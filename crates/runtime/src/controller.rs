@@ -18,6 +18,7 @@
 
 use crate::faults::{FaultPlan, FaultState};
 use crate::memstats::{CacheStats, MemReport};
+use crate::metrics::{self, RunMetrics};
 use crate::remote;
 use crate::sidecar::{Sidecar, SidecarNet, TrafficSnapshot};
 use crate::transport::{Inbox, TransportKind};
@@ -31,9 +32,10 @@ use s2_net::Prefix;
 use s2_routing::{NetworkModel, RibSnapshot, RibStore};
 use s2_shard::ShardPlan;
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use s2_obs::{Deadline, MetricsSnapshot, Stopwatch};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Failures of a distributed run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -259,15 +261,6 @@ pub struct DpvRunStats {
     pub verdict_sets: Vec<(NodeId, FinalKind, Vec<u8>)>,
 }
 
-/// Folds every worker's BDD cache counters into one cluster-wide view.
-fn merge_cache_stats(reports: &[MemReport]) -> CacheStats {
-    let mut total = CacheStats::default();
-    for r in reports {
-        total.merge(&r.bdd_cache);
-    }
-    total
-}
-
 struct WorkerHandle {
     cmd: Sender<Command>,
     reply: Receiver<Reply>,
@@ -487,6 +480,9 @@ impl Cluster {
         let thread = std::thread::Builder::new()
             .name(format!("s2-worker-{w}"))
             .spawn(move || {
+                // Lane 0 is the controller; worker `w` traces on lane
+                // `w + 1` (see `s2_obs::trace::set_lane`).
+                s2_obs::trace::set_lane((w as u16).saturating_add(1));
                 Worker::with_faults(
                     sidecar,
                     model,
@@ -541,6 +537,7 @@ impl Cluster {
             Reply::OutOfMemory { .. } => "OutOfMemory",
             Reply::Pong(_) => "Pong",
             Reply::Net { .. } => "Net",
+            Reply::Metrics(_) => "Metrics",
             Reply::Violation(_) => "Violation",
         }
     }
@@ -565,6 +562,7 @@ impl Cluster {
         during: &'static str,
         make: impl Fn() -> Command,
     ) -> Result<Vec<Reply>, RuntimeError> {
+        let _span = s2_obs::span!("barrier");
         let state = self.state.lock();
         for (w, h) in state.handles.iter().enumerate() {
             h.cmd.send(make()).map_err(|_| RuntimeError::WorkerLost {
@@ -572,11 +570,11 @@ impl Cluster {
                 during,
             })?;
         }
-        let deadline = Instant::now() + self.config.barrier_timeout;
+        let deadline = Deadline::after(self.config.barrier_timeout);
         let mut replies = Vec::with_capacity(state.handles.len());
         let mut oom = None;
         for (w, h) in state.handles.iter().enumerate() {
-            match h.reply.recv_deadline(deadline) {
+            match h.reply.recv_timeout(deadline.remaining()) {
                 Ok(Reply::OutOfMemory { budget, observed }) => {
                     if oom.is_none() {
                         oom = Some(RuntimeError::OutOfMemory {
@@ -588,10 +586,16 @@ impl Cluster {
                 }
                 Ok(r) => replies.push(r),
                 Err(_) => {
+                    if deadline.expired() {
+                        // A blown barrier deadline (hung worker) is a
+                        // flight-recorder trigger: dump the recent trace
+                        // so the hang comes with its lead-up.
+                        s2_obs::recorder::dump(&format!("barrier-deadline:{during}"));
+                    }
                     return Err(RuntimeError::WorkerLost {
                         worker: w as u32,
                         during,
-                    })
+                    });
                 }
             }
         }
@@ -684,6 +688,32 @@ impl Cluster {
         Ok(out)
     }
 
+    /// Collects the run's unified metrics: one snapshot per worker (its
+    /// memory gauge in registry form, barriered over the control
+    /// protocol — so this works identically in multi-process mode) plus
+    /// the aggregate, which merges the worker snapshots and folds in
+    /// the cluster-wide traffic counters and the process-global
+    /// registry exactly once.
+    pub fn collect_metrics(&self) -> Result<RunMetrics, RuntimeError> {
+        let mut per_worker = Vec::new();
+        for r in self.barrier("metrics", || Command::Metrics)? {
+            match r {
+                Reply::Metrics(m) => per_worker.push(m),
+                other => return Err(Self::violation("Metrics", &other)),
+            }
+        }
+        let mut aggregate = MetricsSnapshot::default();
+        for m in &per_worker {
+            aggregate.merge(m);
+        }
+        aggregate.merge(&metrics::traffic_metrics(&self.traffic_snapshot()?));
+        aggregate.merge(&s2_obs::Registry::global().snapshot());
+        Ok(RunMetrics {
+            per_worker,
+            aggregate,
+        })
+    }
+
     // ---- recovery ----
 
     /// Detects and replaces lost workers, restoring the fleet to an idle,
@@ -708,6 +738,7 @@ impl Cluster {
                 during: "remote-recovery-unsupported",
             });
         }
+        let _span = s2_obs::span!("recovery");
         let mut state = self.state.lock();
         let nonce = self.nonce.fetch_add(1, Ordering::Relaxed) + 1;
         let mut dead = Vec::new();
@@ -716,13 +747,13 @@ impl Cluster {
                 dead.push(w);
             }
         }
-        let deadline = Instant::now() + self.config.barrier_timeout;
+        let deadline = Deadline::after(self.config.barrier_timeout);
         for (w, h) in state.handles.iter().enumerate() {
             if dead.contains(&w) {
                 continue;
             }
             loop {
-                match h.reply.recv_deadline(deadline) {
+                match h.reply.recv_timeout(deadline.remaining()) {
                     Ok(Reply::Pong(n)) if n == nonce => break,
                     Ok(_) => continue, // stale reply from the aborted barrier
                     Err(_) => {
@@ -733,6 +764,10 @@ impl Cluster {
             }
         }
         let epoch = self.net.bump_epoch();
+        // An epoch bump means a worker was lost: capture the events
+        // leading up to it before respawning rewrites the fleet.
+        s2_obs::recorder::dump("recovery-epoch-bump");
+        s2_obs::event!("recovery.epoch", epoch);
         self.net.discard_held();
         for &w in &dead {
             self.respawn(&mut state, w);
@@ -745,10 +780,10 @@ impl Cluster {
                     during: "recovery",
                 })?;
         }
-        let deadline = Instant::now() + self.config.barrier_timeout;
+        let deadline = Deadline::after(self.config.barrier_timeout);
         for (w, h) in state.handles.iter().enumerate() {
             loop {
-                match h.reply.recv_deadline(deadline) {
+                match h.reply.recv_timeout(deadline.remaining()) {
                     Ok(Reply::Ok) => break,
                     Ok(_) => continue, // stale reply, discard
                     Err(_) => {
@@ -807,8 +842,9 @@ impl Cluster {
     /// any explicit resync.
     pub fn run_ospf(&self, opts: &ClusterOptions) -> Result<usize, RuntimeError> {
         let mut round = 0;
-        let mut stalled_since: Option<Instant> = None;
+        let mut stalled_since: Option<Stopwatch> = None;
         while round < opts.max_rounds {
+            let _round_span = s2_obs::span!("cp.round", round);
             let before = self.probe_net("ospf-probe")?;
             self.barrier("ospf-export", || Command::OspfExport)?;
             let replies = self.barrier("ospf-apply", || Command::OspfApply)?;
@@ -826,7 +862,7 @@ impl Cluster {
             // delay (e.g. a partition window), not protocol iteration:
             // bound it by the barrier timeout, not the round budget.
             if quiet {
-                let since = *stalled_since.get_or_insert_with(Instant::now);
+                let since = *stalled_since.get_or_insert_with(Stopwatch::start);
                 if since.elapsed() > self.config.barrier_timeout {
                     break;
                 }
@@ -937,12 +973,14 @@ impl Cluster {
         opts: &ClusterOptions,
         ck: &mut Checkpoint,
     ) -> Result<(), RuntimeError> {
+        let _wave_span = s2_obs::span!("shard.wave", shard.len());
         self.barrier("bgp-begin", || Command::BgpBegin {
             shard: Some(shard.clone()),
         })?;
         let mut round = 0;
-        let mut stalled_since: Option<Instant> = None;
+        let mut stalled_since: Option<Stopwatch> = None;
         while round < opts.max_rounds {
+            let _round_span = s2_obs::span!("cp.round", round);
             let before = self.probe_net("bgp-probe")?;
             self.barrier("bgp-export", || Command::BgpExport)?;
             let replies = self.barrier("bgp-apply", || Command::BgpApply)?;
@@ -967,7 +1005,7 @@ impl Cluster {
             // delay (e.g. a partition window), not protocol iteration:
             // bound it by the barrier timeout, not the round budget.
             if quiet {
-                let since = *stalled_since.get_or_insert_with(Instant::now);
+                let since = *stalled_since.get_or_insert_with(Stopwatch::start);
                 if since.elapsed() > self.config.barrier_timeout {
                     break;
                 }
@@ -1049,6 +1087,9 @@ impl Cluster {
                     budget,
                     observed,
                 }) => {
+                    // OOM degradation is a flight-recorder trigger: the
+                    // trace shows which waves/rounds ran up the budget.
+                    s2_obs::recorder::dump("oom-degradation");
                     let split = if shard.len() > 1 && ck.oom_splits < self.config.max_oom_splits {
                         self.bisect_shard(&shard, &ck.observed_deps)?
                     } else {
@@ -1092,7 +1133,7 @@ impl Cluster {
         opts: &ClusterOptions,
         seed_deps: &[(Prefix, Prefix)],
     ) -> Result<(RibSnapshot, CpRunStats, ShardPlan, Vec<(Prefix, Prefix)>), RuntimeError> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut ck = Checkpoint::new(self.model.topology.node_count(), plan, seed_deps);
         let mut attempts_left = self.config.max_recoveries;
         loop {
@@ -1109,14 +1150,26 @@ impl Cluster {
                 Err(e) => return Err(e),
             }
         }
+        // The legacy stat fields are derived from the unified metrics
+        // snapshots (one per worker, merged): counter merge is
+        // summation and gauge merge is max, so the values are identical
+        // to the old per-struct fold.
         let reports = self.mem_reports()?;
+        let snaps: Vec<MetricsSnapshot> = reports.iter().map(metrics::mem_metrics).collect();
+        let mut merged = MetricsSnapshot::default();
+        for s in &snaps {
+            merged.merge(s);
+        }
         let mut stats = CpRunStats {
             ospf_rounds: ck.ospf_rounds,
             bgp_rounds: ck.bgp_rounds,
             shards: ck.executed.len(),
-            per_worker_peak: reports.iter().map(|m| m.peak_bytes).collect(),
-            bdd_peak_nodes: reports.iter().map(|m| m.bdd_peak_nodes).max().unwrap_or(0),
-            bdd_cache: merge_cache_stats(&reports),
+            per_worker_peak: snaps
+                .iter()
+                .map(|s| s.gauge_value("mem.peak_bytes") as usize)
+                .collect(),
+            bdd_peak_nodes: merged.gauge_value("bdd.peak_nodes") as usize,
+            bdd_cache: metrics::cache_stats_of(&merged),
             recoveries: ck.recoveries,
             oom_splits: ck.oom_splits,
             shard_retries: ck.shard_retries,
@@ -1247,7 +1300,7 @@ impl Cluster {
         let mut stats = DpvRunStats::default();
         let meta_bits = waypoints.len() as u16;
 
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let waypoints_arc = Arc::new(waypoints.clone());
         self.barrier("dp-setup", || Command::DpSetup {
             rib: rib.clone(),
@@ -1257,12 +1310,13 @@ impl Cluster {
         })?;
         stats.pred_time = t0.elapsed();
 
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let injections = Arc::new(sources.iter().map(|&s| (s, dst_space)).collect::<Vec<_>>());
         self.barrier("dp-inject", || Command::Inject {
             injections: injections.clone(),
         })?;
         loop {
+            let _round_span = s2_obs::span!("dpv.round", stats.forward_rounds);
             let replies = self.barrier("dp-forward", || Command::ForwardRound)?;
             stats.forward_rounds += 1;
             let released = self.net.tick_delayed();
@@ -1367,10 +1421,19 @@ impl Cluster {
             }
         }
 
+        // Same unified-snapshot derivation as `run_cp_full`.
         let reports = self.mem_reports()?;
-        stats.per_worker_peak = reports.iter().map(|m| m.peak_bytes).collect();
-        stats.bdd_peak_nodes = reports.iter().map(|m| m.bdd_peak_nodes).max().unwrap_or(0);
-        stats.bdd_cache = merge_cache_stats(&reports);
+        let snaps: Vec<MetricsSnapshot> = reports.iter().map(metrics::mem_metrics).collect();
+        let mut merged = MetricsSnapshot::default();
+        for s in &snaps {
+            merged.merge(s);
+        }
+        stats.per_worker_peak = snaps
+            .iter()
+            .map(|s| s.gauge_value("mem.peak_bytes") as usize)
+            .collect();
+        stats.bdd_peak_nodes = merged.gauge_value("bdd.peak_nodes") as usize;
+        stats.bdd_cache = metrics::cache_stats_of(&merged);
         stats.unreachable_pairs.sort();
         stats.waypoint_violations.sort();
         stats.verdict_sets.sort();
@@ -1612,6 +1675,58 @@ mod tests {
         cluster.shutdown();
         assert_eq!(rib, reference, "recovered run must be bit-identical");
         assert!(stats.recoveries >= 1, "the kill must trigger a recovery");
+    }
+
+    /// A hung worker blows the barrier deadline; the controller must
+    /// dump the flight recorder (trigger `barrier-deadline:<phase>`)
+    /// before recovering, so the hang comes with its trace lead-up.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn hung_worker_dumps_flight_recorder_and_recovers() {
+        let model = Arc::new(line_model());
+        let (reference, _) = run_cp(&model, vec![0, 0, 1, 1], 2);
+
+        let dump_path = std::env::temp_dir().join(format!(
+            "s2-flight-hang-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&dump_path);
+        s2_obs::trace::set_enabled(true);
+        s2_obs::recorder::set_dump_path(Some(dump_path.clone()));
+
+        let config = RuntimeConfig {
+            barrier_timeout: Duration::from_millis(300),
+            faults: FaultPlan::new().hang_worker(1, 6),
+            ..RuntimeConfig::default()
+        };
+        let cluster = Cluster::with_config(model.clone(), vec![0, 0, 1, 1], 2, config);
+        let switches: Vec<_> = model
+            .topology
+            .nodes()
+            .map(|n| s2_routing::SwitchModel::new(&model, n))
+            .collect();
+        let plan = ShardPlan::single(s2_shard::collect_prefixes(&switches));
+        let (rib, stats) = cluster
+            .run_control_plane(&plan, &ClusterOptions::default())
+            .unwrap();
+        cluster.shutdown();
+        assert_eq!(rib, reference, "recovered run must be bit-identical");
+        assert!(stats.recoveries >= 1, "the hang must trigger a recovery");
+
+        let dump = std::fs::read_to_string(&dump_path).expect("flight dump written");
+        // One JSONL record per dump; later records (the recovery epoch
+        // bump, dumps from other tests) may share the file.
+        let record = dump
+            .lines()
+            .find(|l| l.contains("\"trigger\":\"barrier-deadline:"))
+            .expect("dump must carry the barrier-deadline trigger");
+        let doc = s2_obs::parse_json(record).expect("dump record is valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(s2_obs::Json::as_str),
+            Some("s2-flight-recorder/v1")
+        );
+        s2_obs::recorder::set_dump_path(None);
+        let _ = std::fs::remove_file(&dump_path);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use s2_obs::Deadline;
+use std::time::Duration;
 
 /// Worker index (mirrors [`crate::sidecar::WorkerId`]).
 type WorkerId = u32;
@@ -136,7 +137,7 @@ pub struct FaultState {
     /// One-shot flags, parallel to `plan.sever`.
     sever_fired: Vec<AtomicBool>,
     /// Set when the cluster send counter passes the partition trigger.
-    partition_until: Mutex<Option<Instant>>,
+    partition_until: Mutex<Option<Deadline>>,
 }
 
 impl FaultState {
@@ -183,7 +184,7 @@ impl FaultState {
         let idx = self.send_index.fetch_add(1, Ordering::Relaxed);
         if let Some((_, after_nth, window)) = self.plan.partition {
             if idx == after_nth {
-                *self.partition_until.lock() = Some(Instant::now() + window);
+                *self.partition_until.lock() = Some(Deadline::after(window));
             }
         }
         idx
@@ -238,7 +239,7 @@ impl FaultState {
         if w != src && w != dst {
             return false;
         }
-        matches!(*self.partition_until.lock(), Some(until) if Instant::now() < until)
+        matches!(*self.partition_until.lock(), Some(until) if !until.expired())
     }
 
     /// The per-frame delay (ms) scheduled for link `src → dst`, if any.

@@ -50,6 +50,7 @@ pub mod controller;
 pub mod credit;
 pub mod faults;
 pub mod memstats;
+pub mod metrics;
 pub mod pool;
 pub mod remote;
 pub mod sidecar;
@@ -63,6 +64,7 @@ pub use controller::{
 };
 pub use faults::{FaultPlan, FaultState};
 pub use memstats::{CacheStats, MemGauge, MemReport};
+pub use metrics::RunMetrics;
 pub use pool::EvalPool;
 pub use sidecar::{Sidecar, SidecarNet, TrafficSnapshot, TrafficStats};
 pub use tcp::{TcpConfig, TcpTransport};

@@ -16,7 +16,23 @@
 //! outlives a single evaluation call — there is no queue, no channel,
 //! and no wall-clock anywhere in this module.
 
+use s2_obs::{Counter, Registry};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Registry counter for indices claimed off the shared counter by the
+/// parallel path (the pool's work-stealing volume). Cached so the hot
+/// path pays one `OnceLock` load, not a registry lookup.
+fn tasks_claimed() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| Registry::global().counter("pool.tasks_claimed"))
+}
+
+/// Registry counter for calls that actually fanned out across threads.
+fn parallel_calls() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| Registry::global().counter("pool.parallel_calls"))
+}
 
 /// A fixed-width evaluation pool. `threads == 1` (the default) is the
 /// strictly sequential path with zero thread overhead.
@@ -63,6 +79,8 @@ impl EvalPool {
         if self.threads == 1 || len <= 1 {
             return (0..len).map(f).collect();
         }
+        parallel_calls().inc();
+        tasks_claimed().add(len as u64);
         let next = AtomicUsize::new(0);
         let mut pairs: Vec<(usize, T)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.threads.min(len))
@@ -118,6 +136,8 @@ impl EvalPool {
                 .map(|(i, item)| f(i, item))
                 .collect();
         }
+        parallel_calls().inc();
+        tasks_claimed().add(len as u64);
         let chunk_len = len.div_ceil(self.threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = items

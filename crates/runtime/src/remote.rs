@@ -463,6 +463,7 @@ pub fn encode_command(cmd: &Command) -> Bytes {
         Command::BgpResync => buf.put_u8(18),
         Command::NetStats => buf.put_u8(19),
         Command::Shutdown => buf.put_u8(20),
+        Command::Metrics => buf.put_u8(21),
     }
     buf.freeze()
 }
@@ -588,6 +589,7 @@ pub fn decode_command(mut buf: Bytes) -> Result<Command, WireError> {
         18 => Command::BgpResync,
         19 => Command::NetStats,
         20 => Command::Shutdown,
+        21 => Command::Metrics,
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -731,6 +733,13 @@ pub fn encode_reply(reply: &Reply) -> Bytes {
         Reply::Violation(what) => {
             buf.put_u8(13);
             put_str(&mut buf, what);
+        }
+        // The metrics snapshot crosses as its canonical JSON encoding:
+        // deterministic (BTreeMap order) and schema-tagged, so the
+        // controller-side decode is exact.
+        Reply::Metrics(snapshot) => {
+            buf.put_u8(14);
+            put_str(&mut buf, &snapshot.to_json());
         }
     }
     buf.freeze()
@@ -880,6 +889,12 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
             }
         }
         13 => Reply::Violation(get_str(&mut buf)?),
+        14 => {
+            let json = get_str(&mut buf)?;
+            let snapshot = s2_obs::MetricsSnapshot::from_json(&json)
+                .map_err(|_| WireError::BadValue("metrics snapshot"))?;
+            Reply::Metrics(snapshot)
+        }
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -1136,6 +1151,7 @@ mod tests {
             Command::FlushInbox { epoch: 7 },
             Command::BgpResync,
             Command::NetStats,
+            Command::Metrics,
             Command::Shutdown,
         ] {
             let encoded = encode_command(&cmd);
@@ -1245,6 +1261,12 @@ mod tests {
                 in_flight: 3,
             },
             Reply::Violation("bad phase".to_string()),
+            Reply::Metrics({
+                let mut m = s2_obs::MetricsSnapshot::default();
+                m.counter("bdd.unique.hits", 42);
+                m.gauge_max("mem.peak_bytes", 1 << 20);
+                m
+            }),
         ];
         for reply in replies {
             let decoded = decode_reply(encode_reply(&reply)).unwrap();

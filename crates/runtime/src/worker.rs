@@ -115,6 +115,9 @@ pub enum Command {
     /// count. Replies `Net`. In multi-process mode this is how the
     /// controller folds remote disturbances into its convergence checks.
     NetStats,
+    /// Report this worker's unified metrics snapshot (the memory gauge
+    /// bridged into the `s2-obs` registry form). Replies `Metrics`.
+    Metrics,
     /// Terminate the worker thread.
     Shutdown,
 }
@@ -184,6 +187,8 @@ pub enum Reply {
         /// by their destination.
         in_flight: u64,
     },
+    /// This worker's unified metrics snapshot.
+    Metrics(s2_obs::MetricsSnapshot),
     /// The command violated the controller/worker protocol (e.g. a
     /// data-plane command before `DpSetup`); the worker refuses it
     /// instead of panicking.
@@ -465,6 +470,11 @@ impl Worker {
                 let traffic = self.sidecar.net().stats().full_snapshot();
                 Reply::Net { traffic, in_flight }
             }
+            // Only this worker's own memory gauge is bridged: in-process
+            // workers share the process-global registry and traffic stats,
+            // which the controller folds into the aggregate exactly once
+            // (see `Cluster::collect_metrics`).
+            Command::Metrics => Reply::Metrics(crate::metrics::mem_metrics(&self.mem_report())),
             Command::Shutdown => Reply::Violation("Shutdown reached handle()".to_string()),
         }
     }
@@ -726,40 +736,47 @@ impl Worker {
         let Some(manager) = self.manager.as_mut() else {
             return (0, 0); // guarded in handle(); kept panic-free regardless
         };
-        for msg in self.sidecar.drain() {
-            if let Message::Packet {
-                src,
-                node,
-                ingress,
-                hops,
-                bdd,
-            } = msg
-            {
-                // An undecodable BDD payload is a per-message wire error
-                // (counted, packet skipped), not a worker crash; the
-                // controller's disturbance tracking replays the phase.
-                let set = match bdd_io::from_bytes(manager, &bdd) {
-                    Ok(set) => set,
-                    Err(_) => {
-                        self.sidecar
-                            .net()
-                            .stats()
-                            .wire_errors
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        continue;
-                    }
-                };
-                merge_packet(
-                    manager,
-                    &mut self.level,
-                    SymbolicPacket {
-                        src,
-                        node,
-                        ingress,
-                        set,
-                        hops,
-                    },
-                );
+        {
+            // Spans the ingest phase, where remote fragments cross into
+            // this worker's private BDD manager (the §4.3 re-encode
+            // boundary).
+            let _reencode_span = s2_obs::span!("bdd.reencode");
+            for msg in self.sidecar.drain() {
+                if let Message::Packet {
+                    src,
+                    node,
+                    ingress,
+                    hops,
+                    bdd,
+                } = msg
+                {
+                    // An undecodable BDD payload is a per-message wire
+                    // error (counted, packet skipped), not a worker crash;
+                    // the controller's disturbance tracking replays the
+                    // phase.
+                    let set = match bdd_io::from_bytes(manager, &bdd) {
+                        Ok(set) => set,
+                        Err(_) => {
+                            self.sidecar
+                                .net()
+                                .stats()
+                                .wire_errors
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    merge_packet(
+                        manager,
+                        &mut self.level,
+                        SymbolicPacket {
+                            src,
+                            node,
+                            ingress,
+                            set,
+                            hops,
+                        },
+                    );
+                }
             }
         }
 
@@ -825,6 +842,7 @@ impl Worker {
             );
             sent_remote += 1;
         }
+        s2_obs::event!("bdd.encode.outbound", sent_remote);
         if scratch_reuses > 0 {
             self.sidecar
                 .net()

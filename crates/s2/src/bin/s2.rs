@@ -26,6 +26,13 @@
 //! independent switches on up to `T` threads within a round. Results are
 //! byte-identical to `--threads 1`; in multi-process mode the value is
 //! shipped to worker processes in their setup frame.
+//!
+//! Observability: `--trace-out FILE` enables structured tracing and
+//! writes a Chrome `trace_event` JSON file on exit (open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>); crash flight dumps
+//! go to `FILE` with a `.flight.json` extension. `--metrics-out FILE`
+//! (verify only) writes the unified per-worker + aggregate metrics
+//! snapshot as JSON.
 
 use s2::{ingest, topofile, S2Options, S2Verifier, VerificationRequest};
 use s2_net::topology::NodeId;
@@ -36,7 +43,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR]\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
+        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE] [--metrics-out FILE]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE]\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
     );
     ExitCode::from(2)
 }
@@ -54,6 +61,8 @@ struct Args {
     listen: Option<String>,
     connect: Option<String>,
     bind: String,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
@@ -70,6 +79,8 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
         listen: None,
         connect: None,
         bind: "127.0.0.1:0".to_string(),
+        trace_out: None,
+        metrics_out: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -101,6 +112,8 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
             "--listen" => args.listen = Some(value()?),
             "--connect" => args.connect = Some(value()?),
             "--bind" => args.bind = value()?,
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value()?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -166,6 +179,28 @@ fn make_verifier(model: s2::NetworkModel, args: &Args) -> Result<S2Verifier, Str
     }
 }
 
+/// Turns tracing on when `--trace-out` was given: structured spans flow
+/// into the in-process sink, the flight recorder dumps next to the trace
+/// file, and panics dump the recorder ring before unwinding.
+fn obs_begin(args: &Args) {
+    if let Some(path) = &args.trace_out {
+        s2_obs::trace::set_enabled(true);
+        s2_obs::recorder::set_dump_path(Some(path.with_extension("flight.json")));
+        s2_obs::recorder::install_panic_hook();
+    }
+}
+
+/// Writes the Chrome `trace_event` JSON for this run, draining the sink.
+fn obs_finish(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.trace_out {
+        let events = s2_obs::trace::take_events();
+        let json = s2_obs::trace::export_chrome_trace(&events);
+        std::fs::write(path, json).map_err(|e| format!("--trace-out {}: {e}", path.display()))?;
+        eprintln!("trace: {} events -> {}", events.len(), path.display());
+    }
+    Ok(())
+}
+
 fn cmd_verify(args: Args) -> Result<(), String> {
     let model = load(&args)?;
     for d in &model.session_diagnostics {
@@ -196,10 +231,18 @@ fn cmd_verify(args: Args) -> Result<(), String> {
         dst_space: args.dst_space,
         transits: Vec::new(),
     };
+    obs_begin(&args);
     let verifier = make_verifier(model, &args)?;
     let report = verifier.verify(&request).map_err(|e| e.to_string())?;
     verifier.shutdown();
+    obs_finish(&args)?;
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, report.metrics.to_json())
+            .map_err(|e| format!("--metrics-out {}: {e}", path.display()))?;
+        eprintln!("metrics: -> {}", path.display());
+    }
     println!("{}", report.summary());
+    print!("{}", report.metrics_table());
     for (s, d) in &report.dpv.unreachable_pairs {
         println!("UNREACHABLE: {s} -> {d}");
     }
@@ -213,9 +256,11 @@ fn cmd_verify(args: Args) -> Result<(), String> {
 
 fn cmd_simulate(args: Args) -> Result<(), String> {
     let model = load(&args)?;
+    obs_begin(&args);
     let verifier = make_verifier(model, &args)?;
     let (rib, stats, shards) = verifier.simulate().map_err(|e| e.to_string())?;
     verifier.shutdown();
+    obs_finish(&args)?;
     println!(
         "converged: {} routes, {} BGP rounds over {} shards, ospf {} rounds",
         rib.total_routes(),

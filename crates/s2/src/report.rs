@@ -2,7 +2,7 @@
 
 use s2_partition::Partition;
 use s2_routing::{RibSnapshot, SessionDiagnostic};
-use s2_runtime::{CpRunStats, DpvRunStats};
+use s2_runtime::{CpRunStats, DpvRunStats, RunMetrics};
 
 /// Everything a verification run produced.
 #[derive(Debug)]
@@ -21,6 +21,9 @@ pub struct S2Report {
     pub session_diagnostics: Vec<SessionDiagnostic>,
     /// Number of prefix shards executed.
     pub shards: usize,
+    /// Unified per-worker and aggregate metrics collected over the
+    /// control protocol after the data-plane phase.
+    pub metrics: RunMetrics,
 }
 
 impl S2Report {
@@ -92,6 +95,47 @@ impl S2Report {
             ));
         }
         s
+    }
+
+    /// Renders the unified metrics as two fixed-width text tables: one
+    /// row per metric in the aggregate, then one row per metric across
+    /// workers. Deterministic (snapshot maps are key-ordered); empty
+    /// sections are elided.
+    pub fn metrics_table(&self) -> String {
+        let mut out = String::new();
+        let agg = &self.metrics.aggregate;
+        if !agg.counters.is_empty() || !agg.gauges.is_empty() {
+            out.push_str("metrics (aggregate):\n");
+            for (name, v) in agg.counters.iter().chain(agg.gauges.iter()) {
+                out.push_str(&format!("  {name:<28} {v}\n"));
+            }
+        }
+        if !self.metrics.per_worker.is_empty() {
+            out.push_str("metrics (per worker):\n");
+            let mut names: Vec<&str> = Vec::new();
+            for w in &self.metrics.per_worker {
+                for name in w.counters.keys().chain(w.gauges.keys()) {
+                    if !names.contains(&name.as_str()) {
+                        names.push(name);
+                    }
+                }
+            }
+            names.sort_unstable();
+            for name in names {
+                out.push_str(&format!("  {name:<28}"));
+                for w in &self.metrics.per_worker {
+                    let v = w
+                        .counters
+                        .get(name)
+                        .or_else(|| w.gauges.get(name))
+                        .copied()
+                        .unwrap_or(0);
+                    out.push_str(&format!(" {v:>12}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
     }
 
     /// Transport/traffic counters summed over both phases. The

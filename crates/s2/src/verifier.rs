@@ -221,6 +221,7 @@ impl S2Verifier {
     /// the planner already knows every dependency source — but it protects
     /// externally supplied plans and future model extensions.
     pub fn simulate(&self) -> Result<(RibSnapshot, CpRunStats, usize), S2Error> {
+        let _span = s2_obs::span!("verify.cp");
         let copts = self.cluster_opts();
         // IGP first so the shard planner sees redistribution targets; the
         // control-plane run repeats the (cheap, already converged) OSPF
@@ -350,6 +351,7 @@ impl S2Verifier {
     /// Runs the full verification: control plane, then the data-plane
     /// checks described by `request`.
     pub fn verify(&self, request: &VerificationRequest) -> Result<S2Report, S2Error> {
+        let _span = s2_obs::span!("verify");
         let (rib, cp, shards) = self.simulate()?;
         let waypoints: BTreeMap<NodeId, u16> = request
             .transits
@@ -357,14 +359,20 @@ impl S2Verifier {
             .enumerate()
             .map(|(i, &n)| (n, i as u16))
             .collect();
-        let dpv = self.cluster.run_dpv(
-            Arc::new(rib.clone()),
-            request.sources.clone(),
-            request.expected.clone(),
-            request.dst_space,
-            waypoints,
-            &self.cluster_opts(),
-        )?;
+        let dpv = {
+            let _dpv_span = s2_obs::span!("verify.dpv");
+            self.cluster.run_dpv(
+                Arc::new(rib.clone()),
+                request.sources.clone(),
+                request.expected.clone(),
+                request.dst_space,
+                waypoints,
+                &self.cluster_opts(),
+            )?
+        };
+        // Collected immediately after the data-plane phase, so the
+        // aggregate BDD counters equal the DpvRunStats cache stats.
+        let metrics = self.cluster.collect_metrics()?;
         Ok(S2Report {
             rib,
             partition: self.partition.clone(),
@@ -372,6 +380,7 @@ impl S2Verifier {
             dpv,
             session_diagnostics: self.model.session_diagnostics.clone(),
             shards,
+            metrics,
         })
     }
 

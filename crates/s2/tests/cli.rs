@@ -134,7 +134,11 @@ fn multi_process_verify_over_tcp() {
     ];
 
     // Controller on an ephemeral port; it announces the bound address on
-    // stderr before it starts accepting workers.
+    // stderr before it starts accepting workers. Metrics and trace files
+    // exercise the Command::Metrics wire path: each worker process
+    // bridges its own snapshot over TCP and the controller merges them.
+    let metrics_path = dir.join("metrics.json");
+    let trace_path = dir.join("trace.json");
     let mut controller = s2_bin()
         .args([
             "verify",
@@ -148,6 +152,10 @@ fn multi_process_verify_over_tcp() {
             "pod2-edge1=10.2.1.0/24",
             "--dst-space",
             "10.0.0.0/8",
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
         ])
         .args(common)
         .stdout(std::process::Stdio::piped())
@@ -186,6 +194,49 @@ fn multi_process_verify_over_tcp() {
         assert!(status.success(), "worker must exit cleanly after shutdown");
     }
     drain.join().unwrap();
+
+    // Snapshot merge correctness across the two worker *processes*: one
+    // snapshot each, shipped over the control connection, and for every
+    // counter the aggregate covers the per-worker sum (the aggregate
+    // additionally folds in controller-side sources).
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let doc = s2_obs::parse_json(&metrics).expect("metrics JSON parses");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("s2-metrics-report/v1")
+    );
+    let workers_json = match doc.get("per_worker") {
+        Some(s2_obs::Json::Arr(a)) => a.clone(),
+        other => panic!("per_worker must be an array, got {other:?}"),
+    };
+    assert_eq!(workers_json.len(), 2, "one snapshot per worker process");
+    let counter = |j: &s2_obs::Json, name: &str| -> u64 {
+        j.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_num())
+            .unwrap_or(0.0) as u64
+    };
+    let per_worker_sum: u64 = workers_json
+        .iter()
+        .map(|w| counter(w, "bdd.unique.lookups"))
+        .sum();
+    let aggregate = doc.get("aggregate").expect("aggregate present");
+    assert!(per_worker_sum > 0, "workers did BDD work");
+    assert!(counter(aggregate, "bdd.unique.lookups") >= per_worker_sum);
+
+    // The controller-side trace is valid Chrome trace JSON with the
+    // barrier/CP-round spans (worker-process spans stay local to the
+    // worker processes by design).
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let tdoc = s2_obs::parse_json(&trace).expect("trace JSON parses");
+    match tdoc.get("traceEvents") {
+        Some(s2_obs::Json::Arr(events)) => assert!(!events.is_empty()),
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    }
+    for name in ["\"barrier\"", "\"cp.round\"", "\"verify\""] {
+        assert!(trace.contains(name), "trace missing {name}");
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 

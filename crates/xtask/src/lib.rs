@@ -1,7 +1,9 @@
 //! s2-lint: the S2 workspace static-analysis pass.
 //!
 //! Run as `cargo xtask lint` (see the `xtask` alias in
-//! `.cargo/config.toml`). The pass enforces the source-level invariants
+//! `.cargo/config.toml`); `cargo xtask trace-check` / `obs-symbols`
+//! validate observability artifacts (see [`obscheck`]). The lint pass
+//! enforces the source-level invariants
 //! S2's distributed-correctness story depends on — panic-freedom on
 //! peer-input paths, deterministic iteration on wire-encoding paths, no
 //! ambient time/randomness in the pure crates, and the BDD re-encode
@@ -12,6 +14,7 @@
 
 pub mod config;
 pub mod lexer;
+pub mod obscheck;
 pub mod rules;
 
 use config::{Config, Level};

@@ -11,12 +11,13 @@ use crate::lexer::{Scanned, Tok, TokKind};
 /// Rule identifier for the pragma-hygiene meta rule.
 pub const RULE_PRAGMA: &str = "pragma-justification";
 
-/// The four S2 rules, in severity-of-invariant order.
-pub const RULES: [&str; 4] = [
+/// The five S2 rules, in severity-of-invariant order.
+pub const RULES: [&str; 5] = [
     "r1-panic-freedom",
     "r2-deterministic-iteration",
     "r3-no-wallclock-rng",
     "r4-bdd-node-boundary",
+    "r5-obs-clock",
 ];
 
 /// One lint finding.
@@ -49,6 +50,7 @@ pub fn run_rule(rule: &str, file: &str, s: &Scanned, out: &mut Vec<Finding>) {
         "r2-deterministic-iteration" => r2(file, s),
         "r3-no-wallclock-rng" => r3(file, s),
         "r4-bdd-node-boundary" => r4(file, s),
+        "r5-obs-clock" => r5(file, s),
         _ => Vec::new(),
     };
     for mut f in raw {
@@ -291,6 +293,34 @@ fn r4(file: &str, s: &Scanned) -> Vec<Finding> {
     out
 }
 
+/// R5: the wall clock is quarantined in `crates/obs`. Everywhere else,
+/// elapsed time is measured with `s2_obs::Stopwatch`, bounded waits use
+/// `s2_obs::Deadline`, and trace timestamps come through a `Clock`
+/// impl — all narrow, test-substitutable wrappers. Direct `Instant` /
+/// `SystemTime` use bypasses that discipline (and `ManualClock`-driven
+/// tests cannot reach it).
+fn r5(file: &str, s: &Scanned) -> Vec<Finding> {
+    const RULE: &str = "r5-obs-clock";
+    const BANNED: [&str; 2] = ["Instant", "SystemTime"];
+    let mut out = Vec::new();
+    for t in &s.toks {
+        if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+            out.push(finding(
+                RULE,
+                file,
+                t.line,
+                format!(
+                    "{} outside crates/obs — measure with s2_obs::Stopwatch, \
+                     bound waits with s2_obs::Deadline, or take timestamps \
+                     from a s2_obs::Clock",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +364,14 @@ mod tests {
         assert_eq!(live("r3-no-wallclock-rng", "let t = Instant::now();").len(), 1);
         assert_eq!(live("r3-no-wallclock-rng", "let r = thread_rng();").len(), 1);
         assert!(live("r3-no-wallclock-rng", "let d = Duration::from_secs(1);").is_empty());
+    }
+
+    #[test]
+    fn r5_flags_raw_clock_types_but_not_the_wrappers() {
+        assert_eq!(live("r5-obs-clock", "let t = Instant::now();").len(), 1);
+        assert_eq!(live("r5-obs-clock", "use std::time::SystemTime;").len(), 1);
+        assert!(live("r5-obs-clock", "let sw = Stopwatch::start();").is_empty());
+        assert!(live("r5-obs-clock", "let d = Deadline::after(timeout);").is_empty());
     }
 
     #[test]

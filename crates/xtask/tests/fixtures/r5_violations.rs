@@ -1,0 +1,13 @@
+// Fixture: raw clock types outside crates/obs; trips r5.
+
+use std::time::Instant; // line 3
+use std::time::SystemTime; // line 4
+
+fn naive_timing() -> u128 {
+    let t0 = Instant::now(); // line 7
+    t0.elapsed().as_nanos()
+}
+
+fn wall() -> SystemTime { // line 11
+    SystemTime::now() // line 12
+}

@@ -72,6 +72,20 @@ fn r3_fixture_flags_clock_and_rng() {
 }
 
 #[test]
+fn r5_fixture_flags_raw_clock_types() {
+    let cfg = scoped("r5-obs-clock", "r5_violations.rs", "deny");
+    let report = xtask::run(&fixture_root(), &cfg, false).unwrap();
+    assert!(report.failed);
+    let lines: Vec<u32> = live(&report.findings).iter().map(|f| f.line).collect();
+    // imports (3, 4), Instant::now (7), signature + SystemTime::now (11, 12)
+    assert_eq!(lines, vec![3, 4, 7, 11, 12], "{:?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.rule == "r5-obs-clock" && f.file == "r5_violations.rs"));
+}
+
+#[test]
 fn r4_fixture_permits_only_the_serialize_crossing() {
     let cfg = scoped("r4-bdd-node-boundary", "r4_violations.rs", "deny");
     let report = xtask::run(&fixture_root(), &cfg, false).unwrap();
@@ -146,7 +160,12 @@ fn directory_paths_expand_recursively_and_unknown_rules_error() {
     // hygiene finding for the bare pragma in pragma_unjustified.rs.
     for f in live(&report.findings) {
         match f.rule.as_str() {
-            "r3-no-wallclock-rng" => assert!(f.file.ends_with("r3_violations.rs"), "{f:?}"),
+            // The r5 fixture reuses the clock identifiers r3 also bans,
+            // so a full-tree r3 sweep fires in both fixtures.
+            "r3-no-wallclock-rng" => assert!(
+                f.file.ends_with("r3_violations.rs") || f.file.ends_with("r5_violations.rs"),
+                "{f:?}"
+            ),
             r => {
                 assert_eq!(r, RULE_PRAGMA, "{f:?}");
                 assert!(f.file.ends_with("pragma_unjustified.rs"), "{f:?}");
