@@ -12,7 +12,7 @@
 use s2_dataplane::{
     forward, FinalKind, Fib, ForwardOptions, NodePredicates, PacketSpace,
 };
-use s2_net::topology::NodeId;
+use s2_net::topology::{InterfaceId, NodeId};
 use s2_net::Prefix;
 use s2_routing::{
     converge_bgp, converge_ospf, NetworkModel, RibSnapshot, RibStore, RoutingError, SwitchModel,
@@ -33,6 +33,11 @@ pub struct MonolithicOptions {
     pub memory_budget: Option<usize>,
     /// Fix-point round budget.
     pub max_rounds: usize,
+    /// Links (as node pairs, either orientation) to fail *before*
+    /// convergence — the brute-force oracle for the resilience sweep:
+    /// a cold full re-verify under the failure, against which the warm
+    /// incremental path is checked.
+    pub failed_links: Vec<(NodeId, NodeId)>,
 }
 
 impl Default for MonolithicOptions {
@@ -42,8 +47,29 @@ impl Default for MonolithicOptions {
             shard_seed: 7,
             memory_budget: None,
             max_rounds: DEFAULT_MAX_ROUNDS,
+            failed_links: Vec::new(),
         }
     }
+}
+
+/// Resolves failed node-pair links to the `(node, interface)` ports on
+/// both ends. Pairs that match no topology link are ignored.
+pub fn failed_ports(
+    model: &NetworkModel,
+    failed_links: &[(NodeId, NodeId)],
+) -> Vec<(NodeId, InterfaceId)> {
+    let mut ports = Vec::new();
+    for link in model.topology.links() {
+        let ends = (link.a.0, link.b.0);
+        if failed_links
+            .iter()
+            .any(|&(a, b)| ends == (a, b) || ends == (b, a))
+        {
+            ports.push(link.a);
+            ports.push(link.b);
+        }
+    }
+    ports
 }
 
 /// Control-plane statistics.
@@ -108,6 +134,16 @@ pub fn simulate_control_plane(
         .nodes()
         .map(|n| SwitchModel::new(model, n))
         .collect();
+    if !opts.failed_links.is_empty() {
+        let mut by_node: std::collections::BTreeMap<NodeId, Vec<InterfaceId>> =
+            std::collections::BTreeMap::new();
+        for (node, iface) in failed_ports(model, &opts.failed_links) {
+            by_node.entry(node).or_default().push(iface);
+        }
+        for (node, ifaces) in by_node {
+            switches[node.index()].set_failed_interfaces(model, ifaces);
+        }
+    }
 
     let mut stats = CpStats {
         ospf_rounds: converge_ospf(model, &mut switches, opts.max_rounds)?,
@@ -162,9 +198,29 @@ pub fn run_dpv(
     dst_space: Prefix,
     budget: Option<usize>,
 ) -> Result<DpvReport, RoutingError> {
+    run_dpv_with_failures(model, rib, sources, expected, dst_space, budget, &[])
+}
+
+/// [`run_dpv`] with a set of failed ports masked in the forwarding step
+/// (traffic whose egress lands on a failed port blackholes there) — the
+/// data-plane half of the resilience-sweep oracle.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dpv_with_failures(
+    model: &NetworkModel,
+    rib: &RibSnapshot,
+    sources: &[NodeId],
+    expected: &[(NodeId, Vec<Prefix>)],
+    dst_space: Prefix,
+    budget: Option<usize>,
+    failed: &[(NodeId, InterfaceId)],
+) -> Result<DpvReport, RoutingError> {
     let space = PacketSpace::new(0);
     let mut manager = space.manager();
     let mut report = DpvReport::default();
+    let fwd_opts = ForwardOptions {
+        failed_ports: failed.iter().copied().collect(),
+        ..ForwardOptions::default()
+    };
 
     let t0 = Stopwatch::start();
     let preds: Vec<NodePredicates> = model
@@ -186,7 +242,7 @@ pub fn run_dpv(
             &space,
             &mut manager,
             vec![(src, inject_set)],
-            &ForwardOptions::default(),
+            &fwd_opts,
         );
         report.steps += result.steps;
         report.loops += result.of_kind(FinalKind::Loop).count();
@@ -240,7 +296,15 @@ pub fn verify(
 ) -> Result<BaselineReport, RoutingError> {
     let (rib, cp) = simulate_control_plane(model, opts)?;
     let src_nodes: Vec<NodeId> = sources.iter().map(|(n, _)| *n).collect();
-    let dpv = run_dpv(model, &rib, &src_nodes, sources, dst_space, opts.memory_budget)?;
+    let dpv = run_dpv_with_failures(
+        model,
+        &rib,
+        &src_nodes,
+        sources,
+        dst_space,
+        opts.memory_budget,
+        &failed_ports(model, &opts.failed_links),
+    )?;
     Ok(BaselineReport { rib, cp, dpv })
 }
 
@@ -312,6 +376,41 @@ mod tests {
             simulate_control_plane(&model, &opts),
             Err(RoutingError::OutOfMemory { .. })
         ));
+    }
+
+    /// The failed-link oracle: one agg uplink of an edge survives via
+    /// the other (ECMP), but failing *both* isolates the edge entirely.
+    #[test]
+    fn failed_links_reverify_cold() {
+        let ft = generate(FatTreeParams::new(4));
+        let (model, sources) = fattree_model(4);
+        let victim = ft.edge(0, 0);
+        let n = sources.len();
+
+        let one = MonolithicOptions {
+            failed_links: vec![(victim, ft.agg(0, 0))],
+            ..Default::default()
+        };
+        let report = verify(&model, &sources, "10.0.0.0/8".parse().unwrap(), &one).unwrap();
+        assert_eq!(
+            report.dpv.reachable_pairs,
+            n * (n - 1),
+            "ECMP must survive a single uplink failure: {:?}",
+            report.dpv.unreachable_pairs
+        );
+
+        let both = MonolithicOptions {
+            failed_links: vec![(victim, ft.agg(0, 0)), (victim, ft.agg(0, 1))],
+            ..Default::default()
+        };
+        let report = verify(&model, &sources, "10.0.0.0/8".parse().unwrap(), &both).unwrap();
+        // Every pair that starts or ends at the isolated edge is lost.
+        assert_eq!(report.dpv.reachable_pairs, (n - 1) * (n - 2));
+        assert!(report
+            .dpv
+            .unreachable_pairs
+            .iter()
+            .all(|&(s, d)| s == victim || d == victim));
     }
 
     #[test]

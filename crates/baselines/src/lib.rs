@@ -17,7 +17,7 @@ pub mod batfish;
 pub mod bonsai;
 
 pub use batfish::{
-    run_dpv, simulate_control_plane, verify, BaselineReport, CpStats, DpvReport,
-    MonolithicOptions,
+    failed_ports, run_dpv, run_dpv_with_failures, simulate_control_plane, verify, BaselineReport,
+    CpStats, DpvReport, MonolithicOptions,
 };
 pub use bonsai::{verify_fattree as bonsai_verify_fattree, BonsaiReport};

@@ -160,7 +160,13 @@ fn run_json_mode(args: &[String]) -> ExitCode {
     } else {
         (&[4, 6, 8], &[1, 4])
     };
-    let t = trajectory::run_sweep(ks, widths, 2);
+    let mut t = trajectory::run_sweep(ks, widths, 2);
+    // Resilience point: every single-link-failure scenario over a warm
+    // runtime, single worker (the configuration where warm replay beats
+    // the serial-full yardstick cleanly).
+    let res_k = if smoke { 4 } else { 6 };
+    eprintln!("trajectory: resilience FatTree{res_k} k<=1 ...");
+    t.resilience = Some(trajectory::run_resilience(res_k, 1, 1));
     let json = trajectory::to_json(&t);
     if let Err(e) = trajectory::validate(&json) {
         eprintln!("internal error: emitted JSON fails its own schema: {e}");
@@ -172,6 +178,12 @@ fn run_json_mode(args: &[String]) -> ExitCode {
     }
     for (k, base, wide, s) in trajectory::cp_speedups(&t) {
         println!("FatTree{k}: cp speedup x{s:.2} ({base} -> {wide} threads)");
+    }
+    if let Some(r) = &t.resilience {
+        println!(
+            "FatTree{}: resilience k<={} — {} scenarios ({} undetermined), x{:.2} vs serial full",
+            r.k, r.max_failures, r.scenarios, r.undetermined, r.speedup_vs_serial_full
+        );
     }
     println!("wrote {out_path} ({} entries, host cpus: {})", t.entries.len(), t.host_cpus);
     ExitCode::SUCCESS

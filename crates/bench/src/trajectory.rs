@@ -57,6 +57,65 @@ pub struct Trajectory {
     pub workload: String,
     /// The timed points, in sweep order.
     pub entries: Vec<Entry>,
+    /// Optional resilience-sweep measurement (absent in older files —
+    /// the schema stays `v1`, the block is validated when present).
+    pub resilience: Option<ResiliencePoint>,
+}
+
+/// One resilience-sweep measurement: every ≤`max_failures` link-failure
+/// scenario re-verified over a warm runtime (`s2::sweep`), against the
+/// serial-full yardstick of scenario-count × baseline time.
+#[derive(Debug, Clone)]
+pub struct ResiliencePoint {
+    /// FatTree arity.
+    pub k: usize,
+    /// Worker count.
+    pub workers: u32,
+    /// The `k` of "≤k link failures".
+    pub max_failures: usize,
+    /// Enumerated scenarios.
+    pub scenarios: usize,
+    /// Scenarios that degraded to `undetermined`.
+    pub undetermined: usize,
+    /// Warm-baseline wall-clock, milliseconds.
+    pub baseline_ms: f64,
+    /// Whole-sweep wall-clock, milliseconds.
+    pub sweep_ms: f64,
+    /// Scenarios resolved per second, baseline excluded.
+    pub scenarios_per_sec: f64,
+    /// Speedup over re-verifying every scenario cold.
+    pub speedup_vs_serial_full: f64,
+}
+
+/// Runs the resilience sweep once and extracts the trajectory metrics.
+pub fn run_resilience(k: usize, workers: u32, max_failures: usize) -> ResiliencePoint {
+    let w = workloads::fattree(k);
+    let opts = S2Options {
+        workers,
+        ..Default::default()
+    };
+    let verifier = S2Verifier::new(w.model.clone(), &opts).expect("model is valid");
+    let report = verifier
+        .sweep(
+            &w.request,
+            &s2::SweepOptions {
+                max_failures,
+                ..Default::default()
+            },
+        )
+        .expect("sweep succeeds");
+    verifier.shutdown();
+    ResiliencePoint {
+        k,
+        workers,
+        max_failures,
+        scenarios: report.scenario_count(),
+        undetermined: report.undetermined,
+        baseline_ms: report.baseline_ms,
+        sweep_ms: report.sweep_ms,
+        scenarios_per_sec: report.scenarios_per_sec(),
+        speedup_vs_serial_full: report.speedup_vs_serial_full(),
+    }
 }
 
 /// Runs one verification of `w` and extracts the trajectory metrics.
@@ -104,6 +163,7 @@ pub fn run_sweep(ks: &[usize], thread_widths: &[usize], workers: u32) -> Traject
         host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
         workload: "fattree-sweep".to_string(),
         entries,
+        resilience: None,
     }
 }
 
@@ -139,6 +199,22 @@ pub fn to_json(t: &Trajectory) -> String {
     o.push_str("  \"pr\": 4,\n");
     let _ = writeln!(o, "  \"host\": {{ \"cpus\": {} }},", t.host_cpus);
     let _ = writeln!(o, "  \"workload\": \"{}\",", t.workload);
+    if let Some(r) = &t.resilience {
+        let _ = write!(
+            o,
+            "  \"resilience\": {{ \"k\": {}, \"workers\": {}, \"max_failures\": {}, \"scenarios\": {}, \"undetermined\": {},",
+            r.k, r.workers, r.max_failures, r.scenarios, r.undetermined
+        );
+        o.push_str(" \"baseline_ms\": ");
+        push_f64(&mut o, r.baseline_ms);
+        o.push_str(", \"sweep_ms\": ");
+        push_f64(&mut o, r.sweep_ms);
+        o.push_str(", \"scenarios_per_sec\": ");
+        push_f64(&mut o, r.scenarios_per_sec);
+        o.push_str(", \"speedup_vs_serial_full\": ");
+        push_f64(&mut o, r.speedup_vs_serial_full);
+        o.push_str(" },\n");
+    }
     o.push_str("  \"entries\": [\n");
     for (i, e) in t.entries.iter().enumerate() {
         o.push_str("    {");
@@ -258,6 +334,24 @@ pub fn validate(text: &str) -> Result<(), String> {
             }
         }
     }
+    if let Some(r) = doc.get("resilience") {
+        const RES_NUMS: [&str; 9] = [
+            "k",
+            "workers",
+            "max_failures",
+            "scenarios",
+            "undetermined",
+            "baseline_ms",
+            "sweep_ms",
+            "scenarios_per_sec",
+            "speedup_vs_serial_full",
+        ];
+        for key in RES_NUMS {
+            if r.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("resilience: missing numeric '{key}'"));
+            }
+        }
+    }
     let speedups = doc.get("cp_speedups").and_then(Json::as_arr).ok_or("missing 'cp_speedups'")?;
     for (i, s) in speedups.iter().enumerate() {
         for key in ["k", "base_threads", "wide_threads", "speedup"] {
@@ -299,6 +393,7 @@ mod tests {
             host_cpus: 1,
             workload: "fattree-sweep".to_string(),
             entries: vec![entry(4, 1, 10.0), entry(4, 4, 5.0)],
+            resilience: None,
         }
     }
 
@@ -306,6 +401,26 @@ mod tests {
     fn emitted_json_validates() {
         let json = to_json(&sample());
         validate(&json).expect("writer output passes the schema check");
+    }
+
+    #[test]
+    fn resilience_block_validates_when_present() {
+        let mut t = sample();
+        t.resilience = Some(ResiliencePoint {
+            k: 4,
+            workers: 1,
+            max_failures: 1,
+            scenarios: 32,
+            undetermined: 0,
+            baseline_ms: 12.0,
+            sweep_ms: 200.0,
+            scenarios_per_sec: 160.0,
+            speedup_vs_serial_full: 1.9,
+        });
+        let json = to_json(&t);
+        validate(&json).expect("resilience block passes the schema check");
+        let broken = json.replace("\"sweep_ms\"", "\"renamed_ms\"");
+        assert!(validate(&broken).is_err());
     }
 
     #[test]

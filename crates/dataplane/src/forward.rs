@@ -86,6 +86,12 @@ pub struct ForwardOptions {
     /// path-by-path, reproducing the exponential ECMP blow-up the merge
     /// exists to prevent. Results are identical; only cost changes.
     pub no_merge: bool,
+    /// Ports failed for the current scenario (resilience sweeps): traffic
+    /// a FIB still sends out a failed port is finalized as a
+    /// [`FinalKind::Blackhole`] instead of being forwarded. This models
+    /// the *transient* window after a link failure, before the control
+    /// plane reconverges.
+    pub failed_ports: std::collections::BTreeSet<(NodeId, InterfaceId)>,
 }
 
 /// Default TTL.
@@ -192,6 +198,11 @@ pub fn step_into(
     for (&port, &fwd) in &preds.fwd {
         let egress_set = manager.and(remaining, fwd);
         if egress_set.is_false() {
+            continue;
+        }
+        // A failed port drops everything the FIB still points at it.
+        if !opts.failed_ports.is_empty() && opts.failed_ports.contains(&(pkt.node, port)) {
+            finalize(FinalKind::Blackhole, egress_set, &mut *out);
             continue;
         }
         let acl_out = preds.acl_out(port);
@@ -560,6 +571,34 @@ mod tests {
         assert_eq!(res.trace.len(), 2);
         assert_eq!((res.trace[0].from, res.trace[0].to), (NodeId(0), NodeId(1)));
         assert_eq!((res.trace[1].from, res.trace[1].to), (NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn failed_port_blackholes_transient_traffic() {
+        let model = chain_model();
+        let space = PacketSpace::new(0);
+        let mut mgr = space.manager();
+        let preds = compile_all(
+            &model,
+            vec![
+                vec![rib("10.9.0.0/16", vec![0], false)],
+                vec![rib("10.9.0.0/16", vec![1], false)],
+                vec![rib("10.9.0.0/16", vec![], true)],
+            ],
+            &space,
+            &mut mgr,
+        );
+        let inject = space.dst_in(&mut mgr, "10.9.0.0/16".parse().unwrap());
+        // Fail the b—c link at b's egress: the stale FIB still points
+        // there, so the whole set blackholes at b.
+        let mut opts = ForwardOptions::default();
+        opts.failed_ports.insert((NodeId(1), InterfaceId(1)));
+        let res = forward(&model.topology, &preds, &space, &mut mgr, vec![(NodeId(0), inject)], &opts);
+        assert!(res.arrived_at(&mut mgr, NodeId(0), NodeId(2)).is_false());
+        let bh: Vec<_> = res.of_kind(FinalKind::Blackhole).collect();
+        assert_eq!(bh.len(), 1);
+        assert_eq!(bh[0].node, NodeId(1));
+        assert_eq!(bh[0].set, inject);
     }
 
     #[test]

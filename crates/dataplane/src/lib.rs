@@ -28,4 +28,6 @@ pub use forward::{
 };
 pub use packetspace::PacketSpace;
 pub use predicates::NodePredicates;
-pub use properties::{evaluate, multipath_consistency, Query, QueryReport};
+pub use properties::{
+    evaluate, multipath_consistency, verdict_delta, Query, QueryReport, VerdictDelta,
+};

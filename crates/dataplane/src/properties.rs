@@ -190,6 +190,88 @@ pub fn multipath_consistency(
     out
 }
 
+/// How one source's verdicts changed between a baseline run and a
+/// failure-scenario run (resilience sweeps).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerdictDelta {
+    /// Sources with headers that blackhole under the scenario but not in
+    /// the baseline.
+    pub new_blackholes: Vec<NodeId>,
+    /// Sources with headers that loop under the scenario but not in the
+    /// baseline.
+    pub new_loops: Vec<NodeId>,
+    /// Sources whose baseline-arriving headers no longer all arrive.
+    pub lost_arrivals: Vec<NodeId>,
+}
+
+impl VerdictDelta {
+    /// Whether the scenario preserved every baseline verdict.
+    pub fn is_clean(&self) -> bool {
+        self.new_blackholes.is_empty() && self.new_loops.is_empty() && self.lost_arrivals.is_empty()
+    }
+
+    /// Total number of per-source regressions.
+    pub fn regressions(&self) -> usize {
+        self.new_blackholes.len() + self.new_loops.len() + self.lost_arrivals.len()
+    }
+}
+
+/// Diffs two collections of serialized per-`(source, kind)` verdict sets
+/// (the `DpvRunStats::verdict_sets` shape: metadata already stripped,
+/// sorted, one union per key). Decoding happens into `manager`, which
+/// must cover the packet-space variables the sets were built over.
+///
+/// Semantics per source: a *new* blackhole/loop is scenario-set ∧
+/// ¬baseline-set ≠ ∅; a *lost* arrival is baseline-arrive ∧
+/// ¬scenario-arrive ≠ ∅. Exit finals are ignored (edge ports do not
+/// change meaning under internal link failures).
+pub fn verdict_delta(
+    manager: &mut BddManager,
+    baseline: &[(NodeId, FinalKind, Vec<u8>)],
+    scenario: &[(NodeId, FinalKind, Vec<u8>)],
+) -> Result<VerdictDelta, String> {
+    let decode = |sets: &[(NodeId, FinalKind, Vec<u8>)],
+                      manager: &mut BddManager|
+     -> Result<BTreeMap<(NodeId, FinalKind), Bdd>, String> {
+        let mut out: BTreeMap<(NodeId, FinalKind), Bdd> = BTreeMap::new();
+        for (src, kind, bytes) in sets {
+            let set = s2_bdd::serialize::from_bytes(manager, bytes)
+                .map_err(|e| format!("verdict set for ({src}, {kind:?}): {e}"))?;
+            let entry = out.entry((*src, *kind)).or_insert(Bdd::FALSE);
+            *entry = manager.or(*entry, set);
+        }
+        Ok(out)
+    };
+    let base = decode(baseline, manager)?;
+    let scen = decode(scenario, manager)?;
+
+    let mut delta = VerdictDelta::default();
+    let mut srcs: Vec<NodeId> = base.keys().chain(scen.keys()).map(|(s, _)| *s).collect();
+    srcs.sort_unstable();
+    srcs.dedup();
+    let lookup = |m: &BTreeMap<(NodeId, FinalKind), Bdd>, src: NodeId, kind: FinalKind| {
+        m.get(&(src, kind)).copied().unwrap_or(Bdd::FALSE)
+    };
+    for src in srcs {
+        for (kind, out) in [
+            (FinalKind::Blackhole, &mut delta.new_blackholes),
+            (FinalKind::Loop, &mut delta.new_loops),
+        ] {
+            let b = lookup(&base, src, kind);
+            let s = lookup(&scen, src, kind);
+            if !manager.diff(s, b).is_false() {
+                out.push(src);
+            }
+        }
+        let b = lookup(&base, src, FinalKind::Arrive);
+        let s = lookup(&scen, src, FinalKind::Arrive);
+        if !manager.diff(b, s).is_false() {
+            delta.lost_arrivals.push(src);
+        }
+    }
+    Ok(delta)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +423,43 @@ mod tests {
         let (report, _) = run(&model, ribs, vec![], 0);
         assert!(report.multipath_violations.is_empty());
         assert!(report.reachable.is_empty());
+    }
+
+    #[test]
+    fn verdict_delta_flags_regressions_only() {
+        let space = PacketSpace::new(0);
+        let mut mgr = space.manager();
+        let p1 = space.dst_in(&mut mgr, "10.0.0.0/24".parse().unwrap());
+        let p2 = space.dst_in(&mut mgr, "10.0.1.0/24".parse().unwrap());
+        let both = mgr.or(p1, p2);
+        let ser = |m: &BddManager, b: Bdd| s2_bdd::serialize::to_bytes(m, b);
+        let s = NodeId(0);
+
+        // Baseline: everything arrives, one pre-existing blackhole set.
+        let baseline = vec![
+            (s, FinalKind::Arrive, ser(&mgr, both)),
+            (s, FinalKind::Blackhole, ser(&mgr, p2)),
+        ];
+        // Scenario: p1 stops arriving and newly blackholes; p2's
+        // blackhole is pre-existing (not a regression).
+        let scenario = vec![
+            (s, FinalKind::Arrive, ser(&mgr, p2)),
+            (s, FinalKind::Blackhole, ser(&mgr, both)),
+        ];
+        let d = verdict_delta(&mut mgr, &baseline, &scenario).unwrap();
+        assert_eq!(d.new_blackholes, vec![s]);
+        assert_eq!(d.lost_arrivals, vec![s]);
+        assert!(d.new_loops.is_empty());
+        assert_eq!(d.regressions(), 2);
+
+        // Identical runs diff clean.
+        let d = verdict_delta(&mut mgr, &baseline, &baseline).unwrap();
+        assert!(d.is_clean());
+
+        // A scenario that *fixes* a baseline blackhole is also clean.
+        let improved = vec![(s, FinalKind::Arrive, ser(&mgr, both))];
+        let d = verdict_delta(&mut mgr, &baseline, &improved).unwrap();
+        assert!(d.is_clean());
     }
 
     #[test]

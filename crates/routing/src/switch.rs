@@ -62,6 +62,14 @@ pub struct SwitchModel {
     /// activations, conditional-advertisement evaluations). The §7
     /// soundness check compares these against the shard plan.
     observed_deps: std::collections::BTreeSet<(Prefix, Prefix)>,
+    /// Interfaces failed for the current scenario (resilience sweeps,
+    /// chaos plans). A session on a failed interface exports nothing —
+    /// the peer sees a full withdrawal — and the interface's connected
+    /// route leaves the base RIB.
+    failed_ifaces: HashSet<InterfaceId>,
+    /// Connected prefixes of the failed interfaces (precomputed so
+    /// `base_rib_routes` needs no model access).
+    failed_connected: HashSet<Prefix>,
 }
 
 impl SwitchModel {
@@ -110,8 +118,35 @@ impl SwitchModel {
             loc_rib: BTreeMap::new(),
             statics,
             observed_deps: std::collections::BTreeSet::new(),
+            failed_ifaces: HashSet::new(),
+            failed_connected: HashSet::new(),
             cfg,
         }
+    }
+
+    /// Marks `ifaces` as failed, replacing any previous failure set. The
+    /// same switch model then computes the post-failure control plane
+    /// through the ordinary export/receive/decide machinery: exports on
+    /// failed sessions become empty (so peers withdraw on their next
+    /// apply) and the interfaces' connected routes vanish from
+    /// [`SwitchModel::base_rib_routes`]. Pass an empty set to restore the
+    /// healthy state.
+    pub fn set_failed_interfaces(
+        &mut self,
+        model: &NetworkModel,
+        ifaces: impl IntoIterator<Item = InterfaceId>,
+    ) {
+        self.failed_ifaces = ifaces.into_iter().collect();
+        self.failed_connected = self
+            .failed_ifaces
+            .iter()
+            .filter_map(|&i| model.iface_config(self.node, i).map(|c| c.prefix))
+            .collect();
+    }
+
+    /// The interfaces currently failed on this switch.
+    pub fn failed_interfaces(&self) -> &HashSet<InterfaceId> {
+        &self.failed_ifaces
     }
 
     /// Drains the dependencies observed since the last call.
@@ -278,6 +313,12 @@ impl SwitchModel {
     pub fn bgp_export(&self, si: usize) -> Vec<BgpRoute> {
         let Some(bgp) = self.cfg.bgp.as_ref() else { return Vec::new() };
         let session = &self.sessions[si];
+        // A session on a failed interface is down: it advertises nothing,
+        // which the two-phase rounds deliver to the peer as a withdrawal
+        // of everything previously advertised here.
+        if self.failed_ifaces.contains(&session.local_if) {
+            return Vec::new();
+        }
         let neighbor = &bgp.neighbors[session.neighbor_index];
         let suppressors = self.active_summary_aggregates();
         let mut out = Vec::new();
@@ -477,6 +518,7 @@ impl SwitchModel {
                 .iter()
                 .filter(|c| c.session != u32::MAX)
                 .map(|c| self.sessions[c.session as usize].local_if)
+                .filter(|i| !self.failed_ifaces.contains(i))
                 .collect();
             egress.sort();
             egress.dedup();
@@ -500,6 +542,9 @@ impl SwitchModel {
     pub fn base_rib_routes(&self) -> Vec<RibRoute> {
         let mut out = Vec::new();
         for i in &self.cfg.interfaces {
+            if self.failed_connected.contains(&i.prefix) {
+                continue;
+            }
             out.push(RibRoute {
                 prefix: i.prefix,
                 protocol: Protocol::Connected,
@@ -513,8 +558,8 @@ impl SwitchModel {
                 prefix: *p,
                 protocol: Protocol::Static,
                 egress: match via {
-                    StaticVia::Interface(i) => vec![*i],
-                    StaticVia::Discard => Vec::new(),
+                    StaticVia::Interface(i) if !self.failed_ifaces.contains(i) => vec![*i],
+                    _ => Vec::new(),
                 },
                 is_local: false,
                 as_path_len: 0,
@@ -527,7 +572,12 @@ impl SwitchModel {
             out.push(RibRoute {
                 prefix: *p,
                 protocol: Protocol::Ospf,
-                egress: r.egress.clone(),
+                egress: r
+                    .egress
+                    .iter()
+                    .copied()
+                    .filter(|e| !self.failed_ifaces.contains(e))
+                    .collect(),
                 is_local: false,
                 as_path_len: 0,
             });
@@ -680,6 +730,55 @@ mod tests {
             .iter()
             .any(|r| r.protocol == Protocol::Connected && r.prefix == "10.0.0.0/31".parse().unwrap()));
         assert!(base.iter().all(|r| r.protocol != Protocol::Bgp));
+    }
+
+    #[test]
+    fn failed_interface_withdraws_and_drops_connected() {
+        let (model, mut sa, mut sb) = pair();
+        converge_pair(&mut sa, &mut sb);
+        let p: Prefix = "10.1.0.0/24".parse().unwrap();
+        assert!(sb.loc_rib().contains_key(&p));
+
+        // Fail the a—b link on both endpoints (both sessions ride eth0).
+        sa.set_failed_interfaces(&model, [InterfaceId(0)]);
+        sb.set_failed_interfaces(&model, [InterfaceId(0)]);
+        // Re-run rounds *without* begin_bgp: the warm state withdraws.
+        for _ in 0..8 {
+            let a_out = sa.bgp_export(0);
+            let b_out = sb.bgp_export(0);
+            let mut changed = sb.bgp_receive(0, &a_out);
+            changed |= sa.bgp_receive(0, &b_out);
+            changed |= sa.bgp_decide(None);
+            changed |= sb.bgp_decide(None);
+            if !changed {
+                break;
+            }
+        }
+        assert!(sa.bgp_export(0).is_empty(), "failed session exports nothing");
+        assert!(!sb.loc_rib().contains_key(&p), "peer withdrew the route");
+        // The connected /31 left the base RIB on both sides.
+        let link: Prefix = "10.0.0.0/31".parse().unwrap();
+        assert!(!sa.base_rib_routes().iter().any(|r| r.prefix == link));
+        assert!(!sb.base_rib_routes().iter().any(|r| r.prefix == link));
+        // lo0's /24 connected route survives on a.
+        assert!(sa.base_rib_routes().iter().any(|r| r.prefix == p));
+
+        // Restoring the empty failure set heals the model.
+        sa.set_failed_interfaces(&model, []);
+        sb.set_failed_interfaces(&model, []);
+        assert!(sa.failed_interfaces().is_empty());
+        for _ in 0..8 {
+            let a_out = sa.bgp_export(0);
+            let b_out = sb.bgp_export(0);
+            let mut changed = sb.bgp_receive(0, &a_out);
+            changed |= sa.bgp_receive(0, &b_out);
+            changed |= sa.bgp_decide(None);
+            changed |= sb.bgp_decide(None);
+            if !changed {
+                break;
+            }
+        }
+        assert!(sb.loc_rib().contains_key(&p), "route relearned after repair");
     }
 
     #[test]

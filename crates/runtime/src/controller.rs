@@ -27,7 +27,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use s2_bdd::serialize as bdd_io;
 use s2_dataplane::{FinalKind, PacketSpace};
-use s2_net::topology::NodeId;
+use s2_net::topology::{InterfaceId, NodeId};
 use s2_net::Prefix;
 use s2_routing::{NetworkModel, RibSnapshot, RibStore};
 use s2_shard::ShardPlan;
@@ -1309,7 +1309,24 @@ impl Cluster {
             max_hops: opts.max_hops,
         })?;
         stats.pred_time = t0.elapsed();
+        self.dpv_drive(&mut stats, sources, expected, dst_space, waypoints)?;
+        Ok(stats)
+    }
 
+    /// The forwarding-and-evaluation half of a DPV pass: injection,
+    /// symbolic forwarding to quiescence, arrival checks, finals
+    /// collection, and controller-side multipath evaluation. Assumes the
+    /// workers' forwarding state was already prepared (by `DpSetup` for a
+    /// baseline pass or `DpPatch` for a scenario pass).
+    fn dpv_drive(
+        &self,
+        stats: &mut DpvRunStats,
+        sources: &[NodeId],
+        expected: &[(NodeId, Vec<Prefix>)],
+        dst_space: Prefix,
+        waypoints: &BTreeMap<NodeId, u16>,
+    ) -> Result<(), RuntimeError> {
+        let meta_bits = waypoints.len() as u16;
         let t1 = Stopwatch::start();
         let injections = Arc::new(sources.iter().map(|&s| (s, dst_space)).collect::<Vec<_>>());
         self.barrier("dp-inject", || Command::Inject {
@@ -1437,6 +1454,151 @@ impl Cluster {
         stats.unreachable_pairs.sort();
         stats.waypoint_violations.sort();
         stats.verdict_sets.sort();
+        Ok(())
+    }
+
+    // ---- resilience scenarios ----
+    //
+    // The runtime surface of the sweep engine (`s2::sweep`): a scenario
+    // is checkpointed warm state + a set of failed interfaces + an
+    // incremental re-convergence + a patched DPV pass, fenced from its
+    // neighbours by an epoch bump so an aborted scenario can never leak
+    // stale frames into the next one.
+
+    /// Asserts every reply in a barrier result is `Reply::Ok`.
+    fn expect_ok(replies: Vec<Reply>) -> Result<(), RuntimeError> {
+        for r in &replies {
+            match r {
+                Reply::Ok => {}
+                other => return Err(Self::violation("Ok", other)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshots every worker's warm control-plane state (converged
+    /// switches plus adj-out caches) so scenarios can be applied and
+    /// rolled back without re-running the full fix point. Call once,
+    /// after a successful `run_control_plane`.
+    pub fn scenario_checkpoint(&self) -> Result<(), RuntimeError> {
+        Self::expect_ok(self.barrier("scenario-checkpoint", || Command::ScenarioCheckpoint)?)
+    }
+
+    /// Restores the checkpoint on every worker and marks the given
+    /// `(node, interface)` ports as failed in the routing model. Follow
+    /// with [`Cluster::run_warm_fixpoint`] to re-converge incrementally.
+    pub fn scenario_begin(&self, failed: &[(NodeId, InterfaceId)]) -> Result<(), RuntimeError> {
+        let failed = Arc::new(failed.to_vec());
+        Self::expect_ok(self.barrier("scenario-begin", || Command::ScenarioBegin {
+            failed: failed.clone(),
+        })?)
+    }
+
+    /// Restores the checkpoint and clears all scenario forwarding state
+    /// (predicate overlays, failed-port masks, in-flight packets),
+    /// returning the workers to the warm baseline. On a worker without
+    /// a checkpoint (freshly respawned mid-sweep) only the overlays are
+    /// cleared — its switches are already healthy.
+    pub fn scenario_rollback(&self) -> Result<(), RuntimeError> {
+        Self::expect_ok(self.barrier("scenario-rollback", || Command::ScenarioRollback)?)
+    }
+
+    /// Fences the fabric between scenarios: bumps the epoch (frames in
+    /// flight from the previous scenario are discarded on receipt),
+    /// drops frames held by the fault fabric, and flushes every sidecar
+    /// inbox into the new epoch. After a fence no message produced
+    /// before it can be observed — an aborted scenario cannot poison
+    /// its successor.
+    pub fn fence(&self) -> Result<(), RuntimeError> {
+        let epoch = self.net.bump_epoch();
+        self.net.discard_held();
+        Self::expect_ok(self.barrier("fence", || Command::FlushInbox { epoch })?)
+    }
+
+    /// Runs the BGP fix point *warm*: export/apply rounds from the
+    /// workers' current state, without a `BgpBegin` reset — only the
+    /// deltas induced by a scenario's failed interfaces propagate.
+    /// Returns the rounds taken (0 when already quiescent).
+    pub fn run_warm_fixpoint(&self, opts: &ClusterOptions) -> Result<usize, RuntimeError> {
+        let _span = s2_obs::span!("scenario.warm_fixpoint");
+        let mut round = 0;
+        let mut stalled_since: Option<Stopwatch> = None;
+        while round < opts.max_rounds {
+            let before = self.probe_net("warm-probe")?;
+            self.barrier("warm-export", || Command::BgpExport)?;
+            let replies = self.barrier("warm-apply", || Command::BgpApply)?;
+            let released = self.net.tick_delayed();
+            self.check_wire_fatal()?;
+            let probe = self.probe_net("warm-probe")?;
+            let lost = probe.losses != before.losses;
+            let quiet = Self::all_unchanged(&replies)
+                && !lost
+                && probe.disturbances == before.disturbances
+                && released == 0
+                && self.net.held_count() == 0;
+            if lost || released > 0 {
+                self.barrier("warm-resync", || Command::BgpResync)?;
+            }
+            if quiet && probe.in_flight == 0 {
+                return Ok(round + 1);
+            }
+            if quiet {
+                let since = *stalled_since.get_or_insert_with(Stopwatch::start);
+                if since.elapsed() > self.config.barrier_timeout {
+                    break;
+                }
+            } else {
+                stalled_since = None;
+                round += 1;
+            }
+            self.stall_for_in_flight(&probe);
+        }
+        Err(RuntimeError::NotConverged {
+            protocol: "bgp-warm",
+            rounds: opts.max_rounds,
+        })
+    }
+
+    /// Collects the workers' *current* RIBs (base plus BGP) into a fresh
+    /// snapshot — the scenario counterpart of the checkpointed collection
+    /// inside `run_control_plane`, with failed interfaces filtered out by
+    /// the switch models themselves.
+    pub fn collect_full_rib(&self) -> Result<RibSnapshot, RuntimeError> {
+        let mut store = RibStore::new(self.model.topology.node_count());
+        self.collect_rib("collect-base-rib", || Command::CollectBaseRib, &mut store)?;
+        self.collect_rib("collect-bgp-rib", || Command::CollectBgpRib, &mut store)?;
+        Ok(store.snapshot())
+    }
+
+    /// A scenario DPV pass over warm forwarding state: patches only the
+    /// `changed` nodes' predicates from `rib` (reusing the baseline
+    /// packet space and BDD manager), masks `failed_ports` in the
+    /// forwarding step, then injects, forwards to quiescence, and
+    /// evaluates — exactly like [`Cluster::run_dpv`] but without the
+    /// full `DpSetup` recompile and without internal replay (the sweep
+    /// layer owns retries, fencing, and rollback).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_scenario_dpv(
+        &self,
+        rib: Arc<RibSnapshot>,
+        changed: Vec<NodeId>,
+        failed_ports: Vec<(NodeId, InterfaceId)>,
+        sources: Vec<NodeId>,
+        expected: Vec<(NodeId, Vec<Prefix>)>,
+        dst_space: Prefix,
+        waypoints: BTreeMap<NodeId, u16>,
+    ) -> Result<DpvRunStats, RuntimeError> {
+        let mut stats = DpvRunStats::default();
+        let t0 = Stopwatch::start();
+        let changed = Arc::new(changed);
+        let failed_ports = Arc::new(failed_ports);
+        Self::expect_ok(self.barrier("dp-patch", || Command::DpPatch {
+            rib: rib.clone(),
+            changed: changed.clone(),
+            failed_ports: failed_ports.clone(),
+        })?)?;
+        stats.pred_time = t0.elapsed();
+        self.dpv_drive(&mut stats, &sources, &expected, dst_space, &waypoints)?;
         Ok(stats)
     }
 
@@ -1727,6 +1889,97 @@ mod tests {
         );
         s2_obs::recorder::set_dump_path(None);
         let _ = std::fs::remove_file(&dump_path);
+    }
+
+    /// Both ports of the `a`—`b` link, for scenario fail sets.
+    fn link_ports(model: &NetworkModel, a: NodeId, b: NodeId) -> Vec<(NodeId, InterfaceId)> {
+        for l in model.topology.links() {
+            if (l.a.0 == a && l.b.0 == b) || (l.a.0 == b && l.b.0 == a) {
+                return vec![l.a, l.b];
+            }
+        }
+        panic!("no {a:?}—{b:?} link");
+    }
+
+    /// The full scenario lifecycle over a warm cluster: checkpoint, fail
+    /// the middle link of the line (partitioning t3 from t0), warm
+    /// re-convergence, patched DPV showing the loss, then rollback — and
+    /// a final pass proving the baseline verdicts are byte-identical,
+    /// i.e. the scenario did not poison the warm state.
+    #[test]
+    fn scenario_cycle_detects_partition_and_rolls_back_clean() {
+        let model = Arc::new(line_model());
+        let cluster = Cluster::new(model.clone(), vec![0, 0, 1, 1], 2, None);
+        let switches: Vec<_> = model
+            .topology
+            .nodes()
+            .map(|n| s2_routing::SwitchModel::new(&model, n))
+            .collect();
+        let plan = ShardPlan::single(s2_shard::collect_prefixes(&switches));
+        let (rib, _) = cluster
+            .run_control_plane(&plan, &ClusterOptions::default())
+            .unwrap();
+        let rib = Arc::new(rib);
+
+        let sources = vec![NodeId(3)];
+        let expected = vec![(NodeId(0), vec!["10.0.0.0/24".parse().unwrap()])];
+        let dst: Prefix = "10.0.0.0/8".parse().unwrap();
+        let baseline = cluster
+            .run_dpv(
+                rib.clone(),
+                sources.clone(),
+                expected.clone(),
+                dst,
+                BTreeMap::new(),
+                &ClusterOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(baseline.reachable_pairs, 1);
+        cluster.scenario_checkpoint().unwrap();
+
+        // Fail m1—m2: the only t0↔t3 path. Warm rounds must propagate the
+        // withdrawal, and the patched DPV must see the partition.
+        let failed = link_ports(&model, NodeId(1), NodeId(2));
+        cluster.scenario_begin(&failed).unwrap();
+        let rounds = cluster
+            .run_warm_fixpoint(&ClusterOptions::default())
+            .unwrap();
+        assert!(rounds >= 1);
+        let scen_rib = Arc::new(cluster.collect_full_rib().unwrap());
+        assert_ne!(*scen_rib, *rib, "failure must change the RIBs");
+        let all_nodes: Vec<NodeId> = model.topology.nodes().collect();
+        let scen = cluster
+            .run_scenario_dpv(
+                scen_rib,
+                all_nodes,
+                failed.clone(),
+                sources.clone(),
+                expected.clone(),
+                dst,
+                BTreeMap::new(),
+            )
+            .unwrap();
+        assert_eq!(scen.reachable_pairs, 0, "partitioned line must lose t3→t0");
+        assert_eq!(scen.unreachable_pairs, vec![(NodeId(3), NodeId(0))]);
+
+        // Fence + rollback, then a patch-free pass over the baseline RIB:
+        // verdicts must be byte-identical to the warm baseline.
+        cluster.fence().unwrap();
+        cluster.scenario_rollback().unwrap();
+        let again = cluster
+            .run_scenario_dpv(
+                rib.clone(),
+                Vec::new(),
+                Vec::new(),
+                sources,
+                expected,
+                dst,
+                BTreeMap::new(),
+            )
+            .unwrap();
+        cluster.shutdown();
+        assert_eq!(again.reachable_pairs, 1);
+        assert_eq!(again.verdict_sets, baseline.verdict_sets);
     }
 
     #[test]

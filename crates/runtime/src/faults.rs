@@ -11,8 +11,10 @@
 //! recovered result is bit-identical to an undisturbed run.
 
 use parking_lot::Mutex;
+use s2_net::topology::NodeId;
+use s2_obs::{Clock, MonotonicClock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use s2_obs::Deadline;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Worker index (mirrors [`crate::sidecar::WorkerId`]).
@@ -33,6 +35,8 @@ pub struct FaultPlan {
     partition: Option<(WorkerId, u64, Duration)>,
     /// (src, dst, per-frame delay in ms) — TCP backend only.
     throttle: Vec<(WorkerId, WorkerId, u64)>,
+    /// Model-level failed links, as topology node pairs.
+    fail_links: Vec<(NodeId, NodeId)>,
 }
 
 impl FaultPlan {
@@ -112,6 +116,24 @@ impl FaultPlan {
         self
     }
 
+    /// Fails the physical link between model nodes `a` and `b` for the
+    /// whole run: both endpoint switches treat their interface on that
+    /// link as down from construction on, so the simulated control plane
+    /// converges around the failure. This is a **model-level** fault —
+    /// the *simulated network* degrades and the verification result is
+    /// expected to change — in contrast to [`FaultPlan::sever_connection`]
+    /// and friends, which break the *runtime transport* between workers
+    /// and must be invisible in the verification result.
+    pub fn fail_link(mut self, a: NodeId, b: NodeId) -> Self {
+        self.fail_links.push((a, b));
+        self
+    }
+
+    /// The model-level failed links of the plan.
+    pub fn failed_links(&self) -> &[(NodeId, NodeId)] {
+        &self.fail_links
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
         self.kill.is_none()
@@ -123,12 +145,12 @@ impl FaultPlan {
             && self.sever.is_empty()
             && self.partition.is_none()
             && self.throttle.is_empty()
+            && self.fail_links.is_empty()
     }
 }
 
 /// Runtime state of a plan: one-shot flags plus the frame counter.
 /// Shared by every sidecar and worker of a cluster.
-#[derive(Debug, Default)]
 pub struct FaultState {
     plan: FaultPlan,
     kill_fired: AtomicBool,
@@ -136,18 +158,51 @@ pub struct FaultState {
     send_index: AtomicU64,
     /// One-shot flags, parallel to `plan.sever`.
     sever_fired: Vec<AtomicBool>,
-    /// Set when the cluster send counter passes the partition trigger.
-    partition_until: Mutex<Option<Deadline>>,
+    /// Time source for the partition window. Production uses the
+    /// process-wide monotonic clock; tests substitute a [`ManualClock`]
+    /// so window expiry is deterministic.
+    ///
+    /// [`ManualClock`]: s2_obs::ManualClock
+    clock: Arc<dyn Clock>,
+    /// Absolute `clock` nanosecond at which the armed partition window
+    /// closes (`None` until the trigger fires).
+    partition_until_ns: Mutex<Option<u64>>,
+}
+
+impl std::fmt::Debug for FaultState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultState")
+            .field("plan", &self.plan)
+            .field("send_index", &self.send_index)
+            .field("partition_until_ns", &*self.partition_until_ns.lock())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for FaultState {
+    fn default() -> Self {
+        FaultState::new(FaultPlan::default())
+    }
 }
 
 impl FaultState {
-    /// Arms a plan.
+    /// Arms a plan against the process-wide monotonic clock.
     pub fn new(plan: FaultPlan) -> Self {
+        FaultState::with_clock(plan, Arc::new(MonotonicClock))
+    }
+
+    /// Arms a plan against an explicit clock (tests drive a
+    /// [`ManualClock`](s2_obs::ManualClock) by hand).
+    pub fn with_clock(plan: FaultPlan, clock: Arc<dyn Clock>) -> Self {
         let sever_fired = plan.sever.iter().map(|_| AtomicBool::new(false)).collect();
         FaultState {
             plan,
+            kill_fired: AtomicBool::new(false),
+            hang_fired: AtomicBool::new(false),
+            send_index: AtomicU64::new(0),
             sever_fired,
-            ..Default::default()
+            clock,
+            partition_until_ns: Mutex::new(None),
         }
     }
 
@@ -184,7 +239,9 @@ impl FaultState {
         let idx = self.send_index.fetch_add(1, Ordering::Relaxed);
         if let Some((_, after_nth, window)) = self.plan.partition {
             if idx == after_nth {
-                *self.partition_until.lock() = Some(Deadline::after(window));
+                let window_ns = u64::try_from(window.as_nanos()).unwrap_or(u64::MAX);
+                *self.partition_until_ns.lock() =
+                    Some(self.clock.now_ns().saturating_add(window_ns));
             }
         }
         idx
@@ -239,7 +296,7 @@ impl FaultState {
         if w != src && w != dst {
             return false;
         }
-        matches!(*self.partition_until.lock(), Some(until) if !until.expired())
+        matches!(*self.partition_until_ns.lock(), Some(until) if self.clock.now_ns() < until)
     }
 
     /// The per-frame delay (ms) scheduled for link `src → dst`, if any.
@@ -304,7 +361,11 @@ mod tests {
 
     #[test]
     fn partition_arms_on_send_index_and_expires() {
-        let s = FaultState::new(FaultPlan::new().partition_worker(1, 1, Duration::from_millis(40)));
+        let clock = Arc::new(s2_obs::ManualClock::new());
+        let s = FaultState::with_clock(
+            FaultPlan::new().partition_worker(1, 1, Duration::from_millis(40)),
+            clock.clone(),
+        );
         assert!(!s.partition_active(0, 1), "not armed yet");
         s.next_send_index(); // 0
         assert!(!s.partition_active(0, 1));
@@ -312,8 +373,21 @@ mod tests {
         assert!(s.partition_active(0, 1));
         assert!(s.partition_active(1, 0));
         assert!(!s.partition_active(0, 2), "uninvolved link unaffected");
-        std::thread::sleep(Duration::from_millis(60));
+        clock.advance(Duration::from_millis(39));
+        assert!(s.partition_active(0, 1), "window still open");
+        clock.advance(Duration::from_millis(2));
         assert!(!s.partition_active(0, 1), "window elapsed");
+    }
+
+    #[test]
+    fn fail_link_is_a_model_level_trigger() {
+        let plan = FaultPlan::new().fail_link(NodeId(1), NodeId(2));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.failed_links(), &[(NodeId(1), NodeId(2))]);
+        // No runtime trigger: FaultState carries it passively.
+        let s = FaultState::new(plan);
+        assert!(!s.should_kill(1, 1));
+        assert_eq!(s.plan().failed_links().len(), 1);
     }
 
     #[test]

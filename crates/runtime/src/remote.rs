@@ -464,8 +464,50 @@ pub fn encode_command(cmd: &Command) -> Bytes {
         Command::NetStats => buf.put_u8(19),
         Command::Shutdown => buf.put_u8(20),
         Command::Metrics => buf.put_u8(21),
+        Command::ScenarioCheckpoint => buf.put_u8(22),
+        Command::ScenarioBegin { failed } => {
+            buf.put_u8(23);
+            put_ports(&mut buf, failed);
+        }
+        Command::ScenarioRollback => buf.put_u8(24),
+        Command::DpPatch {
+            rib,
+            changed,
+            failed_ports,
+        } => {
+            buf.put_u8(25);
+            buf.put_u32(rib.per_node.len() as u32);
+            for routes in &rib.per_node {
+                buf.put_u32(routes.len() as u32);
+                for r in routes {
+                    put_rib_route(&mut buf, r);
+                }
+            }
+            buf.put_u32(changed.len() as u32);
+            for n in changed.iter() {
+                buf.put_u32(n.0);
+            }
+            put_ports(&mut buf, failed_ports);
+        }
     }
     buf.freeze()
+}
+
+fn put_ports(buf: &mut BytesMut, ports: &[(NodeId, InterfaceId)]) {
+    buf.put_u32(ports.len() as u32);
+    for (node, iface) in ports {
+        buf.put_u32(node.0);
+        buf.put_u16(iface.0);
+    }
+}
+
+fn get_ports(buf: &mut Bytes) -> Result<Vec<(NodeId, InterfaceId)>, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    need(buf, n * 6)?;
+    Ok((0..n)
+        .map(|_| (NodeId(buf.get_u32()), InterfaceId(buf.get_u16())))
+        .collect())
 }
 
 /// Decodes a [`Command`] from the control channel.
@@ -590,6 +632,34 @@ pub fn decode_command(mut buf: Bytes) -> Result<Command, WireError> {
         19 => Command::NetStats,
         20 => Command::Shutdown,
         21 => Command::Metrics,
+        22 => Command::ScenarioCheckpoint,
+        23 => Command::ScenarioBegin {
+            failed: Arc::new(get_ports(&mut buf)?),
+        },
+        24 => Command::ScenarioRollback,
+        25 => {
+            need(&buf, 4)?;
+            let nodes = buf.get_u32() as usize;
+            let mut per_node = Vec::with_capacity(cap(nodes));
+            for _ in 0..nodes {
+                need(&buf, 4)?;
+                let m = buf.get_u32() as usize;
+                let mut routes = Vec::with_capacity(cap(m));
+                for _ in 0..m {
+                    routes.push(get_rib_route(&mut buf)?);
+                }
+                per_node.push(routes);
+            }
+            need(&buf, 4)?;
+            let nc = buf.get_u32() as usize;
+            need(&buf, nc * 4)?;
+            let changed = (0..nc).map(|_| NodeId(buf.get_u32())).collect();
+            Command::DpPatch {
+                rib: Arc::new(RibSnapshot { per_node }),
+                changed: Arc::new(changed),
+                failed_ports: Arc::new(get_ports(&mut buf)?),
+            }
+        }
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -1152,6 +1222,8 @@ mod tests {
             Command::BgpResync,
             Command::NetStats,
             Command::Metrics,
+            Command::ScenarioCheckpoint,
+            Command::ScenarioRollback,
             Command::Shutdown,
         ] {
             let encoded = encode_command(&cmd);
@@ -1202,6 +1274,22 @@ mod tests {
             sources: Arc::new(vec![NodeId(0), NodeId(3)]),
             expected: Arc::new(vec![(NodeId(3), vec!["10.0.0.0/8".parse().unwrap()])]),
             transits: Arc::new(vec![(NodeId(1), 0u16)]),
+        };
+        let decoded = decode_command(encode_command(&cmd)).unwrap();
+        assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));
+
+        let cmd = Command::ScenarioBegin {
+            failed: Arc::new(vec![(NodeId(4), InterfaceId(1)), (NodeId(9), InterfaceId(0))]),
+        };
+        let decoded = decode_command(encode_command(&cmd)).unwrap();
+        assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));
+
+        let cmd = Command::DpPatch {
+            rib: Arc::new(RibSnapshot {
+                per_node: vec![vec![], vec![sample_rib_route()]],
+            }),
+            changed: Arc::new(vec![NodeId(1)]),
+            failed_ports: Arc::new(vec![(NodeId(1), InterfaceId(4))]),
         };
         let decoded = decode_command(encode_command(&cmd)).unwrap();
         assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));

@@ -24,10 +24,10 @@ use s2_dataplane::{
     merge_packet, step_into, Fib, FinalKind, FinalPacket, ForwardOptions, NodePredicates,
     PacketKey, PacketSpace, StepOutput, SymbolicPacket,
 };
-use s2_net::topology::NodeId;
+use s2_net::topology::{InterfaceId, NodeId};
 use s2_net::Prefix;
 use s2_routing::{BgpRoute, NetworkModel, RibRoute, RibSnapshot, SwitchModel};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 
 /// Commands issued by the controller's orchestrators.
@@ -111,6 +111,36 @@ pub enum Command {
     /// re-sends full state (heals receivers that missed an incremental
     /// update to loss, corruption, or a worker replacement).
     BgpResync,
+    /// Resilience sweeps: snapshot the converged control-plane state of
+    /// every local switch (plus the Adj-RIB-Out cache) so failure
+    /// scenarios can restore it. Overwrites any previous checkpoint.
+    ScenarioCheckpoint,
+    /// Resilience sweeps: restore the checkpoint, then mark the locally
+    /// hosted `failed` ports as down. The next `BgpExport`/`BgpApply`
+    /// rounds replay the warm state incrementally around the failure.
+    ScenarioBegin {
+        /// Failed ports, cluster-wide (non-local entries are ignored).
+        failed: Arc<Vec<(NodeId, InterfaceId)>>,
+    },
+    /// Resilience sweeps: restore the checkpoint (healthy state, no
+    /// failed ports) and drop any scenario data-plane overlay. The
+    /// checkpoint is kept for the next scenario.
+    ScenarioRollback,
+    /// Resilience sweeps: patch the data plane for the current scenario
+    /// *in the warm BDD manager*: recompile predicates only for the
+    /// `changed` local nodes into a scenario overlay (consulted before
+    /// the baseline predicates), install the failed-port mask, and clear
+    /// the packet level and finals for a fresh forwarding run. An empty
+    /// `changed` list patches nothing but the mask — the transient
+    /// (pre-reconvergence) stage.
+    DpPatch {
+        /// The scenario RIBs (only `changed` nodes are read).
+        rib: Arc<RibSnapshot>,
+        /// Nodes whose RIB differs from baseline.
+        changed: Arc<Vec<NodeId>>,
+        /// Failed ports for the forwarding mask.
+        failed_ports: Arc<Vec<(NodeId, InterfaceId)>>,
+    },
     /// Report the worker-side transport counters and in-flight frame
     /// count. Replies `Net`. In multi-process mode this is how the
     /// controller folds remote disturbances into its convergence checks.
@@ -210,6 +240,13 @@ fn note_violation(sidecar: &Sidecar) {
 /// A staged OSPF delivery: (destination node, arriving interface, routes).
 type PendingOspf = (NodeId, s2_net::topology::InterfaceId, Vec<(Prefix, u32)>);
 
+/// A restorable snapshot of the worker's converged control-plane state
+/// (resilience sweeps restore this between failure scenarios).
+struct Checkpoint {
+    switches: BTreeMap<NodeId, SwitchModel>,
+    last_adv: BTreeMap<(NodeId, usize), Vec<BgpRoute>>,
+}
+
 /// The worker's mutable state.
 pub struct Worker {
     sidecar: Sidecar,
@@ -228,11 +265,28 @@ pub struct Worker {
     /// behaviour of real BGP, and what keeps cross-worker traffic
     /// proportional to convergence activity rather than round count.
     last_adv: BTreeMap<(NodeId, usize), Vec<BgpRoute>>,
+    /// Switches whose local RIB changed since their last `bgp_export`
+    /// (plus everyone after a reset or resync). `bgp_export` is a pure
+    /// function of the switch, so a switch outside this set would
+    /// recompute advertisements identical to `last_adv` — skipping it is
+    /// behaviour-preserving and keeps warm-replay rounds proportional to
+    /// the convergence frontier, not the topology.
+    export_dirty: BTreeSet<NodeId>,
+    /// Switches that must rerun `bgp_decide` on the next apply even
+    /// without fresh deliveries (after a reset). `bgp_decide` is a pure
+    /// function of local routes + Adj-RIB-Ins, so a switch with neither
+    /// deliveries nor this mark would decide into the same RIB.
+    decide_dirty: BTreeSet<NodeId>,
     pending_ospf: Vec<PendingOspf>,
     // Data plane.
     space: PacketSpace,
     manager: Option<BddManager>,
     preds: BTreeMap<NodeId, NodePredicates>,
+    /// Scenario overlay: predicates recompiled for the current failure
+    /// scenario, consulted before `preds`. Cleared on rollback.
+    scenario_preds: BTreeMap<NodeId, NodePredicates>,
+    /// Control-plane snapshot for scenario restore.
+    checkpoint: Option<Checkpoint>,
     fwd_opts: ForwardOptions,
     /// The current hop level's merged fragments (see
     /// [`s2_dataplane::PacketKey`]); merging before processing and before
@@ -277,10 +331,31 @@ impl Worker {
         faults: Arc<FaultState>,
         intra_worker_threads: usize,
     ) -> Self {
-        let switches = local_nodes
+        let mut switches: BTreeMap<NodeId, SwitchModel> = local_nodes
             .iter()
             .map(|&n| (n, SwitchModel::new(&model, n)))
             .collect();
+        // Model-level link failures from the fault plan apply from
+        // construction on: the control plane converges around them.
+        let fail_links = faults.plan().failed_links();
+        if !fail_links.is_empty() {
+            let mut by_node: BTreeMap<NodeId, Vec<InterfaceId>> = BTreeMap::new();
+            for link in model.topology.links() {
+                let ends = (link.a.0, link.b.0);
+                if fail_links
+                    .iter()
+                    .any(|&(a, b)| ends == (a, b) || ends == (b, a))
+                {
+                    by_node.entry(link.a.0).or_default().push(link.a.1);
+                    by_node.entry(link.b.0).or_default().push(link.b.1);
+                }
+            }
+            for (n, ifaces) in by_node {
+                if let Some(sw) = switches.get_mut(&n) {
+                    sw.set_failed_interfaces(&model, ifaces);
+                }
+            }
+        }
         Worker {
             sidecar,
             faults,
@@ -292,10 +367,14 @@ impl Worker {
             memory_budget,
             pending_bgp: Vec::new(),
             last_adv: BTreeMap::new(),
+            export_dirty: BTreeSet::new(),
+            decide_dirty: BTreeSet::new(),
             pending_ospf: Vec::new(),
             space: PacketSpace::new(0),
             manager: None,
             preds: BTreeMap::new(),
+            scenario_preds: BTreeMap::new(),
+            checkpoint: None,
             fwd_opts: ForwardOptions::default(),
             level: BTreeMap::new(),
             finals: Vec::new(),
@@ -351,6 +430,9 @@ impl Worker {
                 }
                 self.pending_bgp.clear();
                 self.last_adv.clear();
+                // Cold start: everyone re-originates, everyone decides.
+                self.export_dirty.extend(self.local_nodes.iter().copied());
+                self.decide_dirty.extend(self.local_nodes.iter().copied());
                 self.update_gauge();
                 Reply::Ok
             }
@@ -459,6 +541,81 @@ impl Worker {
             }
             Command::BgpResync => {
                 self.last_adv.clear();
+                // Every advertisement must be re-sent, so every switch
+                // must re-export.
+                self.export_dirty.extend(self.local_nodes.iter().copied());
+                Reply::Ok
+            }
+            Command::ScenarioCheckpoint => {
+                self.checkpoint = Some(Checkpoint {
+                    switches: self.switches.clone(),
+                    last_adv: self.last_adv.clone(),
+                });
+                Reply::Ok
+            }
+            Command::ScenarioBegin { failed } => {
+                if !self.restore_checkpoint() {
+                    return Reply::Violation("ScenarioBegin before ScenarioCheckpoint".to_string());
+                }
+                let mut by_node: BTreeMap<NodeId, Vec<InterfaceId>> = BTreeMap::new();
+                for &(n, i) in failed.iter() {
+                    by_node.entry(n).or_default().push(i);
+                }
+                let model = self.model.clone();
+                for (n, ifaces) in by_node {
+                    if let Some(sw) = self.switches.get_mut(&n) {
+                        sw.set_failed_interfaces(&model, ifaces);
+                        // Sessions on the failed ports now export empty
+                        // advertisements — only these switches' exports
+                        // change until withdrawals propagate.
+                        self.export_dirty.insert(n);
+                    }
+                }
+                self.update_gauge();
+                Reply::Ok
+            }
+            Command::ScenarioRollback => {
+                // Without a checkpoint there is nothing to restore — a
+                // worker respawned mid-sweep starts from fresh (healthy)
+                // switches — but the forwarding overlays must still be
+                // cleared so the recovery re-warm starts clean on a
+                // mixed fleet of survivors and replacements.
+                let _ = self.restore_checkpoint();
+                self.scenario_preds.clear();
+                self.fwd_opts.failed_ports.clear();
+                self.level.clear();
+                self.finals.clear();
+                self.update_gauge();
+                Reply::Ok
+            }
+            Command::DpPatch {
+                rib,
+                changed,
+                failed_ports,
+            } => {
+                let Some(manager) = self.manager.as_mut() else {
+                    return Reply::Violation("DpPatch before DpSetup".to_string());
+                };
+                self.scenario_preds.clear();
+                for &n in changed.iter() {
+                    if !self.preds.contains_key(&n) {
+                        continue; // not hosted here
+                    }
+                    let fib = Fib::from_rib(rib.node(n));
+                    let p =
+                        NodePredicates::compile(&self.model, n, &fib, &self.space, manager);
+                    self.scenario_preds.insert(n, p);
+                }
+                self.fwd_opts.failed_ports = failed_ports.iter().copied().collect();
+                self.level.clear();
+                self.finals.clear();
+                self.update_gauge();
+                if self.gauge.over_budget(self.memory_budget) {
+                    return Reply::OutOfMemory {
+                        budget: self.memory_budget.unwrap_or(0),
+                        observed: self.gauge.current(),
+                    };
+                }
                 Reply::Ok
             }
             Command::NetStats => {
@@ -480,6 +637,23 @@ impl Worker {
     }
 
     // ---- control plane ----
+
+    /// Restores the scenario checkpoint (switch models + Adj-RIB-Out
+    /// cache), discarding staged deliveries of the aborted round. The
+    /// checkpoint itself is kept. Returns false when none exists.
+    fn restore_checkpoint(&mut self) -> bool {
+        let Some(cp) = self.checkpoint.as_ref() else {
+            return false;
+        };
+        self.switches = cp.switches.clone();
+        self.last_adv = cp.last_adv.clone();
+        self.pending_bgp.clear();
+        // The restored pair is converged: nothing to export or decide
+        // until a scenario perturbs it.
+        self.export_dirty.clear();
+        self.decide_dirty.clear();
+        true
+    }
 
     fn ospf_export(&mut self) {
         // Phase 1 (parallel): per-switch export is read-only on the
@@ -578,11 +752,17 @@ impl Worker {
     }
 
     fn bgp_export(&mut self) {
+        // Only switches whose state changed since their last export can
+        // produce a different advertisement (`bgp_export` is pure in the
+        // switch) — everyone else would be suppressed by the Adj-RIB-Out
+        // compare below, so they are not even evaluated. The set is
+        // sorted, preserving the node-id wire order of the full scan.
+        let dirty: Vec<NodeId> = std::mem::take(&mut self.export_dirty).into_iter().collect();
         // Phase 1 (parallel): per-session export policy evaluation is
         // read-only on the switch models — the expensive part of the
         // phase — so independent switches compute concurrently.
         let exports: Vec<Vec<Vec<BgpRoute>>> = {
-            let nodes = &self.local_nodes;
+            let nodes = &dirty;
             let switches = &self.switches;
             self.pool.map_indexed(nodes.len(), |i| {
                 let sw = &switches[&nodes[i]];
@@ -592,7 +772,7 @@ impl Worker {
         // Phase 2 (sequential, node-id order): Adj-RIB-Out compare,
         // staging and wire sends — identical frame order and identical
         // incremental-update decisions to the sequential path.
-        for (&node, advs) in self.local_nodes.iter().zip(exports) {
+        for (&node, advs) in dirty.iter().zip(exports) {
             let sw = &self.switches[&node];
             for (si, adv) in advs.into_iter().enumerate() {
                 // Incremental updates: an advertisement identical to the
@@ -651,6 +831,13 @@ impl Worker {
                 _ => note_violation(&self.sidecar),
             }
         }
+        // Only switches with fresh deliveries (or a pending reset mark)
+        // can decide into a different RIB — `bgp_decide` is pure in the
+        // local routes and Adj-RIB-Ins — so the others are skipped
+        // entirely. Switches whose decision changed are marked for
+        // re-export.
+        let mut decide_nodes = std::mem::take(&mut self.decide_dirty);
+        decide_nodes.extend(grouped.keys().copied());
         // Parallel receive + decide: a switch's best-path selection reads
         // only its own Adj-RIB-Ins, so fusing its receives with its
         // decision keeps the exact Jacobi schedule while letting
@@ -658,8 +845,12 @@ impl Worker {
         let pool = self.pool;
         let grouped = &grouped;
         let shard = self.shard.clone();
-        let mut targets: Vec<(NodeId, &mut SwitchModel)> =
-            self.switches.iter_mut().map(|(&n, sw)| (n, sw)).collect();
+        let mut targets: Vec<(NodeId, &mut SwitchModel)> = self
+            .switches
+            .iter_mut()
+            .filter(|(n, _)| decide_nodes.contains(n))
+            .map(|(&n, sw)| (n, sw))
+            .collect();
         let flags = pool.map_mut(&mut targets, |_, (node, sw)| {
             let mut local_changed = false;
             if let Some(batch) = grouped.get(node) {
@@ -667,9 +858,15 @@ impl Worker {
                     local_changed |= sw.bgp_receive(*si, routes);
                 }
             }
-            local_changed | sw.bgp_decide(shard.as_deref())
+            let decided = sw.bgp_decide(shard.as_deref());
+            (local_changed | decided, decided)
         });
-        changed |= flags.into_iter().any(|c| c);
+        for ((node, _), (any, decided)) in targets.iter().zip(&flags) {
+            changed |= any;
+            if *decided {
+                self.export_dirty.insert(*node);
+            }
+        }
         changed
     }
 
@@ -789,8 +986,13 @@ impl Worker {
             // The packet's location came off the wire for remote
             // fragments; a node this worker does not host is a peer
             // protocol violation — count it and drop the fragment (the
-            // disturbance machinery forces a replay).
-            let Some(preds) = self.preds.get(&node) else {
+            // disturbance machinery forces a replay). The scenario
+            // overlay shadows the baseline predicates when present.
+            let Some(preds) = self
+                .scenario_preds
+                .get(&node)
+                .or_else(|| self.preds.get(&node))
+            else {
                 note_violation(&self.sidecar);
                 continue;
             };

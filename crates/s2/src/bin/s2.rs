@@ -8,6 +8,9 @@
 //!             [--threads T] [--transport channel|tcp] [--listen ADDR]
 //! s2 worker --topology topo.txt --configs confdir/ --connect ADDR [--bind ADDR]
 //! s2 gen-fattree K OUTDIR          # synthesize a demo network to verify
+//! s2 sweep (--fattree K | --topology topo.txt --configs confdir/ --expect HOST=PREFIX...)
+//!          [--max-failures N] [--json FILE] [--workers N] [--threads T]
+//!          [--deadline-secs S]
 //! ```
 //!
 //! `verify` checks all-pair reachability between the `--expect` endpoints
@@ -34,7 +37,7 @@
 //! (verify only) writes the unified per-worker + aggregate metrics
 //! snapshot as JSON.
 
-use s2::{ingest, topofile, S2Options, S2Verifier, VerificationRequest};
+use s2::{ingest, topofile, S2Options, S2Verifier, ScenarioStatus, SweepOptions, VerificationRequest};
 use s2_net::topology::NodeId;
 use s2_net::Prefix;
 use s2_runtime::TransportKind;
@@ -43,7 +46,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE] [--metrics-out FILE]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE]\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
+        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE] [--metrics-out FILE]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE]\n  s2 sweep    (--fattree K | --topology FILE --configs DIR --expect HOST=PREFIX...) \\\n              [--max-failures N] [--json FILE] [--deadline-secs S] \\\n              [--workers N] [--threads T] [--trace-out FILE]\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
     );
     ExitCode::from(2)
 }
@@ -63,6 +66,10 @@ struct Args {
     bind: String,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    fattree: Option<usize>,
+    max_failures: usize,
+    json_out: Option<PathBuf>,
+    deadline_secs: u64,
 }
 
 fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
@@ -81,6 +88,10 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
         bind: "127.0.0.1:0".to_string(),
         trace_out: None,
         metrics_out: None,
+        fattree: None,
+        max_failures: 1,
+        json_out: None,
+        deadline_secs: 30,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -114,10 +125,24 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
             "--bind" => args.bind = value()?,
             "--trace-out" => args.trace_out = Some(PathBuf::from(value()?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value()?)),
+            "--fattree" => {
+                args.fattree = Some(value()?.parse().map_err(|e| format!("--fattree: {e}"))?)
+            }
+            "--max-failures" => {
+                args.max_failures =
+                    value()?.parse().map_err(|e| format!("--max-failures: {e}"))?
+            }
+            "--json" => args.json_out = Some(PathBuf::from(value()?)),
+            "--deadline-secs" => {
+                args.deadline_secs =
+                    value()?.parse().map_err(|e| format!("--deadline-secs: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if args.topology.as_os_str().is_empty() || args.configs.as_os_str().is_empty() {
+    if args.fattree.is_none()
+        && (args.topology.as_os_str().is_empty() || args.configs.as_os_str().is_empty())
+    {
         return Err("--topology and --configs are required".into());
     }
     Ok(args)
@@ -201,14 +226,12 @@ fn obs_finish(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(args: Args) -> Result<(), String> {
-    let model = load(&args)?;
-    for d in &model.session_diagnostics {
-        eprintln!("warning: session diagnostic: {d:?}");
-    }
+/// Builds the verification request from `--expect`/`--source`/
+/// `--dst-space` against a loaded model.
+fn build_request(model: &s2::NetworkModel, args: &Args) -> Result<VerificationRequest, String> {
     let mut expected = Vec::new();
     for (host, prefix) in &args.expects {
-        let node = resolve(&model, host)?;
+        let node = resolve(model, host)?;
         match expected.iter_mut().find(|(n, _): &&mut (NodeId, Vec<Prefix>)| *n == node) {
             Some((_, ps)) => ps.push(*prefix),
             None => expected.push((node, vec![*prefix])),
@@ -222,15 +245,23 @@ fn cmd_verify(args: Args) -> Result<(), String> {
     } else {
         args.sources
             .iter()
-            .map(|h| resolve(&model, h))
+            .map(|h| resolve(model, h))
             .collect::<Result<_, _>>()?
     };
-    let request = VerificationRequest {
+    Ok(VerificationRequest {
         sources,
         expected,
         dst_space: args.dst_space,
         transits: Vec::new(),
-    };
+    })
+}
+
+fn cmd_verify(args: Args) -> Result<(), String> {
+    let model = load(&args)?;
+    for d in &model.session_diagnostics {
+        eprintln!("warning: session diagnostic: {d:?}");
+    }
+    let request = build_request(&model, &args)?;
     obs_begin(&args);
     let verifier = make_verifier(model, &args)?;
     let report = verifier.verify(&request).map_err(|e| e.to_string())?;
@@ -251,6 +282,79 @@ fn cmd_verify(args: Args) -> Result<(), String> {
         Ok(())
     } else {
         Err("verdict: VIOLATIONS FOUND".into())
+    }
+}
+
+/// Runs a resilience sweep: baseline verification once over a warm
+/// runtime, then every ≤`--max-failures` link-failure scenario
+/// re-verified incrementally. `--fattree K` synthesizes the network and
+/// an all-pair edge-reachability request in-memory; otherwise the
+/// topology, configs and `--expect` endpoints are loaded as in `verify`.
+fn cmd_sweep(args: Args) -> Result<(), String> {
+    let (model, request) = match args.fattree {
+        Some(k) => {
+            let ft = s2_topogen::fattree::generate(s2_topogen::fattree::FatTreeParams::new(k));
+            let model = s2::NetworkModel::build(ft.topology.clone(), ft.configs.clone())
+                .map_err(|e| e.to_string())?;
+            let ft_ref = &ft;
+            let endpoints = (0..k)
+                .flat_map(|p| {
+                    (0..k / 2).map(move |e| {
+                        (ft_ref.edge(p, e), vec![s2_topogen::fattree::FatTree::server_prefix(p, e)])
+                    })
+                })
+                .collect();
+            let request = VerificationRequest::all_pair_reachability(
+                endpoints,
+                "10.0.0.0/8".parse().expect("valid"),
+            );
+            (model, request)
+        }
+        None => {
+            let model = load(&args)?;
+            let request = build_request(&model, &args)?;
+            (model, request)
+        }
+    };
+    let topo = model.topology.clone();
+    obs_begin(&args);
+    let verifier = make_verifier(model, &args)?;
+    let sweep_opts = SweepOptions {
+        max_failures: args.max_failures,
+        scenario_deadline: std::time::Duration::from_secs(args.deadline_secs),
+        ..Default::default()
+    };
+    let report = verifier.sweep(&request, &sweep_opts).map_err(|e| e.to_string())?;
+    verifier.shutdown();
+    obs_finish(&args)?;
+    println!("{}", report.summary());
+    let link_name = |((a, ai), (b, bi)): &s2::sweep::LinkKey| {
+        format!("{}#{ai}<->{}#{bi}", topo.name(*a), topo.name(*b))
+    };
+    for set in &report.minimal_breaking {
+        let links: Vec<String> = set.iter().map(link_name).collect();
+        println!("BREAKING: {{{}}}", links.join(", "));
+    }
+    for outcome in &report.outcomes {
+        if let ScenarioStatus::Undetermined { reason, attempts } = &outcome.status {
+            let links: Vec<String> = outcome.links.iter().map(link_name).collect();
+            println!(
+                "UNDETERMINED: {{{}}} after {attempts} attempt(s): {reason}",
+                links.join(", ")
+            );
+        }
+    }
+    if let Some(path) = &args.json_out {
+        let json = report.to_json();
+        s2::sweep::validate_str(&json).map_err(|e| format!("internal: report schema: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("--json {}: {e}", path.display()))?;
+        eprintln!("report: -> {}", path.display());
+    }
+    if report.undetermined == 0 {
+        println!("sweep: COMPLETE");
+        Ok(())
+    } else {
+        Err(format!("sweep: {} scenario(s) undetermined", report.undetermined))
     }
 }
 
@@ -319,6 +423,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "verify" => parse_args(argv.into_iter()).and_then(cmd_verify),
         "simulate" => parse_args(argv.into_iter()).and_then(cmd_simulate),
+        "sweep" => parse_args(argv.into_iter()).and_then(cmd_sweep),
         "worker" => parse_args(argv.into_iter()).and_then(cmd_worker),
         "gen-fattree" => {
             if argv.len() != 2 {

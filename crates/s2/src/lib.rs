@@ -58,10 +58,12 @@
 pub mod query;
 pub mod topofile;
 pub mod report;
+pub mod sweep;
 pub mod verifier;
 
 pub use query::VerificationRequest;
 pub use report::S2Report;
+pub use sweep::{ResilienceReport, ScenarioOutcome, ScenarioStatus, SweepOptions};
 pub use verifier::{ingest, S2Error, S2Options, S2Verifier};
 
 // Re-export the workspace layers a downstream user needs.

@@ -121,10 +121,10 @@ pub fn ingest(topology: Topology, config_texts: &[String]) -> Result<NetworkMode
 /// Dropping the verifier without calling [`S2Verifier::shutdown`] leaks the
 /// worker threads until process exit; prefer explicit shutdown.
 pub struct S2Verifier {
-    model: Arc<NetworkModel>,
+    pub(crate) model: Arc<NetworkModel>,
     partition: Partition,
-    cluster: Cluster,
-    opts: S2Options,
+    pub(crate) cluster: Cluster,
+    pub(crate) opts: S2Options,
 }
 
 impl S2Verifier {
@@ -204,7 +204,7 @@ impl S2Verifier {
         &self.partition
     }
 
-    fn cluster_opts(&self) -> ClusterOptions {
+    pub(crate) fn cluster_opts(&self) -> ClusterOptions {
         ClusterOptions {
             max_rounds: self.opts.max_rounds,
             max_hops: self.opts.max_hops,

@@ -23,6 +23,7 @@
 
 pub mod assign;
 pub mod dpdg;
+pub mod impact;
 
 use s2_net::policy::Protocol;
 use s2_net::Prefix;

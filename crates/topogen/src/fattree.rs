@@ -67,6 +67,11 @@ impl FatTree {
         self.edges[pod * (self.params.k / 2) + e]
     }
 
+    /// The aggregation switch node for `(pod, a)`.
+    pub fn agg(&self, pod: usize, a: usize) -> NodeId {
+        self.aggs[pod * (self.params.k / 2) + a]
+    }
+
     /// All originated server prefixes.
     pub fn server_prefixes(&self) -> Vec<Prefix> {
         let half = self.params.k / 2;
