@@ -167,6 +167,11 @@ fn run_json_mode(args: &[String]) -> ExitCode {
     let res_k = if smoke { 4 } else { 6 };
     eprintln!("trajectory: resilience FatTree{res_k} k<=1 ...");
     t.resilience = Some(trajectory::run_resilience(res_k, 1, 1));
+    // Daemon point: one link-flap delta on a warm daemon vs the cold
+    // full re-verification of the same snapshot, plus restart latency.
+    let daemon_k = if smoke { 4 } else { 8 };
+    eprintln!("trajectory: daemon FatTree{daemon_k} link flap ...");
+    t.daemon = Some(trajectory::run_daemon(daemon_k, 2));
     let json = trajectory::to_json(&t);
     if let Err(e) = trajectory::validate(&json) {
         eprintln!("internal error: emitted JSON fails its own schema: {e}");
@@ -183,6 +188,12 @@ fn run_json_mode(args: &[String]) -> ExitCode {
         println!(
             "FatTree{}: resilience k<={} — {} scenarios ({} undetermined), x{:.2} vs serial full",
             r.k, r.max_failures, r.scenarios, r.undetermined, r.speedup_vs_serial_full
+        );
+    }
+    if let Some(d) = &t.daemon {
+        println!(
+            "FatTree{}: daemon link flap {:.1} ms vs cold {:.1} ms — x{:.2}; restore {:.1} ms",
+            d.k, d.delta_ms, d.cold_verify_ms, d.speedup, d.restore_ms
         );
     }
     println!("wrote {out_path} ({} entries, host cpus: {})", t.entries.len(), t.host_cpus);

@@ -51,6 +51,8 @@ pub struct Entry {
 /// A complete sweep plus the environment it ran in.
 #[derive(Debug, Clone)]
 pub struct Trajectory {
+    /// The stacked-PR number the measurement belongs to.
+    pub pr: u32,
     /// CPUs visible to the process (speedups are bounded by this).
     pub host_cpus: usize,
     /// Workload family description.
@@ -60,6 +62,74 @@ pub struct Trajectory {
     /// Optional resilience-sweep measurement (absent in older files —
     /// the schema stays `v1`, the block is validated when present).
     pub resilience: Option<ResiliencePoint>,
+    /// Optional incremental-daemon measurement (absent in older files —
+    /// the schema stays `v1`, the block is validated when present).
+    pub daemon: Option<DaemonPoint>,
+}
+
+/// One incremental-daemon measurement: a single link-flap delta applied
+/// to a warm `s2 daemon`, against the cold full re-verification cost of
+/// the same snapshot, plus the warm-checkpoint restore latency.
+#[derive(Debug, Clone)]
+pub struct DaemonPoint {
+    /// FatTree arity.
+    pub k: usize,
+    /// Worker count.
+    pub workers: u32,
+    /// Cold full verification (the warm-baseline build), milliseconds.
+    pub cold_verify_ms: f64,
+    /// Mean wall-clock of the two flap edges (down, up), milliseconds.
+    pub delta_ms: f64,
+    /// Checkpoint-restore latency on restart, milliseconds.
+    pub restore_ms: f64,
+    /// `cold_verify_ms / delta_ms`.
+    pub speedup: f64,
+}
+
+/// Opens a daemon on a FatTree workload, applies one link flap, restarts
+/// from the warm checkpoint, and extracts the trajectory metrics.
+pub fn run_daemon(k: usize, workers: u32) -> DaemonPoint {
+    use s2_runtime::admin::{AdminResponse, DeltaSpec};
+    let w = workloads::fattree(k);
+    let path =
+        std::env::temp_dir().join(format!("s2-bench-daemon-{}-{k}.ckpt", std::process::id()));
+    let cfg = || {
+        let mut cfg = s2::DaemonConfig::new(
+            w.model.topology.clone(),
+            w.model.configs.iter().map(|c| (**c).clone()).collect(),
+            w.request.clone(),
+        );
+        cfg.opts = S2Options { workers, ..Default::default() };
+        cfg.checkpoint = Some(path.clone());
+        cfg
+    };
+    let mut d = s2::Daemon::open(cfg()).expect("daemon opens");
+    let cold_verify_ms = d.baseline_ms();
+    let mut flap = |delta: DeltaSpec| match d.apply(&delta).expect("no injected faults") {
+        AdminResponse::Committed { ms, escalated, .. } => {
+            assert!(!escalated, "a link flap must replay warm");
+            ms
+        }
+        other => panic!("flap delta must commit, got {other:?}"),
+    };
+    let down_ms = flap(DeltaSpec::LinkDown { a: "pod0-edge0".into(), b: "pod0-agg0".into() });
+    let up_ms = flap(DeltaSpec::LinkUp { a: "pod0-edge0".into(), b: "pod0-agg0".into() });
+    d.shutdown();
+    let delta_ms = (down_ms + up_ms) / 2.0;
+
+    let d = s2::Daemon::open(cfg()).expect("daemon restarts");
+    assert!(d.warm_start(), "the restart must restore the checkpoint");
+    let restore_ms = d.restore_ms().unwrap_or(0.0);
+    d.shutdown();
+    let _ = std::fs::remove_file(&path);
+    DaemonPoint {
+        k,
+        workers,
+        cold_verify_ms,
+        delta_ms,
+        restore_ms,
+        speedup: if delta_ms > 0.0 { cold_verify_ms / delta_ms } else { 0.0 },
+    }
 }
 
 /// One resilience-sweep measurement: every ≤`max_failures` link-failure
@@ -160,10 +230,12 @@ pub fn run_sweep(ks: &[usize], thread_widths: &[usize], workers: u32) -> Traject
         }
     }
     Trajectory {
+        pr: 7,
         host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
         workload: "fattree-sweep".to_string(),
         entries,
         resilience: None,
+        daemon: None,
     }
 }
 
@@ -196,7 +268,7 @@ pub fn to_json(t: &Trajectory) -> String {
     let mut o = String::new();
     o.push_str("{\n");
     let _ = writeln!(o, "  \"schema\": \"{SCHEMA}\",");
-    o.push_str("  \"pr\": 4,\n");
+    let _ = writeln!(o, "  \"pr\": {},", t.pr);
     let _ = writeln!(o, "  \"host\": {{ \"cpus\": {} }},", t.host_cpus);
     let _ = writeln!(o, "  \"workload\": \"{}\",", t.workload);
     if let Some(r) = &t.resilience {
@@ -213,6 +285,18 @@ pub fn to_json(t: &Trajectory) -> String {
         push_f64(&mut o, r.scenarios_per_sec);
         o.push_str(", \"speedup_vs_serial_full\": ");
         push_f64(&mut o, r.speedup_vs_serial_full);
+        o.push_str(" },\n");
+    }
+    if let Some(d) = &t.daemon {
+        let _ = write!(o, "  \"daemon\": {{ \"k\": {}, \"workers\": {},", d.k, d.workers);
+        o.push_str(" \"cold_verify_ms\": ");
+        push_f64(&mut o, d.cold_verify_ms);
+        o.push_str(", \"delta_ms\": ");
+        push_f64(&mut o, d.delta_ms);
+        o.push_str(", \"restore_ms\": ");
+        push_f64(&mut o, d.restore_ms);
+        o.push_str(", \"speedup\": ");
+        push_f64(&mut o, d.speedup);
         o.push_str(" },\n");
     }
     o.push_str("  \"entries\": [\n");
@@ -352,6 +436,15 @@ pub fn validate(text: &str) -> Result<(), String> {
             }
         }
     }
+    if let Some(d) = doc.get("daemon") {
+        const DAEMON_NUMS: [&str; 6] =
+            ["k", "workers", "cold_verify_ms", "delta_ms", "restore_ms", "speedup"];
+        for key in DAEMON_NUMS {
+            if d.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("daemon: missing numeric '{key}'"));
+            }
+        }
+    }
     let speedups = doc.get("cp_speedups").and_then(Json::as_arr).ok_or("missing 'cp_speedups'")?;
     for (i, s) in speedups.iter().enumerate() {
         for key in ["k", "base_threads", "wide_threads", "speedup"] {
@@ -390,10 +483,12 @@ mod tests {
             scratch_reuses: 7,
         };
         Trajectory {
+            pr: 4,
             host_cpus: 1,
             workload: "fattree-sweep".to_string(),
             entries: vec![entry(4, 1, 10.0), entry(4, 4, 5.0)],
             resilience: None,
+            daemon: None,
         }
     }
 
@@ -420,6 +515,23 @@ mod tests {
         let json = to_json(&t);
         validate(&json).expect("resilience block passes the schema check");
         let broken = json.replace("\"sweep_ms\"", "\"renamed_ms\"");
+        assert!(validate(&broken).is_err());
+    }
+
+    #[test]
+    fn daemon_block_validates_when_present() {
+        let mut t = sample();
+        t.daemon = Some(DaemonPoint {
+            k: 8,
+            workers: 2,
+            cold_verify_ms: 900.0,
+            delta_ms: 45.0,
+            restore_ms: 30.0,
+            speedup: 20.0,
+        });
+        let json = to_json(&t);
+        validate(&json).expect("daemon block passes the schema check");
+        let broken = json.replace("\"delta_ms\"", "\"renamed_ms\"");
         assert!(validate(&broken).is_err());
     }
 

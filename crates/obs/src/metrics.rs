@@ -294,8 +294,9 @@ impl MetricsSnapshot {
         };
         let mut histograms = BTreeMap::new();
         for (name, h) in raw_hists {
-            let count = field_u64(h, "count").ok_or_else(|| format!("{name}: bad count"))?;
-            let sum = field_u64(h, "sum").ok_or_else(|| format!("{name}: bad sum"))?;
+            let path = format!("histograms.{name}");
+            let count = field_u64(h, "count", &path)?;
+            let sum = field_u64(h, "sum", &path)?;
             let raw = h
                 .get("buckets")
                 .and_then(Json::as_arr)
@@ -309,7 +310,11 @@ impl MetricsSnapshot {
                 ) else {
                     return Err(format!("{name}: bad bucket pair"));
                 };
-                buckets.push((b as u32, n as u64));
+                let bpath = format!("histograms.{name}.buckets");
+                buckets.push((
+                    checked_u64(b, &bpath)? as u32,
+                    checked_u64(n, &bpath)?,
+                ));
             }
             histograms.insert(
                 name.clone(),
@@ -350,13 +355,29 @@ fn u64_map(doc: &Json, key: &str) -> Result<BTreeMap<String, u64>, String> {
     let mut out = BTreeMap::new();
     for (k, v) in fields {
         let n = v.as_num().ok_or_else(|| format!("{key}.{k}: not a number"))?;
-        out.insert(k.clone(), n as u64);
+        out.insert(k.clone(), checked_u64(n, &format!("{key}.{k}"))?);
     }
     Ok(out)
 }
 
-fn field_u64(v: &Json, key: &str) -> Option<u64> {
-    v.get(key).and_then(Json::as_num).map(|n| n as u64)
+/// Counts and durations are unsigned: a NaN or negative value would be
+/// silently cast to garbage, so name the offending key path instead.
+fn checked_u64(n: f64, path: &str) -> Result<u64, String> {
+    if !n.is_finite() {
+        return Err(format!("{path}: non-finite value"));
+    }
+    if n < 0.0 {
+        return Err(format!("{path}: negative value ({n})"));
+    }
+    Ok(n as u64)
+}
+
+fn field_u64(v: &Json, key: &str, path: &str) -> Result<u64, String> {
+    let n = v
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{path}.{key}: missing or not a number"))?;
+    checked_u64(n, &format!("{path}.{key}"))
 }
 
 #[cfg(test)]
@@ -430,5 +451,39 @@ mod tests {
         let snap = MetricsSnapshot::default();
         let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn nan_and_negative_values_rejected_with_key_path() {
+        let mk = |counters: &str, hist: &str| {
+            format!(
+                "{{\"schema\": \"s2-metrics/v1\", \"counters\": {{{counters}}}, \
+                 \"gauges\": {{}}, \"histograms\": {{{hist}}}}}"
+            )
+        };
+        let err = MetricsSnapshot::from_json(&mk("\"cp.rounds\": -3", "")).unwrap_err();
+        assert!(err.contains("counters.cp.rounds"), "{err}");
+        assert!(err.contains("negative"), "{err}");
+
+        let err = MetricsSnapshot::from_json(&mk("\"x\": 1e999", "")).unwrap_err();
+        assert!(err.contains("counters.x"), "{err}");
+        assert!(err.contains("non-finite"), "{err}");
+
+        let err = MetricsSnapshot::from_json(&mk(
+            "",
+            "\"lat\": {\"count\": -1, \"sum\": 0, \"buckets\": []}",
+        ))
+        .unwrap_err();
+        assert!(err.contains("histograms.lat.count"), "{err}");
+
+        let err = MetricsSnapshot::from_json(&mk(
+            "",
+            "\"lat\": {\"count\": 1, \"sum\": 2, \"buckets\": [[0, -7]]}",
+        ))
+        .unwrap_err();
+        assert!(err.contains("histograms.lat.buckets"), "{err}");
+
+        // Sane docs still parse.
+        assert!(MetricsSnapshot::from_json(&mk("\"ok\": 3", "")).is_ok());
     }
 }

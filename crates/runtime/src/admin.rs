@@ -1,0 +1,1200 @@
+//! Admin protocol and warm-checkpoint codec for the incremental daemon.
+//!
+//! The daemon (`s2 daemon`, crates/s2/src/daemon.rs) listens on a TCP
+//! admin socket and speaks two dialects over the same port:
+//!
+//! * **binary** — the `kind:u8 len:u32 payload` envelope of
+//!   [`crate::tcp`], kinds [`K_ADMIN_REQUEST`]/[`K_ADMIN_RESPONSE`]. Used
+//!   by `s2 admin` and CI.
+//! * **text** — any first byte ≥ 0x20 starts a newline-terminated command
+//!   (`status`, `link-down a b`, …) answered with one line of JSON, so
+//!   `echo status | nc` works. [`parse_text_command`] and
+//!   [`render_text_response`] implement it; the daemon only does the
+//!   peek-and-dispatch.
+//!
+//! The module also owns the on-disk **warm checkpoint**: the converged
+//! RIB snapshot plus the verdict summary, serialized with the same
+//! hand-rolled bounds-checked codecs as [`crate::remote`] (the vendored
+//! serde is a no-op stub, so nothing here can derive its way to disk),
+//! wrapped in a `magic + fnv64 checksum + length` header and written via
+//! write-temp-then-rename. A flipped byte or truncated file is detected
+//! by checksum and surfaces as [`CheckpointError::Corrupt`] — the daemon
+//! then falls back to a cold start rather than loading garbage.
+//!
+//! All decode paths are defensive in the [`crate::wire`] style: every
+//! read bounds-checked, every tag validated, a malformed peer or file
+//! yields an error — never a panic.
+
+use crate::faults::FaultState;
+use crate::tcp::{read_envelope, write_envelope};
+use crate::wire::WireError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use s2_dataplane::FinalKind;
+use s2_net::topology::{InterfaceId, NodeId};
+use s2_net::{Ipv4Addr, Prefix};
+use s2_routing::{RibRoute, RibSnapshot};
+use s2_net::policy::Protocol;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Envelope kind of an admin request (client → daemon).
+pub const K_ADMIN_REQUEST: u8 = 0x10;
+/// Envelope kind of an admin response (daemon → client).
+pub const K_ADMIN_RESPONSE: u8 = 0x11;
+
+/// Upper bound on an admin envelope. Route-map edits carry a device
+/// config blob, so this is generous — but bounded, so a corrupt length
+/// prefix cannot ask the receiver to allocate without limit.
+pub const MAX_ADMIN_FRAME: usize = 8 << 20;
+
+/// Magic bytes opening a warm-checkpoint file (versioned).
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"S2CKPT01";
+
+// ---- message types ----
+
+/// A configuration delta submitted to the daemon. Devices and link
+/// endpoints are referenced by hostname; the daemon resolves them
+/// against its model and rejects unknown names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaSpec {
+    /// Fail the physical link between two nodes.
+    LinkDown {
+        /// One endpoint hostname.
+        a: String,
+        /// The other endpoint hostname.
+        b: String,
+    },
+    /// Restore a previously failed link.
+    LinkUp {
+        /// One endpoint hostname.
+        a: String,
+        /// The other endpoint hostname.
+        b: String,
+    },
+    /// Replace one device's configuration (route-map edit: the full
+    /// updated config text for that device).
+    RouteMapEdit {
+        /// Hostname of the device being re-configured.
+        device: String,
+        /// The complete replacement config text.
+        config: String,
+    },
+    /// Originate an extra BGP network on a device.
+    PrefixAdd {
+        /// Hostname of the originating device.
+        device: String,
+        /// The network to originate.
+        prefix: Prefix,
+    },
+    /// Withdraw a BGP network from a device.
+    PrefixWithdraw {
+        /// Hostname of the originating device.
+        device: String,
+        /// The network to withdraw.
+        prefix: Prefix,
+    },
+}
+
+impl DeltaSpec {
+    /// Short human label for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DeltaSpec::LinkDown { .. } => "link-down",
+            DeltaSpec::LinkUp { .. } => "link-up",
+            DeltaSpec::RouteMapEdit { .. } => "route-map-edit",
+            DeltaSpec::PrefixAdd { .. } => "prefix-add",
+            DeltaSpec::PrefixWithdraw { .. } => "prefix-withdraw",
+        }
+    }
+}
+
+/// A request on the admin socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminRequest {
+    /// Report daemon state.
+    Status,
+    /// Apply one delta, verify-then-commit.
+    ApplyDelta(DeltaSpec),
+    /// Checkpoint and exit.
+    Shutdown,
+}
+
+/// A reply on the admin socket.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminResponse {
+    /// The delta verified and was committed.
+    Committed {
+        /// Committed generation after the delta.
+        generation: u64,
+        /// Wall time of the whole apply, milliseconds.
+        ms: f64,
+        /// Nodes whose RIB changed (0 for an escalated full rebuild).
+        changed_nodes: u32,
+        /// Whether the delta escalated to a full re-verification.
+        escalated: bool,
+        /// Whether all verified properties hold after the delta.
+        all_clear: bool,
+    },
+    /// The delta failed validation or exhausted its retries; warm state
+    /// is unchanged.
+    Rejected {
+        /// Why the delta was refused.
+        reason: String,
+        /// Verification attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// Daemon status.
+    Status {
+        /// Committed generation.
+        generation: u64,
+        /// Currently failed links.
+        failed_links: u32,
+        /// Whether all verified properties hold.
+        all_clear: bool,
+        /// Deltas committed since start.
+        committed: u64,
+        /// Deltas rejected since start.
+        rejected: u64,
+        /// Whether this process resumed from a warm checkpoint.
+        warm_start: bool,
+        /// [`verdict_hash`] over the committed verdict BDDs. ROBDD
+        /// serialization is canonical, so equal hashes mean equal
+        /// verdicts — CI compares this against a cold `s2 verify` run.
+        verdict_hash: u64,
+    },
+    /// Request-level failure (parse error, unknown device, …).
+    Error(String),
+    /// Acknowledges a shutdown request.
+    ShuttingDown,
+}
+
+// ---- primitive codecs (crate::remote style) ----
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Caps a peer-supplied element count before preallocation.
+fn cap(n: usize) -> usize {
+    n.min(1 << 16)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    need(buf, n)?;
+    let raw = buf.copy_to_bytes(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadValue("utf-8 string"))
+}
+
+fn put_prefix(buf: &mut BytesMut, p: &Prefix) {
+    buf.put_u32(p.addr().0);
+    buf.put_u8(p.len());
+}
+
+fn get_prefix(buf: &mut impl Buf) -> Result<Prefix, WireError> {
+    need(buf, 5)?;
+    let addr = buf.get_u32();
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(WireError::BadValue("prefix length"));
+    }
+    Ok(Prefix::new(Ipv4Addr(addr), len))
+}
+
+fn put_bool(buf: &mut BytesMut, v: bool) {
+    buf.put_u8(u8::from(v));
+}
+
+fn get_bool(buf: &mut impl Buf) -> Result<bool, WireError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::BadValue("bool")),
+    }
+}
+
+fn put_protocol(buf: &mut BytesMut, p: Protocol) {
+    buf.put_u8(match p {
+        Protocol::Connected => 0,
+        Protocol::Static => 1,
+        Protocol::Ospf => 2,
+        Protocol::Bgp => 3,
+        Protocol::Aggregate => 4,
+    });
+}
+
+fn get_protocol(buf: &mut impl Buf) -> Result<Protocol, WireError> {
+    need(buf, 1)?;
+    Ok(match buf.get_u8() {
+        0 => Protocol::Connected,
+        1 => Protocol::Static,
+        2 => Protocol::Ospf,
+        3 => Protocol::Bgp,
+        4 => Protocol::Aggregate,
+        _ => return Err(WireError::BadValue("protocol")),
+    })
+}
+
+fn put_rib_route(buf: &mut BytesMut, r: &RibRoute) {
+    put_prefix(buf, &r.prefix);
+    put_protocol(buf, r.protocol);
+    buf.put_u16(r.egress.len() as u16);
+    for e in &r.egress {
+        buf.put_u16(e.0);
+    }
+    put_bool(buf, r.is_local);
+    buf.put_u32(r.as_path_len);
+}
+
+fn get_rib_route(buf: &mut impl Buf) -> Result<RibRoute, WireError> {
+    let prefix = get_prefix(buf)?;
+    let protocol = get_protocol(buf)?;
+    need(buf, 2)?;
+    let n = buf.get_u16() as usize;
+    need(buf, n * 2)?;
+    let egress = (0..n).map(|_| InterfaceId(buf.get_u16())).collect();
+    let is_local = get_bool(buf)?;
+    need(buf, 4)?;
+    let as_path_len = buf.get_u32();
+    Ok(RibRoute {
+        prefix,
+        protocol,
+        egress,
+        is_local,
+        as_path_len,
+    })
+}
+
+fn put_final_kind(buf: &mut BytesMut, k: FinalKind) {
+    buf.put_u8(match k {
+        FinalKind::Arrive => 0,
+        FinalKind::Exit => 1,
+        FinalKind::Blackhole => 2,
+        FinalKind::Loop => 3,
+    });
+}
+
+fn get_final_kind(buf: &mut impl Buf) -> Result<FinalKind, WireError> {
+    need(buf, 1)?;
+    Ok(match buf.get_u8() {
+        0 => FinalKind::Arrive,
+        1 => FinalKind::Exit,
+        2 => FinalKind::Blackhole,
+        3 => FinalKind::Loop,
+        _ => return Err(WireError::BadValue("final kind")),
+    })
+}
+
+// ---- request / response codecs ----
+
+const T_REQ_STATUS: u8 = 1;
+const T_REQ_DELTA: u8 = 2;
+const T_REQ_SHUTDOWN: u8 = 3;
+
+const T_DELTA_LINK_DOWN: u8 = 1;
+const T_DELTA_LINK_UP: u8 = 2;
+const T_DELTA_ROUTE_MAP: u8 = 3;
+const T_DELTA_PREFIX_ADD: u8 = 4;
+const T_DELTA_PREFIX_WITHDRAW: u8 = 5;
+
+const T_RESP_COMMITTED: u8 = 1;
+const T_RESP_REJECTED: u8 = 2;
+const T_RESP_STATUS: u8 = 3;
+const T_RESP_ERROR: u8 = 4;
+const T_RESP_SHUTTING_DOWN: u8 = 5;
+
+/// Serializes a request payload (without the envelope).
+pub fn encode_request(req: &AdminRequest) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    match req {
+        AdminRequest::Status => buf.put_u8(T_REQ_STATUS),
+        AdminRequest::ApplyDelta(delta) => {
+            buf.put_u8(T_REQ_DELTA);
+            match delta {
+                DeltaSpec::LinkDown { a, b } => {
+                    buf.put_u8(T_DELTA_LINK_DOWN);
+                    put_str(&mut buf, a);
+                    put_str(&mut buf, b);
+                }
+                DeltaSpec::LinkUp { a, b } => {
+                    buf.put_u8(T_DELTA_LINK_UP);
+                    put_str(&mut buf, a);
+                    put_str(&mut buf, b);
+                }
+                DeltaSpec::RouteMapEdit { device, config } => {
+                    buf.put_u8(T_DELTA_ROUTE_MAP);
+                    put_str(&mut buf, device);
+                    put_str(&mut buf, config);
+                }
+                DeltaSpec::PrefixAdd { device, prefix } => {
+                    buf.put_u8(T_DELTA_PREFIX_ADD);
+                    put_str(&mut buf, device);
+                    put_prefix(&mut buf, prefix);
+                }
+                DeltaSpec::PrefixWithdraw { device, prefix } => {
+                    buf.put_u8(T_DELTA_PREFIX_WITHDRAW);
+                    put_str(&mut buf, device);
+                    put_prefix(&mut buf, prefix);
+                }
+            }
+        }
+        AdminRequest::Shutdown => buf.put_u8(T_REQ_SHUTDOWN),
+    }
+    buf.to_vec()
+}
+
+/// Parses a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<AdminRequest, WireError> {
+    let mut buf = Bytes::from(payload);
+    need(&buf, 1)?;
+    let req = match buf.get_u8() {
+        T_REQ_STATUS => AdminRequest::Status,
+        T_REQ_DELTA => {
+            need(&buf, 1)?;
+            let delta = match buf.get_u8() {
+                T_DELTA_LINK_DOWN => DeltaSpec::LinkDown {
+                    a: get_str(&mut buf)?,
+                    b: get_str(&mut buf)?,
+                },
+                T_DELTA_LINK_UP => DeltaSpec::LinkUp {
+                    a: get_str(&mut buf)?,
+                    b: get_str(&mut buf)?,
+                },
+                T_DELTA_ROUTE_MAP => DeltaSpec::RouteMapEdit {
+                    device: get_str(&mut buf)?,
+                    config: get_str(&mut buf)?,
+                },
+                T_DELTA_PREFIX_ADD => DeltaSpec::PrefixAdd {
+                    device: get_str(&mut buf)?,
+                    prefix: get_prefix(&mut buf)?,
+                },
+                T_DELTA_PREFIX_WITHDRAW => DeltaSpec::PrefixWithdraw {
+                    device: get_str(&mut buf)?,
+                    prefix: get_prefix(&mut buf)?,
+                },
+                _ => return Err(WireError::BadValue("delta tag")),
+            };
+            AdminRequest::ApplyDelta(delta)
+        }
+        T_REQ_SHUTDOWN => AdminRequest::Shutdown,
+        _ => return Err(WireError::BadValue("admin request tag")),
+    };
+    if buf.remaining() > 0 {
+        return Err(WireError::BadValue("trailing request bytes"));
+    }
+    Ok(req)
+}
+
+/// Serializes a response payload (without the envelope).
+pub fn encode_response(resp: &AdminResponse) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    match resp {
+        AdminResponse::Committed {
+            generation,
+            ms,
+            changed_nodes,
+            escalated,
+            all_clear,
+        } => {
+            buf.put_u8(T_RESP_COMMITTED);
+            buf.put_u64(*generation);
+            buf.put_u64(ms.to_bits());
+            buf.put_u32(*changed_nodes);
+            put_bool(&mut buf, *escalated);
+            put_bool(&mut buf, *all_clear);
+        }
+        AdminResponse::Rejected { reason, attempts } => {
+            buf.put_u8(T_RESP_REJECTED);
+            put_str(&mut buf, reason);
+            buf.put_u32(*attempts);
+        }
+        AdminResponse::Status {
+            generation,
+            failed_links,
+            all_clear,
+            committed,
+            rejected,
+            warm_start,
+            verdict_hash,
+        } => {
+            buf.put_u8(T_RESP_STATUS);
+            buf.put_u64(*generation);
+            buf.put_u32(*failed_links);
+            put_bool(&mut buf, *all_clear);
+            buf.put_u64(*committed);
+            buf.put_u64(*rejected);
+            put_bool(&mut buf, *warm_start);
+            buf.put_u64(*verdict_hash);
+        }
+        AdminResponse::Error(msg) => {
+            buf.put_u8(T_RESP_ERROR);
+            put_str(&mut buf, msg);
+        }
+        AdminResponse::ShuttingDown => buf.put_u8(T_RESP_SHUTTING_DOWN),
+    }
+    buf.to_vec()
+}
+
+/// Parses a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<AdminResponse, WireError> {
+    let mut buf = Bytes::from(payload);
+    need(&buf, 1)?;
+    let resp = match buf.get_u8() {
+        T_RESP_COMMITTED => {
+            need(&buf, 8 + 8 + 4)?;
+            let generation = buf.get_u64();
+            let ms = f64::from_bits(buf.get_u64());
+            let changed_nodes = buf.get_u32();
+            if !ms.is_finite() || ms < 0.0 {
+                return Err(WireError::BadValue("committed ms"));
+            }
+            AdminResponse::Committed {
+                generation,
+                ms,
+                changed_nodes,
+                escalated: get_bool(&mut buf)?,
+                all_clear: get_bool(&mut buf)?,
+            }
+        }
+        T_RESP_REJECTED => {
+            let reason = get_str(&mut buf)?;
+            need(&buf, 4)?;
+            AdminResponse::Rejected {
+                reason,
+                attempts: buf.get_u32(),
+            }
+        }
+        T_RESP_STATUS => {
+            need(&buf, 8 + 4)?;
+            let generation = buf.get_u64();
+            let failed_links = buf.get_u32();
+            let all_clear = get_bool(&mut buf)?;
+            need(&buf, 16)?;
+            let committed = buf.get_u64();
+            let rejected = buf.get_u64();
+            let warm_start = get_bool(&mut buf)?;
+            need(&buf, 8)?;
+            AdminResponse::Status {
+                generation,
+                failed_links,
+                all_clear,
+                committed,
+                rejected,
+                warm_start,
+                verdict_hash: buf.get_u64(),
+            }
+        }
+        T_RESP_ERROR => AdminResponse::Error(get_str(&mut buf)?),
+        T_RESP_SHUTTING_DOWN => AdminResponse::ShuttingDown,
+        _ => return Err(WireError::BadValue("admin response tag")),
+    };
+    if buf.remaining() > 0 {
+        return Err(WireError::BadValue("trailing response bytes"));
+    }
+    Ok(resp)
+}
+
+fn wire_to_io(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("admin wire: {e}"))
+}
+
+/// Writes one framed request.
+pub fn write_request(w: &mut impl Write, req: &AdminRequest) -> io::Result<()> {
+    write_envelope(w, K_ADMIN_REQUEST, &encode_request(req))
+}
+
+/// Reads one framed request. `InvalidData` on a bad kind or payload.
+pub fn read_request(r: &mut impl Read) -> io::Result<AdminRequest> {
+    let (kind, payload) = read_envelope(r, MAX_ADMIN_FRAME)?;
+    if kind != K_ADMIN_REQUEST {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected admin kind {kind}"),
+        ));
+    }
+    decode_request(&payload).map_err(wire_to_io)
+}
+
+/// Writes one framed response.
+pub fn write_response(w: &mut impl Write, resp: &AdminResponse) -> io::Result<()> {
+    write_envelope(w, K_ADMIN_RESPONSE, &encode_response(resp))
+}
+
+/// Reads one framed response. `InvalidData` on a bad kind or payload.
+pub fn read_response(r: &mut impl Read) -> io::Result<AdminResponse> {
+    let (kind, payload) = read_envelope(r, MAX_ADMIN_FRAME)?;
+    if kind != K_ADMIN_RESPONSE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected admin kind {kind}"),
+        ));
+    }
+    decode_response(&payload).map_err(wire_to_io)
+}
+
+// ---- text dialect ----
+
+/// Parses one text-mode admin line. Commands:
+///
+/// ```text
+/// status
+/// link-down <nodeA> <nodeB>
+/// link-up <nodeA> <nodeB>
+/// prefix-add <device> <a.b.c.d/len>
+/// prefix-withdraw <device> <a.b.c.d/len>
+/// shutdown
+/// ```
+///
+/// Route-map edits carry a config blob and are binary/CLI-only.
+pub fn parse_text_command(line: &str) -> Result<AdminRequest, String> {
+    let mut words = line.split_whitespace();
+    let cmd = words.next().ok_or_else(|| "empty command".to_string())?;
+    let mut two = |what: &str| -> Result<(String, String), String> {
+        let a = words
+            .next()
+            .ok_or_else(|| format!("{cmd}: missing {what}"))?
+            .to_string();
+        let b = words
+            .next()
+            .ok_or_else(|| format!("{cmd}: missing {what}"))?
+            .to_string();
+        Ok((a, b))
+    };
+    let req = match cmd {
+        "status" => AdminRequest::Status,
+        "shutdown" => AdminRequest::Shutdown,
+        "link-down" => {
+            let (a, b) = two("node name")?;
+            AdminRequest::ApplyDelta(DeltaSpec::LinkDown { a, b })
+        }
+        "link-up" => {
+            let (a, b) = two("node name")?;
+            AdminRequest::ApplyDelta(DeltaSpec::LinkUp { a, b })
+        }
+        "prefix-add" | "prefix-withdraw" => {
+            let (device, raw) = two("device / prefix")?;
+            let prefix: Prefix = raw
+                .parse()
+                .map_err(|_| format!("{cmd}: bad prefix {raw:?}"))?;
+            if cmd == "prefix-add" {
+                AdminRequest::ApplyDelta(DeltaSpec::PrefixAdd { device, prefix })
+            } else {
+                AdminRequest::ApplyDelta(DeltaSpec::PrefixWithdraw { device, prefix })
+            }
+        }
+        "route-map-edit" => {
+            return Err("route-map-edit needs a config payload; use `s2 admin route-map-edit`".into())
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    if words.next().is_some() {
+        return Err(format!("{cmd}: trailing arguments"));
+    }
+    Ok(req)
+}
+
+/// Renders a response as one line of JSON for the text dialect.
+pub fn render_text_response(resp: &AdminResponse) -> String {
+    use s2_obs::json::{push_f64, push_str};
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    match resp {
+        AdminResponse::Committed {
+            generation,
+            ms,
+            changed_nodes,
+            escalated,
+            all_clear,
+        } => {
+            out.push_str("{\"ok\":true,\"result\":\"committed\",\"generation\":");
+            out.push_str(&generation.to_string());
+            out.push_str(",\"ms\":");
+            push_f64(&mut out, *ms);
+            out.push_str(",\"changed_nodes\":");
+            out.push_str(&changed_nodes.to_string());
+            out.push_str(",\"escalated\":");
+            out.push_str(if *escalated { "true" } else { "false" });
+            out.push_str(",\"all_clear\":");
+            out.push_str(if *all_clear { "true" } else { "false" });
+            out.push('}');
+        }
+        AdminResponse::Rejected { reason, attempts } => {
+            out.push_str("{\"ok\":false,\"result\":\"rejected\",\"reason\":");
+            push_str(&mut out, reason);
+            out.push_str(",\"attempts\":");
+            out.push_str(&attempts.to_string());
+            out.push('}');
+        }
+        AdminResponse::Status {
+            generation,
+            failed_links,
+            all_clear,
+            committed,
+            rejected,
+            warm_start,
+            verdict_hash,
+        } => {
+            out.push_str("{\"ok\":true,\"result\":\"status\",\"generation\":");
+            out.push_str(&generation.to_string());
+            out.push_str(",\"failed_links\":");
+            out.push_str(&failed_links.to_string());
+            out.push_str(",\"all_clear\":");
+            out.push_str(if *all_clear { "true" } else { "false" });
+            out.push_str(",\"committed\":");
+            out.push_str(&committed.to_string());
+            out.push_str(",\"rejected\":");
+            out.push_str(&rejected.to_string());
+            out.push_str(",\"warm_start\":");
+            out.push_str(if *warm_start { "true" } else { "false" });
+            // Hex string: u64 hashes overflow an f64-backed JSON number.
+            let _ = write!(out, ",\"verdict_hash\":\"{verdict_hash:016x}\"");
+            out.push('}');
+        }
+        AdminResponse::Error(msg) => {
+            out.push_str("{\"ok\":false,\"result\":\"error\",\"reason\":");
+            push_str(&mut out, msg);
+            out.push('}');
+        }
+        AdminResponse::ShuttingDown => {
+            out.push_str("{\"ok\":true,\"result\":\"shutting-down\"}");
+        }
+    }
+    out
+}
+
+// ---- warm checkpoint ----
+
+/// The verdict summary persisted alongside the RIB snapshot: everything
+/// the daemon needs to answer status/queries and to prove byte-identity
+/// against a cold oracle after a restart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerdictSummary {
+    /// `(src, dst)` pairs whose expected prefixes fully arrived.
+    pub reachable_pairs: u64,
+    /// Pairs with missing reachability.
+    pub unreachable_pairs: Vec<(NodeId, NodeId)>,
+    /// Sources with multipath-consistency violations.
+    pub multipath_violations: Vec<NodeId>,
+    /// Loop finals observed.
+    pub loops: u64,
+    /// Blackhole finals observed.
+    pub blackholes: u64,
+    /// Serialized per-(source, kind) verdict BDDs, sorted. ROBDD
+    /// serialization is canonical across managers, so byte equality
+    /// here is semantic equality.
+    pub verdict_sets: Vec<(NodeId, FinalKind, Vec<u8>)>,
+}
+
+/// A complete on-disk warm checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmCheckpoint {
+    /// Hash of the snapshot (topology + configs) this state belongs to;
+    /// a restart against a different snapshot must go cold.
+    pub snapshot_hash: u64,
+    /// Committed generation at write time.
+    pub generation: u64,
+    /// Committed failed links, as model node pairs (sorted).
+    pub failed_links: Vec<(NodeId, NodeId)>,
+    /// The converged RIB of the committed state.
+    pub rib: RibSnapshot,
+    /// The committed verdicts.
+    pub verdict: VerdictSummary,
+}
+
+/// Why a checkpoint failed to load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read (missing counts here too).
+    Io(io::Error),
+    /// The file was read but is not a valid checkpoint: bad magic,
+    /// checksum mismatch, or malformed payload.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::Corrupt(what) => write!(f, "checkpoint corrupt: {what}"),
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Canonical hash of a verdict-set collection: FNV-1a over each
+/// `(node, kind, len, bytes)` record in order. Callers sort the sets by
+/// `(node, kind)` first (the daemon and `s2 verify --verdict-hash` both
+/// emit them sorted), so two runs agree iff their verdict BDDs agree.
+pub fn verdict_hash(sets: &[(NodeId, FinalKind, Vec<u8>)]) -> u64 {
+    let mut buf = BytesMut::new();
+    buf.put_u64(sets.len() as u64);
+    for (node, kind, bytes) in sets {
+        buf.put_u32(node.0);
+        put_final_kind(&mut buf, *kind);
+        buf.put_u64(bytes.len() as u64);
+        buf.put_slice(bytes);
+    }
+    fnv1a64(&buf)
+}
+
+/// FNV-1a 64-bit — the checkpoint (and snapshot) content hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes a checkpoint payload (header not included).
+pub fn encode_checkpoint(ckpt: &WarmCheckpoint) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u64(ckpt.snapshot_hash);
+    buf.put_u64(ckpt.generation);
+    buf.put_u32(ckpt.failed_links.len() as u32);
+    for (a, b) in &ckpt.failed_links {
+        buf.put_u32(a.0);
+        buf.put_u32(b.0);
+    }
+    buf.put_u32(ckpt.rib.per_node.len() as u32);
+    for table in &ckpt.rib.per_node {
+        buf.put_u32(table.len() as u32);
+        for r in table {
+            put_rib_route(&mut buf, r);
+        }
+    }
+    let v = &ckpt.verdict;
+    buf.put_u64(v.reachable_pairs);
+    buf.put_u32(v.unreachable_pairs.len() as u32);
+    for (s, d) in &v.unreachable_pairs {
+        buf.put_u32(s.0);
+        buf.put_u32(d.0);
+    }
+    buf.put_u32(v.multipath_violations.len() as u32);
+    for n in &v.multipath_violations {
+        buf.put_u32(n.0);
+    }
+    buf.put_u64(v.loops);
+    buf.put_u64(v.blackholes);
+    buf.put_u32(v.verdict_sets.len() as u32);
+    for (node, kind, bytes) in &v.verdict_sets {
+        buf.put_u32(node.0);
+        put_final_kind(&mut buf, *kind);
+        buf.put_u32(bytes.len() as u32);
+        buf.put_slice(bytes);
+    }
+    buf.to_vec()
+}
+
+/// Parses a checkpoint payload.
+pub fn decode_checkpoint(payload: &[u8]) -> Result<WarmCheckpoint, WireError> {
+    let mut buf = Bytes::from(payload);
+    need(&buf, 16)?;
+    let snapshot_hash = buf.get_u64();
+    let generation = buf.get_u64();
+    need(&buf, 4)?;
+    let n = buf.get_u32() as usize;
+    need(&buf, n * 8)?;
+    let failed_links = (0..n)
+        .map(|_| (NodeId(buf.get_u32()), NodeId(buf.get_u32())))
+        .collect();
+    need(&buf, 4)?;
+    let nodes = buf.get_u32() as usize;
+    let mut per_node = Vec::with_capacity(cap(nodes));
+    for _ in 0..nodes {
+        need(&buf, 4)?;
+        let routes = buf.get_u32() as usize;
+        let mut table = Vec::with_capacity(cap(routes));
+        for _ in 0..routes {
+            table.push(get_rib_route(&mut buf)?);
+        }
+        per_node.push(table);
+    }
+    need(&buf, 8 + 4)?;
+    let reachable_pairs = buf.get_u64();
+    let n = buf.get_u32() as usize;
+    need(&buf, n * 8)?;
+    let unreachable_pairs = (0..n)
+        .map(|_| (NodeId(buf.get_u32()), NodeId(buf.get_u32())))
+        .collect();
+    need(&buf, 4)?;
+    let n = buf.get_u32() as usize;
+    need(&buf, n * 4)?;
+    let multipath_violations = (0..n).map(|_| NodeId(buf.get_u32())).collect();
+    need(&buf, 16 + 4)?;
+    let loops = buf.get_u64();
+    let blackholes = buf.get_u64();
+    let n = buf.get_u32() as usize;
+    let mut verdict_sets = Vec::with_capacity(cap(n));
+    for _ in 0..n {
+        need(&buf, 4)?;
+        let node = NodeId(buf.get_u32());
+        let kind = get_final_kind(&mut buf)?;
+        need(&buf, 4)?;
+        let len = buf.get_u32() as usize;
+        need(&buf, len)?;
+        verdict_sets.push((node, kind, buf.copy_to_bytes(len).to_vec()));
+    }
+    if buf.remaining() > 0 {
+        return Err(WireError::BadValue("trailing checkpoint bytes"));
+    }
+    Ok(WarmCheckpoint {
+        snapshot_hash,
+        generation,
+        failed_links,
+        rib: RibSnapshot { per_node },
+        verdict: VerdictSummary {
+            reachable_pairs,
+            unreachable_pairs,
+            multipath_violations,
+            loops,
+            blackholes,
+            verdict_sets,
+        },
+    })
+}
+
+/// Frames a checkpoint payload into the on-disk file image:
+/// `magic(8) checksum(8) len(8) payload`.
+pub fn frame_checkpoint(payload: &[u8]) -> Vec<u8> {
+    let mut file = Vec::with_capacity(24 + payload.len());
+    file.extend_from_slice(&CHECKPOINT_MAGIC);
+    file.extend_from_slice(&fnv1a64(payload).to_be_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_be_bytes());
+    file.extend_from_slice(payload);
+    file
+}
+
+/// Reads the big-endian u64 header field starting at `at`.
+fn header_u64(file: &[u8], at: usize) -> Option<u64> {
+    let bytes: [u8; 8] = file.get(at..at + 8)?.try_into().ok()?;
+    Some(u64::from_be_bytes(bytes))
+}
+
+/// Validates a file image and returns the payload slice.
+pub fn unframe_checkpoint(file: &[u8]) -> Result<&[u8], CheckpointError> {
+    let truncated = || CheckpointError::Corrupt("truncated header");
+    let magic = file.get(..8).ok_or_else(truncated)?;
+    if magic != CHECKPOINT_MAGIC.as_slice() {
+        return Err(CheckpointError::Corrupt("bad magic"));
+    }
+    let checksum = header_u64(file, 8).ok_or_else(truncated)?;
+    let len = header_u64(file, 16).ok_or_else(truncated)? as usize;
+    let payload = file
+        .get(24..)
+        .filter(|p| p.len() == len)
+        .ok_or(CheckpointError::Corrupt("length mismatch"))?;
+    if fnv1a64(payload) != checksum {
+        return Err(CheckpointError::Corrupt("checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Writes a checkpoint atomically: encode, frame, write `<path>.tmp`,
+/// fsync, rename over `path`. A [`FaultPlan::corrupt_checkpoint`]
+/// trigger flips a payload byte *after* the checksum is computed, so the
+/// next load must detect it.
+///
+/// [`FaultPlan::corrupt_checkpoint`]: crate::faults::FaultPlan::corrupt_checkpoint
+pub fn write_checkpoint(
+    path: &Path,
+    ckpt: &WarmCheckpoint,
+    faults: &FaultState,
+) -> io::Result<()> {
+    let payload = encode_checkpoint(ckpt);
+    let mut file = frame_checkpoint(&payload);
+    let idx = faults.next_checkpoint_index();
+    if faults.corrupts_checkpoint(idx) {
+        if let Some(b) = file.last_mut() {
+            *b ^= 0xff;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&file)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads and validates a checkpoint. Every corruption mode — bad magic,
+/// flipped byte, truncation, malformed payload — comes back as
+/// [`CheckpointError::Corrupt`]; a missing file is `Io`.
+pub fn load_checkpoint(path: &Path) -> Result<WarmCheckpoint, CheckpointError> {
+    let file = std::fs::read(path)?;
+    let payload = unframe_checkpoint(&file)?;
+    decode_checkpoint(payload).map_err(|_| CheckpointError::Corrupt("payload decode"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+
+    fn sample_checkpoint() -> WarmCheckpoint {
+        WarmCheckpoint {
+            snapshot_hash: 0xdead_beef_0042,
+            generation: 7,
+            failed_links: vec![(NodeId(1), NodeId(4))],
+            rib: RibSnapshot {
+                per_node: vec![
+                    vec![RibRoute {
+                        prefix: Prefix::new(Ipv4Addr(0x0a000000), 24),
+                        protocol: Protocol::Bgp,
+                        egress: vec![InterfaceId(2), InterfaceId(3)],
+                        is_local: false,
+                        as_path_len: 3,
+                    }],
+                    vec![],
+                ],
+            },
+            verdict: VerdictSummary {
+                reachable_pairs: 12,
+                unreachable_pairs: vec![(NodeId(0), NodeId(1))],
+                multipath_violations: vec![NodeId(5)],
+                loops: 1,
+                blackholes: 2,
+                verdict_sets: vec![
+                    (NodeId(0), FinalKind::Arrive, vec![1, 2, 3]),
+                    (NodeId(1), FinalKind::Loop, vec![]),
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            AdminRequest::Status,
+            AdminRequest::Shutdown,
+            AdminRequest::ApplyDelta(DeltaSpec::LinkDown {
+                a: "edge-0".into(),
+                b: "agg-1".into(),
+            }),
+            AdminRequest::ApplyDelta(DeltaSpec::RouteMapEdit {
+                device: "core-0".into(),
+                config: "hostname core-0\n".into(),
+            }),
+            AdminRequest::ApplyDelta(DeltaSpec::PrefixAdd {
+                device: "edge-3".into(),
+                prefix: Prefix::new(Ipv4Addr(0x0a630000), 16),
+            }),
+        ];
+        for req in reqs {
+            assert_eq!(decode_request(&encode_request(&req)), Ok(req.clone()));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = [
+            AdminResponse::Committed {
+                generation: 3,
+                ms: 41.5,
+                changed_nodes: 9,
+                escalated: false,
+                all_clear: true,
+            },
+            AdminResponse::Rejected {
+                reason: "unknown device".into(),
+                attempts: 2,
+            },
+            AdminResponse::Status {
+                generation: 1,
+                failed_links: 0,
+                all_clear: true,
+                committed: 10,
+                rejected: 1,
+                warm_start: true,
+                verdict_hash: 0xfeed_beef_cafe_f00d,
+            },
+            AdminResponse::Error("nope".into()),
+            AdminResponse::ShuttingDown,
+        ];
+        for resp in resps {
+            let back = decode_response(&encode_response(&resp)).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{resp:?}"));
+        }
+    }
+
+    #[test]
+    fn truncated_encodings_error() {
+        let req = AdminRequest::ApplyDelta(DeltaSpec::PrefixWithdraw {
+            device: "edge-1".into(),
+            prefix: Prefix::new(Ipv4Addr(0x0a000000), 8),
+        });
+        let full = encode_request(&req);
+        for cut in 0..full.len() {
+            assert!(
+                decode_request(&full[..cut]).is_err(),
+                "prefix of len {cut} must not decode"
+            );
+        }
+        let resp = AdminResponse::Rejected {
+            reason: "x".into(),
+            attempts: 1,
+        };
+        let full = encode_response(&resp);
+        for cut in 0..full.len() {
+            assert!(decode_response(&full[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn non_finite_latency_rejected() {
+        let resp = AdminResponse::Committed {
+            generation: 1,
+            ms: f64::NAN,
+            changed_nodes: 0,
+            escalated: false,
+            all_clear: true,
+        };
+        assert!(decode_response(&encode_response(&resp)).is_err());
+    }
+
+    #[test]
+    fn text_commands_parse() {
+        assert_eq!(parse_text_command("status"), Ok(AdminRequest::Status));
+        assert_eq!(
+            parse_text_command("  link-down edge-0 agg-1 "),
+            Ok(AdminRequest::ApplyDelta(DeltaSpec::LinkDown {
+                a: "edge-0".into(),
+                b: "agg-1".into()
+            }))
+        );
+        assert_eq!(
+            parse_text_command("prefix-add edge-0 10.99.0.0/16"),
+            Ok(AdminRequest::ApplyDelta(DeltaSpec::PrefixAdd {
+                device: "edge-0".into(),
+                prefix: Prefix::new(Ipv4Addr(0x0a630000), 16),
+            }))
+        );
+        assert!(parse_text_command("link-down edge-0").is_err());
+        assert!(parse_text_command("prefix-add edge-0 10.0.0.0/40").is_err());
+        assert!(parse_text_command("frobnicate").is_err());
+        assert!(parse_text_command("status extra").is_err());
+        assert!(parse_text_command("").is_err());
+    }
+
+    #[test]
+    fn text_responses_are_valid_json() {
+        let resps = [
+            AdminResponse::Committed {
+                generation: 2,
+                ms: 10.0,
+                changed_nodes: 4,
+                escalated: true,
+                all_clear: false,
+            },
+            AdminResponse::Error("bad \"quote\"".into()),
+            AdminResponse::ShuttingDown,
+        ];
+        for resp in resps {
+            let line = render_text_response(&resp);
+            assert!(
+                s2_obs::parse_json(&line).is_ok(),
+                "not JSON: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ckpt = sample_checkpoint();
+        let payload = encode_checkpoint(&ckpt);
+        assert_eq!(decode_checkpoint(&payload), Ok(ckpt.clone()));
+        let file = frame_checkpoint(&payload);
+        assert_eq!(unframe_checkpoint(&file).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_and_corruption_fault() {
+        let dir = std::env::temp_dir().join(format!("s2-admin-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.ckpt");
+        let ckpt = sample_checkpoint();
+
+        let clean = FaultState::new(FaultPlan::new());
+        write_checkpoint(&path, &ckpt, &clean).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap(), ckpt);
+
+        // The second write is corrupted by the plan; the first is not.
+        let faulty = FaultState::new(FaultPlan::new().corrupt_checkpoint(1));
+        write_checkpoint(&path, &ckpt, &faulty).unwrap();
+        assert_eq!(load_checkpoint(&path).unwrap(), ckpt);
+        write_checkpoint(&path, &ckpt, &faulty).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Corrupt("checksum mismatch"))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_io_not_corrupt() {
+        let err = load_checkpoint(Path::new("/nonexistent/s2/warm.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    proptest::proptest! {
+        /// Arbitrary bytes never panic any admin decoder and never
+        /// "succeed" at being a checkpoint (a random 24+ byte file has a
+        /// 2^-64 checksum collision chance — treat as impossible).
+        #[test]
+        fn prop_arbitrary_admin_bytes_never_panic(
+            raw in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..512),
+        ) {
+            let _ = decode_request(&raw);
+            let _ = decode_response(&raw);
+            let _ = decode_checkpoint(&raw);
+            let _ = unframe_checkpoint(&raw);
+        }
+
+        /// Any single-byte flip anywhere in a framed checkpoint is
+        /// detected: the load either fails, or (flips confined to the
+        /// checksum-protected header being impossible to miss) never
+        /// yields a *different* checkpoint than the original.
+        #[test]
+        fn prop_single_byte_flip_detected(pos in 0usize..4096, bit in 0u8..8) {
+            let ckpt = sample_checkpoint();
+            let mut file = frame_checkpoint(&encode_checkpoint(&ckpt));
+            let pos = pos % file.len();
+            file[pos] ^= 1 << bit;
+            match unframe_checkpoint(&file) {
+                Err(_) => {}
+                Ok(payload) => {
+                    // Flip must have been... nowhere: any flip changes
+                    // magic, checksum, length, or payload, all covered.
+                    proptest::prop_assert!(false, "flip at {pos} undetected: {payload:?}");
+                }
+            }
+        }
+
+        /// Truncating a framed checkpoint at any point is detected.
+        #[test]
+        fn prop_truncation_detected(cut in 0usize..4096) {
+            let ckpt = sample_checkpoint();
+            let file = frame_checkpoint(&encode_checkpoint(&ckpt));
+            let cut = cut % file.len();
+            proptest::prop_assert!(unframe_checkpoint(&file[..cut]).is_err());
+        }
+    }
+}

@@ -20,6 +20,26 @@ use std::time::Duration;
 /// Worker index (mirrors [`crate::sidecar::WorkerId`]).
 type WorkerId = u32;
 
+/// The phases of a daemon delta application, used to place
+/// [`FaultPlan::crash_daemon`] triggers. Each committed delta walks the
+/// phases in order; a crash trigger fires the first time the daemon
+/// *enters* the named phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DaemonPhase {
+    /// Parsing / resolving the delta against the current model.
+    Validate,
+    /// Staging the scenario overlay (checkpoint rollback + begin).
+    Stage,
+    /// Warm control-plane replay of the staged overlay.
+    Replay,
+    /// Patched data-plane verification of the staged overlay.
+    Dpv,
+    /// Atomic swap of the committed verdict state.
+    Commit,
+    /// Writing the on-disk warm checkpoint.
+    Checkpoint,
+}
+
 /// A deterministic schedule of injected failures.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -37,6 +57,12 @@ pub struct FaultPlan {
     throttle: Vec<(WorkerId, WorkerId, u64)>,
     /// Model-level failed links, as topology node pairs.
     fail_links: Vec<(NodeId, NodeId)>,
+    /// Daemon crash points: abort the daemon on entering these phases.
+    crash_daemon: Vec<DaemonPhase>,
+    /// Admin connections to drop, by 0-based accepted-request index.
+    drop_admin: Vec<u64>,
+    /// Checkpoint writes to corrupt, by 0-based write index.
+    corrupt_checkpoint: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -134,6 +160,31 @@ impl FaultPlan {
         &self.fail_links
     }
 
+    /// Crashes the daemon the first time it enters `phase` of a delta
+    /// application (the process aborts as if `kill -9`'d; the chaos
+    /// harness restarts it from the warm checkpoint). Fires once per
+    /// registered phase.
+    pub fn crash_daemon(mut self, phase: DaemonPhase) -> Self {
+        self.crash_daemon.push(phase);
+        self
+    }
+
+    /// Drops the admin connection serving the `nth` accepted request
+    /// (0-based) before a reply is written, so the client sees an abrupt
+    /// close mid-exchange.
+    pub fn drop_admin_conn(mut self, nth: u64) -> Self {
+        self.drop_admin.push(nth);
+        self
+    }
+
+    /// Flips a byte of the `nth` on-disk checkpoint write (0-based), so
+    /// the restart path must detect it by checksum and fall back to a
+    /// cold start.
+    pub fn corrupt_checkpoint(mut self, nth: u64) -> Self {
+        self.corrupt_checkpoint.push(nth);
+        self
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
         self.kill.is_none()
@@ -146,6 +197,9 @@ impl FaultPlan {
             && self.partition.is_none()
             && self.throttle.is_empty()
             && self.fail_links.is_empty()
+            && self.crash_daemon.is_empty()
+            && self.drop_admin.is_empty()
+            && self.corrupt_checkpoint.is_empty()
     }
 }
 
@@ -158,6 +212,12 @@ pub struct FaultState {
     send_index: AtomicU64,
     /// One-shot flags, parallel to `plan.sever`.
     sever_fired: Vec<AtomicBool>,
+    /// One-shot flags, parallel to `plan.crash_daemon`.
+    crash_fired: Vec<AtomicBool>,
+    /// Accepted-admin-request counter (0-based, accept order).
+    admin_index: AtomicU64,
+    /// Checkpoint-write counter (0-based, write order).
+    checkpoint_index: AtomicU64,
     /// Time source for the partition window. Production uses the
     /// process-wide monotonic clock; tests substitute a [`ManualClock`]
     /// so window expiry is deterministic.
@@ -195,12 +255,20 @@ impl FaultState {
     /// [`ManualClock`](s2_obs::ManualClock) by hand).
     pub fn with_clock(plan: FaultPlan, clock: Arc<dyn Clock>) -> Self {
         let sever_fired = plan.sever.iter().map(|_| AtomicBool::new(false)).collect();
+        let crash_fired = plan
+            .crash_daemon
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect();
         FaultState {
             plan,
             kill_fired: AtomicBool::new(false),
             hang_fired: AtomicBool::new(false),
             send_index: AtomicU64::new(0),
             sever_fired,
+            crash_fired,
+            admin_index: AtomicU64::new(0),
+            checkpoint_index: AtomicU64::new(0),
             clock,
             partition_until_ns: Mutex::new(None),
         }
@@ -299,6 +367,37 @@ impl FaultState {
         matches!(*self.partition_until_ns.lock(), Some(until) if self.clock.now_ns() < until)
     }
 
+    /// Whether the daemon must crash on entering `phase`. Consumes the
+    /// matching trigger (one-shot per registered phase).
+    pub fn should_crash_daemon(&self, phase: DaemonPhase) -> bool {
+        self.plan
+            .crash_daemon
+            .iter()
+            .zip(&self.crash_fired)
+            .any(|(&p, fired)| p == phase && !fired.swap(true, Ordering::Relaxed))
+    }
+
+    /// Claims the next admin-request index (0-based, accept order).
+    pub fn next_admin_index(&self) -> u64 {
+        self.admin_index.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whether the admin connection serving request `idx` must be
+    /// dropped before the reply.
+    pub fn drops_admin_conn(&self, idx: u64) -> bool {
+        self.plan.drop_admin.contains(&idx)
+    }
+
+    /// Claims the next checkpoint-write index (0-based, write order).
+    pub fn next_checkpoint_index(&self) -> u64 {
+        self.checkpoint_index.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whether checkpoint write `idx` must be corrupted on disk.
+    pub fn corrupts_checkpoint(&self, idx: u64) -> bool {
+        self.plan.corrupt_checkpoint.contains(&idx)
+    }
+
     /// The per-frame delay (ms) scheduled for link `src → dst`, if any.
     pub fn throttle_of(&self, src: WorkerId, dst: WorkerId) -> Option<u64> {
         self.plan
@@ -388,6 +487,38 @@ mod tests {
         let s = FaultState::new(plan);
         assert!(!s.should_kill(1, 1));
         assert_eq!(s.plan().failed_links().len(), 1);
+    }
+
+    #[test]
+    fn daemon_crash_trigger_fires_once_per_phase() {
+        let s = FaultState::new(
+            FaultPlan::new()
+                .crash_daemon(DaemonPhase::Commit)
+                .crash_daemon(DaemonPhase::Replay),
+        );
+        assert!(!s.should_crash_daemon(DaemonPhase::Validate));
+        assert!(s.should_crash_daemon(DaemonPhase::Replay));
+        assert!(!s.should_crash_daemon(DaemonPhase::Replay), "one-shot");
+        assert!(s.should_crash_daemon(DaemonPhase::Commit));
+        assert!(!s.should_crash_daemon(DaemonPhase::Commit), "one-shot");
+    }
+
+    #[test]
+    fn admin_and_checkpoint_triggers_index_deterministically() {
+        let s = FaultState::new(
+            FaultPlan::new()
+                .drop_admin_conn(1)
+                .corrupt_checkpoint(0)
+                .corrupt_checkpoint(2),
+        );
+        assert!(!s.plan().is_empty());
+        assert_eq!(s.next_admin_index(), 0);
+        assert_eq!(s.next_admin_index(), 1);
+        assert!(s.drops_admin_conn(1) && !s.drops_admin_conn(0));
+        assert_eq!(s.next_checkpoint_index(), 0);
+        assert!(s.corrupts_checkpoint(0));
+        assert!(!s.corrupts_checkpoint(1));
+        assert!(s.corrupts_checkpoint(2));
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 #![deny(missing_docs)]
 
+pub mod admin;
 pub mod controller;
 pub mod credit;
 pub mod faults;
@@ -59,10 +60,13 @@ pub mod transport;
 pub mod wire;
 pub mod worker;
 
+pub use admin::{
+    AdminRequest, AdminResponse, CheckpointError, DeltaSpec, VerdictSummary, WarmCheckpoint,
+};
 pub use controller::{
     Cluster, ClusterOptions, CpRunStats, DpvRunStats, RuntimeConfig, RuntimeError,
 };
-pub use faults::{FaultPlan, FaultState};
+pub use faults::{DaemonPhase, FaultPlan, FaultState};
 pub use memstats::{CacheStats, MemGauge, MemReport};
 pub use metrics::RunMetrics;
 pub use pool::EvalPool;

@@ -37,16 +37,20 @@
 //! (verify only) writes the unified per-worker + aggregate metrics
 //! snapshot as JSON.
 
-use s2::{ingest, topofile, S2Options, S2Verifier, ScenarioStatus, SweepOptions, VerificationRequest};
+use s2::{
+    ingest, topofile, Daemon, DaemonConfig, S2Options, S2Verifier, ScenarioStatus, SweepOptions,
+    VerificationRequest,
+};
 use s2_net::topology::NodeId;
 use s2_net::Prefix;
+use s2_runtime::admin::{parse_text_command, render_text_response, AdminRequest, DeltaSpec};
 use s2_runtime::TransportKind;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  s2 verify   --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE] [--metrics-out FILE]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE]\n  s2 sweep    (--fattree K | --topology FILE --configs DIR --expect HOST=PREFIX...) \\\n              [--max-failures N] [--json FILE] [--deadline-secs S] \\\n              [--workers N] [--threads T] [--trace-out FILE]\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
+        "usage:\n  s2 verify   (--fattree K | --topology FILE --configs DIR) [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE] [--metrics-out FILE] [--verdict-hash]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE]\n  s2 sweep    (--fattree K | --topology FILE --configs DIR --expect HOST=PREFIX...) \\\n              [--max-failures N] [--json FILE] [--deadline-secs S] \\\n              [--workers N] [--threads T] [--trace-out FILE]\n  s2 daemon   (--fattree K | --topology FILE --configs DIR --expect HOST=PREFIX...) \\\n              [--admin ADDR] [--checkpoint FILE] [--deadline-secs S] \\\n              [--workers N] [--threads T] [--trace-out FILE]\n  s2 admin    --connect ADDR (status | shutdown | link-down A B | link-up A B | \\\n              prefix-add HOST PREFIX | prefix-withdraw HOST PREFIX | \\\n              route-map-edit HOST CONFIG_FILE)\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
     );
     ExitCode::from(2)
 }
@@ -70,6 +74,9 @@ struct Args {
     max_failures: usize,
     json_out: Option<PathBuf>,
     deadline_secs: u64,
+    admin: String,
+    checkpoint: Option<PathBuf>,
+    verdict_hash: bool,
 }
 
 fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
@@ -92,6 +99,9 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
         max_failures: 1,
         json_out: None,
         deadline_secs: 30,
+        admin: "127.0.0.1:0".to_string(),
+        checkpoint: None,
+        verdict_hash: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -137,6 +147,9 @@ fn parse_args(mut argv: std::vec::IntoIter<String>) -> Result<Args, String> {
                 args.deadline_secs =
                     value()?.parse().map_err(|e| format!("--deadline-secs: {e}"))?
             }
+            "--admin" => args.admin = value()?,
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value()?)),
+            "--verdict-hash" => args.verdict_hash = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -257,11 +270,10 @@ fn build_request(model: &s2::NetworkModel, args: &Args) -> Result<VerificationRe
 }
 
 fn cmd_verify(args: Args) -> Result<(), String> {
-    let model = load(&args)?;
+    let (model, request) = load_model_request(&args)?;
     for d in &model.session_diagnostics {
         eprintln!("warning: session diagnostic: {d:?}");
     }
-    let request = build_request(&model, &args)?;
     obs_begin(&args);
     let verifier = make_verifier(model, &args)?;
     let report = verifier.verify(&request).map_err(|e| e.to_string())?;
@@ -277,6 +289,12 @@ fn cmd_verify(args: Args) -> Result<(), String> {
     for (s, d) in &report.dpv.unreachable_pairs {
         println!("UNREACHABLE: {s} -> {d}");
     }
+    if args.verdict_hash {
+        println!(
+            "verdict-hash: {:016x}",
+            s2_runtime::admin::verdict_hash(&report.dpv.verdict_sets)
+        );
+    }
     if report.all_clear() {
         println!("verdict: CLEAN");
         Ok(())
@@ -285,13 +303,12 @@ fn cmd_verify(args: Args) -> Result<(), String> {
     }
 }
 
-/// Runs a resilience sweep: baseline verification once over a warm
-/// runtime, then every ≤`--max-failures` link-failure scenario
-/// re-verified incrementally. `--fattree K` synthesizes the network and
-/// an all-pair edge-reachability request in-memory; otherwise the
-/// topology, configs and `--expect` endpoints are loaded as in `verify`.
-fn cmd_sweep(args: Args) -> Result<(), String> {
-    let (model, request) = match args.fattree {
+/// Builds the (model, request) pair for sweep/daemon modes: `--fattree K`
+/// synthesizes the network and an all-pair edge-reachability request
+/// in-memory; otherwise the topology, configs and `--expect` endpoints
+/// are loaded as in `verify`.
+fn load_model_request(args: &Args) -> Result<(s2::NetworkModel, VerificationRequest), String> {
+    match args.fattree {
         Some(k) => {
             let ft = s2_topogen::fattree::generate(s2_topogen::fattree::FatTreeParams::new(k));
             let model = s2::NetworkModel::build(ft.topology.clone(), ft.configs.clone())
@@ -308,14 +325,23 @@ fn cmd_sweep(args: Args) -> Result<(), String> {
                 endpoints,
                 "10.0.0.0/8".parse().expect("valid"),
             );
-            (model, request)
+            Ok((model, request))
         }
         None => {
-            let model = load(&args)?;
-            let request = build_request(&model, &args)?;
-            (model, request)
+            let model = load(args)?;
+            let request = build_request(&model, args)?;
+            Ok((model, request))
         }
-    };
+    }
+}
+
+/// Runs a resilience sweep: baseline verification once over a warm
+/// runtime, then every ≤`--max-failures` link-failure scenario
+/// re-verified incrementally. `--fattree K` synthesizes the network and
+/// an all-pair edge-reachability request in-memory; otherwise the
+/// topology, configs and `--expect` endpoints are loaded as in `verify`.
+fn cmd_sweep(args: Args) -> Result<(), String> {
+    let (model, request) = load_model_request(&args)?;
     let topo = model.topology.clone();
     obs_begin(&args);
     let verifier = make_verifier(model, &args)?;
@@ -355,6 +381,83 @@ fn cmd_sweep(args: Args) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("sweep: {} scenario(s) undetermined", report.undetermined))
+    }
+}
+
+/// Runs the incremental verification daemon: verify the snapshot once
+/// (or restore a warm checkpoint), then serve verify-then-commit deltas
+/// over the `--admin` TCP socket until a `shutdown` request.
+fn cmd_daemon(args: Args) -> Result<(), String> {
+    let (model, request) = load_model_request(&args)?;
+    obs_begin(&args);
+    let mut cfg = DaemonConfig::new(
+        model.topology.clone(),
+        model.configs.iter().map(|c| (**c).clone()).collect(),
+        request,
+    );
+    cfg.opts = S2Options {
+        workers: args.workers,
+        shards: args.shards,
+        intra_worker_threads: args.threads.max(1),
+        ..Default::default()
+    };
+    cfg.checkpoint = args.checkpoint.clone();
+    cfg.delta_deadline = std::time::Duration::from_secs(args.deadline_secs);
+    let listener = std::net::TcpListener::bind(&args.admin)
+        .map_err(|e| format!("--admin {}: {e}", args.admin))?;
+    let daemon = Daemon::open(cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "daemon: generation {} ({}) baseline {:.1} ms verdict-hash {:016x}",
+        daemon.generation(),
+        if daemon.warm_start() { "warm restart" } else { "cold start" },
+        daemon.baseline_ms(),
+        daemon.verdict_hash(),
+    );
+    daemon.serve(listener).map_err(|e| format!("daemon: {e}"))?;
+    obs_finish(&args)?;
+    Ok(())
+}
+
+/// One-shot admin client: sends a single text-grammar command to a
+/// running daemon over the binary protocol and prints the JSON reply.
+/// Exits non-zero when the daemon rejects the delta.
+fn cmd_admin(argv: Vec<String>) -> Result<(), String> {
+    let mut connect = None;
+    let mut words = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => {
+                connect = Some(it.next().ok_or_else(|| "--connect needs a value".to_string())?)
+            }
+            _ => words.push(arg),
+        }
+    }
+    let addr = connect.ok_or_else(|| "s2 admin requires --connect ADDR".to_string())?;
+    if words.is_empty() {
+        return Err("s2 admin requires a command (try: status)".into());
+    }
+    // `route-map-edit HOST FILE` carries a whole config text, so the
+    // file is read here rather than squeezed through the line grammar.
+    let req = if words[0] == "route-map-edit" {
+        if words.len() != 3 {
+            return Err("route-map-edit wants HOST CONFIG_FILE".into());
+        }
+        let config = std::fs::read_to_string(&words[2])
+            .map_err(|e| format!("route-map-edit {}: {e}", words[2]))?;
+        AdminRequest::ApplyDelta(DeltaSpec::RouteMapEdit { device: words[1].clone(), config })
+    } else {
+        parse_text_command(&words.join(" "))?
+    };
+    let resp = s2::daemon::admin_roundtrip(&addr, &req)
+        .map_err(|e| format!("admin {addr}: {e}"))?;
+    println!("{}", render_text_response(&resp));
+    match resp {
+        s2_runtime::admin::AdminResponse::Rejected { reason, .. } => {
+            Err(format!("rejected: {reason}"))
+        }
+        s2_runtime::admin::AdminResponse::Error(message) => Err(format!("error: {message}")),
+        _ => Ok(()),
     }
 }
 
@@ -424,6 +527,8 @@ fn main() -> ExitCode {
         "verify" => parse_args(argv.into_iter()).and_then(cmd_verify),
         "simulate" => parse_args(argv.into_iter()).and_then(cmd_simulate),
         "sweep" => parse_args(argv.into_iter()).and_then(cmd_sweep),
+        "daemon" => parse_args(argv.into_iter()).and_then(cmd_daemon),
+        "admin" => cmd_admin(argv),
         "worker" => parse_args(argv.into_iter()).and_then(cmd_worker),
         "gen-fattree" => {
             if argv.len() != 2 {

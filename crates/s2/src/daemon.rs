@@ -1,0 +1,923 @@
+//! `s2d`: the crash-safe incremental verification daemon.
+//!
+//! The daemon loads a snapshot (topology + configs), verifies it once,
+//! and then holds the fleet **warm**: converged switches, compiled
+//! forwarding predicates, a scenario checkpoint on every worker.
+//! Configuration deltas — link down/up, route-map edits, prefix
+//! add/withdraw — arrive over a TCP admin socket
+//! ([`s2_runtime::admin`]) and are applied **verify-then-commit**:
+//!
+//! 1. **Validate** — resolve names against the model; malformed or
+//!    inapplicable deltas are rejected without touching the fleet.
+//! 2. **Stage/Replay/Dpv** — link deltas run as a *warm scenario* on a
+//!    shadow generation: the cumulative failed-link overlay is replayed
+//!    from the workers' scenario checkpoint (delta-driven BGP fix
+//!    point, changed-node predicate recompile, full data-plane check),
+//!    then rolled back so the warm baseline is never consumed.
+//!    Config-content deltas (and link deltas the warm path cannot
+//!    verify, e.g. an OSPF adjacency on the failed link) **escalate**:
+//!    a blue/green rebuild verifies the new snapshot on a fresh fleet
+//!    while the old fleet keeps serving.
+//! 3. **Commit** — only a fully verified candidate replaces the
+//!    committed RIB + verdict state, atomically, bumping the
+//!    generation. Any failure — deadline, lost worker, rebuild error —
+//!    rolls back, retries with jittered bounded backoff, escalates to
+//!    a full re-verification, and finally degrades to
+//!    `rejected(reason)`. The daemon never wedges: after any outcome
+//!    it is ready for the next delta.
+//! 4. **Checkpoint** — the committed state is persisted
+//!    (write-temp-then-rename, checksummed) so a `kill -9` resumes
+//!    warm: on restart the checkpoint pre-seeds the committed verdicts
+//!    instantly, the fleet rebuilds with the failed links baked into
+//!    the model, and the recomputed verdict BDDs are byte-compared
+//!    against the checkpoint (canonical ROBDD serialization makes
+//!    byte equality semantic equality). A corrupt or mismatched
+//!    checkpoint falls back to a cold start — never loads garbage.
+//!
+//! Chaos hooks: [`FaultPlan::crash_daemon`] aborts the daemon at any
+//! phase above, [`FaultPlan::drop_admin_conn`] severs admin
+//! connections, [`FaultPlan::corrupt_checkpoint`] flips checkpoint
+//! bytes — the fault-tolerance suite drives all three.
+//!
+//! [`FaultPlan::crash_daemon`]: s2_runtime::FaultPlan::crash_daemon
+//! [`FaultPlan::drop_admin_conn`]: s2_runtime::FaultPlan::drop_admin_conn
+//! [`FaultPlan::corrupt_checkpoint`]: s2_runtime::FaultPlan::corrupt_checkpoint
+
+use crate::query::VerificationRequest;
+use crate::sweep::{
+    changed_nodes, classify, retry_backoff, scenario_ports, LinkKey, ScenarioFail, WarmBaseline,
+};
+use crate::verifier::{S2Error, S2Options, S2Verifier};
+use s2_net::config::{DeviceConfig, Network};
+use s2_net::topology::{InterfaceId, NodeId, Topology};
+use s2_obs::{Deadline, Registry, Stopwatch};
+use s2_routing::{NetworkModel, RibSnapshot};
+use s2_runtime::admin::{
+    self, fnv1a64, parse_text_command, render_text_response, AdminRequest, AdminResponse,
+    DeltaSpec, VerdictSummary, WarmCheckpoint,
+};
+use s2_runtime::{
+    CheckpointError, ClusterOptions, DaemonPhase, DpvRunStats, FaultPlan, FaultState,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything needed to start (or restart) a daemon.
+#[derive(Clone)]
+pub struct DaemonConfig {
+    /// The physical topology of the snapshot.
+    pub topology: Topology,
+    /// Per-device configurations; updated in place by committed
+    /// route-map / prefix deltas.
+    pub configs: Vec<DeviceConfig>,
+    /// The standing verification request re-checked after every delta.
+    pub request: VerificationRequest,
+    /// Fleet options. `opts.runtime.faults` seeds both the cluster's
+    /// fault state and the daemon's own phase/connection/checkpoint
+    /// triggers (independent one-shot counters).
+    pub opts: S2Options,
+    /// Warm-checkpoint path; `None` disables persistence.
+    pub checkpoint: Option<PathBuf>,
+    /// Total wall-clock budget per delta, retries and backoff included.
+    pub delta_deadline: Duration,
+    /// Warm re-verification retries before escalating to a rebuild.
+    pub max_retries: usize,
+    /// Base retry backoff (exponential, jittered, fence-capped).
+    pub retry_backoff: Duration,
+}
+
+impl DaemonConfig {
+    /// A config with the sweep-style fencing defaults.
+    pub fn new(topology: Topology, configs: Vec<DeviceConfig>, request: VerificationRequest) -> Self {
+        DaemonConfig {
+            topology,
+            configs,
+            request,
+            opts: S2Options::default(),
+            checkpoint: None,
+            delta_deadline: Duration::from_secs(30),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// An injected daemon crash surfaced to a test harness. In
+/// [`Daemon::serve`] the process aborts instead (the real `kill -9`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonCrash(pub DaemonPhase);
+
+impl std::fmt::Display for DaemonCrash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "daemon crashed in phase {:?}", self.0)
+    }
+}
+
+/// The committed (serving) state: what `status` reports, what the
+/// checkpoint persists, what the next delta is diffed against.
+struct Committed {
+    generation: u64,
+    rib: Arc<RibSnapshot>,
+    verdict: VerdictSummary,
+    all_clear: bool,
+}
+
+/// What validation decided to do with a delta.
+enum Action {
+    /// Re-verify the new cumulative failed-link overlay warm.
+    Warm(Vec<LinkKey>),
+    /// Blue/green rebuild with these configs and model-baked links.
+    Escalate(Vec<DeviceConfig>, Vec<(NodeId, NodeId)>),
+}
+
+/// A warm-attempt candidate: scenario RIB plus its full DPV outcome.
+type WarmCandidate = (Arc<RibSnapshot>, DpvRunStats);
+
+/// The incremental verification daemon. See the module docs for the
+/// delta lifecycle.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    verifier: S2Verifier,
+    waypoints: BTreeMap<NodeId, u16>,
+    copts: ClusterOptions,
+    /// The warm baseline of the *current fleet*: the converged state
+    /// every warm scenario replays from. Under a non-empty overlay the
+    /// committed state differs from the baseline (the overlay is
+    /// re-applied as a scenario per delta).
+    baseline: WarmBaseline,
+    committed: Committed,
+    /// Links failed into the model of the current fleet (escalated
+    /// commits and checkpoint restores land here).
+    baked: Vec<(NodeId, NodeId)>,
+    /// Links failed on top of the baked model as a warm overlay.
+    overlay: Vec<LinkKey>,
+    snapshot_hash: u64,
+    /// Daemon-side fault triggers (crash points, dropped admin
+    /// connections, corrupted checkpoints). Built from the same plan as
+    /// the cluster's state but counts independently.
+    faults: FaultState,
+    warm_start: bool,
+    /// Milliseconds until checkpointed verdicts were servable again
+    /// (warm restarts only) — the honest "resumes warm" metric.
+    restore_ms: Option<f64>,
+    committed_count: u64,
+    rejected_count: u64,
+    /// `serve` mode: injected crashes abort the process instead of
+    /// returning [`DaemonCrash`].
+    abort_on_crash: bool,
+}
+
+/// Stable content hash of a snapshot. Node names and links come from
+/// the topology in insertion order; configs use their (deterministic,
+/// `BTreeMap`-backed) `Debug` form. Never hash the `Topology` value
+/// directly — its name index is a `HashMap` with per-process order.
+pub fn snapshot_hash(topology: &Topology, configs: &[DeviceConfig]) -> u64 {
+    let mut text = String::new();
+    for node in topology.nodes() {
+        let _ = write!(text, "{}|", topology.name(node));
+    }
+    let _ = write!(text, "{:?}|{configs:?}", topology.links());
+    fnv1a64(text.as_bytes())
+}
+
+/// Whether a DPV outcome satisfies every requested property
+/// ([`crate::report::S2Report::all_clear`] minus session diagnostics,
+/// which are fixed at model build).
+fn dpv_all_clear(dpv: &DpvRunStats) -> bool {
+    dpv.unreachable_pairs.is_empty()
+        && dpv.loops == 0
+        && dpv.waypoint_violations.is_empty()
+        && dpv.multipath_violations.is_empty()
+}
+
+/// Extracts the persistable verdict summary of a DPV outcome.
+fn summarize(dpv: &DpvRunStats) -> VerdictSummary {
+    VerdictSummary {
+        reachable_pairs: dpv.reachable_pairs as u64,
+        unreachable_pairs: dpv.unreachable_pairs.clone(),
+        multipath_violations: dpv.multipath_violations.clone(),
+        loops: dpv.loops as u64,
+        blackholes: dpv.blackholes as u64,
+        verdict_sets: dpv.verdict_sets.clone(),
+    }
+}
+
+/// Normalised node pair of a link (smaller id first).
+fn node_pair(key: &LinkKey) -> (NodeId, NodeId) {
+    let (a, b) = (key.0 .0, key.1 .0);
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Daemon {
+    /// Starts the daemon: restores the warm checkpoint when one exists
+    /// and matches the snapshot (corrupt or stale checkpoints fall back
+    /// to a cold start), spawns the fleet, and builds the warm
+    /// baseline.
+    pub fn open(cfg: DaemonConfig) -> Result<Daemon, S2Error> {
+        let _span = s2_obs::span!("daemon.open");
+        let sw = Stopwatch::start();
+        let snapshot_hash = snapshot_hash(&cfg.topology, &cfg.configs);
+        let faults = FaultState::new(cfg.opts.runtime.faults.clone());
+        let restore = cfg.checkpoint.as_deref().and_then(|path| {
+            match admin::load_checkpoint(path) {
+                Ok(ckpt) if ckpt.snapshot_hash == snapshot_hash => Some(ckpt),
+                Ok(_) => {
+                    s2_obs::recorder::dump("daemon-checkpoint-snapshot-mismatch");
+                    None
+                }
+                Err(CheckpointError::Io(_)) => None,
+                Err(CheckpointError::Corrupt(what)) => {
+                    s2_obs::recorder::dump("daemon-checkpoint-corrupt");
+                    s2_obs::event!("daemon.checkpoint_corrupt", what.len());
+                    None
+                }
+            }
+        });
+
+        let baked: Vec<(NodeId, NodeId)> =
+            restore.as_ref().map(|c| c.failed_links.clone()).unwrap_or_default();
+        let mut opts = cfg.opts.clone();
+        for &(a, b) in &baked {
+            opts.runtime.faults = opts.runtime.faults.clone().fail_link(a, b);
+        }
+        let model = NetworkModel::build(cfg.topology.clone(), cfg.configs.clone())?;
+        let verifier = S2Verifier::new(model, &opts)?;
+        let waypoints: BTreeMap<NodeId, u16> = cfg
+            .request
+            .transits
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u16))
+            .collect();
+        let copts = verifier.cluster_opts();
+
+        // A matching checkpoint makes the committed verdicts servable
+        // before the fleet even finishes warming — that gap is the
+        // restore latency worth reporting.
+        let (mut committed, warm_start, restore_ms) = match restore {
+            Some(ckpt) => {
+                let verdict = ckpt.verdict;
+                let all_clear = verdict.unreachable_pairs.is_empty()
+                    && verdict.loops == 0
+                    && verdict.multipath_violations.is_empty();
+                let c = Committed {
+                    generation: ckpt.generation,
+                    rib: Arc::new(ckpt.rib),
+                    verdict,
+                    all_clear,
+                };
+                (c, true, Some(sw.elapsed().as_secs_f64() * 1000.0))
+            }
+            None => (
+                Committed {
+                    generation: 0,
+                    rib: Arc::new(RibSnapshot { per_node: Vec::new() }),
+                    verdict: VerdictSummary::default(),
+                    all_clear: false,
+                },
+                false,
+                None,
+            ),
+        };
+
+        let baseline = verifier.warm_up(&cfg.request, &waypoints, &copts)?;
+        if warm_start {
+            // Determinism check: the rebuilt fleet's verdict BDDs must
+            // be byte-identical to the checkpointed ones. If they are
+            // not, the recomputation is the truth — adopt it loudly.
+            if committed.verdict.verdict_sets != baseline.dpv.verdict_sets {
+                s2_obs::recorder::dump("daemon-restore-verdict-drift");
+                s2_obs::event!("daemon.restore_drift", 1);
+                committed.rib = baseline.rib.clone();
+                committed.verdict = summarize(&baseline.dpv);
+                committed.all_clear = dpv_all_clear(&baseline.dpv);
+            } else {
+                committed.rib = baseline.rib.clone();
+                committed.all_clear = dpv_all_clear(&baseline.dpv);
+            }
+        } else {
+            committed.rib = baseline.rib.clone();
+            committed.verdict = summarize(&baseline.dpv);
+            committed.all_clear = dpv_all_clear(&baseline.dpv);
+        }
+        s2_obs::event!("daemon.open", committed.generation as usize);
+
+        let daemon = Daemon {
+            cfg,
+            verifier,
+            waypoints,
+            copts,
+            baseline,
+            committed,
+            baked,
+            overlay: Vec::new(),
+            snapshot_hash,
+            faults,
+            warm_start,
+            restore_ms,
+            committed_count: 0,
+            rejected_count: 0,
+            abort_on_crash: false,
+        };
+        // Persist generation 0 immediately: a `kill -9` before the first
+        // delta must still restart warm.
+        if !daemon.warm_start {
+            daemon.checkpoint_now();
+        }
+        Ok(daemon)
+    }
+
+    /// Committed generation.
+    pub fn generation(&self) -> u64 {
+        self.committed.generation
+    }
+
+    /// Whether this instance restored from a warm checkpoint.
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+
+    /// Milliseconds until checkpointed verdicts were servable (warm
+    /// restarts only).
+    pub fn restore_ms(&self) -> Option<f64> {
+        self.restore_ms
+    }
+
+    /// The committed verdict summary.
+    pub fn verdict(&self) -> &VerdictSummary {
+        &self.committed.verdict
+    }
+
+    /// Canonical hash of the committed verdict BDDs.
+    pub fn verdict_hash(&self) -> u64 {
+        admin::verdict_hash(&self.committed.verdict.verdict_sets)
+    }
+
+    /// Wall time of the last warm baseline build — the cold-verify cost
+    /// a warm delta is measured against.
+    pub fn baseline_ms(&self) -> f64 {
+        self.baseline.ms
+    }
+
+    /// Stops the fleet.
+    pub fn shutdown(self) {
+        self.verifier.shutdown();
+    }
+
+    /// Serves admin connections until a `shutdown` request. Prints a
+    /// readiness line (`daemon: listening on ADDR`) for scripts to wait
+    /// on. Injected crash points abort the process here — the real
+    /// `kill -9` the checkpoint protects against.
+    pub fn serve(mut self, listener: TcpListener) -> io::Result<()> {
+        self.abort_on_crash = true;
+        let addr = listener.local_addr()?;
+        println!("daemon: listening on {addr}");
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            match self.handle_conn(stream) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => {
+                    // A misbehaving client never takes the daemon down.
+                    s2_obs::event!("daemon.conn_error", e.raw_os_error().unwrap_or(0) as usize);
+                }
+            }
+        }
+        self.checkpoint_now();
+        self.verifier.shutdown();
+        Ok(())
+    }
+
+    /// Handles one admin connection (both dialects); `Ok(false)` means
+    /// a shutdown was requested.
+    fn handle_conn(&mut self, stream: TcpStream) -> io::Result<bool> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        loop {
+            let first = {
+                let buf = reader.fill_buf()?;
+                if buf.is_empty() {
+                    return Ok(true);
+                }
+                buf[0]
+            };
+            // Text dialect: any printable first byte starts a command
+            // line (`echo status | nc`); envelope kinds are < 0x20.
+            let (req, text) = if first >= 0x20 {
+                let mut line = String::new();
+                reader.read_line(&mut line)?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_text_command(line.trim()) {
+                    Ok(r) => (r, true),
+                    Err(e) => {
+                        let resp = AdminResponse::Error(e);
+                        writeln!(writer, "{}", render_text_response(&resp))?;
+                        continue;
+                    }
+                }
+            } else {
+                (admin::read_request(&mut reader)?, false)
+            };
+            let idx = self.faults.next_admin_index();
+            if self.faults.drops_admin_conn(idx) {
+                // Injected connection loss: sever without a reply. The
+                // delta was not applied — the client must retry.
+                s2_obs::event!("daemon.admin_drop", idx as usize);
+                return Ok(true);
+            }
+            let resp = match self.handle(&req) {
+                Ok(r) => r,
+                // Unreachable in serve mode (crash points abort), kept
+                // total so the compiler enforces it stays handled.
+                Err(_) => std::process::abort(),
+            };
+            let shutting_down = matches!(resp, AdminResponse::ShuttingDown);
+            if text {
+                writeln!(writer, "{}", render_text_response(&resp))?;
+            } else {
+                admin::write_response(&mut writer, &resp)?;
+            }
+            if shutting_down {
+                return Ok(false);
+            }
+        }
+    }
+
+    /// Dispatches one admin request.
+    pub fn handle(&mut self, req: &AdminRequest) -> Result<AdminResponse, DaemonCrash> {
+        match req {
+            AdminRequest::Status => Ok(self.status()),
+            AdminRequest::ApplyDelta(delta) => self.apply(delta),
+            AdminRequest::Shutdown => {
+                self.checkpoint_now();
+                Ok(AdminResponse::ShuttingDown)
+            }
+        }
+    }
+
+    /// The status reply.
+    pub fn status(&self) -> AdminResponse {
+        AdminResponse::Status {
+            generation: self.committed.generation,
+            failed_links: (self.baked.len() + self.overlay.len()) as u32,
+            all_clear: self.committed.all_clear,
+            committed: self.committed_count,
+            rejected: self.rejected_count,
+            warm_start: self.warm_start,
+            verdict_hash: self.verdict_hash(),
+        }
+    }
+
+    /// Applies one delta, verify-then-commit. Never leaves the daemon
+    /// wedged: every outcome is `Committed` or `Rejected` (or an
+    /// injected [`DaemonCrash`] in test mode).
+    pub fn apply(&mut self, delta: &DeltaSpec) -> Result<AdminResponse, DaemonCrash> {
+        let _span = s2_obs::span!("daemon.delta");
+        let sw = Stopwatch::start();
+        let resp = self.apply_inner(delta, &sw)?;
+        match &resp {
+            AdminResponse::Committed { ms, .. } => {
+                self.committed_count += 1;
+                Registry::global().counter("daemon.delta.committed").inc();
+                Registry::global().histogram("daemon.delta.ms").record(*ms as u64);
+            }
+            AdminResponse::Rejected { reason, .. } => {
+                self.rejected_count += 1;
+                Registry::global().counter("daemon.delta.rejected").inc();
+                s2_obs::event!("daemon.delta_rejected", reason.len());
+            }
+            _ => {}
+        }
+        Ok(resp)
+    }
+
+    fn apply_inner(
+        &mut self,
+        delta: &DeltaSpec,
+        sw: &Stopwatch,
+    ) -> Result<AdminResponse, DaemonCrash> {
+        let action = match self.validate(delta) {
+            Ok(a) => a,
+            Err(reason) => return Ok(AdminResponse::Rejected { reason, attempts: 0 }),
+        };
+        self.crash(DaemonPhase::Validate)?;
+        match action {
+            Action::Warm(overlay) => self.apply_warm(overlay, sw),
+            Action::Escalate(configs, baked) => {
+                self.apply_escalated(configs, baked, Vec::new(), sw, 0, None)
+            }
+        }
+    }
+
+    /// Resolves a delta against the model without touching the fleet.
+    fn validate(&self, delta: &DeltaSpec) -> Result<Action, String> {
+        let topo = &self.cfg.topology;
+        let node = |name: &str| {
+            topo.node_by_name(name)
+                .ok_or_else(|| format!("unknown device {name:?}"))
+        };
+        let link_between = |a: NodeId, b: NodeId| -> Option<LinkKey> {
+            topo.links()
+                .iter()
+                .map(s2_shard::impact::link_key)
+                .find(|k| node_pair(k) == if a <= b { (a, b) } else { (b, a) })
+        };
+        let fold_overlay = |baked: &[(NodeId, NodeId)], overlay: &[LinkKey]| {
+            let mut all: Vec<(NodeId, NodeId)> = baked.to_vec();
+            all.extend(overlay.iter().map(node_pair));
+            all.sort_unstable();
+            all.dedup();
+            all
+        };
+        match delta {
+            DeltaSpec::LinkDown { a, b } => {
+                let (na, nb) = (node(a)?, node(b)?);
+                let key = link_between(na, nb)
+                    .ok_or_else(|| format!("no link between {a:?} and {b:?}"))?;
+                if self.overlay.contains(&key) || self.baked.contains(&node_pair(&key)) {
+                    return Err(format!("link {a} <-> {b} is already down"));
+                }
+                let ports = scenario_ports(&[key]);
+                if self.verifier.ospf_gate(&ports).is_some() {
+                    // Warm replay cannot re-run the IGP; bake the link
+                    // into a rebuilt model instead.
+                    let mut baked = fold_overlay(&self.baked, &self.overlay);
+                    baked.push(node_pair(&key));
+                    baked.sort_unstable();
+                    baked.dedup();
+                    return Ok(Action::Escalate(self.cfg.configs.clone(), baked));
+                }
+                let mut overlay = self.overlay.clone();
+                overlay.push(key);
+                Ok(Action::Warm(overlay))
+            }
+            DeltaSpec::LinkUp { a, b } => {
+                let (na, nb) = (node(a)?, node(b)?);
+                let key = link_between(na, nb)
+                    .ok_or_else(|| format!("no link between {a:?} and {b:?}"))?;
+                let pair = node_pair(&key);
+                if self.overlay.contains(&key) {
+                    let overlay: Vec<LinkKey> =
+                        self.overlay.iter().filter(|&&k| k != key).copied().collect();
+                    Ok(Action::Warm(overlay))
+                } else if self.baked.contains(&pair) {
+                    // The link is failed in the model itself; restoring
+                    // it needs a rebuild (overlay folds in alongside).
+                    let mut baked = fold_overlay(&self.baked, &self.overlay);
+                    baked.retain(|&p| p != pair);
+                    Ok(Action::Escalate(self.cfg.configs.clone(), baked))
+                } else {
+                    Err(format!("link {a} <-> {b} is not down"))
+                }
+            }
+            DeltaSpec::RouteMapEdit { device, config } => {
+                let n = node(device)?;
+                let parsed = s2_net::vendor::parse(config)
+                    .map_err(|e| format!("route-map-edit config: {e}"))?;
+                if parsed.hostname != *device {
+                    return Err(format!(
+                        "config is for {:?}, not {device:?}",
+                        parsed.hostname
+                    ));
+                }
+                let mut configs = self.cfg.configs.clone();
+                configs[n.index()] = parsed;
+                Ok(Action::Escalate(configs, fold_overlay(&self.baked, &self.overlay)))
+            }
+            DeltaSpec::PrefixAdd { device, prefix } | DeltaSpec::PrefixWithdraw { device, prefix } => {
+                let n = node(device)?;
+                let mut configs = self.cfg.configs.clone();
+                let bgp = configs[n.index()]
+                    .bgp
+                    .as_mut()
+                    .ok_or_else(|| format!("{device} has no BGP process"))?;
+                let present = bgp.networks.iter().any(|net| net.prefix == *prefix);
+                if matches!(delta, DeltaSpec::PrefixAdd { .. }) {
+                    if present {
+                        return Err(format!("{device} already originates {prefix}"));
+                    }
+                    bgp.networks.push(Network { prefix: *prefix });
+                } else {
+                    if !present {
+                        return Err(format!("{device} does not originate {prefix}"));
+                    }
+                    bgp.networks.retain(|net| net.prefix != *prefix);
+                }
+                Ok(Action::Escalate(configs, fold_overlay(&self.baked, &self.overlay)))
+            }
+        }
+    }
+
+    /// Warm path: re-verify the new overlay as a fenced scenario on the
+    /// existing fleet, with bounded jittered retries; escalate to a
+    /// rebuild when the fence or retry budget runs out.
+    fn apply_warm(
+        &mut self,
+        new_overlay: Vec<LinkKey>,
+        sw: &Stopwatch,
+    ) -> Result<AdminResponse, DaemonCrash> {
+        let fence = Deadline::after(self.cfg.delta_deadline);
+        let ports = scenario_ports(&new_overlay);
+        self.crash(DaemonPhase::Stage)?;
+        let mut attempt = 0usize;
+        let candidate: Result<WarmCandidate, String> = loop {
+            attempt += 1;
+            if new_overlay.is_empty() {
+                // Every failed link restored: the committed state *is*
+                // the warm baseline — nothing to execute.
+                break Ok((self.baseline.rib.clone(), self.baseline.dpv.clone()));
+            }
+            let result = self.warm_attempt(&ports, &fence)?;
+            // On success the fleet is left in the scenario state it just
+            // verified — the state being committed. The next staging's
+            // `scenario_begin` restores the checkpoint before replaying,
+            // so an immediate rollback here would be a wasted barrier on
+            // the delta hot path (and the empty-overlay shortcut never
+            // touches the fleet at all).
+            let fail = match result {
+                Ok(c) => break Ok(c),
+                Err(f) => f,
+            };
+            // A failed attempt must fence (discard the aborted
+            // scenario's in-flight frames) and restore the baseline
+            // before a retry, an escalation, or the next delta.
+            let restored = self.verifier.restore_baseline();
+            match (fail, restored) {
+                (ScenarioFail::Lost(e), _) | (_, Err(e)) => {
+                    // A worker died mid-delta: recover the fleet and
+                    // rebuild the warm baseline, then retry. The
+                    // committed state is untouched throughout.
+                    s2_obs::recorder::dump("daemon-delta-worker-lost");
+                    s2_obs::event!("daemon.delta_abort", attempt);
+                    if let Err(e2) = self.verifier.cluster.recover() {
+                        break Err(format!("unrecoverable: {e2}"));
+                    }
+                    match self.verifier.warm_up(&self.cfg.request, &self.waypoints, &self.copts) {
+                        Ok(b) => self.baseline = b,
+                        Err(e2) => break Err(format!("re-warm failed: {e2}")),
+                    }
+                    if attempt > self.cfg.max_retries {
+                        break Err(format!("worker-lost: {e}"));
+                    }
+                }
+                (ScenarioFail::Deadline, _) => break Err("deadline".into()),
+                (ScenarioFail::Fatal(reason), _) => break Err(reason),
+            }
+            if fence.expired() {
+                break Err("deadline".into());
+            }
+            std::thread::sleep(retry_backoff(self.cfg.retry_backoff, attempt).min(fence.remaining()));
+        };
+        match candidate {
+            Ok((rib, dpv)) => {
+                let changed = changed_nodes(&self.committed.rib, &rib).len() as u32;
+                self.crash(DaemonPhase::Commit)?;
+                let all_clear = dpv_all_clear(&dpv);
+                self.overlay = new_overlay;
+                self.committed = Committed {
+                    generation: self.committed.generation + 1,
+                    rib,
+                    verdict: summarize(&dpv),
+                    all_clear,
+                };
+                self.crash(DaemonPhase::Checkpoint)?;
+                self.checkpoint_now();
+                Ok(AdminResponse::Committed {
+                    generation: self.committed.generation,
+                    ms: sw.elapsed().as_secs_f64() * 1000.0,
+                    changed_nodes: changed,
+                    escalated: false,
+                    all_clear,
+                })
+            }
+            Err(reason) => {
+                // The warm path is out of budget; a full re-verification
+                // on a fresh fleet is the last resort before rejecting.
+                s2_obs::recorder::dump("daemon-delta-escalate");
+                let mut baked = self.baked.clone();
+                baked.extend(new_overlay.iter().map(node_pair));
+                baked.sort_unstable();
+                baked.dedup();
+                self.apply_escalated(
+                    self.cfg.configs.clone(),
+                    baked,
+                    Vec::new(),
+                    sw,
+                    attempt,
+                    Some(reason),
+                )
+            }
+        }
+    }
+
+    /// One warm attempt: replay the overlay from the scenario
+    /// checkpoint, run the delta-driven BGP fix point, recompile only
+    /// changed nodes, and re-check the data plane. On failure the
+    /// caller restores the baseline; on success the fleet is left in
+    /// the verified scenario state (the next `scenario_begin` restores
+    /// the checkpoint before replaying anyway).
+    #[allow(clippy::type_complexity)]
+    fn warm_attempt(
+        &self,
+        ports: &[(NodeId, InterfaceId)],
+        fence: &Deadline,
+    ) -> Result<Result<WarmCandidate, ScenarioFail>, DaemonCrash> {
+        let cluster = &self.verifier.cluster;
+        if let Err(e) = cluster.scenario_begin(ports) {
+            return Ok(Err(classify(e)));
+        }
+        self.crash(DaemonPhase::Replay)?;
+        if fence.expired() {
+            return Ok(Err(ScenarioFail::Deadline));
+        }
+        let inner = (|| {
+            cluster.run_warm_fixpoint(&self.copts).map_err(classify)?;
+            let rib = Arc::new(cluster.collect_full_rib().map_err(classify)?);
+            if fence.expired() {
+                return Err(ScenarioFail::Deadline);
+            }
+            Ok(rib)
+        })();
+        let rib = match inner {
+            Ok(rib) => rib,
+            Err(e) => return Ok(Err(e)),
+        };
+        self.crash(DaemonPhase::Dpv)?;
+        let changed = changed_nodes(&self.baseline.rib, &rib);
+        let dpv = cluster.run_scenario_dpv(
+            rib.clone(),
+            changed,
+            ports.to_vec(),
+            self.cfg.request.sources.clone(),
+            self.cfg.request.expected.clone(),
+            self.cfg.request.dst_space,
+            self.waypoints.clone(),
+        );
+        match dpv {
+            Ok(dpv) => Ok(Ok((rib, dpv))),
+            Err(e) => Ok(Err(classify(e))),
+        }
+    }
+
+    /// Escalated path: blue/green. Build the candidate snapshot, spawn
+    /// a fresh fleet with the failed links baked into the model, verify
+    /// it fully, and only then swap it in — the serving fleet and the
+    /// committed state are untouched until the swap.
+    fn apply_escalated(
+        &mut self,
+        configs: Vec<DeviceConfig>,
+        baked: Vec<(NodeId, NodeId)>,
+        overlay: Vec<LinkKey>,
+        sw: &Stopwatch,
+        prior_attempts: usize,
+        warm_reason: Option<String>,
+    ) -> Result<AdminResponse, DaemonCrash> {
+        let _span = s2_obs::span!("daemon.escalate");
+        self.crash(DaemonPhase::Stage)?;
+        let attempts = (prior_attempts + 1) as u32;
+        let reject = |reason: String| {
+            let reason = match &warm_reason {
+                Some(w) => format!("{w}; escalation failed: {reason}"),
+                None => reason,
+            };
+            AdminResponse::Rejected { reason, attempts }
+        };
+        let model = match NetworkModel::build(self.cfg.topology.clone(), configs.clone()) {
+            Ok(m) => m,
+            Err(e) => return Ok(reject(format!("model: {e}"))),
+        };
+        // The candidate fleet gets a clean fault plan (the chaos plan
+        // already played out on the serving fleet) plus the baked links.
+        let mut opts = self.cfg.opts.clone();
+        opts.runtime.faults = FaultPlan::new();
+        for &(a, b) in &baked {
+            opts.runtime.faults = opts.runtime.faults.clone().fail_link(a, b);
+        }
+        self.crash(DaemonPhase::Replay)?;
+        let verifier = match S2Verifier::new(model, &opts) {
+            Ok(v) => v,
+            Err(e) => return Ok(reject(format!("spawn: {e}"))),
+        };
+        self.crash(DaemonPhase::Dpv)?;
+        match verifier.warm_up(&self.cfg.request, &self.waypoints, &self.copts) {
+            Ok(baseline) => {
+                self.crash(DaemonPhase::Commit)?;
+                let changed = changed_nodes(&self.committed.rib, &baseline.rib).len() as u32;
+                let all_clear = dpv_all_clear(&baseline.dpv);
+                let old = std::mem::replace(&mut self.verifier, verifier);
+                old.shutdown();
+                self.cfg.configs = configs;
+                self.snapshot_hash = snapshot_hash(&self.cfg.topology, &self.cfg.configs);
+                self.baked = baked;
+                self.overlay = overlay;
+                self.committed = Committed {
+                    generation: self.committed.generation + 1,
+                    rib: baseline.rib.clone(),
+                    verdict: summarize(&baseline.dpv),
+                    all_clear,
+                };
+                self.baseline = baseline;
+                self.crash(DaemonPhase::Checkpoint)?;
+                self.checkpoint_now();
+                Ok(AdminResponse::Committed {
+                    generation: self.committed.generation,
+                    ms: sw.elapsed().as_secs_f64() * 1000.0,
+                    changed_nodes: changed,
+                    escalated: true,
+                    all_clear,
+                })
+            }
+            Err(e) => {
+                verifier.shutdown();
+                s2_obs::recorder::dump("daemon-escalation-failed");
+                Ok(reject(format!("rebuild verify: {e}")))
+            }
+        }
+    }
+
+    /// Persists the committed state (best effort — a failed write is
+    /// recorded, not fatal: the daemon keeps serving and the previous
+    /// checkpoint file, if any, stays valid thanks to temp-then-rename).
+    fn checkpoint_now(&self) {
+        let Some(path) = &self.cfg.checkpoint else { return };
+        let ckpt = WarmCheckpoint {
+            snapshot_hash: self.snapshot_hash,
+            generation: self.committed.generation,
+            failed_links: {
+                let mut all = self.baked.clone();
+                all.extend(self.overlay.iter().map(node_pair));
+                all.sort_unstable();
+                all.dedup();
+                all
+            },
+            rib: (*self.committed.rib).clone(),
+            verdict: self.committed.verdict.clone(),
+        };
+        if let Err(e) = admin::write_checkpoint(path, &ckpt, &self.faults) {
+            s2_obs::recorder::dump("daemon-checkpoint-write-failed");
+            s2_obs::event!("daemon.checkpoint_error", e.raw_os_error().unwrap_or(0) as usize);
+        }
+    }
+
+    /// Fires an injected crash point: aborts the process in serve mode,
+    /// surfaces [`DaemonCrash`] to test harnesses otherwise.
+    fn crash(&self, phase: DaemonPhase) -> Result<(), DaemonCrash> {
+        if self.faults.should_crash_daemon(phase) {
+            s2_obs::recorder::dump("daemon-crash-injected");
+            if self.abort_on_crash {
+                std::process::abort();
+            }
+            return Err(DaemonCrash(phase));
+        }
+        Ok(())
+    }
+}
+
+/// A binary-protocol admin client: connect, send one request, read the
+/// reply. Used by `s2 admin` and tests.
+pub fn admin_roundtrip(addr: &str, req: &AdminRequest) -> io::Result<AdminResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    admin::write_request(&mut stream, req)?;
+    admin::read_response(&mut stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2_net::config::Vendor;
+
+    #[test]
+    fn snapshot_hash_is_stable_and_config_sensitive() {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let _ = (a, b);
+        let mk = |host: &str| DeviceConfig::new(host, Vendor::A);
+        let configs = vec![mk("a"), mk("b")];
+        let h1 = snapshot_hash(&topo, &configs);
+        let h2 = snapshot_hash(&topo, &configs);
+        assert_eq!(h1, h2);
+        let mut edited = configs.clone();
+        edited[0].hostname = "a2".into();
+        assert_ne!(h1, snapshot_hash(&topo, &edited));
+    }
+
+    #[test]
+    fn node_pair_is_orientation_invariant() {
+        let k1: LinkKey = ((NodeId(3), InterfaceId(0)), (NodeId(1), InterfaceId(2)));
+        let k2: LinkKey = ((NodeId(1), InterfaceId(2)), (NodeId(3), InterfaceId(0)));
+        assert_eq!(node_pair(&k1), (NodeId(1), NodeId(3)));
+        assert_eq!(node_pair(&k1), node_pair(&k2));
+    }
+}

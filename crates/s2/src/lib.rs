@@ -55,12 +55,14 @@
 
 #![deny(missing_docs)]
 
+pub mod daemon;
 pub mod query;
 pub mod topofile;
 pub mod report;
 pub mod sweep;
 pub mod verifier;
 
+pub use daemon::{Daemon, DaemonConfig, DaemonCrash};
 pub use query::VerificationRequest;
 pub use report::S2Report;
 pub use sweep::{ResilienceReport, ScenarioOutcome, ScenarioStatus, SweepOptions};

@@ -49,14 +49,18 @@ pub struct SweepOptions {
     /// "≤k failures"). Scenario count grows as `C(links, 1) + … +
     /// C(links, k)`.
     pub max_failures: usize,
-    /// Wall-clock budget per scenario attempt. A blown deadline aborts
-    /// the attempt, rolls the fleet back to the warm baseline, and
-    /// retries (up to `max_retries`).
+    /// Total wall-clock budget per scenario, **all retries and backoff
+    /// sleeps included**. A blown deadline rolls the fleet back to the
+    /// warm baseline and degrades the scenario to `undetermined` — the
+    /// fence is shared across attempts, so retries can never overshoot
+    /// it.
     pub scenario_deadline: Duration,
     /// Retries after a failed attempt before the scenario degrades to
     /// `undetermined`.
     pub max_retries: usize,
-    /// Sleep between retry attempts.
+    /// Base sleep between retry attempts; the actual sleep grows
+    /// exponentially with the attempt, carries deterministic jitter,
+    /// and is capped at the fence's remaining budget.
     pub retry_backoff: Duration,
 }
 
@@ -69,6 +73,17 @@ impl Default for SweepOptions {
             retry_backoff: Duration::from_millis(100),
         }
     }
+}
+
+/// Deterministic retry backoff: exponential in the attempt number with
+/// a jitter derived from the attempt (no RNG, so chaos runs reproduce
+/// exactly), in the `s2_runtime::tcp` reconnect style. Callers cap the
+/// result at their fence's remaining budget.
+pub(crate) fn retry_backoff(base: Duration, attempt: usize) -> Duration {
+    let base = base.max(Duration::from_millis(1));
+    let exp = base.saturating_mul(1u32 << attempt.min(6) as u32);
+    let jitter_ms = (attempt as u64).wrapping_mul(7919) % (base.as_millis().max(1) as u64);
+    exp + Duration::from_millis(jitter_ms)
 }
 
 /// Enumerates every non-empty failure set of at most `max_failures`
@@ -406,8 +421,25 @@ fn push_links(out: &mut String, links: &[LinkKey]) {
     out.push(']');
 }
 
+/// A finite, non-negative number at `path`, or an error naming the
+/// offending key path — durations and counts are never NaN or negative,
+/// and a validator that only checks presence would wave those through.
+fn checked_num(value: Option<&Json>, path: &str) -> Result<f64, String> {
+    let n = value
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{path}: missing or not a number"))?;
+    if !n.is_finite() {
+        return Err(format!("{path}: non-finite value"));
+    }
+    if n < 0.0 {
+        return Err(format!("{path}: negative value ({n})"));
+    }
+    Ok(n)
+}
+
 /// Validates a parsed `s2-resilience-report/v1` document (used by the
-/// CLI after writing and by the CI smoke job).
+/// CLI after writing and by the CI smoke job). Rejects NaN/negative
+/// durations and counts, naming the offending key path.
 pub fn validate(doc: &Json) -> Result<(), String> {
     match doc.get("schema").and_then(Json::as_str) {
         Some("s2-resilience-report/v1") => {}
@@ -427,9 +459,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         "est_serial_full_ms",
         "speedup_vs_serial_full",
     ] {
-        doc.get(key)
-            .and_then(Json::as_num)
-            .ok_or_else(|| format!("missing numeric field: {key}"))?;
+        checked_num(doc.get(key), key)?;
     }
     let survival = doc.get("survival").ok_or("missing survival")?;
     for prop in [
@@ -442,9 +472,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             .get(prop)
             .ok_or_else(|| format!("missing survival.{prop}"))?;
         for stage in ["transient", "reconverged", "evaluated"] {
-            s.get(stage)
-                .and_then(Json::as_num)
-                .ok_or_else(|| format!("missing survival.{prop}.{stage}"))?;
+            checked_num(s.get(stage), &format!("survival.{prop}.{stage}"))?;
         }
     }
     let check_links = |value: &Json, what: &str| -> Result<(), String> {
@@ -480,9 +508,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         match o.get("status").and_then(Json::as_str) {
             Some("resolved") => {
                 for key in ["warm_rounds", "ms"] {
-                    o.get(key)
-                        .and_then(Json::as_num)
-                        .ok_or_else(|| format!("outcome {i}: resolved without {key}"))?;
+                    checked_num(o.get(key), &format!("outcomes[{i}].{key}"))?;
                 }
                 for key in ["transient_clean", "reconverged_clean"] {
                     match o.get(key) {
@@ -492,10 +518,7 @@ pub fn validate(doc: &Json) -> Result<(), String> {
                 }
             }
             Some("shared") => {
-                let with = o
-                    .get("with")
-                    .and_then(Json::as_num)
-                    .ok_or_else(|| format!("outcome {i}: shared without with"))?;
+                let with = checked_num(o.get("with"), &format!("outcomes[{i}].with"))?;
                 if with < 0.0 || with >= i as f64 {
                     return Err(format!("outcome {i}: shared with {with} out of range"));
                 }
@@ -518,19 +541,19 @@ pub fn validate_str(text: &str) -> Result<(), String> {
 }
 
 /// The warm baseline a sweep re-verifies against.
-struct WarmBaseline {
+pub(crate) struct WarmBaseline {
     /// Converged RIBs, collected through the same path as scenario
     /// RIBs so diffs are representation-exact.
-    rib: Arc<RibSnapshot>,
+    pub(crate) rib: Arc<RibSnapshot>,
     /// Full baseline DPV outcome (verdict sets, unreachable pairs,
     /// multipath violations).
-    dpv: DpvRunStats,
+    pub(crate) dpv: DpvRunStats,
     /// Milliseconds to build (control plane + DPV + checkpoint).
-    ms: f64,
+    pub(crate) ms: f64,
 }
 
 /// Why one scenario attempt failed, for retry classification.
-enum ScenarioFail {
+pub(crate) enum ScenarioFail {
     /// A worker crashed or hung: recover, re-warm, retry.
     Lost(RuntimeError),
     /// The per-attempt deadline expired: roll back, retry.
@@ -540,7 +563,7 @@ enum ScenarioFail {
     Fatal(String),
 }
 
-fn classify(e: RuntimeError) -> ScenarioFail {
+pub(crate) fn classify(e: RuntimeError) -> ScenarioFail {
     match e {
         RuntimeError::WorkerLost { .. } => ScenarioFail::Lost(e),
         RuntimeError::OutOfMemory { .. } => ScenarioFail::Fatal("oom".into()),
@@ -550,7 +573,7 @@ fn classify(e: RuntimeError) -> ScenarioFail {
 }
 
 /// Both endpoints of every failed link, as the runtime's port list.
-fn scenario_ports(links: &[LinkKey]) -> Vec<(NodeId, InterfaceId)> {
+pub(crate) fn scenario_ports(links: &[LinkKey]) -> Vec<(NodeId, InterfaceId)> {
     let mut ports: Vec<(NodeId, InterfaceId)> =
         links.iter().flat_map(|&(a, b)| [a, b]).collect();
     ports.sort_unstable();
@@ -560,7 +583,7 @@ fn scenario_ports(links: &[LinkKey]) -> Vec<(NodeId, InterfaceId)> {
 
 /// Nodes whose RIB differs between baseline and scenario — the only
 /// nodes whose forwarding predicates need recompiling.
-fn changed_nodes(baseline: &RibSnapshot, scenario: &RibSnapshot) -> Vec<NodeId> {
+pub(crate) fn changed_nodes(baseline: &RibSnapshot, scenario: &RibSnapshot) -> Vec<NodeId> {
     baseline
         .per_node
         .iter()
@@ -671,7 +694,7 @@ impl S2Verifier {
     /// incremental re-verification needs every worker's in-memory
     /// state to cover all prefixes at once, which a multi-shard
     /// schedule only guarantees for the last shard.
-    fn warm_up(
+    pub(crate) fn warm_up(
         &self,
         request: &VerificationRequest,
         waypoints: &BTreeMap<NodeId, u16>,
@@ -730,7 +753,7 @@ impl S2Verifier {
     /// Warm verification cannot replay an IGP topology change (only
     /// the BGP fix point runs warm), so scenarios failing a link that
     /// carries an OSPF adjacency degrade to `undetermined`.
-    fn ospf_gate(&self, ports: &[(NodeId, InterfaceId)]) -> Option<String> {
+    pub(crate) fn ospf_gate(&self, ports: &[(NodeId, InterfaceId)]) -> Option<String> {
         for &(n, i) in ports {
             let has_adj = self
                 .model
@@ -744,9 +767,11 @@ impl S2Verifier {
         None
     }
 
-    /// Runs one scenario inside its fence: per-attempt deadline,
-    /// bounded retries with backoff, rollback to the warm baseline on
-    /// every exit path, recovery + re-warm after a lost worker.
+    /// Runs one scenario inside its fence: one deadline shared by every
+    /// attempt (retries cannot overshoot the scenario budget), bounded
+    /// retries with jittered exponential backoff, rollback to the warm
+    /// baseline on every exit path, recovery + re-warm after a lost
+    /// worker.
     #[allow(clippy::too_many_arguments)]
     fn run_scenario_fenced(
         &self,
@@ -759,11 +784,11 @@ impl S2Verifier {
         manager: &mut s2_bdd::BddManager,
     ) -> ScenarioStatus {
         let mut attempt = 0;
+        let fence = Deadline::after(opts.scenario_deadline);
         loop {
             attempt += 1;
-            let deadline = Deadline::after(opts.scenario_deadline);
             let result = self.run_scenario_once(
-                baseline, request, waypoints, ports, copts, &deadline, manager,
+                baseline, request, waypoints, ports, copts, &fence, manager,
             );
             // Whatever happened, the next scenario (or retry) starts
             // from the fenced warm baseline.
@@ -804,13 +829,14 @@ impl S2Verifier {
                     }
                 }
                 (Err(ScenarioFail::Deadline), _) => {
+                    // The fence is shared by all attempts: an expired
+                    // deadline means the scenario's whole budget is
+                    // spent, so there is nothing left to retry with.
                     s2_obs::recorder::dump("scenario-abort:deadline");
-                    if attempt > opts.max_retries {
-                        return ScenarioStatus::Undetermined {
-                            reason: "deadline".into(),
-                            attempts: attempt,
-                        };
-                    }
+                    return ScenarioStatus::Undetermined {
+                        reason: "deadline".into(),
+                        attempts: attempt,
+                    };
                 }
                 (Err(ScenarioFail::Fatal(reason)), _) => {
                     return ScenarioStatus::Undetermined {
@@ -819,7 +845,13 @@ impl S2Verifier {
                     }
                 }
             }
-            std::thread::sleep(opts.retry_backoff);
+            if fence.expired() {
+                return ScenarioStatus::Undetermined {
+                    reason: "deadline".into(),
+                    attempts: attempt,
+                };
+            }
+            std::thread::sleep(retry_backoff(opts.retry_backoff, attempt).min(fence.remaining()));
         }
     }
 
@@ -889,14 +921,14 @@ impl S2Verifier {
     /// Returns the fleet to the warm baseline: fence (discard every
     /// in-flight frame of the aborted/finished scenario), then restore
     /// the checkpoint and clear scenario forwarding state.
-    fn restore_baseline(&self) -> Result<(), RuntimeError> {
+    pub(crate) fn restore_baseline(&self) -> Result<(), RuntimeError> {
         self.cluster.fence()?;
         self.cluster.scenario_rollback()
     }
 }
 
 /// Diffs one stage's DPV outcome against the baseline.
-fn stage_delta(
+pub(crate) fn stage_delta(
     manager: &mut s2_bdd::BddManager,
     baseline: &DpvRunStats,
     stage: &DpvRunStats,
@@ -1126,6 +1158,57 @@ mod tests {
         // Tampered docs are rejected.
         assert!(validate_str(&json.replace("resolved", "solved")).is_err());
         assert!(validate_str(&json.replace("\"schema\": \"s2-resilience-report/v1\",", "")).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_nan_and_negative_with_key_path() {
+        let outcomes = vec![ScenarioOutcome {
+            links: vec![((NodeId(0), InterfaceId(0)), (NodeId(1), InterfaceId(1)))],
+            status: ScenarioStatus::Resolved(Box::new(ScenarioVerdict {
+                warm_rounds: 2,
+                transient: StageDelta::default(),
+                reconverged: StageDelta::default(),
+                elapsed_ms: 12.5,
+            })),
+        }];
+        let report = assemble_report(1, 10, 1, outcomes, 100.0, 250.0);
+        let json = report.to_json();
+        validate_str(&json).unwrap();
+
+        let err =
+            validate_str(&json.replace("\"baseline_ms\": 100.000", "\"baseline_ms\": -100.000"))
+                .unwrap_err();
+        assert!(err.contains("baseline_ms"), "{err}");
+        assert!(err.contains("negative"), "{err}");
+
+        let err = validate_str(&json.replace("\"ms\": 12.500", "\"ms\": -12.500")).unwrap_err();
+        assert!(err.contains("outcomes[0].ms"), "{err}");
+
+        let err = validate_str(&json.replace("\"sweep_ms\": 250.000", "\"sweep_ms\": 1e999"))
+            .unwrap_err();
+        assert!(err.contains("sweep_ms"), "{err}");
+        assert!(err.contains("non-finite"), "{err}");
+
+        let err = validate_str(
+            &json.replace("\"transient\": 1, \"reconverged\": 1", "\"transient\": -1, \"reconverged\": 1"),
+        )
+        .unwrap_err();
+        assert!(err.contains("survival."), "{err}");
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_exponential_and_jittered() {
+        let base = Duration::from_millis(100);
+        // Deterministic: same attempt, same sleep.
+        assert_eq!(retry_backoff(base, 1), retry_backoff(base, 1));
+        // Exponential growth.
+        assert!(retry_backoff(base, 3) >= 2 * retry_backoff(base, 1) - Duration::from_millis(100));
+        // Jitter: consecutive attempts never collapse onto one value.
+        assert_ne!(retry_backoff(base, 1), retry_backoff(base, 2));
+        // Saturates instead of overflowing.
+        assert!(retry_backoff(base, usize::MAX) > retry_backoff(base, 1));
+        // A zero base stays schedulable.
+        assert!(retry_backoff(Duration::ZERO, 5) > Duration::ZERO);
     }
 
     use crate::verifier::S2Options;

@@ -352,6 +352,34 @@ fn minimal_shard_over_budget_is_still_fatal() {
 }
 
 #[test]
+fn double_recovery_restores_rib_store_across_two_epoch_bumps() {
+    // Recovery during recovery: a kill bumps the fabric epoch and
+    // respawns worker 1 from the RIB-store checkpoint; a later hang
+    // trips the barrier timeout on the *recovered* run, forcing a
+    // second epoch bump and a second restore. The fixpoint must still
+    // land bit-identical with no zombie frames crossing either epoch.
+    let model = Arc::new(line_model());
+    let reference = line_reference(&model);
+    let config = RuntimeConfig {
+        barrier_timeout: Duration::from_secs(5),
+        faults: FaultPlan::new().kill_worker(1, 5).hang_worker(0, 20),
+        ..RuntimeConfig::default()
+    };
+    let (rib, stats, cluster) = run_line(&model, config);
+    cluster.shutdown();
+    assert_eq!(rib, reference, "double recovery changed the verdict");
+    assert!(
+        stats.recoveries >= 2,
+        "expected two epoch bumps, got {}",
+        stats.recoveries
+    );
+    assert_eq!(
+        stats.traffic.protocol_violations, 0,
+        "zombie frames must be discarded by the epoch filter, not flagged"
+    );
+}
+
+#[test]
 fn combined_faults_still_converge_to_the_reference() {
     // Kitchen sink: a kill, a drop, a duplicate, and a delay in one run.
     let model = Arc::new(line_model());
