@@ -13,7 +13,7 @@ use crate::model::NetworkModel;
 use crate::route::BgpRoute;
 use crate::switch::SwitchModel;
 use s2_net::Prefix;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Why a simulation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,7 +100,7 @@ pub fn converge_ospf(
 pub fn converge_bgp(
     model: &NetworkModel,
     switches: &mut [SwitchModel],
-    shard: Option<&HashSet<Prefix>>,
+    shard: Option<&BTreeSet<Prefix>>,
     max_rounds: usize,
 ) -> Result<BgpStats, RoutingError> {
     let mut stats = BgpStats::default();
@@ -274,7 +274,7 @@ mod tests {
         // Shard 1: the aggregate and its contributors; shard 2: empty-ish.
         // Dependencies force all three prefixes into one shard; we emulate
         // the planner's output here.
-        let mut shard1: HashSet<Prefix> = HashSet::new();
+        let mut shard1: BTreeSet<Prefix> = BTreeSet::new();
         shard1.insert("10.0.0.0/24".parse().unwrap());
         shard1.insert("10.0.1.0/24".parse().unwrap());
         shard1.insert("10.0.0.0/16".parse().unwrap());

@@ -30,9 +30,13 @@ impl RibStore {
     }
 
     /// Inserts a route, keeping the lower administrative distance on
-    /// conflict.
+    /// conflict. A node id beyond the store's size is ignored: remote
+    /// RIB frames carry node ids chosen by the peer, and an
+    /// out-of-range id must not be able to panic the worker.
     pub fn insert(&mut self, node: NodeId, route: RibRoute) {
-        let table = &mut self.per_node[node.index()];
+        let Some(table) = self.per_node.get_mut(node.index()) else {
+            return;
+        };
         match table.get(&route.prefix) {
             Some(existing)
                 if existing.protocol.admin_distance() <= route.protocol.admin_distance() => {}

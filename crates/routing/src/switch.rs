@@ -27,7 +27,7 @@ use s2_net::config::{DeviceConfig, VendorQuirks};
 use s2_net::policy::Protocol;
 use s2_net::topology::{InterfaceId, NodeId};
 use s2_net::Prefix;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 
 /// A resolved static route: destination plus egress decision.
@@ -234,7 +234,7 @@ impl SwitchModel {
     /// originates local routes, restricted to `shard` when given.
     ///
     /// OSPF must already be converged (redistribution reads its table).
-    pub fn begin_bgp(&mut self, shard: Option<&HashSet<Prefix>>) {
+    pub fn begin_bgp(&mut self, shard: Option<&BTreeSet<Prefix>>) {
         for m in &mut self.adj_in {
             m.clear();
         }
@@ -397,7 +397,7 @@ impl SwitchModel {
 
     /// Reruns best-path selection and aggregation over all candidates.
     /// Returns whether the local RIB changed.
-    pub fn bgp_decide(&mut self, shard: Option<&HashSet<Prefix>>) -> bool {
+    pub fn bgp_decide(&mut self, shard: Option<&BTreeSet<Prefix>>) -> bool {
         let mut cands: BTreeMap<Prefix, Vec<Candidate>> = BTreeMap::new();
         for r in &self.local_routes {
             cands.entry(r.prefix).or_default().push(Candidate {
@@ -698,10 +698,10 @@ mod tests {
     #[test]
     fn sharding_filters_origination() {
         let (_, mut sa, _) = pair();
-        let empty: HashSet<Prefix> = HashSet::new();
+        let empty: BTreeSet<Prefix> = BTreeSet::new();
         sa.begin_bgp(Some(&empty));
         assert!(sa.loc_rib().is_empty());
-        let mut shard = HashSet::new();
+        let mut shard = BTreeSet::new();
         shard.insert("10.1.0.0/24".parse::<Prefix>().unwrap());
         sa.begin_bgp(Some(&shard));
         assert_eq!(sa.loc_rib().len(), 1);

@@ -31,7 +31,7 @@ use s2_net::topology::{InterfaceId, NodeId};
 use s2_net::Prefix;
 use s2_routing::{NetworkModel, RibSnapshot, RibStore};
 use s2_shard::ShardPlan;
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use s2_obs::{Deadline, MetricsSnapshot, Stopwatch};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -290,8 +290,8 @@ struct ClusterState {
 struct Checkpoint {
     store: RibStore,
     base_done: bool,
-    queue: VecDeque<HashSet<Prefix>>,
-    executed: Vec<HashSet<Prefix>>,
+    queue: VecDeque<BTreeSet<Prefix>>,
+    executed: Vec<BTreeSet<Prefix>>,
     observed_deps: Vec<(Prefix, Prefix)>,
     ospf_rounds: usize,
     bgp_rounds: usize,
@@ -969,7 +969,7 @@ impl Cluster {
     /// a stale advertisement can never be the last word.
     fn run_bgp_fixpoint(
         &self,
-        shard: &Arc<HashSet<Prefix>>,
+        shard: &Arc<BTreeSet<Prefix>>,
         opts: &ClusterOptions,
         ck: &mut Checkpoint,
     ) -> Result<(), RuntimeError> {
@@ -1031,9 +1031,9 @@ impl Cluster {
     #[allow(clippy::type_complexity)]
     fn bisect_shard(
         &self,
-        shard: &HashSet<Prefix>,
+        shard: &BTreeSet<Prefix>,
         extra: &[(Prefix, Prefix)],
-    ) -> Result<Option<(HashSet<Prefix>, HashSet<Prefix>)>, RuntimeError> {
+    ) -> Result<Option<(BTreeSet<Prefix>, BTreeSet<Prefix>)>, RuntimeError> {
         let (_, aggregates, mut deps) = self.collect_prefixes()?;
         deps.extend(extra.iter().copied());
         let prefixes: BTreeSet<Prefix> = shard.iter().copied().collect();
@@ -1054,8 +1054,8 @@ impl Cluster {
             c.sort();
         }
         comps.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
-        let mut left = HashSet::new();
-        let mut right = HashSet::new();
+        let mut left = BTreeSet::new();
+        let mut right = BTreeSet::new();
         for c in comps {
             if left.len() <= right.len() {
                 left.extend(c);

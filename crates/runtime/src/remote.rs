@@ -45,8 +45,7 @@ use s2_net::policy::Protocol;
 use s2_net::topology::{InterfaceId, NodeId};
 use s2_net::{Ipv4Addr, Prefix};
 use s2_routing::{NetworkModel, RibRoute, RibSnapshot};
-// s2-lint: allow(r2-deterministic-iteration): HashSet is decode-side only (BgpBegin shard membership); encode_command sorts before writing.
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -271,6 +270,7 @@ fn get_node(buf: &mut impl Buf) -> Result<NodeId, WireError> {
 
 /// `with_capacity` guard: trust the declared element count only up to a
 /// sanity bound so a corrupt count cannot pre-allocate gigabytes.
+// s2-lint: sanitizer(alloc-bound): the returned count is min-capped at 64 Ki elements, so allocations sized by it are bounded regardless of the peer's declared length.
 fn cap(n: usize) -> usize {
     n.min(1 << 16)
 }
@@ -377,13 +377,11 @@ pub fn encode_command(cmd: &Command) -> Bytes {
                 Some(set) => {
                     buf.put_u8(1);
                     buf.put_u32(set.len() as u32);
-                    // The shard is a HashSet; encode in sorted order so
-                    // the wire bytes are a pure function of the shard
-                    // contents (R2: re-runs and replicas must produce
-                    // identical frames).
-                    let mut prefixes: Vec<Prefix> = set.iter().copied().collect();
-                    prefixes.sort_unstable();
-                    for p in &prefixes {
+                    // BTreeSet iterates in prefix order, so the wire
+                    // bytes are a pure function of the shard contents
+                    // (R2: re-runs and replicas must produce identical
+                    // frames).
+                    for p in set.iter() {
                         put_prefix(&mut buf, p);
                     }
                 }
@@ -523,8 +521,7 @@ pub fn decode_command(mut buf: Bytes) -> Result<Command, WireError> {
                 1 => {
                     need(&buf, 4)?;
                     let n = buf.get_u32() as usize;
-                    // s2-lint: allow(r2-deterministic-iteration): decode direction — the set serves O(1) membership in the worker and is never iterated into an encoding.
-                    let mut set = HashSet::with_capacity(cap(n));
+                    let mut set = BTreeSet::new();
                     for _ in 0..n {
                         set.insert(get_prefix(&mut buf)?);
                     }
@@ -1234,7 +1231,7 @@ mod tests {
 
     #[test]
     fn payload_commands_roundtrip() {
-        let shard: HashSet<Prefix> = ["10.0.0.0/8".parse().unwrap(), "192.168.1.0/24".parse().unwrap()]
+        let shard: BTreeSet<Prefix> = ["10.0.0.0/8".parse().unwrap(), "192.168.1.0/24".parse().unwrap()]
             .into_iter()
             .collect();
         let cmd = Command::BgpBegin {

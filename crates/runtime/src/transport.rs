@@ -142,9 +142,12 @@ impl ChannelTransport {
 
 impl Transport for ChannelTransport {
     fn send(&self, _src: WorkerId, dst: WorkerId, frame: Bytes) -> Result<(), TransportError> {
-        // A closed inbox means the cluster is shutting down; dropping the
-        // frame is then correct.
-        let _ = self.senders[dst as usize].lock().send(frame);
+        // A closed inbox means the cluster is shutting down, and an
+        // out-of-range dst means a corrupt proxy frame; dropping the
+        // frame is correct in both cases.
+        if let Some(tx) = self.senders.get(dst as usize) {
+            let _ = tx.lock().send(frame);
+        }
         Ok(())
     }
 

@@ -27,7 +27,7 @@ use s2_dataplane::{
 use s2_net::topology::{InterfaceId, NodeId};
 use s2_net::Prefix;
 use s2_routing::{BgpRoute, NetworkModel, RibRoute, RibSnapshot, SwitchModel};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Commands issued by the controller's orchestrators.
@@ -40,7 +40,7 @@ pub enum Command {
     /// Reset BGP state and originate routes for `shard`.
     BgpBegin {
         /// The active prefix shard (`None` = all prefixes).
-        shard: Option<Arc<HashSet<Prefix>>>,
+        shard: Option<Arc<BTreeSet<Prefix>>>,
     },
     /// Compute and send this round's BGP advertisements.
     BgpExport,
@@ -254,7 +254,7 @@ pub struct Worker {
     model: Arc<NetworkModel>,
     local_nodes: Vec<NodeId>,
     switches: BTreeMap<NodeId, SwitchModel>,
-    shard: Option<Arc<HashSet<Prefix>>>,
+    shard: Option<Arc<BTreeSet<Prefix>>>,
     gauge: MemGauge,
     memory_budget: Option<usize>,
     // Same-worker deliveries staged during export, applied in the apply

@@ -6,7 +6,7 @@ use crate::ShardPlan;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use s2_net::Prefix;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Distributes `components` over at most `num_shards` shards. Empty shards
 /// are dropped, so fewer shards than requested may come back for tiny
@@ -31,7 +31,7 @@ pub fn greedy_assign(components: Vec<Vec<Prefix>>, num_shards: usize, seed: u64)
         start = end;
     }
 
-    let mut shards: Vec<HashSet<Prefix>> = vec![HashSet::new(); num_shards];
+    let mut shards: Vec<BTreeSet<Prefix>> = vec![BTreeSet::new(); num_shards];
     for cc in components {
         let smallest = shards
             .iter_mut()
@@ -124,7 +124,7 @@ mod tests {
             let plan = greedy_assign(components, num_shards, seed);
             prop_assert_eq!(plan.total_prefixes(), total);
             // Greedy bound: max shard ≤ min shard + largest component.
-            let lens: Vec<usize> = plan.shards.iter().map(HashSet::len).collect();
+            let lens: Vec<usize> = plan.shards.iter().map(BTreeSet::len).collect();
             let max = *lens.iter().max().unwrap();
             let min = *lens.iter().min().unwrap();
             prop_assert!(max <= min + max_cc, "lens={lens:?} max_cc={max_cc}");

@@ -28,14 +28,14 @@ pub mod impact;
 use s2_net::policy::Protocol;
 use s2_net::Prefix;
 use s2_routing::SwitchModel;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 
 /// The shard schedule: each shard is the set of prefixes whose routes are
 /// computed in that round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
     /// The shards, in execution order. Empty shards are dropped.
-    pub shards: Vec<HashSet<Prefix>>,
+    pub shards: Vec<BTreeSet<Prefix>>,
 }
 
 impl ShardPlan {
@@ -58,7 +58,7 @@ impl ShardPlan {
 
     /// Total number of prefixes across shards.
     pub fn total_prefixes(&self) -> usize {
-        self.shards.iter().map(HashSet::len).sum()
+        self.shards.iter().map(BTreeSet::len).sum()
     }
 
     /// The shard index holding `prefix`, if any.
@@ -104,7 +104,7 @@ impl ShardPlan {
                 }
             }
         }
-        let mut merged: std::collections::BTreeMap<usize, HashSet<Prefix>> =
+        let mut merged: std::collections::BTreeMap<usize, BTreeSet<Prefix>> =
             std::collections::BTreeMap::new();
         for (i, shard) in self.shards.iter().enumerate() {
             let root = find(&mut parent, i);

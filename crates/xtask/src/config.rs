@@ -35,6 +35,9 @@ pub enum Level {
 pub struct RuleConfig {
     /// Files or directories (repo-relative) the rule applies to.
     pub paths: Vec<String>,
+    /// 1-based config line each entry of `paths` appeared on (aligned
+    /// with `paths`; used to point stale-path findings at the config).
+    pub path_lines: Vec<u32>,
     /// Enforcement level.
     pub level: Level,
 }
@@ -50,7 +53,7 @@ pub struct Config {
 pub fn parse(text: &str) -> Result<Config, String> {
     let mut cfg = Config::default();
     let mut current: Option<String> = None;
-    let mut pending_array: Option<Vec<String>> = None;
+    let mut pending_array: Option<Vec<(String, u32)>> = None;
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = strip_comment(raw).trim().to_string();
@@ -63,12 +66,13 @@ pub fn parse(text: &str) -> Result<Config, String> {
             let body = line.trim_end_matches(']').trim().trim_end_matches(',');
             if !body.is_empty() {
                 for s in split_strings(body, lineno)? {
-                    items.push(s);
+                    items.push((s, lineno as u32 + 1));
                 }
             }
             if closed {
                 let items = pending_array.take().unwrap_or_default();
-                rule_mut(&mut cfg, &current, lineno)?.paths = items;
+                let rc = rule_mut(&mut cfg, &current, lineno)?;
+                (rc.paths, rc.path_lines) = items.into_iter().unzip();
             }
             continue;
         }
@@ -80,6 +84,7 @@ pub fn parse(text: &str) -> Result<Config, String> {
                 name.to_string(),
                 RuleConfig {
                     paths: Vec::new(),
+                    path_lines: Vec::new(),
                     level: Level::Deny,
                 },
             );
@@ -96,9 +101,16 @@ pub fn parse(text: &str) -> Result<Config, String> {
                     .strip_prefix('[')
                     .ok_or_else(|| format!("line {}: paths must be an array", lineno + 1))?;
                 if let Some(done) = inner.strip_suffix(']') {
-                    rule_mut(&mut cfg, &current, lineno)?.paths = split_strings(done, lineno)?;
+                    let rc = rule_mut(&mut cfg, &current, lineno)?;
+                    rc.paths = split_strings(done, lineno)?;
+                    rc.path_lines = vec![lineno as u32 + 1; rc.paths.len()];
                 } else {
-                    pending_array = Some(split_strings(inner, lineno)?);
+                    pending_array = Some(
+                        split_strings(inner, lineno)?
+                            .into_iter()
+                            .map(|s| (s, lineno as u32 + 1))
+                            .collect(),
+                    );
                 }
             }
             "level" => {

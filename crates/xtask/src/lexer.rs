@@ -2,19 +2,23 @@
 //!
 //! The environment vendors no `syn`, so the lint pass runs on a
 //! purpose-built lexer instead of a full AST. It produces the three
-//! things the rules need and nothing more:
+//! things the rules and the call-graph indexer need and nothing more:
 //!
-//! * a token stream (identifiers, punctuation, literals) with line
-//!   numbers, with comments and string/char literal *contents* removed
-//!   so rule matching never fires inside text;
-//! * the `// s2-lint: allow(rule): justification` pragmas, each bound
-//!   to the line of the next code token (so a pragma suppresses exactly
-//!   the statement it annotates, trailing or preceding);
+//! * a token stream (identifiers, punctuation, literals) with line *and
+//!   column* numbers, with comments and string/char literal *contents*
+//!   removed so rule matching never fires inside text;
+//! * the `// s2-lint: allow(rule): justification` and
+//!   `// s2-lint: source(label): reason` pragmas, each bound to the line
+//!   of the next code token (so a pragma annotates exactly the statement
+//!   or item it precedes, trailing or preceding);
 //! * the line spans of `#[cfg(test)]` items, so test code is exempt.
 //!
 //! The scanner understands line/block comments (nested), string
-//! literals with escapes, raw strings with `#` fences, byte strings,
-//! char literals, and lifetimes (so `'a` does not start a "string").
+//! literals with escapes (including escaped newlines), raw strings with
+//! `#` fences, byte strings, raw identifiers (`r#fn`), and lifetimes
+//! (so `'a` does not start a "string"). Multi-line literals are
+//! recorded at their *start* line so pragma binding and finding
+//! positions stay accurate after long embedded text.
 
 /// Token kinds s2-lint distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,8 +39,10 @@ pub struct Tok {
     /// The text (for `Punct`, a single character; for string literals,
     /// the placeholder `"\"\""`).
     pub text: String,
-    /// 1-based source line.
+    /// 1-based source line (start line for multi-line literals).
     pub line: u32,
+    /// 1-based column of the token's first byte.
+    pub col: u32,
 }
 
 /// A `// s2-lint: allow(rule[, rule...])[: justification]` pragma.
@@ -54,14 +60,38 @@ pub struct Pragma {
     pub applies_to_line: u32,
 }
 
+/// A `// s2-lint: source(label): reason` pragma marking the next
+/// function as a taint source — its return value carries peer bytes
+/// that arrived through an indirection the call graph cannot see
+/// (queue handoff, channel, shared buffer).
+#[derive(Debug, Clone)]
+pub struct SourcePragma {
+    /// 1-based line of the pragma comment.
+    pub line: u32,
+    /// The label inside the parens (e.g. `peer-input`).
+    pub label: String,
+    /// Why this function re-introduces taint (mandatory for the pragma
+    /// to take effect).
+    pub reason: String,
+    /// Line of the first code token after the pragma (the `fn` item it
+    /// annotates).
+    pub applies_to_line: u32,
+}
+
 /// Lexing output: the full token stream plus pragma and test-span
 /// side tables.
 #[derive(Debug, Default)]
 pub struct Scanned {
     /// Code tokens in order.
     pub toks: Vec<Tok>,
-    /// Pragmas found in comments.
+    /// Allow pragmas found in comments.
     pub pragmas: Vec<Pragma>,
+    /// Source pragmas found in comments.
+    pub sources: Vec<SourcePragma>,
+    /// Sanitizer pragmas (same shape as source pragmas): the annotated
+    /// function's return value is clean even when its arguments are
+    /// tainted — e.g. a length bounded with `.min(LIMIT)`.
+    pub sanitizers: Vec<SourcePragma>,
     /// Inclusive line ranges covered by `#[cfg(test)]` items.
     pub test_spans: Vec<(u32, u32)>,
 }
@@ -80,138 +110,202 @@ impl Scanned {
                 && p.rules.iter().any(|r| r == rule)
         })
     }
+
+    /// The source pragma annotating the item that starts on `line`.
+    pub fn source_for(&self, line: u32) -> Option<&SourcePragma> {
+        self.sources
+            .iter()
+            .find(|p| p.applies_to_line == line || p.line == line)
+    }
+
+    /// The sanitizer pragma annotating the item that starts on `line`.
+    pub fn sanitizer_for(&self, line: u32) -> Option<&SourcePragma> {
+        self.sanitizers
+            .iter()
+            .find(|p| p.applies_to_line == line || p.line == line)
+    }
 }
 
 /// Scans `src` into tokens, pragmas, and test spans.
 pub fn scan(src: &str) -> Scanned {
     let mut out = Scanned::default();
     let b = src.as_bytes();
-    let mut i = 0usize;
-    let mut line: u32 = 1;
+    let mut cur = Cursor {
+        b,
+        i: 0,
+        line: 1,
+        line_start: 0,
+    };
     // Pragmas whose `applies_to_line` is still unknown (no code token
-    // seen after them yet); indices into out.pragmas.
-    let mut open_pragmas: Vec<usize> = Vec::new();
+    // seen after them yet); indices into out.pragmas / out.sources.
+    let mut open_allows: Vec<usize> = Vec::new();
+    let mut open_sources: Vec<usize> = Vec::new();
+    let mut open_sanitizers: Vec<usize> = Vec::new();
 
     macro_rules! bind_open_pragmas {
         () => {
-            if !open_pragmas.is_empty() {
-                for idx in open_pragmas.drain(..) {
-                    out.pragmas[idx].applies_to_line = line;
-                }
+            for idx in open_allows.drain(..) {
+                out.pragmas[idx].applies_to_line = cur.line;
+            }
+            for idx in open_sources.drain(..) {
+                out.sources[idx].applies_to_line = cur.line;
+            }
+            for idx in open_sanitizers.drain(..) {
+                out.sanitizers[idx].applies_to_line = cur.line;
             }
         };
     }
 
-    while i < b.len() {
-        let c = b[i];
+    while cur.i < b.len() {
+        let c = b[cur.i];
         match c {
-            b'\n' => {
-                line += 1;
-                i += 1;
-            }
-            b' ' | b'\t' | b'\r' => i += 1,
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                let start = i;
-                while i < b.len() && b[i] != b'\n' {
-                    i += 1;
+            b'\n' => cur.newline(),
+            b' ' | b'\t' | b'\r' => cur.i += 1,
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let start = cur.i;
+                while cur.i < b.len() && b[cur.i] != b'\n' {
+                    cur.i += 1;
                 }
-                let comment = &src[start..i];
-                if let Some(p) = parse_pragma(comment, line) {
-                    out.pragmas.push(p);
-                    open_pragmas.push(out.pragmas.len() - 1);
+                let comment = &src[start..cur.i];
+                match parse_pragma(comment, cur.line) {
+                    Some(ParsedPragma::Allow(p)) => {
+                        out.pragmas.push(p);
+                        open_allows.push(out.pragmas.len() - 1);
+                    }
+                    Some(ParsedPragma::Source(p)) => {
+                        out.sources.push(p);
+                        open_sources.push(out.sources.len() - 1);
+                    }
+                    Some(ParsedPragma::Sanitizer(p)) => {
+                        out.sanitizers.push(p);
+                        open_sanitizers.push(out.sanitizers.len() - 1);
+                    }
+                    None => {}
                 }
             }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+            b'/' if cur.peek(1) == Some(b'*') => {
                 // Block comment, nested per Rust rules.
                 let mut depth = 1;
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'\n' {
-                        line += 1;
-                        i += 1;
-                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                cur.i += 2;
+                while cur.i < b.len() && depth > 0 {
+                    if b[cur.i] == b'\n' {
+                        cur.newline();
+                    } else if b[cur.i] == b'/' && cur.peek(1) == Some(b'*') {
                         depth += 1;
-                        i += 2;
-                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        cur.i += 2;
+                    } else if b[cur.i] == b'*' && cur.peek(1) == Some(b'/') {
                         depth -= 1;
-                        i += 2;
+                        cur.i += 2;
                     } else {
-                        i += 1;
+                        cur.i += 1;
                     }
                 }
             }
             b'"' => {
                 bind_open_pragmas!();
-                i = skip_string(b, i, &mut line);
+                let (line, col) = (cur.line, cur.col());
+                cur.skip_string();
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
                     text: "\"\"".into(),
                     line,
+                    col,
                 });
             }
-            b'r' | b'b'
-                if starts_raw_string(b, i) =>
+            b'r' | b'b' if starts_raw_string(b, cur.i) => {
+                bind_open_pragmas!();
+                let (line, col) = (cur.line, cur.col());
+                cur.skip_raw_string();
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"\"".into(),
+                    line,
+                    col,
+                });
+            }
+            b'r' if cur.peek(1) == Some(b'#')
+                && cur
+                    .peek(2)
+                    .is_some_and(|c| c == b'_' || c.is_ascii_alphabetic()) =>
             {
+                // Raw identifier `r#fn`: lex as the bare identifier so
+                // keyword-driven passes (fn indexing, test spans) are
+                // not confused by a stray `#` + keyword pair.
                 bind_open_pragmas!();
-                i = skip_raw_string(b, i, &mut line);
+                let (line, col) = (cur.line, cur.col());
+                cur.i += 2;
+                let start = cur.i;
+                while cur.i < b.len() && (b[cur.i] == b'_' || b[cur.i].is_ascii_alphanumeric()) {
+                    cur.i += 1;
+                }
                 out.toks.push(Tok {
-                    kind: TokKind::Literal,
-                    text: "\"\"".into(),
+                    kind: TokKind::Ident,
+                    text: src[start..cur.i].to_string(),
                     line,
+                    col,
                 });
             }
-            b'b' if i + 1 < b.len() && b[i + 1] == b'\'' => {
+            b'b' if cur.peek(1) == Some(b'\'') => {
                 bind_open_pragmas!();
-                i = skip_char(b, i + 1, &mut line);
+                let (line, col) = (cur.line, cur.col());
+                cur.i += 1;
+                cur.skip_char();
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
                     text: "b''".into(),
                     line,
+                    col,
                 });
             }
             b'\'' => {
                 bind_open_pragmas!();
-                if is_lifetime(b, i) {
+                if is_lifetime(b, cur.i) {
                     // 'ident — consume the quote, the ident lexes next.
-                    i += 1;
+                    cur.i += 1;
                 } else {
-                    i = skip_char(b, i, &mut line);
+                    let (line, col) = (cur.line, cur.col());
+                    cur.skip_char();
                     out.toks.push(Tok {
                         kind: TokKind::Literal,
                         text: "''".into(),
                         line,
+                        col,
                     });
                 }
             }
             c if c == b'_' || c.is_ascii_alphabetic() => {
                 bind_open_pragmas!();
-                let start = i;
-                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
-                    i += 1;
+                let (line, col) = (cur.line, cur.col());
+                let start = cur.i;
+                while cur.i < b.len() && (b[cur.i] == b'_' || b[cur.i].is_ascii_alphanumeric()) {
+                    cur.i += 1;
                 }
                 out.toks.push(Tok {
                     kind: TokKind::Ident,
-                    text: src[start..i].to_string(),
+                    text: src[start..cur.i].to_string(),
                     line,
+                    col,
                 });
             }
             c if c.is_ascii_digit() => {
                 bind_open_pragmas!();
-                let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                let (line, col) = (cur.line, cur.col());
+                let start = cur.i;
+                while cur.i < b.len()
+                    && (b[cur.i].is_ascii_alphanumeric() || b[cur.i] == b'_' || b[cur.i] == b'.')
                 {
                     // Stop a range expression `0..x` from being eaten as
                     // one number.
-                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                    if b[cur.i] == b'.' && cur.peek(1) == Some(b'.') {
                         break;
                     }
-                    i += 1;
+                    cur.i += 1;
                 }
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
-                    text: src[start..i].to_string(),
+                    text: src[start..cur.i].to_string(),
                     line,
+                    col,
                 });
             }
             _ => {
@@ -219,15 +313,126 @@ pub fn scan(src: &str) -> Scanned {
                 out.toks.push(Tok {
                     kind: TokKind::Punct,
                     text: (c as char).to_string(),
-                    line,
+                    line: cur.line,
+                    col: cur.col(),
                 });
-                i += 1;
+                cur.i += 1;
             }
         }
     }
 
     find_test_spans(&mut out);
     out
+}
+
+/// Byte cursor with line/column bookkeeping.
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn col(&self) -> u32 {
+        (self.i - self.line_start + 1) as u32
+    }
+
+    fn newline(&mut self) {
+        self.line += 1;
+        self.i += 1;
+        self.line_start = self.i;
+    }
+
+    /// Skips a `'c'` char literal; `self.i` points at the opening quote.
+    fn skip_char(&mut self) {
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    // An escape; `\<newline>` still counts the line.
+                    if self.peek(1) == Some(b'\n') {
+                        self.i += 1;
+                        self.newline();
+                    } else {
+                        self.i += 2;
+                    }
+                }
+                b'\'' => {
+                    self.i += 1;
+                    return;
+                }
+                b'\n' => {
+                    // Malformed; bail at end of line.
+                    self.newline();
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Skips a `"..."` string literal; `self.i` points at the quote.
+    fn skip_string(&mut self) {
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    // `\<newline>` is a line continuation: the newline
+                    // must still advance the line counter.
+                    if self.peek(1) == Some(b'\n') {
+                        self.i += 1;
+                        self.newline();
+                    } else {
+                        self.i += 2;
+                    }
+                }
+                b'\n' => self.newline(),
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Skips a raw / byte / raw-byte string starting at `self.i`.
+    fn skip_raw_string(&mut self) {
+        while self.i < self.b.len() && (self.b[self.i] == b'r' || self.b[self.i] == b'b') {
+            self.i += 1;
+        }
+        let mut fences = 0;
+        while self.i < self.b.len() && self.b[self.i] == b'#' {
+            fences += 1;
+            self.i += 1;
+        }
+        if self.i < self.b.len() && self.b[self.i] == b'"' {
+            self.i += 1;
+        }
+        // Scan for `"` followed by `fences` hashes.
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.newline();
+                continue;
+            }
+            if self.b[self.i] == b'"' {
+                let mut k = 0;
+                while k < fences && self.peek(1 + k).map(|c| c == b'#').unwrap_or(false) {
+                    k += 1;
+                }
+                if k == fences {
+                    self.i += 1 + fences;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
 }
 
 fn is_lifetime(b: &[u8], i: usize) -> bool {
@@ -243,40 +448,6 @@ fn is_lifetime(b: &[u8], i: usize) -> bool {
     }
     // If the char after the single ident-char is a quote, it's 'x'.
     !(i + 2 < b.len() && b[i + 2] == b'\'')
-}
-
-fn skip_char(b: &[u8], start: usize, line: &mut u32) -> usize {
-    // start points at the opening quote.
-    let mut i = start + 1;
-    while i < b.len() {
-        match b[i] {
-            b'\\' => i += 2,
-            b'\'' => return i + 1,
-            b'\n' => {
-                // Malformed; bail at end of line.
-                *line += 1;
-                return i + 1;
-            }
-            _ => i += 1,
-        }
-    }
-    i
-}
-
-fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
-    let mut i = start + 1;
-    while i < b.len() {
-        match b[i] {
-            b'\\' => i += 2,
-            b'\n' => {
-                *line += 1;
-                i += 1;
-            }
-            b'"' => return i + 1,
-            _ => i += 1,
-        }
-    }
-    i
 }
 
 fn starts_raw_string(b: &[u8], i: usize) -> bool {
@@ -301,63 +472,59 @@ fn starts_raw_string(b: &[u8], i: usize) -> bool {
     j < b.len() && b[j] == b'"'
 }
 
-fn skip_raw_string(b: &[u8], start: usize, line: &mut u32) -> usize {
-    let mut i = start;
-    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
-        i += 1;
-    }
-    let mut fences = 0;
-    while i < b.len() && b[i] == b'#' {
-        fences += 1;
-        i += 1;
-    }
-    if i < b.len() && b[i] == b'"' {
-        i += 1;
-    }
-    // Scan for `"` followed by `fences` hashes.
-    while i < b.len() {
-        if b[i] == b'\n' {
-            *line += 1;
-            i += 1;
-            continue;
-        }
-        if b[i] == b'"' {
-            let mut k = 0;
-            while k < fences && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
-                k += 1;
-            }
-            if k == fences {
-                return i + 1 + fences;
-            }
-        }
-        i += 1;
-    }
-    i
+enum ParsedPragma {
+    Allow(Pragma),
+    Source(SourcePragma),
+    Sanitizer(SourcePragma),
 }
 
-/// Parses a `// s2-lint: allow(rule[, rule]) [: justification]` comment.
-fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
+/// Parses a `// s2-lint: allow(...)`, `// s2-lint: source(...)`, or
+/// `// s2-lint: sanitizer(...)` comment.
+fn parse_pragma(comment: &str, line: u32) -> Option<ParsedPragma> {
     let body = comment.trim_start_matches('/').trim();
     let rest = body.strip_prefix("s2-lint:")?.trim();
-    let rest = rest.strip_prefix("allow")?.trim_start();
-    let rest = rest.strip_prefix('(')?;
-    let close = rest.find(')')?;
-    let rules: Vec<String> = rest[..close]
-        .split(',')
-        .map(|r| r.trim().to_string())
-        .filter(|r| !r.is_empty())
-        .collect();
-    if rules.is_empty() {
-        return None;
+    if let Some(rest) = rest.strip_prefix("allow") {
+        let rest = rest.trim_start().strip_prefix('(')?;
+        let close = rest.find(')')?;
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            return None;
+        }
+        let after = rest[close + 1..].trim();
+        let justification = after.strip_prefix(':').unwrap_or("").trim().to_string();
+        return Some(ParsedPragma::Allow(Pragma {
+            line,
+            rules,
+            justification,
+            applies_to_line: line,
+        }));
     }
-    let after = rest[close + 1..].trim();
-    let justification = after.strip_prefix(':').unwrap_or("").trim().to_string();
-    Some(Pragma {
-        line,
-        rules,
-        justification,
-        applies_to_line: line,
-    })
+    for (prefix, sanitizer) in [("source", false), ("sanitizer", true)] {
+        let Some(rest) = rest.strip_prefix(prefix) else {
+            continue;
+        };
+        let rest = rest.trim_start().strip_prefix('(')?;
+        let close = rest.find(')')?;
+        let label = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim();
+        let reason = after.strip_prefix(':').unwrap_or("").trim().to_string();
+        let p = SourcePragma {
+            line,
+            label,
+            reason,
+            applies_to_line: line,
+        };
+        return Some(if sanitizer {
+            ParsedPragma::Sanitizer(p)
+        } else {
+            ParsedPragma::Source(p)
+        });
+    }
+    None
 }
 
 /// Finds line spans of items annotated `#[cfg(test)]` (or
@@ -455,6 +622,67 @@ mod tests {
     }
 
     #[test]
+    fn columns_are_tracked() {
+        let s = scan("let x = 1;\n  let y = 2;");
+        let x = s.toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!((x.line, x.col), (1, 5));
+        let y = s.toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!((y.line, y.col), (2, 7));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_count() {
+        let s = scan("let a = \"one\\\ntwo\";\nlet b = 1;");
+        let b = s.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3, "{:?}", s.toks);
+    }
+
+    #[test]
+    fn multiline_literals_report_their_start_line() {
+        let s = scan("let a = \"x\ny\nz\";\nlet b = r#\"p\nq\"#;");
+        let lits: Vec<u32> = s
+            .toks
+            .iter()
+            .filter(|t| t.text == "\"\"")
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lits, vec![1, 4], "{:?}", s.toks);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let s = scan("let r#fn = 1; call(r#type);");
+        let idents: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "fn", "call", "type"]);
+        assert!(s.toks.iter().all(|t| t.text != "#"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let s = scan("/* outer /* inner unwrap() */ still comment */ let x = 1;");
+        assert!(s.toks.iter().all(|t| t.text != "unwrap"));
+        assert!(s.toks.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_literals() {
+        let s = scan(r##"let m = b"MAGIC unwrap()"; let c = b'x'; let r = br#"panic!"#;"##);
+        assert!(s.toks.iter().all(|t| t.text != "unwrap" && t.text != "panic"));
+        let names: Vec<_> = s
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(names.contains(&"m") && names.contains(&"c") && names.contains(&"r"));
+    }
+
+    #[test]
     fn pragma_binds_to_next_code_line() {
         let src = "\
 // s2-lint: allow(r1-panic-freedom): index is masked
@@ -483,6 +711,22 @@ let x = v[0];
         let s = scan("// s2-lint: allow(r3-no-wallclock-rng)\nlet t = 1;\n");
         assert_eq!(s.pragmas.len(), 1);
         assert!(s.pragmas[0].justification.is_empty());
+    }
+
+    #[test]
+    fn source_pragma_binds_to_the_next_item() {
+        let src = "\
+// s2-lint: source(peer-input): frames queued by acceptor threads carry raw peer bytes
+pub fn pop(&self) -> Option<Bytes> { None }
+";
+        let s = scan(src);
+        assert_eq!(s.sources.len(), 1);
+        let p = &s.sources[0];
+        assert_eq!(p.label, "peer-input");
+        assert!(p.reason.contains("acceptor"));
+        assert_eq!(p.applies_to_line, 2);
+        assert!(s.source_for(2).is_some());
+        assert!(s.source_for(3).is_none());
     }
 
     #[test]

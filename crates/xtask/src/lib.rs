@@ -11,14 +11,26 @@
 //! configured file. See DESIGN.md § "Static analysis" for the rule ↔
 //! paper-invariant mapping and `s2-lint.toml` for the scope of each
 //! rule.
+//!
+//! v2 adds a workspace pass: [`index`] parses every crate into a
+//! function/call index and [`taint`] runs an interprocedural taint
+//! analysis from transport deframe entry points to panic/allocation
+//! sinks. The scopes of R1, R2, and R4 are *derived* from that call
+//! graph (taint-reachable functions, wire-emitting files) instead of
+//! hand-maintained path lists; configured paths remain honored
+//! additively, and a path whose files are all inside the derived scope
+//! draws a `config-subsumed-scope` finding.
 
 pub mod config;
+pub mod index;
 pub mod lexer;
 pub mod obscheck;
 pub mod rules;
+pub mod taint;
 
 use config::{Config, Level};
 use rules::Finding;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// Outcome of a lint run.
@@ -48,8 +60,28 @@ pub fn run(root: &Path, cfg: &Config, deny_all: bool) -> Result<LintReport, Stri
                 rules::RULES.join(", ")
             ));
         }
-        for path in &rc.paths {
-            for rel in expand(root, path)? {
+        for (pi, path) in rc.paths.iter().enumerate() {
+            let rels = match expand(root, path) {
+                Ok(rels) => rels,
+                Err(_) => {
+                    // A configured path that no longer exists is a lint
+                    // finding against the config itself, not a crash:
+                    // the tree moved and s2-lint.toml went stale.
+                    let mut f = rules::finding(
+                        rules::RULE_STALE_PATH,
+                        "s2-lint.toml",
+                        rc.path_lines.get(pi).copied().unwrap_or(0),
+                        1,
+                        format!("rule {rule}: configured path {path:?} does not exist"),
+                    );
+                    if !deny_all {
+                        f.suppressed_by = Some("(warn-level rule)".into());
+                    }
+                    findings.push(f);
+                    continue;
+                }
+            };
+            for rel in rels {
                 let idx = match cache.iter().position(|(p, _)| p == &rel) {
                     Some(i) => i,
                     None => {
@@ -62,32 +94,227 @@ pub fn run(root: &Path, cfg: &Config, deny_all: bool) -> Result<LintReport, Stri
                 let (file, s) = &cache[idx];
                 let before = findings.len();
                 rules::run_rule(rule, file, s, &mut findings);
-                // Tag warn-level findings unless promoted.
                 if rc.level == Level::Warn && !deny_all {
-                    for f in &mut findings[before..] {
-                        if f.is_live() {
-                            f.suppressed_by = Some("(warn-level rule)".into());
-                        }
-                    }
+                    tag_warn(&mut findings[before..]);
                 }
             }
         }
     }
-    // Pragma hygiene runs on every file any rule touched.
+
+    // Workspace pass: index every crate and run the call-graph taint
+    // analysis. Absent a `crates/` dir (fixture trees, scoped runs on a
+    // subdirectory) the index is empty and this is a no-op.
+    let ws = index::build(root)?;
+    let analysis = if ws.fns.is_empty() {
+        None
+    } else {
+        Some(taint::analyze(&ws))
+    };
+
+    if let Some(a) = &analysis {
+        // Taint findings are R1: a peer-controlled byte flow reaching a
+        // panic/allocation sink anywhere in the workspace.
+        let r1_level = level_of(cfg, "r1-panic-freedom");
+        let before = findings.len();
+        for tf in &a.findings {
+            let entry = &ws.files[tf.file];
+            if entry.scanned.in_test_code(tf.line) {
+                continue;
+            }
+            let mut f = rules::finding(
+                "r1-panic-freedom",
+                &entry.path,
+                tf.line,
+                tf.col,
+                tf.message.clone(),
+            );
+            f.trace = tf.trace.clone();
+            if let Some(p) = entry.scanned.pragma_for("r1-panic-freedom", tf.line) {
+                if !p.justification.is_empty() {
+                    f.suppressed_by = Some(p.justification.clone());
+                }
+            }
+            findings.push(f);
+        }
+        if r1_level == Level::Warn && !deny_all {
+            tag_warn(&mut findings[before..]);
+        }
+
+        // Derived R2 scope: whole files that contain a taint-reached or
+        // wire-emitting function (HashMap/HashSet idents live in use
+        // lines and struct fields, so the scope is file-granular).
+        let r2_level = level_of(cfg, "r2-deterministic-iteration");
+        for &fi in &a.scope_r2_files {
+            let entry = &ws.files[fi];
+            let before = findings.len();
+            rules::run_rule(
+                "r2-deterministic-iteration",
+                &entry.path,
+                &entry.scanned,
+                &mut findings,
+            );
+            if r2_level == Level::Warn && !deny_all {
+                tag_warn(&mut findings[before..]);
+            }
+        }
+
+        // Derived R4 scope: function-granular (signature + body) so a
+        // crate that legitimately owns BDD managers is not dragged in
+        // by an unrelated taint-reached helper in the same file.
+        let r4_level = level_of(cfg, "r4-bdd-node-boundary");
+        for &id in &a.scope_r4 {
+            let fi = &ws.fns[id];
+            let entry = &ws.files[fi.file];
+            let Some((lo, hi)) = fn_tok_range(fi, &entry.scanned) else {
+                continue;
+            };
+            let before = findings.len();
+            rules::run_rule_range(
+                "r4-bdd-node-boundary",
+                &entry.path,
+                &entry.scanned,
+                lo,
+                hi,
+                &mut findings,
+            );
+            if r4_level == Level::Warn && !deny_all {
+                tag_warn(&mut findings[before..]);
+            }
+        }
+
+        // Configured paths fully covered by the derived scopes are
+        // stale config: flag them so the path lists shrink instead of
+        // accreting.
+        let derived_r1: BTreeSet<&str> = a
+            .scope_r1
+            .iter()
+            .map(|&id| ws.files[ws.fns[id].file].path.as_str())
+            .collect();
+        let derived_r2: BTreeSet<&str> = a
+            .scope_r2_files
+            .iter()
+            .map(|&fi| ws.files[fi].path.as_str())
+            .collect();
+        let derived_r4: BTreeSet<&str> = a
+            .scope_r4
+            .iter()
+            .map(|&id| ws.files[ws.fns[id].file].path.as_str())
+            .collect();
+        for (rule, derived) in [
+            ("r1-panic-freedom", &derived_r1),
+            ("r2-deterministic-iteration", &derived_r2),
+            ("r4-bdd-node-boundary", &derived_r4),
+        ] {
+            let Some(rc) = cfg.rules.get(rule) else {
+                continue;
+            };
+            for (pi, path) in rc.paths.iter().enumerate() {
+                let Ok(rels) = expand(root, path) else {
+                    continue; // already reported as stale
+                };
+                if !rels.is_empty() && rels.iter().all(|r| derived.contains(r.as_str())) {
+                    let mut f = rules::finding(
+                        rules::RULE_SUBSUMED,
+                        "s2-lint.toml",
+                        rc.path_lines.get(pi).copied().unwrap_or(0),
+                        1,
+                        format!(
+                            "rule {rule}: configured path {path:?} is already covered \
+                             by the call-graph-derived scope — remove it"
+                        ),
+                    );
+                    if !deny_all {
+                        f.suppressed_by = Some("(warn-level rule)".into());
+                    }
+                    findings.push(f);
+                }
+            }
+        }
+    }
+
+    // Pragma hygiene runs on every file any rule touched plus every
+    // indexed workspace file (duplicates fall out in the dedup below).
     for (file, s) in &cache {
         rules::check_pragma_hygiene(file, s, &mut findings);
     }
-    let files_scanned = cache.len();
+    for entry in &ws.files {
+        rules::check_pragma_hygiene(&entry.path, &entry.scanned, &mut findings);
+    }
+
+    let mut seen: BTreeSet<&str> = cache.iter().map(|(p, _)| p.as_str()).collect();
+    seen.extend(ws.files.iter().map(|e| e.path.as_str()));
+    let files_scanned = seen.len();
 
     findings.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+        (a.file.as_str(), a.line, a.col, a.rule.as_str(), a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+            b.message.as_str(),
+        ))
     });
+    // Nested fns re-scan their enclosing fn's body range and a file can
+    // be both configured and scope-derived; identical findings collapse.
+    findings.dedup_by(|a, b| {
+        a.rule == b.rule
+            && a.file == b.file
+            && a.line == b.line
+            && a.col == b.col
+            && a.message == b.message
+    });
+    assign_ids(&mut findings);
+
     let failed = findings.iter().any(|f| f.is_live());
     Ok(LintReport {
         findings,
         files_scanned,
         failed,
     })
+}
+
+/// Marks still-live findings in `slice` as warn-suppressed.
+fn tag_warn(slice: &mut [Finding]) {
+    for f in slice {
+        if f.is_live() {
+            f.suppressed_by = Some("(warn-level rule)".into());
+        }
+    }
+}
+
+fn level_of(cfg: &Config, rule: &str) -> Level {
+    cfg.rules.get(rule).map(|rc| rc.level).unwrap_or(Level::Deny)
+}
+
+/// Token range covering a function's signature and body: from the first
+/// token on its signature line to its closing brace.
+fn fn_tok_range(fi: &index::FnInfo, s: &lexer::Scanned) -> Option<(usize, usize)> {
+    let (_, hi) = fi.body?;
+    let lo = s.toks.partition_point(|t| t.line < fi.sig_line);
+    Some((lo, hi))
+}
+
+/// Stamps stable IDs: FNV-1a over `rule|file|message|occurrence`, so an
+/// ID survives edits that only move the finding to another line.
+fn assign_ids(findings: &mut [Finding]) {
+    use std::collections::BTreeMap;
+    let mut occurrence: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+    for f in findings {
+        let key = (f.rule.clone(), f.file.clone(), f.message.clone());
+        let k = occurrence.entry(key).or_insert(0);
+        let h = fnv1a(&format!("{}|{}|{}|{}", f.rule, f.file, f.message, k));
+        *k += 1;
+        f.id = format!("S2L-{:010x}", h & 0xff_ffff_ffff);
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Expands a configured path: a file maps to itself, a directory to
@@ -138,14 +365,21 @@ pub fn render_human(report: &LintReport) -> String {
         match &f.suppressed_by {
             None => {
                 live += 1;
-                let _ = writeln!(s, "deny[{}]: {}:{}: {}", f.rule, f.file, f.line, f.message);
+                let _ = writeln!(
+                    s,
+                    "deny[{}]: {}:{}:{}: {} [{}]",
+                    f.rule, f.file, f.line, f.col, f.message, f.id
+                );
+                for step in &f.trace {
+                    let _ = writeln!(s, "    flow: {step}");
+                }
             }
             Some(why) => {
                 suppressed += 1;
                 let _ = writeln!(
                     s,
-                    "allow[{}]: {}:{} — {}",
-                    f.rule, f.file, f.line, why
+                    "allow[{}]: {}:{}:{} — {}",
+                    f.rule, f.file, f.line, f.col, why
                 );
             }
         }
@@ -165,17 +399,26 @@ pub fn render_json(report: &LintReport) -> String {
         if i > 0 {
             s.push(',');
         }
+        let trace = f
+            .trace
+            .iter()
+            .map(|t| json_str(t))
+            .collect::<Vec<_>>()
+            .join(",");
         s.push_str(&format!(
-            "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{},\"suppressed\":{},\"justification\":{}}}",
+            "{{\"id\":{},\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"suppressed\":{},\"justification\":{},\"trace\":[{}]}}",
+            json_str(&f.id),
             json_str(&f.rule),
             json_str(&f.file),
             f.line,
+            f.col,
             json_str(&f.message),
             !f.is_live(),
             f.suppressed_by
                 .as_deref()
                 .map(json_str)
                 .unwrap_or_else(|| "null".into()),
+            trace,
         ));
     }
     s.push(']');

@@ -20,17 +20,33 @@ pub const RULES: [&str; 5] = [
     "r5-obs-clock",
 ];
 
+/// Rule identifier for a configured path that no longer exists.
+pub const RULE_STALE_PATH: &str = "config-stale-path";
+
+/// Rule identifier for a configured path already covered by call-graph
+/// scope derivation.
+pub const RULE_SUBSUMED: &str = "config-subsumed-scope";
+
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule that fired (one of [`RULES`] or [`RULE_PRAGMA`]).
+    /// Rule that fired (one of [`RULES`], [`RULE_PRAGMA`],
+    /// [`RULE_STALE_PATH`], or [`RULE_SUBSUMED`]).
     pub rule: String,
     /// Repo-relative path of the file.
     pub file: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column (1 when the finding has no precise token).
+    pub col: u32,
+    /// Stable finding ID (`S2L-…`), assigned after the final sort; the
+    /// hash covers rule/file/message/occurrence but not line or column,
+    /// so IDs survive unrelated edits above the finding.
+    pub id: String,
     /// Human-readable description.
     pub message: String,
+    /// Root→sink call chain for taint findings (empty otherwise).
+    pub trace: Vec<String>,
     /// `Some(justification)` when an allow pragma suppressed this
     /// finding; `None` for live violations.
     pub suppressed_by: Option<String>,
@@ -45,12 +61,28 @@ impl Finding {
 
 /// Runs `rule` over one scanned file, appending findings.
 pub fn run_rule(rule: &str, file: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    run_rule_range(rule, file, s, 0, s.toks.len(), out);
+}
+
+/// Runs `rule` over the token range `[lo, hi)` of one scanned file.
+/// Used by the call-graph-derived scopes, which restrict a rule to the
+/// bodies of taint-reachable functions rather than whole files.
+pub fn run_rule_range(
+    rule: &str,
+    file: &str,
+    s: &Scanned,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<Finding>,
+) {
+    let hi = hi.min(s.toks.len());
+    let lo = lo.min(hi);
     let raw: Vec<Finding> = match rule {
-        "r1-panic-freedom" => r1(file, s),
-        "r2-deterministic-iteration" => r2(file, s),
-        "r3-no-wallclock-rng" => r3(file, s),
-        "r4-bdd-node-boundary" => r4(file, s),
-        "r5-obs-clock" => r5(file, s),
+        "r1-panic-freedom" => r1(file, s, lo, hi),
+        "r2-deterministic-iteration" => r2(file, s, lo, hi),
+        "r3-no-wallclock-rng" => r3(file, s, lo, hi),
+        "r4-bdd-node-boundary" => r4(file, s, lo, hi),
+        "r5-obs-clock" => r5(file, s, lo, hi),
         _ => Vec::new(),
     };
     for mut f in raw {
@@ -75,27 +107,62 @@ pub fn run_rule(rule: &str, file: &str, s: &Scanned, out: &mut Vec<Finding>) {
 pub fn check_pragma_hygiene(file: &str, s: &Scanned, out: &mut Vec<Finding>) {
     for p in &s.pragmas {
         if p.justification.is_empty() {
-            out.push(Finding {
-                rule: RULE_PRAGMA.into(),
-                file: file.into(),
-                line: p.line,
-                message: format!(
+            out.push(finding(
+                RULE_PRAGMA,
+                file,
+                p.line,
+                1,
+                format!(
                     "allow({}) pragma has no justification — write why the \
                      invariant holds after the colon",
                     p.rules.join(", ")
                 ),
-                suppressed_by: None,
-            });
+            ));
+        }
+    }
+    for p in &s.sources {
+        if p.reason.is_empty() {
+            out.push(finding(
+                RULE_PRAGMA,
+                file,
+                p.line,
+                1,
+                format!(
+                    "source({}) pragma has no reason — write where the bytes \
+                     come from after the colon",
+                    p.label
+                ),
+            ));
+        }
+    }
+    for p in &s.sanitizers {
+        if p.reason.is_empty() {
+            out.push(finding(
+                RULE_PRAGMA,
+                file,
+                p.line,
+                1,
+                format!(
+                    "sanitizer({}) pragma has no reason — write why the \
+                     return value is bounded after the colon",
+                    p.label
+                ),
+            ));
         }
     }
 }
 
-fn finding(rule: &str, file: &str, line: u32, message: String) -> Finding {
+/// Constructs a finding with no trace and an unassigned ID (IDs are
+/// stamped once per report, after the final sort).
+pub fn finding(rule: &str, file: &str, line: u32, col: u32, message: String) -> Finding {
     Finding {
         rule: rule.into(),
         file: file.into(),
         line,
+        col,
+        id: String::new(),
         message,
+        trace: Vec::new(),
         suppressed_by: None,
     }
 }
@@ -104,12 +171,13 @@ fn finding(rule: &str, file: &str, line: u32, message: String) -> Finding {
 /// in peer-input paths. A remote peer's bytes must never be able to
 /// take a worker down: every malformed input becomes a typed error or
 /// a counted protocol violation.
-fn r1(file: &str, s: &Scanned) -> Vec<Finding> {
+fn r1(file: &str, s: &Scanned, lo: usize, hi: usize) -> Vec<Finding> {
     const RULE: &str = "r1-panic-freedom";
     const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
     let mut out = Vec::new();
     let toks = &s.toks;
-    for (i, t) in toks.iter().enumerate() {
+    for i in lo..hi {
+        let t = &toks[i];
         match t.kind {
             TokKind::Ident if (t.text == "unwrap" || t.text == "expect") => {
                 // `.unwrap()` / `.expect(` — method position only, so
@@ -122,6 +190,7 @@ fn r1(file: &str, s: &Scanned) -> Vec<Finding> {
                         RULE,
                         file,
                         t.line,
+                        t.col,
                         format!(
                             ".{}() in a peer-input path — convert to the typed \
                              error path (WireError / io::Error / counted skip)",
@@ -138,6 +207,7 @@ fn r1(file: &str, s: &Scanned) -> Vec<Finding> {
                     RULE,
                     file,
                     t.line,
+                    t.col,
                     format!(
                         "{}! in a peer-input path — peers must not be able to trigger a panic",
                         t.text
@@ -149,6 +219,7 @@ fn r1(file: &str, s: &Scanned) -> Vec<Finding> {
                     RULE,
                     file,
                     t.line,
+                    t.col,
                     "slice/array indexing in a peer-input path — use .get() \
                      or destructuring so out-of-range input cannot panic"
                         .into(),
@@ -162,7 +233,8 @@ fn r1(file: &str, s: &Scanned) -> Vec<Finding> {
 
 /// Whether the `[` at `toks[i]` indexes a value (as opposed to starting
 /// an attribute, an array literal/type, or a macro invocation body).
-fn is_index_expression(toks: &[Tok], i: usize) -> bool {
+/// Shared with the taint pass in [`crate::taint`].
+pub fn is_index_expression(toks: &[Tok], i: usize) -> bool {
     let Some(prev) = i.checked_sub(1).and_then(|j| toks.get(j)) else {
         return false;
     };
@@ -187,15 +259,16 @@ fn is_index_expression(toks: &[Tok], i: usize) -> bool {
 /// nondeterministic across processes (SipHash keys differ), which
 /// silently breaks S2's bit-identical-RIB guarantee; use `BTreeMap`/
 /// `BTreeSet` or an explicit sort at the encoding boundary.
-fn r2(file: &str, s: &Scanned) -> Vec<Finding> {
+fn r2(file: &str, s: &Scanned, lo: usize, hi: usize) -> Vec<Finding> {
     const RULE: &str = "r2-deterministic-iteration";
     let mut out = Vec::new();
-    for t in &s.toks {
+    for t in &s.toks[lo..hi] {
         if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
             out.push(finding(
                 RULE,
                 file,
                 t.line,
+                t.col,
                 format!(
                     "{} in a wire-encoding module — hash iteration order is \
                      nondeterministic; use BTreeMap/BTreeSet or sort before \
@@ -213,7 +286,7 @@ fn r2(file: &str, s: &Scanned) -> Vec<Finding> {
 /// point whose bit-identity across partitionings is the paper's
 /// headline guarantee; time and randomness may only enter through the
 /// runtime layer.
-fn r3(file: &str, s: &Scanned) -> Vec<Finding> {
+fn r3(file: &str, s: &Scanned, lo: usize, hi: usize) -> Vec<Finding> {
     const RULE: &str = "r3-no-wallclock-rng";
     const BANNED: [&str; 5] = [
         "Instant",
@@ -223,12 +296,13 @@ fn r3(file: &str, s: &Scanned) -> Vec<Finding> {
         "random",
     ];
     let mut out = Vec::new();
-    for t in &s.toks {
+    for t in &s.toks[lo..hi] {
         if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
             out.push(finding(
                 RULE,
                 file,
                 t.line,
+                t.col,
                 format!(
                     "{} in a deterministic crate — wall clock / ambient RNG \
                      would break bit-identical replay; inject via the runtime \
@@ -245,11 +319,12 @@ fn r3(file: &str, s: &Scanned) -> Vec<Finding> {
 /// boundary. A `Bdd`/`BddManager` index is private to one worker's
 /// manager (§4.3); the only legal crossing is the byte format of
 /// `s2_bdd::serialize`, re-encoded on arrival.
-fn r4(file: &str, s: &Scanned) -> Vec<Finding> {
+fn r4(file: &str, s: &Scanned, lo: usize, hi: usize) -> Vec<Finding> {
     const RULE: &str = "r4-bdd-node-boundary";
     let mut out = Vec::new();
     let toks = &s.toks;
-    for (i, t) in toks.iter().enumerate() {
+    for i in lo..hi {
+        let t = &toks[i];
         if t.kind != TokKind::Ident {
             continue;
         }
@@ -267,6 +342,7 @@ fn r4(file: &str, s: &Scanned) -> Vec<Finding> {
                         RULE,
                         file,
                         t.line,
+                        t.col,
                         "s2_bdd used in a wire-boundary module outside the \
                          serialize layer — raw node ids are meaningless across \
                          workers"
@@ -279,6 +355,7 @@ fn r4(file: &str, s: &Scanned) -> Vec<Finding> {
                     RULE,
                     file,
                     t.line,
+                    t.col,
                     format!(
                         "{} handle in a wire-boundary module — BDD nodes cross \
                          workers only as s2_bdd::serialize bytes, re-encoded on \
@@ -299,16 +376,17 @@ fn r4(file: &str, s: &Scanned) -> Vec<Finding> {
 /// impl — all narrow, test-substitutable wrappers. Direct `Instant` /
 /// `SystemTime` use bypasses that discipline (and `ManualClock`-driven
 /// tests cannot reach it).
-fn r5(file: &str, s: &Scanned) -> Vec<Finding> {
+fn r5(file: &str, s: &Scanned, lo: usize, hi: usize) -> Vec<Finding> {
     const RULE: &str = "r5-obs-clock";
     const BANNED: [&str; 2] = ["Instant", "SystemTime"];
     let mut out = Vec::new();
-    for t in &s.toks {
+    for t in &s.toks[lo..hi] {
         if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
             out.push(finding(
                 RULE,
                 file,
                 t.line,
+                t.col,
                 format!(
                     "{} outside crates/obs — measure with s2_obs::Stopwatch, \
                      bound waits with s2_obs::Deadline, or take timestamps \

@@ -1,0 +1,6 @@
+//! Fixture: the helper module holding the sink — an unchecked index
+//! whose position comes from the peer-controlled first byte.
+
+pub fn payload_at(data: &[u8], idx: usize) -> u8 {
+    data[idx]
+}

@@ -1,0 +1,15 @@
+//! Fixture: peer bytes flow from the socket read here into a sibling
+//! module's helper via a `frame::`-qualified call. The sink is in
+//! `frame.rs`; this file only derives the (tainted) index.
+
+mod frame;
+
+use std::io::Read;
+use std::net::TcpStream;
+
+pub fn serve(sock: &mut TcpStream) -> u8 {
+    let mut buf = [0u8; 16];
+    sock.read_exact(&mut buf).ok();
+    let idx = buf[0] as usize;
+    frame::payload_at(&buf, idx)
+}

@@ -1,0 +1,10 @@
+//! Fixture: pure computation, no socket types, no declared sources —
+//! the taint pass must produce zero roots and zero findings.
+
+pub fn checksum(data: &[u8]) -> u32 {
+    data.iter().map(|&b| u32::from(b)).sum()
+}
+
+pub fn clamp_len(n: usize) -> usize {
+    n.min(4096)
+}

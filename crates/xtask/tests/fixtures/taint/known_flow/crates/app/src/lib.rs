@@ -1,0 +1,15 @@
+//! Fixture: the transport entry point. Reads a header off a peer
+//! socket and hands the raw bytes to another crate's decoder without
+//! validating them. This file itself contains no panic token — the
+//! sink lives across the crate boundary in `codec`, which is exactly
+//! the flow a per-file scan of this file cannot see.
+
+use codec::decode_header;
+use std::io::Read;
+use std::net::TcpStream;
+
+pub fn serve(sock: &mut TcpStream) -> u64 {
+    let mut head = [0u8; 16];
+    sock.read_exact(&mut head).ok();
+    decode_header(&head)
+}

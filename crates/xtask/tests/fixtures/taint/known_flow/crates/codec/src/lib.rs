@@ -1,0 +1,10 @@
+//! Fixture: a header decoder that trusts its caller to have validated
+//! the buffer. Safe for every caller inside this crate's tests — but
+//! `app::serve` feeds it raw peer bytes, so the indexing and the
+//! `.unwrap()` below are peer-triggerable panics.
+
+pub fn decode_header(head: &[u8]) -> u64 {
+    let tag = head[0];
+    let rest: [u8; 8] = head[1..9].try_into().unwrap();
+    u64::from(tag) << 56 | u64::from_be_bytes(rest)
+}

@@ -1,0 +1,13 @@
+//! Fixture: a peer-reachable `.unwrap()` carrying a justified allow
+//! pragma. The taint pass must still report the finding, but
+//! suppressed — never silently dropped.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+pub fn serve(sock: &mut TcpStream) -> u8 {
+    let mut buf = [0u8; 4];
+    sock.read_exact(&mut buf).ok();
+    // s2-lint: allow(r1-panic-freedom): the buffer is a four-byte stack array, so first() is always Some
+    buf.first().copied().unwrap()
+}

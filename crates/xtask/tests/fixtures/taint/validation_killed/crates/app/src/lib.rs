@@ -1,0 +1,16 @@
+//! Fixture: the same socket-read shape as the flow cases, but the
+//! peer-derived index is range-checked against the table before use —
+//! the comparison kills the taint and no finding may fire.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+pub fn serve(sock: &mut TcpStream, table: &[u16]) -> u16 {
+    let mut buf = [0u8; 2];
+    sock.read_exact(&mut buf).ok();
+    let idx = buf[0] as usize;
+    if idx >= table.len() {
+        return 0;
+    }
+    table[idx]
+}
