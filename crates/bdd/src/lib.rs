@@ -27,5 +27,6 @@ pub mod manager;
 pub mod ops;
 pub mod sat;
 pub mod serialize;
+pub mod splice;
 
 pub use manager::{Bdd, BddManager, CacheConfig, CacheStats};

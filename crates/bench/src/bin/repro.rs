@@ -7,12 +7,12 @@
 //! cargo run -p bench --bin repro --release -- fig5    # one figure
 //! ```
 //!
-//! `--json` switches to the PR-4 performance-trajectory mode: a pinned
+//! `--json` switches to the performance-trajectory mode: a pinned
 //! FatTree sweep at intra-worker thread widths 1 and 4, written as
 //! `s2-bench-trajectory/v1` JSON:
 //!
 //! ```text
-//! cargo run -p bench --bin repro --release -- --json                # k=4,6,8 -> BENCH_PR4.json
+//! cargo run -p bench --bin repro --release -- --json                # k=4,6,8 -> BENCH_PR9.json
 //! cargo run -p bench --bin repro --release -- --json --smoke       # k=4 only (CI)
 //! cargo run -p bench --bin repro --release -- --json --out FILE    # custom path
 //! cargo run -p bench --bin repro -- --json --check FILE            # validate only
@@ -109,7 +109,7 @@ fn run_obs_mode(args: &[String]) -> ExitCode {
 }
 
 fn run_json_mode(args: &[String]) -> ExitCode {
-    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut out_path = "BENCH_PR9.json".to_string();
     let mut smoke = false;
     let mut check: Option<String> = None;
     let mut it = args.iter();
@@ -194,6 +194,12 @@ fn run_json_mode(args: &[String]) -> ExitCode {
         println!(
             "FatTree{}: daemon link flap {:.1} ms vs cold {:.1} ms — x{:.2}; restore {:.1} ms",
             d.k, d.delta_ms, d.cold_verify_ms, d.speedup, d.restore_ms
+        );
+        println!(
+            "FatTree{}: scoped DPV drive {:.1} ms over {:.1}% of the dst space",
+            d.k,
+            d.scoped_delta_ms,
+            d.changed_dst_fraction * 100.0
         );
     }
     println!("wrote {out_path} ({} entries, host cpus: {})", t.entries.len(), t.host_cpus);

@@ -1,6 +1,6 @@
-//! The PR-4 performance trajectory: a pinned FatTree sweep, timed per
+//! The pinned performance trajectory: a FatTree sweep, timed per
 //! phase at intra-worker thread widths 1 and 4, emitted as JSON
-//! (`BENCH_PR4.json` at the repo root).
+//! (`BENCH_PR9.json` at the repo root).
 //!
 //! Serialization is hand-rolled: the workspace deliberately carries no
 //! JSON dependency, and the schema (`s2-bench-trajectory/v1`) is flat
@@ -84,6 +84,13 @@ pub struct DaemonPoint {
     pub restore_ms: f64,
     /// `cold_verify_ms / delta_ms`.
     pub speedup: f64,
+    /// Mean wall-clock of the destination-scoped DPV drive alone
+    /// (excluding warm control-plane replay), milliseconds per delta.
+    pub scoped_delta_ms: f64,
+    /// Mean fraction of `dst_space` the deltas actually perturbed —
+    /// the packet space the scoped drive re-verified; everything else
+    /// was spliced through from the baseline verdicts.
+    pub changed_dst_fraction: f64,
 }
 
 /// Opens a daemon on a FatTree workload, applies one link flap, restarts
@@ -105,6 +112,13 @@ pub fn run_daemon(k: usize, workers: u32) -> DaemonPoint {
     };
     let mut d = s2::Daemon::open(cfg()).expect("daemon opens");
     let cold_verify_ms = d.baseline_ms();
+    // The daemon runs in-process, so the global metrics registry sees
+    // its scoped-DPV counters; deltas around the flaps isolate this
+    // measurement from whatever ran before.
+    let reg = s2_obs::Registry::global();
+    let runs0 = reg.counter("dpv.scoped.runs").get();
+    let drive_us0 = reg.counter("dpv.scoped.drive_us").get();
+    let permille0 = reg.counter("dpv.scoped.space_permille").get();
     let mut flap = |delta: DeltaSpec| match d.apply(&delta).expect("no injected faults") {
         AdminResponse::Committed { ms, escalated, .. } => {
             assert!(!escalated, "a link flap must replay warm");
@@ -116,6 +130,11 @@ pub fn run_daemon(k: usize, workers: u32) -> DaemonPoint {
     let up_ms = flap(DeltaSpec::LinkUp { a: "pod0-edge0".into(), b: "pod0-agg0".into() });
     d.shutdown();
     let delta_ms = (down_ms + up_ms) / 2.0;
+    let runs = reg.counter("dpv.scoped.runs").get().saturating_sub(runs0);
+    let drive_us = reg.counter("dpv.scoped.drive_us").get().saturating_sub(drive_us0);
+    let permille = reg.counter("dpv.scoped.space_permille").get().saturating_sub(permille0);
+    let scoped_delta_ms = if runs > 0 { drive_us as f64 / runs as f64 / 1e3 } else { 0.0 };
+    let changed_dst_fraction = if runs > 0 { permille as f64 / runs as f64 / 1e3 } else { 0.0 };
 
     let d = s2::Daemon::open(cfg()).expect("daemon restarts");
     assert!(d.warm_start(), "the restart must restore the checkpoint");
@@ -129,6 +148,8 @@ pub fn run_daemon(k: usize, workers: u32) -> DaemonPoint {
         delta_ms,
         restore_ms,
         speedup: if delta_ms > 0.0 { cold_verify_ms / delta_ms } else { 0.0 },
+        scoped_delta_ms,
+        changed_dst_fraction,
     }
 }
 
@@ -230,7 +251,7 @@ pub fn run_sweep(ks: &[usize], thread_widths: &[usize], workers: u32) -> Traject
         }
     }
     Trajectory {
-        pr: 7,
+        pr: 9,
         host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
         workload: "fattree-sweep".to_string(),
         entries,
@@ -297,6 +318,10 @@ pub fn to_json(t: &Trajectory) -> String {
         push_f64(&mut o, d.restore_ms);
         o.push_str(", \"speedup\": ");
         push_f64(&mut o, d.speedup);
+        o.push_str(", \"scoped_delta_ms\": ");
+        push_f64(&mut o, d.scoped_delta_ms);
+        o.push_str(", \"changed_dst_fraction\": ");
+        push_f64(&mut o, d.changed_dst_fraction);
         o.push_str(" },\n");
     }
     o.push_str("  \"entries\": [\n");
@@ -435,10 +460,28 @@ pub fn validate(text: &str) -> Result<(), String> {
                 return Err(format!("resilience: missing numeric '{key}'"));
             }
         }
+        // Regression gate: a warm sweep slower than re-verifying every
+        // scenario cold means the warm path has stopped paying for
+        // itself — fail the check, don't just record the number.
+        let speedup = r.get("speedup_vs_serial_full").and_then(Json::as_num).unwrap_or(0.0);
+        if speedup <= 1.0 {
+            return Err(format!(
+                "resilience: speedup_vs_serial_full is {speedup} — the warm sweep \
+                 must beat the serial-full yardstick (> 1.0)"
+            ));
+        }
     }
     if let Some(d) = doc.get("daemon") {
-        const DAEMON_NUMS: [&str; 6] =
-            ["k", "workers", "cold_verify_ms", "delta_ms", "restore_ms", "speedup"];
+        const DAEMON_NUMS: [&str; 8] = [
+            "k",
+            "workers",
+            "cold_verify_ms",
+            "delta_ms",
+            "restore_ms",
+            "speedup",
+            "scoped_delta_ms",
+            "changed_dst_fraction",
+        ];
         for key in DAEMON_NUMS {
             if d.get(key).and_then(Json::as_num).is_none() {
                 return Err(format!("daemon: missing numeric '{key}'"));
@@ -519,6 +562,24 @@ mod tests {
     }
 
     #[test]
+    fn resilience_speedup_below_one_fails_the_check() {
+        let mut t = sample();
+        t.resilience = Some(ResiliencePoint {
+            k: 6,
+            workers: 1,
+            max_failures: 2,
+            scenarios: 108,
+            undetermined: 0,
+            baseline_ms: 7.6,
+            sweep_ms: 917.0,
+            scenarios_per_sec: 117.0,
+            speedup_vs_serial_full: 0.894,
+        });
+        let err = validate(&to_json(&t)).expect_err("a sub-1.0 warm sweep is a regression");
+        assert!(err.contains("speedup_vs_serial_full"), "{err}");
+    }
+
+    #[test]
     fn daemon_block_validates_when_present() {
         let mut t = sample();
         t.daemon = Some(DaemonPoint {
@@ -528,11 +589,15 @@ mod tests {
             delta_ms: 45.0,
             restore_ms: 30.0,
             speedup: 20.0,
+            scoped_delta_ms: 9.0,
+            changed_dst_fraction: 0.02,
         });
         let json = to_json(&t);
         validate(&json).expect("daemon block passes the schema check");
         let broken = json.replace("\"delta_ms\"", "\"renamed_ms\"");
         assert!(validate(&broken).is_err());
+        let unscoped = json.replace("\"scoped_delta_ms\"", "\"renamed_ms\"");
+        assert!(validate(&unscoped).is_err(), "scoped fields are required in the daemon block");
     }
 
     #[test]

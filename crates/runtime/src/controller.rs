@@ -33,7 +33,7 @@ use s2_routing::{NetworkModel, RibSnapshot, RibStore};
 use s2_shard::ShardPlan;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use s2_obs::{Deadline, MetricsSnapshot, Stopwatch};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -259,6 +259,32 @@ pub struct DpvRunStats {
     /// determinism tests can assert byte-identity across intra-worker
     /// thread widths.
     pub verdict_sets: Vec<(NodeId, FinalKind, Vec<u8>)>,
+    /// Destination-scoping accounting of a scenario pass (`None` on
+    /// full-space passes and on scenario passes run before a
+    /// [`Cluster::scenario_checkpoint`] stored a baseline to scope
+    /// against).
+    pub scoped: Option<DpvScopedStats>,
+}
+
+/// How much packet space a destination-scoped scenario pass actually
+/// re-verified, and how the full-space verdicts were reassembled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DpvScopedStats {
+    /// Distinct changed destination prefixes (after DPDG closure).
+    pub changed_prefixes: usize,
+    /// Fraction of `dst_space` addresses covered by the changed
+    /// prefixes (interval-merged, so overlaps count once).
+    pub changed_dst_fraction: f64,
+    /// Sources whose scope is empty — provably unperturbed, skipped
+    /// entirely (their baseline verdicts pass through the splice).
+    pub skipped_sources: usize,
+    /// Sources actually injected (over their scoped space only).
+    pub injected_sources: usize,
+    /// Worker-side `(old ∧ ¬changed) ∨ recomputed` splice operations.
+    pub splice_ops: u64,
+    /// The changed space covered (essentially) all of `dst_space`, so
+    /// the pass fell back to a full-space drive with no splicing.
+    pub fallback_full: bool,
 }
 
 struct WorkerHandle {
@@ -333,6 +359,26 @@ pub struct Cluster {
     /// control sockets through per-worker proxy threads). Remote workers
     /// cannot be respawned, so recovery is unsupported.
     remote: bool,
+    /// The warm baseline scenario passes scope against: the checkpointed
+    /// RIB (the reverse-reachability forwarding graph) and the prefix
+    /// dependency graph (changed-set closure). `None` until
+    /// [`Cluster::scenario_checkpoint`] stores one; scenario passes then
+    /// run full-space, unscoped.
+    scenario_base: Mutex<Option<ScenarioBase>>,
+    /// Whether every worker's live control-plane state is known to equal
+    /// its scenario checkpoint: true right after `scenario_checkpoint`
+    /// or a successful `scenario_rollback`, false as soon as anything
+    /// mutates switch state (a scenario begin, a fix point, a recovery).
+    /// When true, the next [`Cluster::scenario_begin`] skips the
+    /// per-switch checkpoint restore — the dominant fixed cost of a
+    /// warm delta on large fabrics.
+    fleet_at_checkpoint: AtomicBool,
+}
+
+/// See [`Cluster::scenario_base`].
+struct ScenarioBase {
+    rib: Arc<RibSnapshot>,
+    dpdg: s2_shard::dpdg::Dpdg,
 }
 
 impl Cluster {
@@ -402,6 +448,8 @@ impl Cluster {
             }),
             nonce: AtomicU64::new(0),
             remote: false,
+            scenario_base: Mutex::new(None),
+            fleet_at_checkpoint: AtomicBool::new(false),
         }
     }
 
@@ -452,6 +500,8 @@ impl Cluster {
             }),
             nonce: AtomicU64::new(0),
             remote: true,
+            scenario_base: Mutex::new(None),
+            fleet_at_checkpoint: AtomicBool::new(false),
         })
     }
 
@@ -538,6 +588,7 @@ impl Cluster {
             Reply::Pong(_) => "Pong",
             Reply::Net { .. } => "Net",
             Reply::Metrics(_) => "Metrics",
+            Reply::ChangedDst(_) => "ChangedDst",
             Reply::Violation(_) => "Violation",
         }
     }
@@ -739,6 +790,9 @@ impl Cluster {
             });
         }
         let _span = s2_obs::span!("recovery");
+        // A replacement worker starts with fresh switches and no
+        // checkpoint: the fleet can no longer be assumed to sit at one.
+        self.fleet_at_checkpoint.store(false, Ordering::Release);
         let mut state = self.state.lock();
         let nonce = self.nonce.fetch_add(1, Ordering::Relaxed) + 1;
         let mut dead = Vec::new();
@@ -1134,6 +1188,7 @@ impl Cluster {
         seed_deps: &[(Prefix, Prefix)],
     ) -> Result<(RibSnapshot, CpRunStats, ShardPlan, Vec<(Prefix, Prefix)>), RuntimeError> {
         let start = Stopwatch::start();
+        self.fleet_at_checkpoint.store(false, Ordering::Release);
         let mut ck = Checkpoint::new(self.model.topology.node_count(), plan, seed_deps);
         let mut attempts_left = self.config.max_recoveries;
         loop {
@@ -1309,7 +1364,7 @@ impl Cluster {
             max_hops: opts.max_hops,
         })?;
         stats.pred_time = t0.elapsed();
-        self.dpv_drive(&mut stats, sources, expected, dst_space, waypoints)?;
+        self.dpv_drive(&mut stats, sources, None, expected, dst_space, waypoints)?;
         Ok(stats)
     }
 
@@ -1318,17 +1373,24 @@ impl Cluster {
     /// collection, and controller-side multipath evaluation. Assumes the
     /// workers' forwarding state was already prepared (by `DpSetup` for a
     /// baseline pass or `DpPatch` for a scenario pass).
+    ///
+    /// `inject` narrows which of `sources` are actually injected (a
+    /// destination-scoped pass skips sources whose scope is empty;
+    /// their verdicts come from the workers' splice baseline). Arrival
+    /// checks and finals collection always cover every source.
     fn dpv_drive(
         &self,
         stats: &mut DpvRunStats,
         sources: &[NodeId],
+        inject: Option<&[NodeId]>,
         expected: &[(NodeId, Vec<Prefix>)],
         dst_space: Prefix,
         waypoints: &BTreeMap<NodeId, u16>,
     ) -> Result<(), RuntimeError> {
         let meta_bits = waypoints.len() as u16;
         let t1 = Stopwatch::start();
-        let injections = Arc::new(sources.iter().map(|&s| (s, dst_space)).collect::<Vec<_>>());
+        let inject = inject.unwrap_or(sources);
+        let injections = Arc::new(inject.iter().map(|&s| (s, dst_space)).collect::<Vec<_>>());
         self.barrier("dp-inject", || Command::Inject {
             injections: injections.clone(),
         })?;
@@ -1397,10 +1459,14 @@ impl Cluster {
                 Reply::Finals {
                     loops,
                     blackholes,
+                    splices,
                     sets,
                 } => {
                     stats.loops += loops;
                     stats.blackholes += blackholes;
+                    if let Some(scoped) = stats.scoped.as_mut() {
+                        scoped.splice_ops += splices;
+                    }
                     for (src, kind, bytes) in sets {
                         stats.verdict_sets.push((src, kind, bytes.to_vec()));
                         let set = match bdd_io::from_bytes(&mut manager, &bytes) {
@@ -1479,9 +1545,20 @@ impl Cluster {
     /// Snapshots every worker's warm control-plane state (converged
     /// switches plus adj-out caches) so scenarios can be applied and
     /// rolled back without re-running the full fix point. Call once,
-    /// after a successful `run_control_plane`.
-    pub fn scenario_checkpoint(&self) -> Result<(), RuntimeError> {
-        Self::expect_ok(self.barrier("scenario-checkpoint", || Command::ScenarioCheckpoint)?)
+    /// after a successful `run_control_plane` and the baseline
+    /// `run_dpv` — the workers also stash their full-space finals as
+    /// the splice baseline of destination-scoped scenario passes.
+    ///
+    /// `rib` is the warm baseline RIB the DPV pass ran against; it
+    /// becomes the reverse-reachability forwarding graph that decides
+    /// which sources a changed destination set can perturb.
+    pub fn scenario_checkpoint(&self, rib: Arc<RibSnapshot>) -> Result<(), RuntimeError> {
+        let (prefixes, aggregates, deps) = self.collect_prefixes()?;
+        let dpdg = s2_shard::dpdg::Dpdg::build_with_deps(&prefixes, &aggregates, &deps);
+        Self::expect_ok(self.barrier("scenario-checkpoint", || Command::ScenarioCheckpoint)?)?;
+        *self.scenario_base.lock() = Some(ScenarioBase { rib, dpdg });
+        self.fleet_at_checkpoint.store(true, Ordering::Release);
+        Ok(())
     }
 
     /// Restores the checkpoint on every worker and marks the given
@@ -1489,8 +1566,14 @@ impl Cluster {
     /// with [`Cluster::run_warm_fixpoint`] to re-converge incrementally.
     pub fn scenario_begin(&self, failed: &[(NodeId, InterfaceId)]) -> Result<(), RuntimeError> {
         let failed = Arc::new(failed.to_vec());
+        // When the last state-changing barrier was the checkpoint itself
+        // or a rollback, the live state already equals the checkpoint and
+        // the per-switch restore clone is pure overhead. Either way the
+        // fleet leaves this call perturbed (failed ports applied).
+        let restore = !self.fleet_at_checkpoint.swap(false, Ordering::AcqRel);
         Self::expect_ok(self.barrier("scenario-begin", || Command::ScenarioBegin {
             failed: failed.clone(),
+            restore,
         })?)
     }
 
@@ -1500,7 +1583,9 @@ impl Cluster {
     /// a checkpoint (freshly respawned mid-sweep) only the overlays are
     /// cleared — its switches are already healthy.
     pub fn scenario_rollback(&self) -> Result<(), RuntimeError> {
-        Self::expect_ok(self.barrier("scenario-rollback", || Command::ScenarioRollback)?)
+        Self::expect_ok(self.barrier("scenario-rollback", || Command::ScenarioRollback)?)?;
+        self.fleet_at_checkpoint.store(true, Ordering::Release);
+        Ok(())
     }
 
     /// Fences the fabric between scenarios: bumps the epoch (frames in
@@ -1521,6 +1606,7 @@ impl Cluster {
     /// Returns the rounds taken (0 when already quiescent).
     pub fn run_warm_fixpoint(&self, opts: &ClusterOptions) -> Result<usize, RuntimeError> {
         let _span = s2_obs::span!("scenario.warm_fixpoint");
+        self.fleet_at_checkpoint.store(false, Ordering::Release);
         let mut round = 0;
         let mut stalled_since: Option<Stopwatch> = None;
         while round < opts.max_rounds {
@@ -1573,10 +1659,23 @@ impl Cluster {
     /// A scenario DPV pass over warm forwarding state: patches only the
     /// `changed` nodes' predicates from `rib` (reusing the baseline
     /// packet space and BDD manager), masks `failed_ports` in the
-    /// forwarding step, then injects, forwards to quiescence, and
-    /// evaluates — exactly like [`Cluster::run_dpv`] but without the
+    /// forwarding step, then re-verifies **only the changed packet
+    /// space** — exactly like [`Cluster::run_dpv`] but without the
     /// full `DpSetup` recompile and without internal replay (the sweep
     /// layer owns retries, fencing, and rollback).
+    ///
+    /// Destination scoping: the patch barrier returns each node's
+    /// changed destination prefixes (RIB diffs plus failed-port route
+    /// prefixes), which are closed over the prefix dependency graph and
+    /// pushed backwards along the baseline forwarding graph to find,
+    /// per source, the destinations the scenario can perturb. Each
+    /// source is injected only over that scope — sources with an empty
+    /// scope are skipped entirely — and the workers splice
+    /// `(old ∧ ¬changed) ∨ recomputed`, so the returned verdicts are
+    /// byte-identical to a cold full-space pass. When the changed space
+    /// covers all of `dst_space`, or when no baseline was stored by
+    /// [`Cluster::scenario_checkpoint`], the pass falls back to a plain
+    /// full-space drive.
     #[allow(clippy::too_many_arguments)]
     pub fn run_scenario_dpv(
         &self,
@@ -1592,13 +1691,105 @@ impl Cluster {
         let t0 = Stopwatch::start();
         let changed = Arc::new(changed);
         let failed_ports = Arc::new(failed_ports);
-        Self::expect_ok(self.barrier("dp-patch", || Command::DpPatch {
+        let mut changed_dst: BTreeMap<NodeId, BTreeSet<Prefix>> = BTreeMap::new();
+        for reply in self.barrier("dp-patch", || Command::DpPatch {
             rib: rib.clone(),
             changed: changed.clone(),
             failed_ports: failed_ports.clone(),
-        })?)?;
+        })? {
+            match reply {
+                Reply::ChangedDst(entries) => {
+                    for (n, ps) in entries {
+                        changed_dst.entry(n).or_default().extend(ps);
+                    }
+                }
+                other => return Err(Self::violation("ChangedDst", &other)),
+            }
+        }
+        let scopes = {
+            let base = self.scenario_base.lock();
+            base.as_ref().map(|b| {
+                // A dependent prefix can change whenever its dependee
+                // does — close each node's diff before trusting it.
+                for set in changed_dst.values_mut() {
+                    s2_shard::impact::close_over_components(set, &b.dpdg);
+                }
+                scope_sources(&self.model, &b.rib, &changed_dst, &sources)
+            })
+        };
         stats.pred_time = t0.elapsed();
-        self.dpv_drive(&mut stats, &sources, &expected, dst_space, &waypoints)?;
+        let Some(scopes) = scopes else {
+            // No checkpointed baseline to splice against: full-space
+            // (the staged overlays must be compiled whole).
+            Self::expect_ok(self.barrier("dp-compile", || Command::DpCompile)?)?;
+            self.dpv_drive(&mut stats, &sources, None, &expected, dst_space, &waypoints)?;
+            return Ok(stats);
+        };
+        let all_changed: BTreeSet<Prefix> = changed_dst.into_values().flatten().collect();
+        let fraction = covered_fraction(&all_changed, dst_space);
+        let metrics = s2_obs::Registry::global();
+        metrics.counter("dpv.scoped.runs").inc();
+        metrics
+            .counter("dpv.scoped.changed_prefixes")
+            .add(all_changed.len() as u64);
+        metrics
+            .counter("dpv.scoped.space_permille")
+            .add((fraction * 1000.0) as u64);
+        if fraction >= 1.0 {
+            // The whole destination space is perturbed: scoping would
+            // re-verify everything anyway, so skip the splice machinery
+            // (`DpPatch` already cleared the workers' scopes).
+            metrics.counter("dpv.scoped.fallback_full").inc();
+            stats.scoped = Some(DpvScopedStats {
+                changed_prefixes: all_changed.len(),
+                changed_dst_fraction: fraction,
+                fallback_full: true,
+                ..DpvScopedStats::default()
+            });
+            Self::expect_ok(self.barrier("dp-compile", || Command::DpCompile)?)?;
+            self.dpv_drive(&mut stats, &sources, None, &expected, dst_space, &waypoints)?;
+            return Ok(stats);
+        }
+        let inject: Vec<NodeId> = sources
+            .iter()
+            .copied()
+            .filter(|s| scopes.get(s).is_some_and(|ps| !ps.is_empty()))
+            .collect();
+        let skipped = sources.len() - inject.len();
+        metrics
+            .counter("dpv.scoped.skipped_sources")
+            .add(skipped as u64);
+        let scope_list: Arc<Vec<(NodeId, Vec<Prefix>)>> = Arc::new(
+            sources
+                .iter()
+                .map(|&s| {
+                    let ps = scopes
+                        .get(&s)
+                        .map(|ps| ps.iter().copied().collect())
+                        .unwrap_or_default();
+                    (s, ps)
+                })
+                .collect(),
+        );
+        Self::expect_ok(self.barrier("dp-scope", || Command::DpScope {
+            scopes: scope_list.clone(),
+        })?)?;
+        stats.scoped = Some(DpvScopedStats {
+            changed_prefixes: all_changed.len(),
+            changed_dst_fraction: fraction,
+            skipped_sources: skipped,
+            injected_sources: inject.len(),
+            splice_ops: 0,
+            fallback_full: false,
+        });
+        let drive = Stopwatch::start();
+        self.dpv_drive(&mut stats, &sources, Some(&inject), &expected, dst_space, &waypoints)?;
+        metrics
+            .counter("dpv.scoped.drive_us")
+            .add(drive.elapsed().as_micros() as u64);
+        if let Some(s) = stats.scoped.as_ref() {
+            metrics.counter("dpv.scoped.splice_ops").add(s.splice_ops);
+        }
         Ok(stats)
     }
 
@@ -1622,6 +1813,106 @@ impl Cluster {
         // threads and close its sockets (no-op for the channel backend).
         self.net.shutdown_transport();
     }
+}
+
+/// Per-source changed-destination scopes: changed prefix `p` lands in
+/// `scope(s)` iff `s` can reach a node whose forwarding for `p` changed,
+/// walking the *baseline* forwarding graph restricted to routes whose
+/// prefix overlaps `p` — every hop a packet destined into `p` could
+/// take before the first changed node. Outside its scope a source
+/// provably forwards exactly as the baseline did: any path from `s` to
+/// a destination not in `scope(s)` crosses only nodes whose behaviour
+/// for that destination is unchanged, so the baseline verdict stands.
+fn scope_sources(
+    model: &NetworkModel,
+    base: &RibSnapshot,
+    changed_dst: &BTreeMap<NodeId, BTreeSet<Prefix>>,
+    sources: &[NodeId],
+) -> BTreeMap<NodeId, BTreeSet<Prefix>> {
+    let nodes = base.per_node.len();
+    // Invert: changed prefix → the nodes changed for it.
+    let mut by_prefix: BTreeMap<Prefix, Vec<NodeId>> = BTreeMap::new();
+    for (&n, ps) in changed_dst {
+        for &p in ps {
+            by_prefix.entry(p).or_default().push(n);
+        }
+    }
+    let mut scopes: BTreeMap<NodeId, BTreeSet<Prefix>> =
+        sources.iter().map(|&s| (s, BTreeSet::new())).collect();
+    for (&p, seeds) in &by_prefix {
+        // Reverse adjacency of the p-overlap forwarding graph.
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        for m in 0..nodes {
+            let from = NodeId(m as u32);
+            for r in base.node(from) {
+                if !r.prefix.overlaps(p) {
+                    continue;
+                }
+                for &e in &r.egress {
+                    if let Some((n, _)) = model.topology.peer_of(from, e) {
+                        rev[n.index()].push(m as u32);
+                    }
+                }
+            }
+        }
+        let mut reached = vec![false; nodes];
+        let mut queue: Vec<u32> = Vec::new();
+        for &s in seeds {
+            if s.index() < nodes && !reached[s.index()] {
+                reached[s.index()] = true;
+                queue.push(s.0);
+            }
+        }
+        while let Some(n) = queue.pop() {
+            for &m in &rev[n as usize] {
+                if !reached[m as usize] {
+                    reached[m as usize] = true;
+                    queue.push(m);
+                }
+            }
+        }
+        for (s, scope) in scopes.iter_mut() {
+            if reached.get(s.index()).copied().unwrap_or(false) {
+                scope.insert(p);
+            }
+        }
+    }
+    scopes
+}
+
+/// Fraction of `space`'s addresses covered by `prefixes`, interval-
+/// merged so overlapping and nested prefixes count once.
+fn covered_fraction(prefixes: &BTreeSet<Prefix>, space: Prefix) -> f64 {
+    let lo = u64::from(space.first_addr().0);
+    let hi = u64::from(space.last_addr().0);
+    let size = hi - lo + 1;
+    let mut ivals: Vec<(u64, u64)> = prefixes
+        .iter()
+        .filter(|p| p.overlaps(space))
+        .map(|p| {
+            (
+                u64::from(p.first_addr().0).max(lo),
+                u64::from(p.last_addr().0).min(hi),
+            )
+        })
+        .collect();
+    ivals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (a, b) in ivals {
+        match cur {
+            Some((ca, cb)) if a <= cb + 1 => cur = Some((ca, cb.max(b))),
+            Some((ca, cb)) => {
+                covered += cb - ca + 1;
+                cur = Some((a, b));
+            }
+            None => cur = Some((a, b)),
+        }
+    }
+    if let Some((ca, cb)) = cur {
+        covered += cb - ca + 1;
+    }
+    covered as f64 / size as f64
 }
 
 #[cfg(test)]
@@ -1935,7 +2226,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(baseline.reachable_pairs, 1);
-        cluster.scenario_checkpoint().unwrap();
+        cluster.scenario_checkpoint(rib.clone()).unwrap();
 
         // Fail m1—m2: the only t0↔t3 path. Warm rounds must propagate the
         // withdrawal, and the patched DPV must see the partition.

@@ -64,7 +64,7 @@ pub use admin::{
     AdminRequest, AdminResponse, CheckpointError, DeltaSpec, VerdictSummary, WarmCheckpoint,
 };
 pub use controller::{
-    Cluster, ClusterOptions, CpRunStats, DpvRunStats, RuntimeConfig, RuntimeError,
+    Cluster, ClusterOptions, CpRunStats, DpvRunStats, DpvScopedStats, RuntimeConfig, RuntimeError,
 };
 pub use faults::{DaemonPhase, FaultPlan, FaultState};
 pub use memstats::{CacheStats, MemGauge, MemReport};

@@ -463,9 +463,10 @@ pub fn encode_command(cmd: &Command) -> Bytes {
         Command::Shutdown => buf.put_u8(20),
         Command::Metrics => buf.put_u8(21),
         Command::ScenarioCheckpoint => buf.put_u8(22),
-        Command::ScenarioBegin { failed } => {
+        Command::ScenarioBegin { failed, restore } => {
             buf.put_u8(23);
             put_ports(&mut buf, failed);
+            buf.put_u8(u8::from(*restore));
         }
         Command::ScenarioRollback => buf.put_u8(24),
         Command::DpPatch {
@@ -487,8 +488,42 @@ pub fn encode_command(cmd: &Command) -> Bytes {
             }
             put_ports(&mut buf, failed_ports);
         }
+        Command::DpScope { scopes } => {
+            buf.put_u8(26);
+            put_node_prefixes(&mut buf, scopes);
+        }
+        Command::DpCompile => buf.put_u8(27),
     }
     buf.freeze()
+}
+
+/// `(node, prefixes)` list codec, shared by `DpScope` and `ChangedDst`.
+fn put_node_prefixes(buf: &mut BytesMut, entries: &[(NodeId, Vec<Prefix>)]) {
+    buf.put_u32(entries.len() as u32);
+    for (node, prefixes) in entries {
+        buf.put_u32(node.0);
+        buf.put_u32(prefixes.len() as u32);
+        for p in prefixes {
+            put_prefix(buf, p);
+        }
+    }
+}
+
+fn get_node_prefixes(buf: &mut Bytes) -> Result<Vec<(NodeId, Vec<Prefix>)>, WireError> {
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    let mut entries = Vec::with_capacity(cap(n));
+    for _ in 0..n {
+        let node = get_node(buf)?;
+        need(buf, 4)?;
+        let np = buf.get_u32() as usize;
+        let mut prefixes = Vec::with_capacity(cap(np));
+        for _ in 0..np {
+            prefixes.push(get_prefix(buf)?);
+        }
+        entries.push((node, prefixes));
+    }
+    Ok(entries)
 }
 
 fn put_ports(buf: &mut BytesMut, ports: &[(NodeId, InterfaceId)]) {
@@ -630,9 +665,14 @@ pub fn decode_command(mut buf: Bytes) -> Result<Command, WireError> {
         20 => Command::Shutdown,
         21 => Command::Metrics,
         22 => Command::ScenarioCheckpoint,
-        23 => Command::ScenarioBegin {
-            failed: Arc::new(get_ports(&mut buf)?),
-        },
+        23 => {
+            let failed = Arc::new(get_ports(&mut buf)?);
+            need(&buf, 1)?;
+            Command::ScenarioBegin {
+                failed,
+                restore: buf.get_u8() != 0,
+            }
+        }
         24 => Command::ScenarioRollback,
         25 => {
             need(&buf, 4)?;
@@ -657,6 +697,10 @@ pub fn decode_command(mut buf: Bytes) -> Result<Command, WireError> {
                 failed_ports: Arc::new(get_ports(&mut buf)?),
             }
         }
+        26 => Command::DpScope {
+            scopes: Arc::new(get_node_prefixes(&mut buf)?),
+        },
+        27 => Command::DpCompile,
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -737,11 +781,13 @@ pub fn encode_reply(reply: &Reply) -> Bytes {
         Reply::Finals {
             loops,
             blackholes,
+            splices,
             sets,
         } => {
             buf.put_u8(6);
             buf.put_u64(*loops as u64);
             buf.put_u64(*blackholes as u64);
+            buf.put_u64(*splices);
             buf.put_u32(sets.len() as u32);
             for (node, kind, bytes) in sets {
                 buf.put_u32(node.0);
@@ -807,6 +853,10 @@ pub fn encode_reply(reply: &Reply) -> Bytes {
         Reply::Metrics(snapshot) => {
             buf.put_u8(14);
             put_str(&mut buf, &snapshot.to_json());
+        }
+        Reply::ChangedDst(entries) => {
+            buf.put_u8(15);
+            put_node_prefixes(&mut buf, entries);
         }
     }
     buf.freeze()
@@ -880,9 +930,10 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
             }
         }
         6 => {
-            need(&buf, 20)?;
+            need(&buf, 28)?;
             let loops = buf.get_u64() as usize;
             let blackholes = buf.get_u64() as usize;
+            let splices = buf.get_u64();
             let n = buf.get_u32() as usize;
             let mut sets = Vec::with_capacity(cap(n));
             for _ in 0..n {
@@ -902,6 +953,7 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
             Reply::Finals {
                 loops,
                 blackholes,
+                splices,
                 sets,
             }
         }
@@ -962,6 +1014,7 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
                 .map_err(|_| WireError::BadValue("metrics snapshot"))?;
             Reply::Metrics(snapshot)
         }
+        15 => Reply::ChangedDst(get_node_prefixes(&mut buf)?),
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -1221,6 +1274,7 @@ mod tests {
             Command::Metrics,
             Command::ScenarioCheckpoint,
             Command::ScenarioRollback,
+            Command::DpCompile,
             Command::Shutdown,
         ] {
             let encoded = encode_command(&cmd);
@@ -1277,6 +1331,7 @@ mod tests {
 
         let cmd = Command::ScenarioBegin {
             failed: Arc::new(vec![(NodeId(4), InterfaceId(1)), (NodeId(9), InterfaceId(0))]),
+            restore: false,
         };
         let decoded = decode_command(encode_command(&cmd)).unwrap();
         assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));
@@ -1287,6 +1342,15 @@ mod tests {
             }),
             changed: Arc::new(vec![NodeId(1)]),
             failed_ports: Arc::new(vec![(NodeId(1), InterfaceId(4))]),
+        };
+        let decoded = decode_command(encode_command(&cmd)).unwrap();
+        assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));
+
+        let cmd = Command::DpScope {
+            scopes: Arc::new(vec![
+                (NodeId(0), vec!["10.0.0.0/24".parse().unwrap()]),
+                (NodeId(7), vec![]),
+            ]),
         };
         let decoded = decode_command(encode_command(&cmd)).unwrap();
         assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));
@@ -1310,6 +1374,7 @@ mod tests {
             Reply::Finals {
                 loops: 1,
                 blackholes: 2,
+                splices: 7,
                 sets: vec![(NodeId(9), FinalKind::Loop, Bytes::from_static(b"bddbits"))],
             },
             Reply::Prefixes {
@@ -1352,6 +1417,10 @@ mod tests {
                 m.gauge_max("mem.peak_bytes", 1 << 20);
                 m
             }),
+            Reply::ChangedDst(vec![
+                (NodeId(2), vec!["10.0.0.0/24".parse().unwrap()]),
+                (NodeId(5), vec![]),
+            ]),
         ];
         for reply in replies {
             let decoded = decode_reply(encode_reply(&reply)).unwrap();
@@ -1393,6 +1462,18 @@ mod tests {
             assert!(decode_command(bytes.slice(..cut)).is_err());
         }
         let reply = Reply::Rib(vec![(NodeId(4), vec![sample_rib_route()])]);
+        let bytes = encode_reply(&reply);
+        for cut in 0..bytes.len() {
+            assert!(decode_reply(bytes.slice(..cut)).is_err());
+        }
+        let cmd = Command::DpScope {
+            scopes: Arc::new(vec![(NodeId(3), vec!["10.1.0.0/16".parse().unwrap()])]),
+        };
+        let bytes = encode_command(&cmd);
+        for cut in 0..bytes.len() {
+            assert!(decode_command(bytes.slice(..cut)).is_err());
+        }
+        let reply = Reply::ChangedDst(vec![(NodeId(3), vec!["10.1.0.0/16".parse().unwrap()])]);
         let bytes = encode_reply(&reply);
         for cut in 0..bytes.len() {
             assert!(decode_reply(bytes.slice(..cut)).is_err());

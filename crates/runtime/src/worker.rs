@@ -19,6 +19,7 @@ use crate::sidecar::{Sidecar, TrafficSnapshot};
 use crate::wire::Message;
 use bytes::Bytes;
 use s2_bdd::serialize as bdd_io;
+use s2_bdd::splice::Splicer;
 use s2_bdd::BddManager;
 use s2_dataplane::{
     merge_packet, step_into, Fib, FinalKind, FinalPacket, ForwardOptions, NodePredicates,
@@ -121,18 +122,27 @@ pub enum Command {
     ScenarioBegin {
         /// Failed ports, cluster-wide (non-local entries are ignored).
         failed: Arc<Vec<(NodeId, InterfaceId)>>,
+        /// Whether the checkpoint must be restored first. The controller
+        /// sends `false` when the fleet is already at the checkpoint (a
+        /// rollback or the checkpoint itself was the last state-changing
+        /// barrier), skipping the per-switch state clone on the scenario
+        /// hot path. A checkpoint must exist either way.
+        restore: bool,
     },
     /// Resilience sweeps: restore the checkpoint (healthy state, no
     /// failed ports) and drop any scenario data-plane overlay. The
     /// checkpoint is kept for the next scenario.
     ScenarioRollback,
     /// Resilience sweeps: patch the data plane for the current scenario
-    /// *in the warm BDD manager*: recompile predicates only for the
-    /// `changed` local nodes into a scenario overlay (consulted before
-    /// the baseline predicates), install the failed-port mask, and clear
-    /// the packet level and finals for a fresh forwarding run. An empty
-    /// `changed` list patches nothing but the mask — the transient
-    /// (pre-reconvergence) stage.
+    /// *in the warm BDD manager*: stage the `changed` local nodes for an
+    /// overlay recompile (consulted before the baseline predicates),
+    /// install the failed-port mask, and clear the packet level and
+    /// finals for a fresh forwarding run. The compile itself is deferred
+    /// to the following `DpScope` (restricted to the pass's destination
+    /// scopes) or `DpCompile` (full-space) — the reply's changed-prefix
+    /// extraction is what the controller needs to decide between them.
+    /// An empty `changed` list patches nothing but the mask — the
+    /// transient (pre-reconvergence) stage.
     DpPatch {
         /// The scenario RIBs (only `changed` nodes are read).
         rib: Arc<RibSnapshot>,
@@ -141,6 +151,25 @@ pub enum Command {
         /// Failed ports for the forwarding mask.
         failed_ports: Arc<Vec<(NodeId, InterfaceId)>>,
     },
+    /// Destination-scoped DPV: install per-source scope predicates for
+    /// the coming pass. Each source's verdicts are recomputed only over
+    /// `dst_space ∧ scope` and spliced with the baseline stashed at
+    /// `ScenarioCheckpoint` as `(base ∧ ¬scope) ∨ recomputed`. Cleared
+    /// by the next `DpPatch`, `DpSetup`, or `ScenarioRollback`; a plain
+    /// full-space pass simply never sends this command.
+    DpScope {
+        /// `(source, changed prefixes)` for **every** source of the
+        /// coming pass. An empty prefix list skips the source entirely
+        /// (scope = ∅: no injection, verdicts pass through from the
+        /// baseline).
+        scopes: Arc<Vec<(NodeId, Vec<Prefix>)>>,
+    },
+    /// Compile the overlay predicates staged by the last `DpPatch` over
+    /// the *full* FIB of every changed node — the unscoped companion of
+    /// `DpScope` (which compiles only routes overlapping the coming
+    /// pass's destination scopes). Sent before a full-space scenario
+    /// drive: the no-baseline and everything-changed fallbacks.
+    DpCompile,
     /// Report the worker-side transport counters and in-flight frame
     /// count. Replies `Net`. In multi-process mode this is how the
     /// controller folds remote disturbances into its convergence checks.
@@ -184,6 +213,9 @@ pub enum Reply {
         loops: usize,
         /// Blackhole finals observed.
         blackholes: usize,
+        /// Verdict-splice operations performed during this pass (zero on
+        /// a full-space pass). Feeds `dpv.scoped.splice_ops`.
+        splices: u64,
         /// Serialized per-(source, kind) unions.
         sets: Vec<(NodeId, FinalKind, Bytes)>,
     },
@@ -219,6 +251,12 @@ pub enum Reply {
     },
     /// This worker's unified metrics snapshot.
     Metrics(s2_obs::MetricsSnapshot),
+    /// `DpPatch` outcome: per hosted node, the prefixes whose forwarding
+    /// behavior changed against the `DpSetup` baseline — the old-vs-new
+    /// route-set diff of the patched nodes plus the prefixes of routes
+    /// egressing locally owned failed ports. Nodes with no changes are
+    /// omitted; an empty vector means the patch is a forwarding no-op.
+    ChangedDst(Vec<(NodeId, Vec<Prefix>)>),
     /// The command violated the controller/worker protocol (e.g. a
     /// data-plane command before `DpSetup`); the worker refuses it
     /// instead of panicking.
@@ -245,6 +283,21 @@ type PendingOspf = (NodeId, s2_net::topology::InterfaceId, Vec<(Prefix, u32)>);
 struct Checkpoint {
     switches: BTreeMap<NodeId, SwitchModel>,
     last_adv: BTreeMap<(NodeId, usize), Vec<BgpRoute>>,
+}
+
+/// The baseline data-plane verdict material, stashed at
+/// `ScenarioCheckpoint` from the finals of the preceding full-space
+/// pass. Destination-scoped passes splice against it: outside each
+/// source's scope the baseline forwarding is provably unperturbed, so
+/// its verdicts are reused verbatim.
+#[derive(Default)]
+struct DpBaseline {
+    /// Per-(src, dst) `Arrive` unions with metadata bits **kept** —
+    /// spliced arrivals feed the waypoint check, which inspects meta.
+    arrivals: BTreeMap<(NodeId, NodeId), s2_bdd::Bdd>,
+    /// Per-(src, kind) meta-stripped verdict unions (what
+    /// `collect_finals` serializes).
+    unions: BTreeMap<(NodeId, FinalKind), s2_bdd::Bdd>,
 }
 
 /// The worker's mutable state.
@@ -285,8 +338,23 @@ pub struct Worker {
     /// Scenario overlay: predicates recompiled for the current failure
     /// scenario, consulted before `preds`. Cleared on rollback.
     scenario_preds: BTreeMap<NodeId, NodePredicates>,
+    /// The material of a `DpPatch` whose overlay compile was deferred:
+    /// the scenario RIB and the changed node list. The following
+    /// `DpScope` compiles it restricted to the pass's destination
+    /// scopes; a `DpCompile` (full-space pass) compiles it whole.
+    pending_patch: Option<(Arc<RibSnapshot>, Arc<Vec<NodeId>>)>,
     /// Control-plane snapshot for scenario restore.
     checkpoint: Option<Checkpoint>,
+    /// The RIB snapshot the data plane was compiled from — the "old"
+    /// side of the next `DpPatch`'s per-prefix diff.
+    dp_rib: Option<Arc<RibSnapshot>>,
+    /// Baseline verdict stash for splicing (see [`DpBaseline`]). Taken
+    /// at `ScenarioCheckpoint`, invalidated by `DpSetup` (the manager
+    /// that owns its handles is recreated).
+    dp_base: Option<DpBaseline>,
+    /// Per-source splicers of the active destination-scoped pass
+    /// (`None` = full-space pass, no surgery).
+    scopes: Option<BTreeMap<NodeId, Splicer>>,
     fwd_opts: ForwardOptions,
     /// The current hop level's merged fragments (see
     /// [`s2_dataplane::PacketKey`]); merging before processing and before
@@ -374,7 +442,11 @@ impl Worker {
             manager: None,
             preds: BTreeMap::new(),
             scenario_preds: BTreeMap::new(),
+            pending_patch: None,
             checkpoint: None,
+            dp_rib: None,
+            dp_base: None,
+            scopes: None,
             fwd_opts: ForwardOptions::default(),
             level: BTreeMap::new(),
             finals: Vec::new(),
@@ -469,7 +541,7 @@ impl Worker {
                 waypoints,
                 max_hops,
             } => {
-                self.dp_setup(&rib, meta_bits, &waypoints, max_hops);
+                self.dp_setup(rib, meta_bits, &waypoints, max_hops);
                 self.update_gauge();
                 Reply::Ok
             }
@@ -551,11 +623,28 @@ impl Worker {
                     switches: self.switches.clone(),
                     last_adv: self.last_adv.clone(),
                 });
+                // The finals of the preceding full-space pass are the
+                // splice baseline for destination-scoped scenario
+                // passes. Without a data plane (or a prior pass) there
+                // is nothing to stash; scoped passes then splice
+                // against ∅, which is only reachable through a fresh
+                // worker that will be driven full-space anyway.
+                self.dp_base = self.stash_dp_baseline();
                 Reply::Ok
             }
-            Command::ScenarioBegin { failed } => {
-                if !self.restore_checkpoint() {
+            Command::ScenarioBegin { failed, restore } => {
+                if self.checkpoint.is_none() {
                     return Reply::Violation("ScenarioBegin before ScenarioCheckpoint".to_string());
+                }
+                if restore {
+                    self.restore_checkpoint();
+                } else {
+                    // The live state already equals the checkpoint; only
+                    // the staged-delivery scratch needs the same reset
+                    // `restore_checkpoint` would have applied.
+                    self.pending_bgp.clear();
+                    self.export_dirty.clear();
+                    self.decide_dirty.clear();
                 }
                 let mut by_node: BTreeMap<NodeId, Vec<InterfaceId>> = BTreeMap::new();
                 for &(n, i) in failed.iter() {
@@ -582,6 +671,8 @@ impl Worker {
                 // mixed fleet of survivors and replacements.
                 let _ = self.restore_checkpoint();
                 self.scenario_preds.clear();
+                self.pending_patch = None;
+                self.scopes = None;
                 self.fwd_opts.failed_ports.clear();
                 self.level.clear();
                 self.finals.clear();
@@ -593,18 +684,48 @@ impl Worker {
                 changed,
                 failed_ports,
             } => {
-                let Some(manager) = self.manager.as_mut() else {
+                if self.manager.is_none() {
                     return Reply::Violation("DpPatch before DpSetup".to_string());
-                };
+                }
                 self.scenario_preds.clear();
+                self.scopes = None;
+                // Per hosted node: extract the prefixes whose route set
+                // actually moved against the `DpSetup` baseline — the
+                // raw material of the controller's changed-destination
+                // scoping. The overlay compile is deferred to the
+                // `DpScope`/`DpCompile` that follows, once the
+                // controller knows how much of the space it needs.
+                let mut changed_dst: BTreeMap<NodeId, BTreeSet<Prefix>> = BTreeMap::new();
                 for &n in changed.iter() {
                     if !self.preds.contains_key(&n) {
                         continue; // not hosted here
                     }
-                    let fib = Fib::from_rib(rib.node(n));
-                    let p =
-                        NodePredicates::compile(&self.model, n, &fib, &self.space, manager);
-                    self.scenario_preds.insert(n, p);
+                    if let Some(base) = self.dp_rib.as_deref() {
+                        let moved = changed_prefixes(base.node(n), rib.node(n));
+                        if !moved.is_empty() {
+                            changed_dst.entry(n).or_default().extend(moved);
+                        }
+                    }
+                }
+                self.pending_patch = Some((rib.clone(), changed.clone()));
+                // Routes egressing a failed port change forwarding even
+                // when the owning node's RIB does not (the transient,
+                // pre-reconvergence stage): attribute their prefixes to
+                // the port owner. Both the baseline and the patched RIB
+                // are scanned — a route present on either side of the
+                // mask flip perturbs its prefix.
+                for &(n, iface) in failed_ports.iter() {
+                    if !self.preds.contains_key(&n) {
+                        continue;
+                    }
+                    let sides = [self.dp_rib.as_deref().map(|r| r.node(n)), Some(rib.node(n))];
+                    for routes in sides.into_iter().flatten() {
+                        for r in routes {
+                            if r.egress.contains(&iface) {
+                                changed_dst.entry(n).or_default().insert(r.prefix);
+                            }
+                        }
+                    }
                 }
                 self.fwd_opts.failed_ports = failed_ports.iter().copied().collect();
                 self.level.clear();
@@ -616,8 +737,22 @@ impl Worker {
                         observed: self.gauge.current(),
                     };
                 }
-                Reply::Ok
+                Reply::ChangedDst(
+                    changed_dst
+                        .into_iter()
+                        .map(|(n, ps)| (n, ps.into_iter().collect()))
+                        .collect(),
+                )
             }
+            Command::DpScope { scopes } => {
+                let filter: BTreeSet<Prefix> =
+                    scopes.iter().flat_map(|(_, ps)| ps.iter().copied()).collect();
+                match self.compile_overlays(Some(&filter)) {
+                    Reply::Ok => self.set_scopes(&scopes),
+                    other => other,
+                }
+            }
+            Command::DpCompile => self.compile_overlays(None),
             Command::NetStats => {
                 // `in_flight` strictly before the counter snapshot: a
                 // concurrent reconnect bumps `reconnects` before resetting
@@ -874,7 +1009,7 @@ impl Worker {
 
     fn dp_setup(
         &mut self,
-        rib: &RibSnapshot,
+        rib: Arc<RibSnapshot>,
         meta_bits: u16,
         waypoints: &BTreeMap<NodeId, u16>,
         max_hops: u16,
@@ -891,6 +1026,12 @@ impl Worker {
             })
             .collect();
         self.manager = Some(manager);
+        // The manager that owned any stashed baseline handles just died;
+        // the new RIB is the diff baseline for the next `DpPatch`.
+        self.dp_rib = Some(rib);
+        self.dp_base = None;
+        self.pending_patch = None;
+        self.scopes = None;
         self.fwd_opts = ForwardOptions {
             max_hops,
             waypoint_bits: waypoints.clone(),
@@ -898,6 +1039,98 @@ impl Worker {
         };
         self.level.clear();
         self.finals.clear();
+    }
+
+    /// Builds the splice baseline from the current finals (the verdicts
+    /// of the last full-space pass). `None` without a data plane.
+    fn stash_dp_baseline(&mut self) -> Option<DpBaseline> {
+        let manager = self.manager.as_mut()?;
+        let meta_vars: Vec<u16> = (0..self.space.meta_bits)
+            .map(|i| self.space.meta_var(i))
+            .collect();
+        let mut base = DpBaseline::default();
+        for f in &self.finals {
+            if f.kind == FinalKind::Arrive {
+                let entry = base
+                    .arrivals
+                    .entry((f.src, f.node))
+                    .or_insert(s2_bdd::Bdd::FALSE);
+                *entry = manager.or(*entry, f.set);
+            }
+            let stripped = manager.exists_all(f.set, meta_vars.iter().copied());
+            let entry = base
+                .unions
+                .entry((f.src, f.kind))
+                .or_insert(s2_bdd::Bdd::FALSE);
+            *entry = manager.or(*entry, stripped);
+        }
+        Some(base)
+    }
+
+    /// Compiles the overlay predicates staged by the last `DpPatch`.
+    /// With a `filter` (the union of the coming pass's destination
+    /// scopes) only routes overlapping it are compiled: the scoped
+    /// drive never forwards a destination outside the filter, and for
+    /// every destination *inside* it longest-prefix match over the
+    /// filtered FIB equals LPM over the full FIB (any route matching
+    /// such a destination overlaps the filter and is kept). Without a
+    /// filter the whole FIB is compiled — the full-space fallbacks.
+    fn compile_overlays(&mut self, filter: Option<&BTreeSet<Prefix>>) -> Reply {
+        let Some((rib, changed)) = self.pending_patch.clone() else {
+            // Nothing staged: a scope-only pass over an unpatched data
+            // plane (e.g. the transient stage with no changed nodes).
+            return Reply::Ok;
+        };
+        let Some(manager) = self.manager.as_mut() else {
+            return Reply::Violation("DpCompile before DpSetup".to_string());
+        };
+        for &n in changed.iter() {
+            if !self.preds.contains_key(&n) {
+                continue; // not hosted here
+            }
+            let routes = rib.node(n);
+            let fib = match filter {
+                Some(f) => {
+                    let kept: Vec<RibRoute> = routes
+                        .iter()
+                        .filter(|r| f.iter().any(|p| p.overlaps(r.prefix)))
+                        .cloned()
+                        .collect();
+                    Fib::from_rib(&kept)
+                }
+                None => Fib::from_rib(routes),
+            };
+            let p = NodePredicates::compile(&self.model, n, &fib, &self.space, manager);
+            self.scenario_preds.insert(n, p);
+        }
+        self.update_gauge();
+        if self.gauge.over_budget(self.memory_budget) {
+            return Reply::OutOfMemory {
+                budget: self.memory_budget.unwrap_or(0),
+                observed: self.gauge.current(),
+            };
+        }
+        Reply::Ok
+    }
+
+    /// Installs per-source destination scopes for the next scoped drive.
+    /// Every source gets an entry; an empty prefix list means "skipped"
+    /// (its splicer passes the baseline through untouched).
+    fn set_scopes(&mut self, scopes: &[(NodeId, Vec<Prefix>)]) -> Reply {
+        let Some(manager) = self.manager.as_mut() else {
+            return Reply::Violation("DpScope before DpSetup".to_string());
+        };
+        let mut map = BTreeMap::new();
+        for (src, prefixes) in scopes {
+            let parts: Vec<s2_bdd::Bdd> = prefixes
+                .iter()
+                .map(|&p| self.space.dst_in(manager, p))
+                .collect();
+            let scope = manager.or_all(parts);
+            map.insert(*src, Splicer::new(manager, scope));
+        }
+        self.scopes = Some(map);
+        Reply::Ok
     }
 
     fn inject(&mut self, injections: &[(NodeId, Prefix)]) {
@@ -910,7 +1143,16 @@ impl Worker {
             }
             let dst = self.space.dst_in(manager, dst_space);
             let clear = self.space.meta_clear(manager);
-            let set = manager.and(dst, clear);
+            let mut set = manager.and(dst, clear);
+            // Destination-scoped pass: only the changed packet space is
+            // re-verified; a source whose scope is empty injects nothing.
+            if let Some(scopes) = self.scopes.as_ref() {
+                let scope = scopes.get(&src).map_or(s2_bdd::Bdd::FALSE, Splicer::scope);
+                set = manager.and(set, scope);
+                if set.is_false() {
+                    continue;
+                }
+            }
             merge_packet(
                 manager,
                 &mut self.level,
@@ -1091,10 +1333,28 @@ impl Worker {
                 if src == *dst {
                     continue;
                 }
-                let arrived = arrivals
+                let mut arrived = arrivals
                     .get(&(src, *dst))
                     .copied()
                     .unwrap_or(s2_bdd::Bdd::FALSE);
+                // Destination-scoped pass: the finals only cover the
+                // scoped space — splice the baseline arrival back in
+                // before judging reachability and waypoints, so the
+                // verdict is a full-space one.
+                if let Some(scopes) = self.scopes.as_mut() {
+                    let base = self
+                        .dp_base
+                        .as_ref()
+                        .and_then(|b| b.arrivals.get(&(src, *dst)))
+                        .copied()
+                        .unwrap_or(s2_bdd::Bdd::FALSE);
+                    arrived = match scopes.get_mut(&src) {
+                        Some(splicer) => splicer.splice(manager, base, arrived),
+                        // No scope recorded for this source: nothing was
+                        // injected for it, the baseline is all there is.
+                        None => manager.or(base, arrived),
+                    };
+                }
                 if manager.implies(want, arrived) {
                     reachable.push((src, *dst));
                 } else {
@@ -1135,6 +1395,55 @@ impl Worker {
             let entry = unions.entry((f.src, f.kind)).or_insert(s2_bdd::Bdd::FALSE);
             *entry = manager.or(*entry, stripped);
         }
+        // Destination-scoped pass: the unions above only cover the
+        // scoped space — splice each (src, kind) verdict with the
+        // stashed baseline into a full-space union. Semantic equality
+        // plus canonical serialization makes the result byte-identical
+        // to a cold full-space recompute.
+        if let Some(scopes) = self.scopes.as_mut() {
+            let scoped = std::mem::take(&mut unions);
+            let empty = DpBaseline::default();
+            let base = self.dp_base.as_ref().unwrap_or(&empty);
+            for (&src, splicer) in scopes.iter_mut() {
+                for kind in [
+                    FinalKind::Arrive,
+                    FinalKind::Exit,
+                    FinalKind::Blackhole,
+                    FinalKind::Loop,
+                ] {
+                    let fresh = scoped.get(&(src, kind)).copied().unwrap_or(s2_bdd::Bdd::FALSE);
+                    let basev = base
+                        .unions
+                        .get(&(src, kind))
+                        .copied()
+                        .unwrap_or(s2_bdd::Bdd::FALSE);
+                    if fresh.is_false() && basev.is_false() {
+                        continue;
+                    }
+                    let full = splicer.splice(manager, basev, fresh);
+                    if !full.is_false() {
+                        unions.insert((src, kind), full);
+                    }
+                    // Baseline loop/blackhole material surviving outside
+                    // the scope counts as one final: fragment counts were
+                    // never run-deterministic (only the unions are), but
+                    // `loops == 0` must still mean loop-free afterwards.
+                    if matches!(kind, FinalKind::Loop | FinalKind::Blackhole)
+                        && !splicer.outside(manager, basev).is_false()
+                    {
+                        match kind {
+                            FinalKind::Loop => loops += 1,
+                            FinalKind::Blackhole => blackholes += 1,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        let splices = self
+            .scopes
+            .as_ref()
+            .map_or(0, |s| s.values().map(Splicer::ops).sum());
         let sets = unions
             .into_iter()
             .filter(|(_, set)| !set.is_false())
@@ -1145,6 +1454,7 @@ impl Worker {
         Reply::Finals {
             loops,
             blackholes,
+            splices,
             sets,
         }
     }
@@ -1182,4 +1492,23 @@ impl Worker {
                 .unwrap_or_default(),
         }
     }
+}
+
+/// The prefixes whose route set differs between `old` and `new`,
+/// including prefixes present on only one side. Route order within a
+/// prefix participates in the comparison: RIB snapshots are
+/// deterministic, so an order change implies a selection change.
+fn changed_prefixes(old: &[RibRoute], new: &[RibRoute]) -> BTreeSet<Prefix> {
+    let mut by_prefix: BTreeMap<Prefix, (Vec<&RibRoute>, Vec<&RibRoute>)> = BTreeMap::new();
+    for r in old {
+        by_prefix.entry(r.prefix).or_default().0.push(r);
+    }
+    for r in new {
+        by_prefix.entry(r.prefix).or_default().1.push(r);
+    }
+    by_prefix
+        .into_iter()
+        .filter(|(_, (o, n))| o != n)
+        .map(|(p, _)| p)
+        .collect()
 }

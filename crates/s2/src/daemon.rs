@@ -374,13 +374,14 @@ impl Daemon {
     }
 
     /// Serves admin connections until a `shutdown` request. Prints a
-    /// readiness line (`daemon: listening on ADDR`) for scripts to wait
-    /// on. Injected crash points abort the process here — the real
-    /// `kill -9` the checkpoint protects against.
+    /// readiness line (`daemon: listening on ADDR`) on stderr — the
+    /// stream scripts capture — for them to wait on. Injected crash
+    /// points abort the process here — the real `kill -9` the
+    /// checkpoint protects against.
     pub fn serve(mut self, listener: TcpListener) -> io::Result<()> {
         self.abort_on_crash = true;
         let addr = listener.local_addr()?;
-        println!("daemon: listening on {addr}");
+        eprintln!("daemon: listening on {addr}");
         for stream in listener.incoming() {
             let Ok(stream) = stream else { continue };
             match self.handle_conn(stream) {
@@ -489,8 +490,22 @@ impl Daemon {
         match &resp {
             AdminResponse::Committed { ms, .. } => {
                 self.committed_count += 1;
-                Registry::global().counter("daemon.delta.committed").inc();
-                Registry::global().histogram("daemon.delta.ms").record(*ms as u64);
+                let reg = Registry::global();
+                reg.counter("daemon.delta.committed").inc();
+                reg.histogram("daemon.delta.ms").record(*ms as u64);
+                // One stderr line per commit with the cumulative scoped-DPV
+                // counters, so operators (and CI) can see dst-scoping work
+                // without a metrics pipeline.
+                eprintln!(
+                    "daemon: delta committed gen={} ms={ms:.1} \
+                     dpv.scoped.runs={} dpv.scoped.skipped_sources={} \
+                     dpv.scoped.splice_ops={} dpv.scoped.fallback_full={}",
+                    self.committed.generation,
+                    reg.counter("dpv.scoped.runs").get(),
+                    reg.counter("dpv.scoped.skipped_sources").get(),
+                    reg.counter("dpv.scoped.splice_ops").get(),
+                    reg.counter("dpv.scoped.fallback_full").get(),
+                );
             }
             AdminResponse::Rejected { reason, .. } => {
                 self.rejected_count += 1;

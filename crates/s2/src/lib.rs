@@ -59,6 +59,8 @@ pub mod daemon;
 pub mod query;
 pub mod topofile;
 pub mod report;
+#[cfg(test)]
+mod scoped_oracle;
 pub mod sweep;
 pub mod verifier;
 

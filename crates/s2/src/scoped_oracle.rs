@@ -1,0 +1,260 @@
+//! Oracle equivalence suite for destination-scoped DPV.
+//!
+//! Every scenario here is verified twice: **warm** — scoped injection
+//! plus verdict splicing on a checkpointed fleet (the `s2 sweep` /
+//! `s2 daemon` hot path) — and **cold** — a full-space
+//! [`Cluster::run_dpv`] over the same reconverged scenario RIB on a
+//! fresh fleet that never saw a scenario. ROBDD serialization is
+//! canonical, so the spliced verdict sets must be *byte*-identical to
+//! the cold recompute, not merely semantically equal.
+//!
+//! The matrix covers every FatTree k=4 single-link failure, a sample
+//! of double failures (including isolating double-uplink pairs), a
+//! handful of k=6 singles, the empty-changed-set edge (a spare link
+//! carrying no routes: zero injections, baseline passthrough), and the
+//! everything-changed edge (a dst space fully covered by the change:
+//! scoping falls back to an unscoped full drive).
+//!
+//! [`Cluster::run_dpv`]: s2_runtime::Cluster::run_dpv
+
+use crate::query::VerificationRequest;
+use crate::sweep::{changed_nodes, enumerate_failure_sets, scenario_ports, LinkKey, WarmBaseline};
+use crate::verifier::{S2Options, S2Verifier};
+use s2_net::topology::NodeId;
+use s2_routing::{NetworkModel, RibSnapshot};
+use s2_runtime::DpvRunStats;
+use s2_shard::impact::link_key;
+use s2_topogen::fattree::{generate, FatTree, FatTreeParams};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn fattree_request(ft: &FatTree) -> VerificationRequest {
+    let k = ft.params.k;
+    let endpoints = (0..k)
+        .flat_map(|p| (0..k / 2).map(move |e| (ft.edge(p, e), vec![FatTree::server_prefix(p, e)])))
+        .collect();
+    VerificationRequest::all_pair_reachability(endpoints, "10.0.0.0/8".parse().unwrap())
+}
+
+/// Drives one warm scenario end-to-end (begin → warm fix point →
+/// scoped DPV) and returns the reconverged RIB plus the spliced stats.
+/// The caller owns rollback.
+fn warm_scenario(
+    verifier: &S2Verifier,
+    baseline: &WarmBaseline,
+    request: &VerificationRequest,
+    waypoints: &BTreeMap<NodeId, u16>,
+    links: &[LinkKey],
+) -> (Arc<RibSnapshot>, DpvRunStats) {
+    let ports = scenario_ports(links);
+    let cluster = &verifier.cluster;
+    cluster.scenario_begin(&ports).unwrap();
+    let copts = verifier.cluster_opts();
+    cluster.run_warm_fixpoint(&copts).unwrap();
+    let rib = Arc::new(cluster.collect_full_rib().unwrap());
+    let changed = changed_nodes(&baseline.rib, &rib);
+    let stats = cluster
+        .run_scenario_dpv(
+            rib.clone(),
+            changed,
+            ports,
+            request.sources.clone(),
+            request.expected.clone(),
+            request.dst_space,
+            waypoints.clone(),
+        )
+        .unwrap();
+    (rib, stats)
+}
+
+/// Cold oracle: a full-space DPV of `rib` on a fleet with no scenario
+/// state (warm reconvergence leaves no route egressing a failed port,
+/// so the port masks are immaterial and plain `run_dpv` is exact).
+fn cold_oracle(
+    oracle: &S2Verifier,
+    request: &VerificationRequest,
+    waypoints: &BTreeMap<NodeId, u16>,
+    rib: Arc<RibSnapshot>,
+) -> DpvRunStats {
+    oracle
+        .cluster
+        .run_dpv(
+            rib,
+            request.sources.clone(),
+            request.expected.clone(),
+            request.dst_space,
+            waypoints.clone(),
+            &oracle.cluster_opts(),
+        )
+        .unwrap()
+}
+
+/// Byte-level equivalence of a spliced warm outcome and its cold
+/// recompute: verdict BDDs, plus every derived verdict field.
+fn assert_byte_identical(scenario: &[LinkKey], warm: &DpvRunStats, cold: &DpvRunStats) {
+    assert_eq!(
+        warm.verdict_sets, cold.verdict_sets,
+        "scenario {scenario:?}: spliced verdict BDDs differ from cold recompute"
+    );
+    assert_eq!(warm.unreachable_pairs, cold.unreachable_pairs, "{scenario:?}");
+    assert_eq!(warm.multipath_violations, cold.multipath_violations, "{scenario:?}");
+    // Final *counts* fragment differently per drive (the repo-wide
+    // invariant is `count == 0` ⇔ kind-free; only the unions are
+    // run-deterministic) — compare emptiness, not magnitudes.
+    assert_eq!(warm.loops == 0, cold.loops == 0, "scenario {scenario:?}: loop-freedom");
+    assert_eq!(
+        warm.blackholes == 0,
+        cold.blackholes == 0,
+        "scenario {scenario:?}: blackhole-freedom"
+    );
+}
+
+/// Runs the matrix on one model: warm fleet + cold oracle fleet, every
+/// scenario compared byte-for-byte.
+fn run_matrix(k: usize, workers: u32, scenarios: &[Vec<LinkKey>]) {
+    let ft = generate(FatTreeParams::new(k));
+    let model = NetworkModel::build(ft.topology.clone(), ft.configs.clone()).unwrap();
+    let request = fattree_request(&ft);
+    let waypoints = BTreeMap::new();
+    let opts = S2Options {
+        workers,
+        ..Default::default()
+    };
+    let verifier = S2Verifier::new(model.clone(), &opts).unwrap();
+    let copts = verifier.cluster_opts();
+    let baseline = verifier.warm_up(&request, &waypoints, &copts).unwrap();
+    let oracle = S2Verifier::new(model, &opts).unwrap();
+    for scenario in scenarios {
+        let (rib, warm) = warm_scenario(&verifier, &baseline, &request, &waypoints, scenario);
+        verifier.restore_baseline().unwrap();
+        let scoped = warm
+            .scoped
+            .as_ref()
+            .unwrap_or_else(|| panic!("scenario {scenario:?}: warm run was not scoped"));
+        assert_eq!(
+            scoped.skipped_sources + scoped.injected_sources,
+            request.sources.len(),
+            "{scenario:?}: every source is either injected or skipped"
+        );
+        let cold = cold_oracle(&oracle, &request, &waypoints, rib);
+        assert_byte_identical(scenario, &warm, &cold);
+    }
+    verifier.shutdown();
+    oracle.shutdown();
+}
+
+/// Every single-link failure of FatTree k=4 plus a sample of double
+/// failures (every 37th pair — includes isolating double-uplinks and
+/// cross-tier pairs).
+#[test]
+fn fattree4_chaos_matrix_is_byte_identical_to_cold_oracle() {
+    let ft = generate(FatTreeParams::new(4));
+    let links: Vec<LinkKey> = ft.topology.links().iter().map(link_key).collect();
+    let mut scenarios: Vec<Vec<LinkKey>> = links.iter().map(|&l| vec![l]).collect();
+    scenarios.extend(
+        enumerate_failure_sets(links.len(), 2)
+            .into_iter()
+            .filter(|s| s.len() == 2)
+            .step_by(37)
+            .map(|s| s.into_iter().map(|i| links[i]).collect::<Vec<_>>()),
+    );
+    assert!(scenarios.len() >= 32 + 10);
+    run_matrix(4, 2, &scenarios);
+}
+
+/// A spread of k=6 singles across both fabric tiers.
+#[test]
+fn fattree6_single_failures_are_byte_identical_to_cold_oracle() {
+    let ft = generate(FatTreeParams::new(6));
+    let links: Vec<LinkKey> = ft.topology.links().iter().map(link_key).collect();
+    let scenarios: Vec<Vec<LinkKey>> =
+        links.iter().step_by(links.len() / 5).map(|&l| vec![l]).collect();
+    assert!(scenarios.len() >= 5);
+    run_matrix(6, 2, &scenarios);
+}
+
+/// Empty-changed-set edge: failing a spare link that carries no routes
+/// changes nothing, so every source is skipped, nothing is injected,
+/// and the spliced verdicts are the baseline verdicts, byte for byte.
+#[test]
+fn empty_changed_set_skips_every_source_and_passes_baseline_through() {
+    let ft = generate(FatTreeParams::new(4));
+    let mut topology = ft.topology.clone();
+    let spare = topology.connect(ft.edge(0, 0), ft.edge(1, 1));
+    let model = NetworkModel::build(topology, ft.configs.clone()).unwrap();
+    let request = fattree_request(&ft);
+    let waypoints = BTreeMap::new();
+    let opts = S2Options {
+        workers: 2,
+        ..Default::default()
+    };
+    let verifier = S2Verifier::new(model, &opts).unwrap();
+    let copts = verifier.cluster_opts();
+    let baseline = verifier.warm_up(&request, &waypoints, &copts).unwrap();
+    let scenario = vec![link_key(&spare)];
+    let (rib, warm) = warm_scenario(&verifier, &baseline, &request, &waypoints, &scenario);
+    verifier.restore_baseline().unwrap();
+    verifier.shutdown();
+    assert_eq!(*rib, *baseline.rib, "a route-free link must not move the RIB");
+    let scoped = warm.scoped.as_ref().unwrap();
+    assert_eq!(scoped.changed_prefixes, 0);
+    assert_eq!(scoped.injected_sources, 0);
+    assert_eq!(scoped.skipped_sources, request.sources.len());
+    assert!(!scoped.fallback_full);
+    assert_eq!(
+        warm.verdict_sets, baseline.dpv.verdict_sets,
+        "zero injections must pass the baseline verdicts through unchanged"
+    );
+    assert_eq!(warm.unreachable_pairs, baseline.dpv.unreachable_pairs);
+    assert_eq!(warm.loops == 0, baseline.dpv.loops == 0);
+    assert_eq!(warm.blackholes == 0, baseline.dpv.blackholes == 0);
+}
+
+/// Everything-changed edge: with the dst space narrowed to a single
+/// server prefix, failing that server's uplink changes routes covering
+/// the *entire* injected space — scoping must fall back to a full
+/// unscoped drive and still match the cold oracle byte for byte.
+#[test]
+fn full_space_change_falls_back_to_unscoped_full_drive() {
+    let ft = generate(FatTreeParams::new(4));
+    let model = NetworkModel::build(ft.topology.clone(), ft.configs.clone()).unwrap();
+    let victim = ft.edge(0, 0);
+    let victim_prefix = FatTree::server_prefix(0, 0);
+    let request = VerificationRequest::all_pair_reachability(
+        vec![(victim, vec![victim_prefix]), (ft.edge(1, 0), vec![victim_prefix])],
+        victim_prefix,
+    );
+    let waypoints = BTreeMap::new();
+    let opts = S2Options {
+        workers: 2,
+        ..Default::default()
+    };
+    let verifier = S2Verifier::new(model.clone(), &opts).unwrap();
+    let copts = verifier.cluster_opts();
+    let baseline = verifier.warm_up(&request, &waypoints, &copts).unwrap();
+    // The victim's first uplink: failing it withdraws routes for the
+    // victim's server prefix on the aggregation tier, so the changed
+    // set covers all of `dst_space`.
+    let uplink = ft
+        .topology
+        .links()
+        .iter()
+        .map(link_key)
+        .find(|((a, _), (b, _))| *a == victim || *b == victim)
+        .unwrap();
+    let scenario = vec![uplink];
+    let (rib, warm) = warm_scenario(&verifier, &baseline, &request, &waypoints, &scenario);
+    verifier.restore_baseline().unwrap();
+    verifier.shutdown();
+    let scoped = warm.scoped.as_ref().unwrap();
+    assert!(
+        scoped.fallback_full,
+        "a fully-covered dst space must fall back to the unscoped drive \
+         (fraction {})",
+        scoped.changed_dst_fraction
+    );
+    let oracle = S2Verifier::new(model, &opts).unwrap();
+    let cold = cold_oracle(&oracle, &request, &waypoints, rib);
+    oracle.shutdown();
+    assert_byte_identical(&scenario, &warm, &cold);
+}

@@ -732,7 +732,7 @@ impl S2Verifier {
                         during: "warm-up-dpv",
                     });
                 }
-                self.cluster.scenario_checkpoint()?;
+                self.cluster.scenario_checkpoint(rib.clone())?;
                 Ok(WarmBaseline {
                     rib,
                     dpv,

@@ -96,6 +96,24 @@ impl ScenarioImpact {
     }
 }
 
+/// Closes `affected` over the weakly connected components of `dpdg`:
+/// any component touching the set is absorbed whole, since a dependent
+/// prefix can change whenever its dependee does. No-op on an empty set.
+///
+/// Shared by the sweep's impact classes and the destination-scoped DPV
+/// patcher, which both need the same "what else can this perturb"
+/// closure before trusting a changed-prefix set.
+pub fn close_over_components(affected: &mut BTreeSet<Prefix>, dpdg: &Dpdg) {
+    if affected.is_empty() {
+        return;
+    }
+    for component in dpdg.weakly_connected_components() {
+        if component.iter().any(|p| affected.contains(p)) {
+            affected.extend(component);
+        }
+    }
+}
+
 /// Reduces a failure scenario to its impact: drops links the baseline
 /// never forwards over, then closes the surviving links' prefixes over
 /// the weakly connected components of `dpdg` (failing a dependee can
@@ -112,13 +130,7 @@ pub fn scenario_impact(scenario: &[LinkKey], usage: &LinkUsage, dpdg: &Dpdg) -> 
         .iter()
         .flat_map(|l| usage.link_prefixes(l))
         .collect();
-    if !affected.is_empty() {
-        for component in dpdg.weakly_connected_components() {
-            if component.iter().any(|p| affected.contains(p)) {
-                affected.extend(component);
-            }
-        }
-    }
+    close_over_components(&mut affected, dpdg);
     ScenarioImpact {
         relevant,
         affected_prefixes: affected,
