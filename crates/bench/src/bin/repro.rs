@@ -12,7 +12,7 @@
 //! `s2-bench-trajectory/v1` JSON:
 //!
 //! ```text
-//! cargo run -p bench --bin repro --release -- --json                # k=4,6,8 -> BENCH_PR9.json
+//! cargo run -p bench --bin repro --release -- --json                # k=4,6,8 -> BENCH_PR10.json
 //! cargo run -p bench --bin repro --release -- --json --smoke       # k=4 only (CI)
 //! cargo run -p bench --bin repro --release -- --json --out FILE    # custom path
 //! cargo run -p bench --bin repro -- --json --check FILE            # validate only
@@ -109,7 +109,7 @@ fn run_obs_mode(args: &[String]) -> ExitCode {
 }
 
 fn run_json_mode(args: &[String]) -> ExitCode {
-    let mut out_path = "BENCH_PR9.json".to_string();
+    let mut out_path = "BENCH_PR10.json".to_string();
     let mut smoke = false;
     let mut check: Option<String> = None;
     let mut it = args.iter();
@@ -200,6 +200,10 @@ fn run_json_mode(args: &[String]) -> ExitCode {
             d.k,
             d.scoped_delta_ms,
             d.changed_dst_fraction * 100.0
+        );
+        println!(
+            "FatTree{}: telemetry scrape {:.1} ms, delta p99 {:.0} ms, {} stitched dpv spans",
+            d.k, d.scrape_ms, d.delta_p99_ms, d.stitched_spans
         );
     }
     println!("wrote {out_path} ({} entries, host cpus: {})", t.entries.len(), t.host_cpus);

@@ -1,6 +1,6 @@
 //! The pinned performance trajectory: a FatTree sweep, timed per
 //! phase at intra-worker thread widths 1 and 4, emitted as JSON
-//! (`BENCH_PR9.json` at the repo root).
+//! (`BENCH_PR10.json` at the repo root).
 //!
 //! Serialization is hand-rolled: the workspace deliberately carries no
 //! JSON dependency, and the schema (`s2-bench-trajectory/v1`) is flat
@@ -91,6 +91,15 @@ pub struct DaemonPoint {
     /// the packet space the scoped drive re-verified; everything else
     /// was spliced through from the baseline verdicts.
     pub changed_dst_fraction: f64,
+    /// Wall-clock of one full telemetry scrape (controller registry
+    /// plus fleet-pulled per-worker snapshots), milliseconds.
+    pub scrape_ms: f64,
+    /// p99 of the `daemon.delta.ms` SLO histogram after the flaps,
+    /// milliseconds (whole-ms bucket resolution).
+    pub delta_p99_ms: f64,
+    /// Worker-lane `dpv.*` spans whose parent chain stitched back to
+    /// the controller's `daemon.delta` span across the flap deltas.
+    pub stitched_spans: u64,
 }
 
 /// Opens a daemon on a FatTree workload, applies one link flap, restarts
@@ -119,6 +128,11 @@ pub fn run_daemon(k: usize, workers: u32) -> DaemonPoint {
     let runs0 = reg.counter("dpv.scoped.runs").get();
     let drive_us0 = reg.counter("dpv.scoped.drive_us").get();
     let permille0 = reg.counter("dpv.scoped.space_permille").get();
+    // Trace the flaps so the emitted point can prove cross-process span
+    // stitching: worker dpv.* spans must parent back to `daemon.delta`.
+    let trace_was_on = s2_obs::trace::enabled();
+    s2_obs::trace::set_enabled(true);
+    let _ = s2_obs::trace::take_events();
     let mut flap = |delta: DeltaSpec| match d.apply(&delta).expect("no injected faults") {
         AdminResponse::Committed { ms, escalated, .. } => {
             assert!(!escalated, "a link flap must replay warm");
@@ -128,8 +142,17 @@ pub fn run_daemon(k: usize, workers: u32) -> DaemonPoint {
     };
     let down_ms = flap(DeltaSpec::LinkDown { a: "pod0-edge0".into(), b: "pod0-agg0".into() });
     let up_ms = flap(DeltaSpec::LinkUp { a: "pod0-edge0".into(), b: "pod0-agg0".into() });
+    let scrape_sw = Stopwatch::start();
+    let _ = d.metrics();
+    let scrape_ms = scrape_sw.elapsed().as_secs_f64() * 1e3;
     d.shutdown();
+    let stitched_spans = count_stitched(&s2_obs::trace::take_events());
+    s2_obs::trace::set_enabled(trace_was_on);
     let delta_ms = (down_ms + up_ms) / 2.0;
+    // The daemon's SLO histogram is only fed by `Daemon::apply`, and the
+    // flaps above are the only deltas this process applies, so the
+    // accumulated p99 is this run's p99 (whole-ms bucket resolution).
+    let delta_p99_ms = reg.histogram("daemon.delta.ms").snapshot().quantile(0.99) as f64;
     let runs = reg.counter("dpv.scoped.runs").get().saturating_sub(runs0);
     let drive_us = reg.counter("dpv.scoped.drive_us").get().saturating_sub(drive_us0);
     let permille = reg.counter("dpv.scoped.space_permille").get().saturating_sub(permille0);
@@ -150,7 +173,37 @@ pub fn run_daemon(k: usize, workers: u32) -> DaemonPoint {
         speedup: if delta_ms > 0.0 { cold_verify_ms / delta_ms } else { 0.0 },
         scoped_delta_ms,
         changed_dst_fraction,
+        scrape_ms,
+        delta_p99_ms,
+        stitched_spans,
     }
+}
+
+/// Counts worker-lane `dpv.*` spans whose parent chain reaches the
+/// controller's `daemon.delta` span — the cross-process stitching proof
+/// carried by the daemon trajectory point.
+fn count_stitched(events: &[s2_obs::trace::Event]) -> u64 {
+    use std::collections::HashMap;
+    let by_span: HashMap<u64, &s2_obs::trace::Event> =
+        events.iter().filter(|e| e.span != 0).map(|e| (e.span, e)).collect();
+    let reaches_delta = |mut parent: u64| {
+        for _ in 0..64 {
+            let Some(e) = by_span.get(&parent) else { return false };
+            if s2_obs::trace::name_of(e.name) == "daemon.delta" {
+                return true;
+            }
+            parent = e.parent;
+        }
+        false
+    };
+    events
+        .iter()
+        .filter(|e| {
+            e.lane >= 1
+                && s2_obs::trace::name_of(e.name).starts_with("dpv.")
+                && reaches_delta(e.parent)
+        })
+        .count() as u64
 }
 
 /// One resilience-sweep measurement: every ≤`max_failures` link-failure
@@ -251,7 +304,7 @@ pub fn run_sweep(ks: &[usize], thread_widths: &[usize], workers: u32) -> Traject
         }
     }
     Trajectory {
-        pr: 9,
+        pr: 10,
         host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
         workload: "fattree-sweep".to_string(),
         entries,
@@ -322,6 +375,11 @@ pub fn to_json(t: &Trajectory) -> String {
         push_f64(&mut o, d.scoped_delta_ms);
         o.push_str(", \"changed_dst_fraction\": ");
         push_f64(&mut o, d.changed_dst_fraction);
+        o.push_str(", \"scrape_ms\": ");
+        push_f64(&mut o, d.scrape_ms);
+        o.push_str(", \"delta_p99_ms\": ");
+        push_f64(&mut o, d.delta_p99_ms);
+        let _ = write!(o, ", \"stitched_spans\": {}", d.stitched_spans);
         o.push_str(" },\n");
     }
     o.push_str("  \"entries\": [\n");
@@ -472,7 +530,7 @@ pub fn validate(text: &str) -> Result<(), String> {
         }
     }
     if let Some(d) = doc.get("daemon") {
-        const DAEMON_NUMS: [&str; 8] = [
+        const DAEMON_NUMS: [&str; 11] = [
             "k",
             "workers",
             "cold_verify_ms",
@@ -481,6 +539,9 @@ pub fn validate(text: &str) -> Result<(), String> {
             "speedup",
             "scoped_delta_ms",
             "changed_dst_fraction",
+            "scrape_ms",
+            "delta_p99_ms",
+            "stitched_spans",
         ];
         for key in DAEMON_NUMS {
             if d.get(key).and_then(Json::as_num).is_none() {
@@ -591,6 +652,9 @@ mod tests {
             speedup: 20.0,
             scoped_delta_ms: 9.0,
             changed_dst_fraction: 0.02,
+            scrape_ms: 1.2,
+            delta_p99_ms: 52.0,
+            stitched_spans: 40,
         });
         let json = to_json(&t);
         validate(&json).expect("daemon block passes the schema check");

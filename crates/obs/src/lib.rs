@@ -1,7 +1,7 @@
 //! # s2-obs
 //!
 //! The observability layer of the S2 workspace, dependency-free by
-//! construction (std only). Four concerns live here:
+//! construction (std only). Five concerns live here:
 //!
 //! * [`time`] — the *only* sanctioned home of `std::time::Instant` in
 //!   the workspace (enforced by the `r5-obs-clock` lint). Supervision
@@ -13,6 +13,11 @@
 //!   the runtime's ad-hoc stats structs. Snapshots encode to JSON with
 //!   BTreeMap key order, so equal snapshots produce identical bytes
 //!   (the workspace R2 discipline).
+//! * [`expo`] — Prometheus text-exposition rendering of metrics
+//!   snapshots (controller aggregate plus per-worker labeled series
+//!   and liveness gauges), the scrape surface behind the daemon's
+//!   `metrics` admin command, with the format validator used by
+//!   `cargo xtask expo-check`.
 //! * [`trace`] — a structured tracing core: thread-local span stack,
 //!   per-thread lanes (controller / worker *n*), a bounded global
 //!   event sink, and a Chrome `trace_event` exporter viewable in
@@ -31,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+pub mod expo;
 pub mod json;
 pub mod metrics;
 pub mod recorder;

@@ -75,6 +75,8 @@ pub struct Histogram {
     buckets: [AtomicU64; HIST_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -83,6 +85,8 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 }
@@ -98,6 +102,8 @@ impl Histogram {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// An immutable copy of the current state.
@@ -109,9 +115,15 @@ impl Histogram {
                 buckets.push((i as u32, n));
             }
         }
+        let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
+            // The sentinel min (u64::MAX when nothing was recorded)
+            // must not leak into snapshots: an empty histogram reads
+            // as min = max = 0.
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -125,14 +137,40 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of recorded samples.
     pub sum: u64,
+    /// Smallest recorded sample (0 when `count == 0`).
+    pub min: u64,
+    /// Largest recorded sample (0 when `count == 0`).
+    pub max: u64,
     /// Non-empty buckets, ascending by index. Bucket `i` covers values
     /// of bit length `i` (`[2^(i-1), 2^i)`; bucket 0 is exactly zero).
     pub buckets: Vec<(u32, u64)>,
 }
 
+/// Smallest value bucket `i` can hold.
+fn bucket_lo(i: u32) -> u64 {
+    if i == 0 { 0 } else { 1u64 << (i - 1) }
+}
+
+/// Largest value bucket `i` can hold.
+fn bucket_hi(i: u32) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
 impl HistogramSnapshot {
-    /// Bucket-wise addition of `other` into `self`.
+    /// Bucket-wise addition of `other` into `self`, preserving the
+    /// true min/max of the union (a plain `min()` would let an empty
+    /// side's 0 clobber the real minimum).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count > 0 {
+            self.min = if self.count == 0 { other.min } else { self.min.min(other.min) };
+            self.max = self.max.max(other.max);
+        }
         self.count += other.count;
         self.sum += other.sum;
         let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
@@ -140,6 +178,42 @@ impl HistogramSnapshot {
             *merged.entry(i).or_insert(0) += n;
         }
         self.buckets = merged.into_iter().collect();
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) estimated from the log2
+    /// buckets: walk the cumulative counts to the bucket holding the
+    /// rank, take the bucket midpoint, and clamp into `[min, max]` so
+    /// degenerate shapes (one sample, one bucket) return exact values
+    /// instead of bucket-resolution artifacts. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The extremes are tracked exactly; don't pay bucket
+        // resolution for them.
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        // Rank in [1, count]: the smallest value with at least q·count
+        // samples at or below it (the "nearest-rank" definition).
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                let lo = bucket_lo(i);
+                let hi = bucket_hi(i);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        // Bucket counts disagreeing with `count` only happens on
+        // hand-assembled snapshots; fall back to the recorded maximum.
+        self.max
     }
 }
 
@@ -265,7 +339,11 @@ impl MetricsSnapshot {
             }
             o.push_str("\n    ");
             json::push_str(&mut o, k);
-            let _ = write!(o, ": {{ \"count\": {}, \"sum\": {}, \"buckets\": [", h.count, h.sum);
+            let _ = write!(
+                o,
+                ": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                h.count, h.sum, h.min, h.max
+            );
             for (j, (b, n)) in h.buckets.iter().enumerate() {
                 if j > 0 {
                     o.push_str(", ");
@@ -316,11 +394,32 @@ impl MetricsSnapshot {
                     checked_u64(n, &bpath)?,
                 ));
             }
+            // min/max joined the schema after v1 shipped; tolerate
+            // their absence (older encoders) by deriving conservative
+            // bounds from the bucket envelope.
+            let derived_min = buckets.first().map_or(0, |&(b, _)| bucket_lo(b));
+            let derived_max = buckets.last().map_or(0, |&(b, _)| bucket_hi(b));
+            let min = match h.get("min") {
+                Some(v) => {
+                    let n = v.as_num().ok_or_else(|| format!("{path}.min: not a number"))?;
+                    checked_u64(n, &format!("{path}.min"))?
+                }
+                None => derived_min,
+            };
+            let max = match h.get("max") {
+                Some(v) => {
+                    let n = v.as_num().ok_or_else(|| format!("{path}.max: not a number"))?;
+                    checked_u64(n, &format!("{path}.max"))?
+                }
+                None => derived_max,
+            };
             histograms.insert(
                 name.clone(),
                 HistogramSnapshot {
                     count,
                     sum,
+                    min,
+                    max,
                     buckets,
                 },
             );
@@ -404,6 +503,102 @@ mod tests {
         assert_eq!(s.count, 6);
         assert!(s.buckets.iter().all(|&(i, _)| (i as usize) < HIST_BUCKETS));
         assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let s = HistogramSnapshot::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_clamps_to_exact_value() {
+        // All samples identical: every quantile must return the value
+        // itself, not the bucket midpoint.
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.min, s.max), (1000, 1000));
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 1000, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_of_saturated_top_bucket() {
+        // u64::MAX lands in bucket 64 whose midpoint math must not
+        // overflow, and the result must clamp to the recorded max.
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        assert!(s.quantile(0.5) >= s.min);
+        assert!(s.quantile(0.5) <= s.max);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(4); // bucket 3
+        }
+        for _ in 0..10 {
+            h.record(1 << 20); // far tail
+        }
+        let s = h.snapshot();
+        // p50 lives in the dense low bucket, p99 in the tail.
+        assert!(s.quantile(0.5) <= 7, "p50 = {}", s.quantile(0.5));
+        assert!(s.quantile(0.99) >= 1 << 19, "p99 = {}", s.quantile(0.99));
+        assert_eq!(s.quantile(1.0), 1 << 20);
+        assert_eq!(s.quantile(0.0), 4);
+    }
+
+    #[test]
+    fn merge_preserves_min_max_across_workers() {
+        let a_h = Histogram::default();
+        a_h.record(100);
+        a_h.record(200);
+        let b_h = Histogram::default();
+        b_h.record(3);
+        b_h.record(5000);
+        let mut a = a_h.snapshot();
+        let b = b_h.snapshot();
+        a.merge(&b);
+        assert_eq!((a.min, a.max), (3, 5000));
+        assert_eq!(a.count, 4);
+
+        // Merging an empty side must not clobber min with 0.
+        let mut c = a.clone();
+        c.merge(&HistogramSnapshot::default());
+        assert_eq!((c.min, c.max), (3, 5000));
+        // ... and merging into an empty side adopts the other's bounds.
+        let mut d = HistogramSnapshot::default();
+        d.merge(&a);
+        assert_eq!((d.min, d.max), (3, 5000));
+    }
+
+    #[test]
+    fn min_max_survive_json_and_old_encodings_derive_bounds() {
+        let r = Registry::new();
+        r.histogram("lat").record(7);
+        r.histogram("lat").record(90_000);
+        let snap = r.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        let lat = &back.histograms["lat"];
+        assert_eq!((lat.min, lat.max), (7, 90_000));
+
+        // A pre-min/max document still decodes, with bucket-envelope
+        // bounds substituted.
+        let old = "{\"schema\": \"s2-metrics/v1\", \"counters\": {}, \"gauges\": {}, \
+                   \"histograms\": {\"lat\": {\"count\": 1, \"sum\": 6, \"buckets\": [[3, 1]]}}}";
+        let back = MetricsSnapshot::from_json(old).unwrap();
+        let lat = &back.histograms["lat"];
+        assert_eq!((lat.min, lat.max), (4, 7));
     }
 
     #[test]

@@ -24,7 +24,7 @@ mod imp {
         /// once the write of claim `claim` is complete, 0 when never
         /// written.
         seq: AtomicU64,
-        w: [AtomicU64; 4],
+        w: [AtomicU64; 6],
     }
 
     struct Ring {
@@ -82,6 +82,8 @@ mod imp {
                 slot.w[1].load(Ordering::Relaxed),
                 slot.w[2].load(Ordering::Relaxed),
                 slot.w[3].load(Ordering::Relaxed),
+                slot.w[4].load(Ordering::Relaxed),
+                slot.w[5].load(Ordering::Relaxed),
             ];
             let s2 = slot.seq.load(Ordering::Acquire);
             if s1 != s2 {
@@ -202,6 +204,8 @@ mod tests {
             ts_ns: i,
             dur_ns: 0,
             arg: i,
+            span: 0,
+            parent: 0,
         }
     }
 

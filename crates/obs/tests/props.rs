@@ -26,6 +26,11 @@ const NAMES: [&str; 10] = [
     "tab\there",
 ];
 
+/// Character pool for label-value escaping: every class the exposition
+/// escaper must handle (backslash, quote, newline, comma, braces,
+/// unicode) alongside benign text.
+const HOSTILE: [char; 12] = ['a', 'Z', '0', ' ', '\\', '"', '\n', ',', '{', '}', '=', 'λ'];
+
 fn name() -> impl Strategy<Value = String> {
     (0usize..NAMES.len()).prop_map(|i| NAMES[i].to_string())
 }
@@ -129,6 +134,74 @@ proptest! {
         let mut sorted = s.buckets.clone();
         sorted.sort_unstable();
         prop_assert_eq!(sorted, s.buckets, "buckets ascending by index");
+    }
+
+    /// Quantiles are monotone in `q` and always inside `[min, max]`.
+    #[test]
+    fn prop_quantiles_are_monotone_and_bounded(samples in proptest::collection::vec(any::<u64>(), 1..256)) {
+        let h = Histogram::default();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.min, *samples.iter().min().unwrap());
+        prop_assert_eq!(s.max, *samples.iter().max().unwrap());
+        let mut prev = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            prop_assert!(v >= s.min && v <= s.max, "q={} v={}", q, v);
+            prop_assert!(v >= prev, "quantiles must be monotone");
+            prev = v;
+        }
+    }
+
+    /// Prometheus rendering is deterministic, validates against the
+    /// exposition grammar, and covers every metric name of the input
+    /// snapshot — including names with quotes/backslashes/spaces,
+    /// which must sanitize rather than corrupt the line format.
+    #[test]
+    fn prop_exposition_roundtrips_every_name(s in snapshot(), w in snapshot(), up in any::<bool>()) {
+        use s2_obs::expo;
+        let workers = vec![
+            expo::WorkerSeries { id: 0, up, stale: !up, snapshot: Some(w.clone()) },
+            expo::WorkerSeries { id: 7, up: false, stale: false, snapshot: None },
+        ];
+        let once = expo::render(&s, &workers);
+        prop_assert_eq!(&once, &expo::render(&s, &workers), "non-deterministic render");
+        let stats = expo::validate(&once).expect("renderer output validates");
+        for name in s.counters.keys()
+            .chain(s.gauges.keys())
+            .chain(s.histograms.keys())
+            .chain(w.counters.keys())
+            .chain(w.gauges.keys())
+            .chain(w.histograms.keys())
+        {
+            // Collisions (same name as two kinds, or names that
+            // sanitize identically) render under a suffixed family,
+            // so accept any family the sanitized name prefixes.
+            let pname = expo::metric_name(name);
+            prop_assert!(
+                stats.families.keys().any(|f| f.starts_with(&pname)),
+                "{} missing from exposition", name
+            );
+        }
+        prop_assert!(once.contains("s2_worker_up{worker=\"7\"} 0"));
+    }
+
+    /// Label-value escaping survives the validator's unescaper for any
+    /// string: a hand-built sample line with an arbitrary label value
+    /// still parses.
+    #[test]
+    fn prop_escaped_label_values_stay_parseable(
+        raw in proptest::collection::vec(0usize..HOSTILE.len(), 0..32)
+    ) {
+        use s2_obs::expo;
+        let v: String = raw.iter().map(|&i| HOSTILE[i]).collect();
+        let doc = format!(
+            "# TYPE x counter\nx{{l=\"{}\"}} 1\n",
+            expo::escape_label_value(&v)
+        );
+        prop_assert!(expo::validate(&doc).is_ok(), "doc: {:?}", doc);
     }
 }
 

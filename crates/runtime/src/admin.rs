@@ -115,8 +115,30 @@ pub enum AdminRequest {
     Status,
     /// Apply one delta, verify-then-commit.
     ApplyDelta(DeltaSpec),
+    /// Scrape the telemetry plane: the controller-side aggregate plus
+    /// per-worker snapshots and liveness. In the text dialect this is
+    /// the `metrics` command, answered with a Prometheus
+    /// text-exposition document instead of a JSON line.
+    Metrics,
+    /// Cheap liveness/readiness probe (`healthz` in text).
+    Healthz,
     /// Checkpoint and exit.
     Shutdown,
+}
+
+/// One worker's slot in a fleet metrics scrape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerMetrics {
+    /// Worker id (also the `worker="<id>"` exposition label).
+    pub id: u32,
+    /// Whether the worker answered this scrape.
+    pub up: bool,
+    /// Whether the snapshot is a cached one from an earlier scrape
+    /// (the worker stopped answering but its last view is still
+    /// served, flagged stale).
+    pub stale: bool,
+    /// The worker's snapshot; `None` when it never answered at all.
+    pub snapshot: Option<s2_obs::MetricsSnapshot>,
 }
 
 /// A reply on the admin socket.
@@ -162,6 +184,31 @@ pub enum AdminResponse {
         /// verdicts — CI compares this against a cold `s2 verify` run.
         verdict_hash: u64,
     },
+    /// Fleet metrics for the scrape endpoint.
+    Metrics {
+        /// The merged controller-side snapshot (worker answers +
+        /// traffic counters + process-global registry).
+        aggregate: s2_obs::MetricsSnapshot,
+        /// Per-worker series with liveness/staleness flags.
+        workers: Vec<WorkerMetrics>,
+    },
+    /// Liveness/readiness probe answer.
+    Healthz {
+        /// Overall health: the daemon is serving and every worker
+        /// answered the last scrape.
+        ok: bool,
+        /// Committed generation.
+        generation: u64,
+        /// Milliseconds since the daemon opened.
+        uptime_ms: u64,
+        /// Workers that answered the most recent poll.
+        workers_up: u32,
+        /// Fleet size.
+        workers_total: u32,
+        /// Milliseconds since the last warm checkpoint was written
+        /// (`None` before the first).
+        checkpoint_age_ms: Option<u64>,
+    },
     /// Request-level failure (parse error, unknown device, …).
     Error(String),
     /// Acknowledges a shutdown request.
@@ -179,6 +226,7 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
 }
 
 /// Caps a peer-supplied element count before preallocation.
+// s2-lint: sanitizer(alloc-bound): the returned count is min-capped at 64 Ki elements, so allocations sized by it are bounded regardless of the peer's declared length.
 fn cap(n: usize) -> usize {
     n.min(1 << 16)
 }
@@ -276,6 +324,12 @@ fn get_rib_route(buf: &mut impl Buf) -> Result<RibRoute, WireError> {
     })
 }
 
+/// Decodes a JSON-encoded metrics snapshot field.
+fn get_snapshot(buf: &mut Bytes) -> Result<s2_obs::MetricsSnapshot, WireError> {
+    let json = get_str(buf)?;
+    s2_obs::MetricsSnapshot::from_json(&json).map_err(|_| WireError::BadValue("metrics snapshot"))
+}
+
 fn put_final_kind(buf: &mut BytesMut, k: FinalKind) {
     buf.put_u8(match k {
         FinalKind::Arrive => 0,
@@ -301,6 +355,8 @@ fn get_final_kind(buf: &mut impl Buf) -> Result<FinalKind, WireError> {
 const T_REQ_STATUS: u8 = 1;
 const T_REQ_DELTA: u8 = 2;
 const T_REQ_SHUTDOWN: u8 = 3;
+const T_REQ_METRICS: u8 = 4;
+const T_REQ_HEALTHZ: u8 = 5;
 
 const T_DELTA_LINK_DOWN: u8 = 1;
 const T_DELTA_LINK_UP: u8 = 2;
@@ -313,6 +369,8 @@ const T_RESP_REJECTED: u8 = 2;
 const T_RESP_STATUS: u8 = 3;
 const T_RESP_ERROR: u8 = 4;
 const T_RESP_SHUTTING_DOWN: u8 = 5;
+const T_RESP_METRICS: u8 = 6;
+const T_RESP_HEALTHZ: u8 = 7;
 
 /// Serializes a request payload (without the envelope).
 pub fn encode_request(req: &AdminRequest) -> Vec<u8> {
@@ -349,6 +407,8 @@ pub fn encode_request(req: &AdminRequest) -> Vec<u8> {
                 }
             }
         }
+        AdminRequest::Metrics => buf.put_u8(T_REQ_METRICS),
+        AdminRequest::Healthz => buf.put_u8(T_REQ_HEALTHZ),
         AdminRequest::Shutdown => buf.put_u8(T_REQ_SHUTDOWN),
     }
     buf.to_vec()
@@ -387,6 +447,8 @@ pub fn decode_request(payload: &[u8]) -> Result<AdminRequest, WireError> {
             };
             AdminRequest::ApplyDelta(delta)
         }
+        T_REQ_METRICS => AdminRequest::Metrics,
+        T_REQ_HEALTHZ => AdminRequest::Healthz,
         T_REQ_SHUTDOWN => AdminRequest::Shutdown,
         _ => return Err(WireError::BadValue("admin request tag")),
     };
@@ -436,6 +498,48 @@ pub fn encode_response(resp: &AdminResponse) -> Vec<u8> {
             buf.put_u64(*rejected);
             put_bool(&mut buf, *warm_start);
             buf.put_u64(*verdict_hash);
+        }
+        // Snapshots cross as their canonical JSON encoding (BTreeMap
+        // order — deterministic bytes), like `Reply::Metrics` on the
+        // control channel.
+        AdminResponse::Metrics { aggregate, workers } => {
+            buf.put_u8(T_RESP_METRICS);
+            put_str(&mut buf, &aggregate.to_json());
+            buf.put_u32(workers.len() as u32);
+            for w in workers {
+                buf.put_u32(w.id);
+                put_bool(&mut buf, w.up);
+                put_bool(&mut buf, w.stale);
+                match &w.snapshot {
+                    Some(s) => {
+                        buf.put_u8(1);
+                        put_str(&mut buf, &s.to_json());
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+        }
+        AdminResponse::Healthz {
+            ok,
+            generation,
+            uptime_ms,
+            workers_up,
+            workers_total,
+            checkpoint_age_ms,
+        } => {
+            buf.put_u8(T_RESP_HEALTHZ);
+            put_bool(&mut buf, *ok);
+            buf.put_u64(*generation);
+            buf.put_u64(*uptime_ms);
+            buf.put_u32(*workers_up);
+            buf.put_u32(*workers_total);
+            match checkpoint_age_ms {
+                Some(age) => {
+                    buf.put_u8(1);
+                    buf.put_u64(*age);
+                }
+                None => buf.put_u8(0),
+            }
         }
         AdminResponse::Error(msg) => {
             buf.put_u8(T_RESP_ERROR);
@@ -495,6 +599,55 @@ pub fn decode_response(payload: &[u8]) -> Result<AdminResponse, WireError> {
                 verdict_hash: buf.get_u64(),
             }
         }
+        T_RESP_METRICS => {
+            let aggregate = get_snapshot(&mut buf)?;
+            need(&buf, 4)?;
+            let n = buf.get_u32() as usize;
+            let mut workers = Vec::with_capacity(cap(n));
+            for _ in 0..n {
+                need(&buf, 4)?;
+                let id = buf.get_u32();
+                let up = get_bool(&mut buf)?;
+                let stale = get_bool(&mut buf)?;
+                need(&buf, 1)?;
+                let snapshot = match buf.get_u8() {
+                    0 => None,
+                    1 => Some(get_snapshot(&mut buf)?),
+                    _ => return Err(WireError::BadValue("option discriminant")),
+                };
+                workers.push(WorkerMetrics {
+                    id,
+                    up,
+                    stale,
+                    snapshot,
+                });
+            }
+            AdminResponse::Metrics { aggregate, workers }
+        }
+        T_RESP_HEALTHZ => {
+            let ok = get_bool(&mut buf)?;
+            need(&buf, 8 + 8 + 4 + 4 + 1)?;
+            let generation = buf.get_u64();
+            let uptime_ms = buf.get_u64();
+            let workers_up = buf.get_u32();
+            let workers_total = buf.get_u32();
+            let checkpoint_age_ms = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    need(&buf, 8)?;
+                    Some(buf.get_u64())
+                }
+                _ => return Err(WireError::BadValue("option discriminant")),
+            };
+            AdminResponse::Healthz {
+                ok,
+                generation,
+                uptime_ms,
+                workers_up,
+                workers_total,
+                checkpoint_age_ms,
+            }
+        }
         T_RESP_ERROR => AdminResponse::Error(get_str(&mut buf)?),
         T_RESP_SHUTTING_DOWN => AdminResponse::ShuttingDown,
         _ => return Err(WireError::BadValue("admin response tag")),
@@ -549,6 +702,8 @@ pub fn read_response(r: &mut impl Read) -> io::Result<AdminResponse> {
 ///
 /// ```text
 /// status
+/// metrics
+/// healthz
 /// link-down <nodeA> <nodeB>
 /// link-up <nodeA> <nodeB>
 /// prefix-add <device> <a.b.c.d/len>
@@ -573,6 +728,8 @@ pub fn parse_text_command(line: &str) -> Result<AdminRequest, String> {
     };
     let req = match cmd {
         "status" => AdminRequest::Status,
+        "metrics" => AdminRequest::Metrics,
+        "healthz" => AdminRequest::Healthz,
         "shutdown" => AdminRequest::Shutdown,
         "link-down" => {
             let (a, b) = two("node name")?;
@@ -604,7 +761,30 @@ pub fn parse_text_command(line: &str) -> Result<AdminRequest, String> {
     Ok(req)
 }
 
-/// Renders a response as one line of JSON for the text dialect.
+/// Bridges an admin metrics response into the Prometheus exposition
+/// renderer: per-worker slots become labeled series, liveness flags
+/// become the `s2_worker_up` / `s2_worker_stale` gauges. This is the
+/// document `echo metrics | nc <daemon>` returns.
+pub fn render_exposition(
+    aggregate: &s2_obs::MetricsSnapshot,
+    workers: &[WorkerMetrics],
+) -> String {
+    let series: Vec<s2_obs::expo::WorkerSeries> = workers
+        .iter()
+        .map(|w| s2_obs::expo::WorkerSeries {
+            id: w.id,
+            up: w.up,
+            stale: w.stale,
+            snapshot: w.snapshot.clone(),
+        })
+        .collect();
+    s2_obs::expo::render(aggregate, &series)
+}
+
+/// Renders a response as one line of JSON for the text dialect — with
+/// one exception: a `Metrics` response renders as the (multi-line)
+/// Prometheus exposition document, which is the whole point of the
+/// text-mode `metrics` command.
 pub fn render_text_response(resp: &AdminResponse) -> String {
     use s2_obs::json::{push_f64, push_str};
     use std::fmt::Write as _;
@@ -659,6 +839,34 @@ pub fn render_text_response(resp: &AdminResponse) -> String {
             out.push_str(if *warm_start { "true" } else { "false" });
             // Hex string: u64 hashes overflow an f64-backed JSON number.
             let _ = write!(out, ",\"verdict_hash\":\"{verdict_hash:016x}\"");
+            out.push('}');
+        }
+        AdminResponse::Metrics { aggregate, workers } => {
+            out.push_str(&render_exposition(aggregate, workers));
+        }
+        AdminResponse::Healthz {
+            ok,
+            generation,
+            uptime_ms,
+            workers_up,
+            workers_total,
+            checkpoint_age_ms,
+        } => {
+            out.push_str("{\"ok\":");
+            out.push_str(if *ok { "true" } else { "false" });
+            out.push_str(",\"result\":\"healthz\",\"generation\":");
+            out.push_str(&generation.to_string());
+            out.push_str(",\"uptime_ms\":");
+            out.push_str(&uptime_ms.to_string());
+            out.push_str(",\"workers_up\":");
+            out.push_str(&workers_up.to_string());
+            out.push_str(",\"workers_total\":");
+            out.push_str(&workers_total.to_string());
+            out.push_str(",\"checkpoint_age_ms\":");
+            match checkpoint_age_ms {
+                Some(age) => out.push_str(&age.to_string()),
+                None => out.push_str("null"),
+            }
             out.push('}');
         }
         AdminResponse::Error(msg) => {
@@ -1003,6 +1211,100 @@ mod tests {
         }
     }
 
+    fn sample_metrics_response() -> AdminResponse {
+        let mut aggregate = s2_obs::MetricsSnapshot::default();
+        aggregate.counter("daemon.delta.committed", 3);
+        aggregate.gauge_max("mem.peak_bytes", 1 << 20);
+        let mut w0 = s2_obs::MetricsSnapshot::default();
+        w0.counter("dpv.scoped.runs", 2);
+        AdminResponse::Metrics {
+            aggregate,
+            workers: vec![
+                WorkerMetrics {
+                    id: 0,
+                    up: true,
+                    stale: false,
+                    snapshot: Some(w0),
+                },
+                WorkerMetrics {
+                    id: 1,
+                    up: false,
+                    stale: true,
+                    snapshot: Some(s2_obs::MetricsSnapshot::default()),
+                },
+                WorkerMetrics {
+                    id: 2,
+                    up: false,
+                    stale: false,
+                    snapshot: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn metrics_and_healthz_roundtrip() {
+        for req in [AdminRequest::Metrics, AdminRequest::Healthz] {
+            assert_eq!(decode_request(&encode_request(&req)), Ok(req.clone()));
+        }
+        let resps = [
+            sample_metrics_response(),
+            AdminResponse::Healthz {
+                ok: true,
+                generation: 4,
+                uptime_ms: 12_345,
+                workers_up: 2,
+                workers_total: 2,
+                checkpoint_age_ms: Some(777),
+            },
+            AdminResponse::Healthz {
+                ok: false,
+                generation: 0,
+                uptime_ms: 1,
+                workers_up: 0,
+                workers_total: 2,
+                checkpoint_age_ms: None,
+            },
+        ];
+        for resp in resps {
+            let back = decode_response(&encode_response(&resp)).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn metrics_response_truncations_error() {
+        let full = encode_response(&sample_metrics_response());
+        for cut in 0..full.len() {
+            assert!(decode_response(&full[..cut]).is_err());
+        }
+    }
+
+    /// The text-mode `metrics` answer is a valid Prometheus exposition
+    /// document carrying both aggregate and per-worker series; the
+    /// `healthz` answer stays a single JSON line.
+    #[test]
+    fn metrics_text_answer_is_valid_exposition() {
+        let resp = sample_metrics_response();
+        let doc = render_text_response(&resp);
+        let stats = s2_obs::expo::validate(&doc).expect("exposition validates");
+        assert!(stats.families.contains_key("s2_daemon_delta_committed"));
+        assert!(doc.contains("s2_dpv_scoped_runs{worker=\"0\"} 2"));
+        assert!(doc.contains("s2_worker_up{worker=\"2\"} 0"));
+        assert!(doc.contains("s2_worker_stale{worker=\"1\"} 1"));
+
+        let line = render_text_response(&AdminResponse::Healthz {
+            ok: true,
+            generation: 2,
+            uptime_ms: 99,
+            workers_up: 2,
+            workers_total: 2,
+            checkpoint_age_ms: None,
+        });
+        assert!(!line.contains('\n'));
+        assert!(s2_obs::parse_json(&line).is_ok(), "not JSON: {line}");
+    }
+
     #[test]
     fn response_roundtrip() {
         let resps = [
@@ -1073,6 +1375,9 @@ mod tests {
     #[test]
     fn text_commands_parse() {
         assert_eq!(parse_text_command("status"), Ok(AdminRequest::Status));
+        assert_eq!(parse_text_command("metrics"), Ok(AdminRequest::Metrics));
+        assert_eq!(parse_text_command(" healthz "), Ok(AdminRequest::Healthz));
+        assert!(parse_text_command("metrics extra").is_err());
         assert_eq!(
             parse_text_command("  link-down edge-0 agg-1 "),
             Ok(AdminRequest::ApplyDelta(DeltaSpec::LinkDown {

@@ -287,6 +287,18 @@ pub struct DpvScopedStats {
     pub fallback_full: bool,
 }
 
+/// A lenient fleet metrics collection (see [`Cluster::scrape_metrics`]):
+/// what the telemetry plane's scrape endpoint serves from.
+#[derive(Debug, Default)]
+pub struct FleetScrape {
+    /// The answered worker snapshots merged with the cluster traffic
+    /// counters and the process-global registry (folded exactly once).
+    pub aggregate: MetricsSnapshot,
+    /// Per-worker snapshots, indexed by worker id; `None` when the
+    /// worker did not answer (dead, hung, or past the scrape deadline).
+    pub workers: Vec<(u32, Option<MetricsSnapshot>)>,
+}
+
 struct WorkerHandle {
     cmd: Sender<Command>,
     reply: Receiver<Reply>,
@@ -589,6 +601,7 @@ impl Cluster {
             Reply::Net { .. } => "Net",
             Reply::Metrics(_) => "Metrics",
             Reply::ChangedDst(_) => "ChangedDst",
+            Reply::TraceEvents { .. } => "TraceEvents",
             Reply::Violation(_) => "Violation",
         }
     }
@@ -614,6 +627,11 @@ impl Cluster {
         make: impl Fn() -> Command,
     ) -> Result<Vec<Reply>, RuntimeError> {
         let _span = s2_obs::span!("barrier");
+        // Publish this thread's trace context (the barrier span, itself
+        // under whatever orchestration span is open) so worker threads
+        // — and, via the proxy's `CtxWrap`, worker processes — parent
+        // the spans this command opens under it.
+        s2_obs::trace::publish_ctx();
         let state = self.state.lock();
         for (w, h) in state.handles.iter().enumerate() {
             h.cmd.send(make()).map_err(|_| RuntimeError::WorkerLost {
@@ -763,6 +781,100 @@ impl Cluster {
             per_worker,
             aggregate,
         })
+    }
+
+    /// Collects fleet metrics *leniently* for the telemetry plane's
+    /// scrape endpoint: unlike [`Cluster::collect_metrics`], a dead or
+    /// hung worker degrades its slot to `None` instead of failing the
+    /// whole collection — a scrape must keep serving through partial
+    /// outages, with liveness surfaced as per-worker gauges.
+    ///
+    /// Stale replies of an aborted barrier are drained per worker
+    /// before polling so the answer pairs with *this* command; a hung
+    /// worker costs at most the (capped) scrape deadline.
+    pub fn scrape_metrics(&self) -> FleetScrape {
+        let scrape_timeout = self.config.barrier_timeout.min(Duration::from_secs(1));
+        let mut workers = Vec::new();
+        {
+            let state = self.state.lock();
+            for (w, h) in state.handles.iter().enumerate() {
+                while h.reply.try_recv().is_ok() {}
+                let snap = if h.cmd.send(Command::Metrics).is_ok() {
+                    match h.reply.recv_timeout(Deadline::after(scrape_timeout).remaining()) {
+                        Ok(Reply::Metrics(m)) => Some(m),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                workers.push((w as u32, snap));
+            }
+        }
+        let mut aggregate = MetricsSnapshot::default();
+        for (_, m) in &workers {
+            if let Some(m) = m {
+                aggregate.merge(m);
+            }
+        }
+        // Traffic counters ride along best-effort (remote mode barriers
+        // them, which a lost worker fails); the process-global registry
+        // is always available and folded exactly once.
+        if let Ok(t) = self.traffic_snapshot() {
+            aggregate.merge(&metrics::traffic_metrics(&t));
+        }
+        aggregate.merge(&s2_obs::Registry::global().snapshot());
+        FleetScrape { aggregate, workers }
+    }
+
+    /// Pulls buffered trace events out of remote worker processes and
+    /// splices them into this process's sink, so one Chrome export
+    /// carries the whole fleet. Name ids are re-interned (they are
+    /// process-local), and timestamps are rebased through the drain
+    /// reply's clock anchor. In-process fleets are a cheap no-op:
+    /// workers share this sink and answer empty batches. Best-effort
+    /// like the scrape — a dead worker's events are simply lost.
+    pub fn drain_remote_traces(&self) {
+        if !s2_obs::trace::enabled() {
+            return;
+        }
+        let drain_timeout = self.config.barrier_timeout.min(Duration::from_secs(1));
+        let state = self.state.lock();
+        for h in state.handles.iter() {
+            while h.reply.try_recv().is_ok() {}
+            if h.cmd.send(Command::TraceDrain).is_err() {
+                continue;
+            }
+            let (now_ns, names, events) =
+                match h.reply.recv_timeout(Deadline::after(drain_timeout).remaining()) {
+                    Ok(Reply::TraceEvents {
+                        now_ns,
+                        names,
+                        events,
+                    }) => (now_ns, names, events),
+                    _ => continue,
+                };
+            let local_now = s2_obs::time::now_ns();
+            let ids: Vec<u16> = names
+                .iter()
+                .map(|n| s2_obs::trace::intern_owned(n))
+                .collect();
+            for mut e in events {
+                // The codec validates name indices, but an in-process
+                // worker's empty-table reply makes the lookup fallible
+                // either way — skip rather than trust.
+                let Some(&id) = ids.get(usize::from(e.name)) else {
+                    continue;
+                };
+                e.name = id;
+                // Rebase onto this process's clock: both anchors were
+                // taken "now", so their difference is the clock skew
+                // (plus one network hop, which is noise at trace scale).
+                let rebased =
+                    i128::from(e.ts_ns) + i128::from(local_now) - i128::from(now_ns);
+                e.ts_ns = u64::try_from(rebased.max(0)).unwrap_or(u64::MAX);
+                s2_obs::trace::record(e);
+            }
+        }
     }
 
     // ---- recovery ----

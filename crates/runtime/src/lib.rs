@@ -62,9 +62,11 @@ pub mod worker;
 
 pub use admin::{
     AdminRequest, AdminResponse, CheckpointError, DeltaSpec, VerdictSummary, WarmCheckpoint,
+    WorkerMetrics,
 };
 pub use controller::{
-    Cluster, ClusterOptions, CpRunStats, DpvRunStats, DpvScopedStats, RuntimeConfig, RuntimeError,
+    Cluster, ClusterOptions, CpRunStats, DpvRunStats, DpvScopedStats, FleetScrape, RuntimeConfig,
+    RuntimeError,
 };
 pub use faults::{DaemonPhase, FaultPlan, FaultState};
 pub use memstats::{CacheStats, MemGauge, MemReport};

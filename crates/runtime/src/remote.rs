@@ -493,6 +493,19 @@ pub fn encode_command(cmd: &Command) -> Bytes {
             put_node_prefixes(&mut buf, scopes);
         }
         Command::DpCompile => buf.put_u8(27),
+        Command::CtxWrap {
+            epoch,
+            parent,
+            inner,
+        } => {
+            buf.put_u8(28);
+            buf.put_u64(*epoch);
+            buf.put_u64(*parent);
+            let inner_bytes = encode_command(inner);
+            buf.put_u32(inner_bytes.len() as u32);
+            buf.put_slice(&inner_bytes);
+        }
+        Command::TraceDrain => buf.put_u8(29),
     }
     buf.freeze()
 }
@@ -701,6 +714,26 @@ pub fn decode_command(mut buf: Bytes) -> Result<Command, WireError> {
             scopes: Arc::new(get_node_prefixes(&mut buf)?),
         },
         27 => Command::DpCompile,
+        28 => {
+            need(&buf, 20)?;
+            let epoch = buf.get_u64();
+            let parent = buf.get_u64();
+            let n = buf.get_u32() as usize;
+            need(&buf, n)?;
+            let inner_bytes = buf.copy_to_bytes(n);
+            // Reject nesting *before* recursing: a hostile stream of
+            // stacked wrap tags must not be able to wind the decoder's
+            // stack (R1 — peer input never panics).
+            if inner_bytes.first() == Some(&28) {
+                return Err(WireError::BadValue("nested trace-context wrap"));
+            }
+            Command::CtxWrap {
+                epoch,
+                parent,
+                inner: Box::new(decode_command(inner_bytes)?),
+            }
+        }
+        29 => Command::TraceDrain,
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -857,6 +890,33 @@ pub fn encode_reply(reply: &Reply) -> Bytes {
         Reply::ChangedDst(entries) => {
             buf.put_u8(15);
             put_node_prefixes(&mut buf, entries);
+        }
+        Reply::TraceEvents {
+            now_ns,
+            names,
+            events,
+        } => {
+            buf.put_u8(16);
+            buf.put_u64(*now_ns);
+            buf.put_u32(names.len() as u32);
+            for n in names {
+                put_str(&mut buf, n);
+            }
+            buf.put_u32(events.len() as u32);
+            // Field-by-field (not `Event::pack`): the packed form is an
+            // obs-feature implementation detail of the flight-recorder
+            // ring, while this wire layout must hold with obs off too.
+            for e in events {
+                buf.put_u16(e.name);
+                buf.put_u8(e.kind);
+                buf.put_u16(e.lane);
+                buf.put_u16(e.depth);
+                buf.put_u64(e.ts_ns);
+                buf.put_u64(e.dur_ns);
+                buf.put_u64(e.arg);
+                buf.put_u64(e.span);
+                buf.put_u64(e.parent);
+            }
         }
     }
     buf.freeze()
@@ -1015,6 +1075,41 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
             Reply::Metrics(snapshot)
         }
         15 => Reply::ChangedDst(get_node_prefixes(&mut buf)?),
+        16 => {
+            need(&buf, 12)?;
+            let now_ns = buf.get_u64();
+            let nn = buf.get_u32() as usize;
+            let mut names = Vec::with_capacity(cap(nn));
+            for _ in 0..nn {
+                names.push(get_str(&mut buf)?);
+            }
+            need(&buf, 4)?;
+            let ne = buf.get_u32() as usize;
+            need(&buf, ne.saturating_mul(47))?;
+            let mut events = Vec::with_capacity(cap(ne));
+            for _ in 0..ne {
+                let e = s2_obs::trace::Event {
+                    name: buf.get_u16(),
+                    kind: buf.get_u8(),
+                    lane: buf.get_u16(),
+                    depth: buf.get_u16(),
+                    ts_ns: buf.get_u64(),
+                    dur_ns: buf.get_u64(),
+                    arg: buf.get_u64(),
+                    span: buf.get_u64(),
+                    parent: buf.get_u64(),
+                };
+                if usize::from(e.name) >= names.len() {
+                    return Err(WireError::BadValue("trace event name index"));
+                }
+                events.push(e);
+            }
+            Reply::TraceEvents {
+                now_ns,
+                names,
+                events,
+            }
+        }
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -1083,6 +1178,24 @@ pub fn spawn_proxy(
         .spawn(move || {
             while let Ok(cmd) = cmd_rx.recv() {
                 let is_shutdown = matches!(cmd, Command::Shutdown);
+                // When tracing, carry the controller's published context
+                // on every command so worker-process spans stitch under
+                // the controller span that dispatched them. `Shutdown`
+                // stays bare: its no-reply fast path must not depend on
+                // the remote end unwrapping anything.
+                let cmd = if s2_obs::trace::enabled()
+                    && !is_shutdown
+                    && !matches!(cmd, Command::CtxWrap { .. })
+                {
+                    let (epoch, parent) = s2_obs::trace::published_ctx();
+                    Command::CtxWrap {
+                        epoch,
+                        parent,
+                        inner: Box::new(cmd),
+                    }
+                } else {
+                    cmd
+                };
                 if write_envelope(&mut stream, K_COMMAND, &encode_command(&cmd)).is_err() {
                     return;
                 }
@@ -1105,6 +1218,38 @@ pub fn spawn_proxy(
 }
 
 // ---- worker side ----
+
+/// Drains this process's buffered trace events into a [`Reply`] batch:
+/// the process-local interned name ids are remapped onto a dense table
+/// shipped alongside (they mean nothing to the controller), and the
+/// current clock goes with them as the rebasing anchor. Deterministic
+/// remap order (sorted distinct ids — R2) so identical drains encode
+/// identically.
+fn drain_trace_events() -> Reply {
+    let events = s2_obs::trace::take_events();
+    let mut ids: Vec<u16> = events.iter().map(|e| e.name).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let index: BTreeMap<u16, u16> = ids
+        .iter()
+        .enumerate()
+        .map(|(dense, &id)| (id, dense as u16))
+        .collect();
+    Reply::TraceEvents {
+        now_ns: s2_obs::time::now_ns(),
+        names: ids
+            .iter()
+            .map(|&id| s2_obs::trace::name_of(id).to_string())
+            .collect(),
+        events: events
+            .into_iter()
+            .map(|mut e| {
+                e.name = index[&e.name];
+                e
+            })
+            .collect(),
+    }
+}
 
 /// Runs one worker process to completion: registers with the controller
 /// at `connect`, receives its [`Setup`], joins the TCP data fabric, and
@@ -1177,13 +1322,22 @@ pub fn serve(model: Arc<NetworkModel>, connect: &str, bind: &str) -> io::Result<
         setup.intra_worker_threads as usize,
     );
 
+    // Claim this process's span-id space and trace lane so ids and
+    // lanes from different fleet processes never collide when the
+    // controller stitches the drained events into one trace.
+    let lane = (setup.worker_id as u16).saturating_add(1);
+    s2_obs::trace::set_id_space(lane);
+
     // The worker keeps its thread-based shape; this loop is the channel
     // half of the proxy pair on the controller side.
     let (cmd_tx, cmd_rx) = unbounded::<Command>();
     let (reply_tx, reply_rx) = unbounded::<Reply>();
     let worker_thread = thread::Builder::new()
         .name(format!("s2-worker-{}", setup.worker_id))
-        .spawn(move || worker.run(cmd_rx, reply_tx))?;
+        .spawn(move || {
+            s2_obs::trace::set_lane(lane);
+            worker.run(cmd_rx, reply_tx)
+        })?;
 
     // Any error — controller gone, unknown kind, malformed payload, dead
     // worker thread — breaks the loop and tears the process down cleanly.
@@ -1195,6 +1349,34 @@ pub fn serve(model: Arc<NetworkModel>, connect: &str, bind: &str) -> io::Result<
             Ok(cmd) => cmd,
             Err(_) => break,
         };
+        // Unwrap the controller's trace context before dispatching. A
+        // wrap arriving at all means the controller is tracing, so
+        // mirror that here; the epoch follows the controller's so
+        // contexts captured before a recovery stop being adopted.
+        let cmd = match cmd {
+            Command::CtxWrap {
+                epoch,
+                parent,
+                inner,
+            } => {
+                s2_obs::trace::set_enabled(true);
+                s2_obs::trace::sync_epoch(epoch);
+                s2_obs::trace::adopt(epoch, parent);
+                s2_obs::trace::publish_ctx();
+                *inner
+            }
+            other => other,
+        };
+        // Trace drains are answered here, not by the worker thread: the
+        // event sink is process-global, and pairing the reply in-loop
+        // keeps the strict one-reply-per-command protocol intact.
+        if matches!(cmd, Command::TraceDrain) {
+            let reply = drain_trace_events();
+            if write_envelope(&mut ctrl, K_REPLY, &encode_reply(&reply)).is_err() {
+                break;
+            }
+            continue;
+        }
         let is_shutdown = matches!(cmd, Command::Shutdown);
         if cmd_tx.send(cmd).is_err() {
             break; // worker thread died
@@ -1205,6 +1387,18 @@ pub fn serve(model: Arc<NetworkModel>, connect: &str, bind: &str) -> io::Result<
         let reply = match reply_rx.recv() {
             Ok(r) => r,
             Err(_) => break,
+        };
+        // A remote process's registry counters (BDD churn, DPV verdict
+        // work, pool claims) are invisible to the controller's own
+        // global registry, so fold them into the metrics reply here.
+        // In-process fleets never take this path — there the controller
+        // folds the shared registry exactly once itself.
+        let reply = match reply {
+            Reply::Metrics(mut snapshot) => {
+                snapshot.merge(&s2_obs::Registry::global().snapshot());
+                Reply::Metrics(snapshot)
+            }
+            other => other,
         };
         if write_envelope(&mut ctrl, K_REPLY, &encode_reply(&reply)).is_err() {
             break;
@@ -1275,6 +1469,7 @@ mod tests {
             Command::ScenarioCheckpoint,
             Command::ScenarioRollback,
             Command::DpCompile,
+            Command::TraceDrain,
             Command::Shutdown,
         ] {
             let encoded = encode_command(&cmd);
@@ -1354,6 +1549,41 @@ mod tests {
         };
         let decoded = decode_command(encode_command(&cmd)).unwrap();
         assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));
+
+        let cmd = Command::CtxWrap {
+            epoch: 3,
+            parent: (2u64 << 48) | 77,
+            inner: Box::new(Command::Ping(0xfeed)),
+        };
+        let decoded = decode_command(encode_command(&cmd)).unwrap();
+        assert_eq!(format!("{cmd:?}"), format!("{decoded:?}"));
+    }
+
+    /// A wrap inside a wrap never decodes — checked on the raw tag
+    /// before recursing, so stacked wrap bytes cannot wind the stack.
+    #[test]
+    fn nested_ctx_wrap_is_rejected() {
+        let inner = Command::CtxWrap {
+            epoch: 1,
+            parent: 2,
+            inner: Box::new(Command::Ping(9)),
+        };
+        let mut raw = BytesMut::new();
+        raw.put_u8(28);
+        raw.put_u64(1);
+        raw.put_u64(2);
+        let inner_bytes = encode_command(&inner);
+        raw.put_u32(inner_bytes.len() as u32);
+        raw.put_slice(&inner_bytes);
+        assert!(decode_command(raw.freeze()).is_err());
+
+        // Depth-1 wrapping of every simple command stays fine.
+        let ok = Command::CtxWrap {
+            epoch: 1,
+            parent: 2,
+            inner: Box::new(Command::DpCompile),
+        };
+        assert!(decode_command(encode_command(&ok)).is_ok());
     }
 
     #[test]
@@ -1421,6 +1651,39 @@ mod tests {
                 (NodeId(2), vec!["10.0.0.0/24".parse().unwrap()]),
                 (NodeId(5), vec![]),
             ]),
+            Reply::TraceEvents {
+                now_ns: 123_456_789,
+                names: vec!["dpv.verdict".to_string(), "cp.round".to_string()],
+                events: vec![
+                    s2_obs::trace::Event {
+                        name: 1,
+                        kind: 0,
+                        lane: 3,
+                        depth: 2,
+                        ts_ns: 1_000,
+                        dur_ns: 500,
+                        arg: 42,
+                        span: (3u64 << 48) | 7,
+                        parent: 11,
+                    },
+                    s2_obs::trace::Event {
+                        name: 0,
+                        kind: 1,
+                        lane: 3,
+                        depth: 0,
+                        ts_ns: 2_000,
+                        dur_ns: 0,
+                        arg: 0,
+                        span: 0,
+                        parent: (3u64 << 48) | 7,
+                    },
+                ],
+            },
+            Reply::TraceEvents {
+                now_ns: 0,
+                names: vec![],
+                events: vec![],
+            },
         ];
         for reply in replies {
             let decoded = decode_reply(encode_reply(&reply)).unwrap();
@@ -1478,5 +1741,51 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(decode_reply(bytes.slice(..cut)).is_err());
         }
+        let cmd = Command::CtxWrap {
+            epoch: 5,
+            parent: 6,
+            inner: Box::new(Command::Metrics),
+        };
+        let bytes = encode_command(&cmd);
+        for cut in 0..bytes.len() {
+            assert!(decode_command(bytes.slice(..cut)).is_err());
+        }
+        let reply = Reply::TraceEvents {
+            now_ns: 7,
+            names: vec!["a".to_string()],
+            events: vec![s2_obs::trace::Event {
+                name: 0,
+                kind: 0,
+                lane: 1,
+                depth: 0,
+                ts_ns: 1,
+                dur_ns: 2,
+                arg: 3,
+                span: 4,
+                parent: 0,
+            }],
+        };
+        let bytes = encode_reply(&reply);
+        for cut in 0..bytes.len() {
+            assert!(decode_reply(bytes.slice(..cut)).is_err());
+        }
+        // An event naming past the shipped table is rejected, not
+        // deferred to a panic at stitch time.
+        let reply = Reply::TraceEvents {
+            now_ns: 7,
+            names: vec![],
+            events: vec![s2_obs::trace::Event {
+                name: 3,
+                kind: 0,
+                lane: 1,
+                depth: 0,
+                ts_ns: 1,
+                dur_ns: 2,
+                arg: 3,
+                span: 4,
+                parent: 0,
+            }],
+        };
+        assert!(decode_reply(encode_reply(&reply)).is_err());
     }
 }

@@ -177,6 +177,25 @@ pub enum Command {
     /// Report this worker's unified metrics snapshot (the memory gauge
     /// bridged into the `s2-obs` registry form). Replies `Metrics`.
     Metrics,
+    /// A command carrying the controller's trace context: the worker
+    /// adopts `(epoch, parent)` as the causal parent of any spans the
+    /// inner command opens, so a stitched Chrome trace shows worker
+    /// DPV work under the controller span that dispatched it. Only the
+    /// multi-process proxy produces this (in-process workers read the
+    /// published context directly); nesting is rejected on decode.
+    CtxWrap {
+        /// The controller's trace epoch when the context was captured.
+        epoch: u64,
+        /// The controller-side span id to parent under (0 = root).
+        parent: u64,
+        /// The wrapped command.
+        inner: Box<Command>,
+    },
+    /// Drain the worker *process*'s buffered trace events. Replies
+    /// `TraceEvents`. Answered by the remote serve loop (the event
+    /// sink is process-global); an in-process worker replies an empty
+    /// batch because its events already sit in the controller's sink.
+    TraceDrain,
     /// Terminate the worker thread.
     Shutdown,
 }
@@ -257,6 +276,18 @@ pub enum Reply {
     /// egressing locally owned failed ports. Nodes with no changes are
     /// omitted; an empty vector means the patch is a forwarding no-op.
     ChangedDst(Vec<(NodeId, Vec<Prefix>)>),
+    /// A drained batch of worker-process trace events (`TraceDrain`).
+    /// Event `name` fields index `names`; `now_ns` is the worker
+    /// process's clock at drain time, the anchor the controller uses
+    /// to rebase `ts_ns` values into its own timeline.
+    TraceEvents {
+        /// Worker-process monotonic clock at drain time.
+        now_ns: u64,
+        /// Span/event name table the batch's `name` ids index into.
+        names: Vec<String>,
+        /// The drained events, in emission order per lane.
+        events: Vec<s2_obs::trace::Event>,
+    },
     /// The command violated the controller/worker protocol (e.g. a
     /// data-plane command before `DpSetup`); the worker refuses it
     /// instead of panicking.
@@ -478,6 +509,11 @@ impl Worker {
                 while commands.recv().is_ok() {}
                 return;
             }
+            // Re-read the controller's published trace context at every
+            // dispatch, so spans opened while handling this command (BDD
+            // recompiles, DPV verdicts) parent under whatever controller
+            // span issued it — the cross-thread half of trace stitching.
+            s2_obs::trace::adopt_published();
             let reply = match cmd {
                 Command::Shutdown => break,
                 other => self.handle(other),
@@ -767,6 +803,24 @@ impl Worker {
             // which the controller folds into the aggregate exactly once
             // (see `Cluster::collect_metrics`).
             Command::Metrics => Reply::Metrics(crate::metrics::mem_metrics(&self.mem_report())),
+            Command::CtxWrap { epoch, parent, inner } => {
+                // Normally unwrapped by the remote serve loop before the
+                // worker thread sees it; handled here too so an
+                // in-process wrap still stitches. Decode rejects nested
+                // wraps, so this recursion is depth one.
+                s2_obs::trace::adopt(epoch, parent);
+                self.handle(*inner)
+            }
+            // In-process workers share the controller's event sink, so
+            // draining here would steal events the controller already
+            // owns — reply an empty batch. Remote processes answer this
+            // in `remote::serve` before the command reaches the worker
+            // thread.
+            Command::TraceDrain => Reply::TraceEvents {
+                now_ns: s2_obs::time::now_ns(),
+                names: Vec::new(),
+                events: Vec::new(),
+            },
             Command::Shutdown => Reply::Violation("Shutdown reached handle()".to_string()),
         }
     }

@@ -50,7 +50,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  s2 verify   (--fattree K | --topology FILE --configs DIR) [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE] [--metrics-out FILE] [--verdict-hash]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE]\n  s2 sweep    (--fattree K | --topology FILE --configs DIR --expect HOST=PREFIX...) \\\n              [--max-failures N] [--json FILE] [--deadline-secs S] \\\n              [--workers N] [--threads T] [--trace-out FILE]\n  s2 daemon   (--fattree K | --topology FILE --configs DIR --expect HOST=PREFIX...) \\\n              [--admin ADDR] [--checkpoint FILE] [--deadline-secs S] \\\n              [--workers N] [--threads T] [--trace-out FILE]\n  s2 admin    --connect ADDR (status | shutdown | link-down A B | link-up A B | \\\n              prefix-add HOST PREFIX | prefix-withdraw HOST PREFIX | \\\n              route-map-edit HOST CONFIG_FILE)\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
+        "usage:\n  s2 verify   (--fattree K | --topology FILE --configs DIR) [--workers N] [--shards M] \\\n              [--expect HOST=PREFIX]... [--source HOST]... [--dst-space PREFIX] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE] [--metrics-out FILE] [--verdict-hash]\n  s2 simulate --topology FILE --configs DIR [--workers N] [--shards M] \\\n              [--threads T] [--transport channel|tcp] [--listen ADDR] \\\n              [--trace-out FILE]\n  s2 sweep    (--fattree K | --topology FILE --configs DIR --expect HOST=PREFIX...) \\\n              [--max-failures N] [--json FILE] [--deadline-secs S] \\\n              [--workers N] [--threads T] [--trace-out FILE]\n  s2 daemon   (--fattree K | --topology FILE --configs DIR --expect HOST=PREFIX...) \\\n              [--admin ADDR] [--checkpoint FILE] [--deadline-secs S] \\\n              [--workers N] [--threads T] [--trace-out FILE]\n  s2 admin    --connect ADDR (status | stats | metrics | healthz | shutdown | \\\n              link-down A B | link-up A B | \\\n              prefix-add HOST PREFIX | prefix-withdraw HOST PREFIX | \\\n              route-map-edit HOST CONFIG_FILE)\n  s2 worker   --topology FILE --configs DIR --connect ADDR [--bind ADDR]\n  s2 gen-fattree K OUTDIR"
     );
     ExitCode::from(2)
 }
@@ -437,6 +437,22 @@ fn cmd_admin(argv: Vec<String>) -> Result<(), String> {
     if words.is_empty() {
         return Err("s2 admin requires a command (try: status)".into());
     }
+    // `stats` is the human view of the metrics endpoint: a table of
+    // key gauges and histogram quantiles instead of a JSON dump.
+    if words[0] == "stats" {
+        if words.len() != 1 {
+            return Err("stats takes no arguments".into());
+        }
+        let resp = s2::daemon::admin_roundtrip(&addr, &AdminRequest::Metrics)
+            .map_err(|e| format!("admin {addr}: {e}"))?;
+        return match resp {
+            s2_runtime::admin::AdminResponse::Metrics { aggregate, workers } => {
+                print!("{}", render_stats(&aggregate, &workers));
+                Ok(())
+            }
+            other => Err(format!("unexpected reply: {}", render_text_response(&other))),
+        };
+    }
     // `route-map-edit HOST FILE` carries a whole config text, so the
     // file is read here rather than squeezed through the line grammar.
     let req = if words[0] == "route-map-edit" {
@@ -459,6 +475,56 @@ fn cmd_admin(argv: Vec<String>) -> Result<(), String> {
         s2_runtime::admin::AdminResponse::Error(message) => Err(format!("error: {message}")),
         _ => Ok(()),
     }
+}
+
+/// Renders the `s2 admin stats` table: daemon/worker liveness, every
+/// gauge and counter of the merged aggregate, and p50/p90/p99 per
+/// histogram (computed via [`HistogramSnapshot::quantile`] on the
+/// decoded snapshot — the daemon ships state, not derived numbers).
+///
+/// [`HistogramSnapshot::quantile`]: s2_obs::HistogramSnapshot::quantile
+fn render_stats(
+    aggregate: &s2_obs::MetricsSnapshot,
+    workers: &[s2_runtime::WorkerMetrics],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "workers");
+    for w in workers {
+        let _ = writeln!(
+            out,
+            "  {:<6} {:<6} {}",
+            w.id,
+            if w.up { "up" } else { "DOWN" },
+            if w.stale { "stale" } else { "fresh" },
+        );
+    }
+    let _ = writeln!(out, "\ngauges");
+    for (name, v) in &aggregate.gauges {
+        let _ = writeln!(out, "  {name:<36} {v:>12}");
+    }
+    let _ = writeln!(out, "\ncounters");
+    for (name, v) in &aggregate.counters {
+        let _ = writeln!(out, "  {name:<36} {v:>12}");
+    }
+    let _ = writeln!(
+        out,
+        "\nhistograms\n  {:<36} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "name", "count", "p50", "p90", "p99", "max"
+    );
+    for (name, h) in &aggregate.histograms {
+        let _ = writeln!(
+            out,
+            "  {:<36} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            name,
+            h.count,
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max,
+        );
+    }
+    out
 }
 
 fn cmd_simulate(args: Args) -> Result<(), String> {

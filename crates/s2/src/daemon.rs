@@ -50,16 +50,17 @@ use crate::sweep::{
 use crate::verifier::{S2Error, S2Options, S2Verifier};
 use s2_net::config::{DeviceConfig, Network};
 use s2_net::topology::{InterfaceId, NodeId, Topology};
-use s2_obs::{Deadline, Registry, Stopwatch};
+use s2_obs::{Deadline, MetricsSnapshot, Registry, Stopwatch};
 use s2_routing::{NetworkModel, RibSnapshot};
 use s2_runtime::admin::{
     self, fnv1a64, parse_text_command, render_text_response, AdminRequest, AdminResponse,
-    DeltaSpec, VerdictSummary, WarmCheckpoint,
+    DeltaSpec, VerdictSummary, WarmCheckpoint, WorkerMetrics,
 };
 use s2_runtime::{
     CheckpointError, ClusterOptions, DaemonPhase, DpvRunStats, FaultPlan, FaultState,
 };
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -170,6 +171,46 @@ pub struct Daemon {
     /// `serve` mode: injected crashes abort the process instead of
     /// returning [`DaemonCrash`].
     abort_on_crash: bool,
+    /// Daemon start time, backing the `daemon.uptime_ms` gauge and the
+    /// `healthz` reply.
+    start: Stopwatch,
+    /// `now_ns` of the last successful checkpoint write, backing the
+    /// `daemon.checkpoint.age_ms` gauge. `Cell` keeps
+    /// [`Daemon::checkpoint_now`] callable through `&self`.
+    last_checkpoint_ns: Cell<Option<u64>>,
+    /// Rolling window of the last [`SLO_WINDOW`] delta outcomes
+    /// (latency ms, committed?) backing the `daemon.slo.*` gauges.
+    slo_window: VecDeque<(u64, bool)>,
+    /// Last-known per-worker metric snapshots. When a worker stops
+    /// answering scrapes its cached snapshot is served with `stale`
+    /// set, so a dead worker degrades the endpoint instead of
+    /// wedging or blanking it.
+    worker_cache: BTreeMap<u32, MetricsSnapshot>,
+}
+
+/// How many recent deltas the `daemon.slo.*` rolling window covers.
+const SLO_WINDOW: usize = 64;
+
+/// Coarse reason class of a rejection, for the per-class
+/// `daemon.delta.rejected.*` counters. Classes are stable strings —
+/// dashboards alert on them — so classification is by substring of the
+/// human reason, never by exposing the raw reason as a label.
+fn rejection_class(reason: &str, attempts: u32) -> &'static str {
+    if attempts == 0 {
+        "validate"
+    } else if reason.contains("deadline") {
+        "deadline"
+    } else if reason.contains("worker-lost")
+        || reason.contains("unrecoverable")
+        || reason.contains("re-warm")
+    {
+        "worker_lost"
+    } else if reason.contains("model:") || reason.contains("spawn:") || reason.contains("rebuild verify")
+    {
+        "rebuild"
+    } else {
+        "other"
+    }
 }
 
 /// Stable content hash of a snapshot. Node names and links come from
@@ -327,12 +368,17 @@ impl Daemon {
             committed_count: 0,
             rejected_count: 0,
             abort_on_crash: false,
+            start: sw,
+            last_checkpoint_ns: Cell::new(None),
+            slo_window: VecDeque::new(),
+            worker_cache: BTreeMap::new(),
         };
         // Persist generation 0 immediately: a `kill -9` before the first
         // delta must still restart warm.
         if !daemon.warm_start {
             daemon.checkpoint_now();
         }
+        daemon.refresh_gauges();
         Ok(daemon)
     }
 
@@ -368,8 +414,11 @@ impl Daemon {
         self.baseline.ms
     }
 
-    /// Stops the fleet.
+    /// Stops the fleet, pulling any buffered remote trace events into
+    /// this process first so a subsequent Chrome-trace export covers
+    /// the whole fleet.
     pub fn shutdown(self) {
+        self.verifier.drain_remote_traces();
         self.verifier.shutdown();
     }
 
@@ -394,6 +443,7 @@ impl Daemon {
             }
         }
         self.checkpoint_now();
+        self.verifier.drain_remote_traces();
         self.verifier.shutdown();
         Ok(())
     }
@@ -460,10 +510,106 @@ impl Daemon {
         match req {
             AdminRequest::Status => Ok(self.status()),
             AdminRequest::ApplyDelta(delta) => self.apply(delta),
+            AdminRequest::Metrics => Ok(self.metrics()),
+            AdminRequest::Healthz => Ok(self.healthz()),
             AdminRequest::Shutdown => {
                 self.checkpoint_now();
                 Ok(AdminResponse::ShuttingDown)
             }
+        }
+    }
+
+    /// Refreshes the daemon-level gauges in the global registry so
+    /// every scrape, snapshot-rendered log line, and healthz reply
+    /// sees current values.
+    fn refresh_gauges(&self) {
+        let reg = Registry::global();
+        reg.gauge("daemon.uptime_ms").set(self.start.elapsed().as_millis() as u64);
+        reg.gauge("daemon.generation").set(self.committed.generation);
+        reg.gauge("daemon.warm_start").set(u64::from(self.warm_start));
+        if let Some(t) = self.last_checkpoint_ns.get() {
+            reg.gauge("daemon.checkpoint.age_ms")
+                .set(s2_obs::time::now_ns().saturating_sub(t) / 1_000_000);
+        }
+        if self.slo_window.is_empty() {
+            return;
+        }
+        // SLO rolling window: rejection rate and commit-latency
+        // quantiles over the last `SLO_WINDOW` deltas (nearest-rank on
+        // the sorted exact values — the window is small).
+        let total = self.slo_window.len() as u64;
+        let rejected = self.slo_window.iter().filter(|(_, committed)| !committed).count() as u64;
+        reg.gauge("daemon.slo.rejection_rate_pct").set(rejected * 100 / total);
+        let mut commits: Vec<u64> = self
+            .slo_window
+            .iter()
+            .filter(|(_, committed)| *committed)
+            .map(|&(ms, _)| ms)
+            .collect();
+        if commits.is_empty() {
+            return;
+        }
+        commits.sort_unstable();
+        let rank = |q: f64| {
+            let i = (q * (commits.len() - 1) as f64).round() as usize;
+            commits[i.min(commits.len() - 1)]
+        };
+        reg.gauge("daemon.slo.commit_p50_ms").set(rank(0.5));
+        reg.gauge("daemon.slo.commit_p90_ms").set(rank(0.9));
+        reg.gauge("daemon.slo.commit_p99_ms").set(rank(0.99));
+    }
+
+    /// Records one delta outcome into the SLO window.
+    fn record_outcome(&mut self, ms: u64, committed: bool) {
+        if self.slo_window.len() == SLO_WINDOW {
+            self.slo_window.pop_front();
+        }
+        self.slo_window.push_back((ms, committed));
+    }
+
+    /// The metrics reply: the controller-side registry merged with
+    /// fleet-pulled per-worker snapshots. A worker that stops
+    /// answering is reported `up: false, stale: true` with its
+    /// last-known snapshot — the scrape degrades, it never wedges.
+    pub fn metrics(&mut self) -> AdminResponse {
+        self.refresh_gauges();
+        let scrape = self.verifier.scrape_metrics();
+        let mut workers = Vec::with_capacity(scrape.workers.len());
+        for (id, snap) in scrape.workers {
+            match snap {
+                Some(s) => {
+                    self.worker_cache.insert(id, s.clone());
+                    workers.push(WorkerMetrics { id, up: true, stale: false, snapshot: Some(s) });
+                }
+                None => workers.push(WorkerMetrics {
+                    id,
+                    up: false,
+                    stale: true,
+                    snapshot: self.worker_cache.get(&id).cloned(),
+                }),
+            }
+        }
+        AdminResponse::Metrics { aggregate: scrape.aggregate, workers }
+    }
+
+    /// The liveness reply: fleet poll plus daemon vitals. `ok` means
+    /// every worker answered — the committed verdict (all-clear or
+    /// not) is a property of the *network*, not of daemon health.
+    pub fn healthz(&mut self) -> AdminResponse {
+        self.refresh_gauges();
+        let scrape = self.verifier.scrape_metrics();
+        let workers_total = scrape.workers.len() as u32;
+        let workers_up = scrape.workers.iter().filter(|(_, s)| s.is_some()).count() as u32;
+        AdminResponse::Healthz {
+            ok: workers_total > 0 && workers_up == workers_total,
+            generation: self.committed.generation,
+            uptime_ms: self.start.elapsed().as_millis() as u64,
+            workers_up,
+            workers_total,
+            checkpoint_age_ms: self
+                .last_checkpoint_ns
+                .get()
+                .map(|t| s2_obs::time::now_ns().saturating_sub(t) / 1_000_000),
         }
     }
 
@@ -487,29 +633,27 @@ impl Daemon {
         let _span = s2_obs::span!("daemon.delta");
         let sw = Stopwatch::start();
         let resp = self.apply_inner(delta, &sw)?;
+        let reg = Registry::global();
         match &resp {
             AdminResponse::Committed { ms, .. } => {
                 self.committed_count += 1;
-                let reg = Registry::global();
+                self.record_outcome(*ms as u64, true);
                 reg.counter("daemon.delta.committed").inc();
                 reg.histogram("daemon.delta.ms").record(*ms as u64);
-                // One stderr line per commit with the cumulative scoped-DPV
-                // counters, so operators (and CI) can see dst-scoping work
-                // without a metrics pipeline.
-                eprintln!(
-                    "daemon: delta committed gen={} ms={ms:.1} \
-                     dpv.scoped.runs={} dpv.scoped.skipped_sources={} \
-                     dpv.scoped.splice_ops={} dpv.scoped.fallback_full={}",
-                    self.committed.generation,
-                    reg.counter("dpv.scoped.runs").get(),
-                    reg.counter("dpv.scoped.skipped_sources").get(),
-                    reg.counter("dpv.scoped.splice_ops").get(),
-                    reg.counter("dpv.scoped.fallback_full").get(),
-                );
+                self.refresh_gauges();
+                // One stderr line per commit, rendered from a frozen
+                // registry snapshot so the log and the metrics endpoint
+                // can never disagree. Keys stay grep-compatible
+                // (`dpv.scoped.runs=N`) for operators and CI.
+                eprintln!("{}", self.commit_log(*ms));
             }
-            AdminResponse::Rejected { reason, .. } => {
+            AdminResponse::Rejected { reason, attempts } => {
                 self.rejected_count += 1;
-                Registry::global().counter("daemon.delta.rejected").inc();
+                self.record_outcome(sw.elapsed().as_millis() as u64, false);
+                reg.counter("daemon.delta.rejected").inc();
+                let class = rejection_class(reason, *attempts);
+                reg.counter(&format!("daemon.delta.rejected.{class}")).inc();
+                self.refresh_gauges();
                 s2_obs::event!("daemon.delta_rejected", reason.len());
             }
             _ => {}
@@ -517,12 +661,36 @@ impl Daemon {
         Ok(resp)
     }
 
+    /// Renders the per-commit stderr line from a registry snapshot —
+    /// one source of truth with the scrape endpoint.
+    fn commit_log(&self, ms: f64) -> String {
+        let snap = Registry::global().snapshot();
+        let mut line = format!(
+            "daemon: delta committed gen={} ms={ms:.1}",
+            self.committed.generation
+        );
+        for key in [
+            "dpv.scoped.runs",
+            "dpv.scoped.skipped_sources",
+            "dpv.scoped.splice_ops",
+            "dpv.scoped.fallback_full",
+        ] {
+            let _ = write!(line, " {key}={}", snap.counter_value(key));
+        }
+        line
+    }
+
     fn apply_inner(
         &mut self,
         delta: &DeltaSpec,
         sw: &Stopwatch,
     ) -> Result<AdminResponse, DaemonCrash> {
-        let action = match self.validate(delta) {
+        let vsw = Stopwatch::start();
+        let validated = self.validate(delta);
+        Registry::global()
+            .histogram("daemon.delta.validate_ms")
+            .record(vsw.elapsed().as_millis() as u64);
+        let action = match validated {
             Ok(a) => a,
             Err(reason) => return Ok(AdminResponse::Rejected { reason, attempts: 0 }),
         };
@@ -696,6 +864,7 @@ impl Daemon {
         };
         match candidate {
             Ok((rib, dpv)) => {
+                let commit_sw = Stopwatch::start();
                 let changed = changed_nodes(&self.committed.rib, &rib).len() as u32;
                 self.crash(DaemonPhase::Commit)?;
                 let all_clear = dpv_all_clear(&dpv);
@@ -706,8 +875,15 @@ impl Daemon {
                     verdict: summarize(&dpv),
                     all_clear,
                 };
+                Registry::global()
+                    .histogram("daemon.delta.commit_ms")
+                    .record(commit_sw.elapsed().as_millis() as u64);
                 self.crash(DaemonPhase::Checkpoint)?;
+                let ckpt_sw = Stopwatch::start();
                 self.checkpoint_now();
+                Registry::global()
+                    .histogram("daemon.delta.checkpoint_ms")
+                    .record(ckpt_sw.elapsed().as_millis() as u64);
                 Ok(AdminResponse::Committed {
                     generation: self.committed.generation,
                     ms: sw.elapsed().as_secs_f64() * 1000.0,
@@ -749,6 +925,7 @@ impl Daemon {
         fence: &Deadline,
     ) -> Result<Result<WarmCandidate, ScenarioFail>, DaemonCrash> {
         let cluster = &self.verifier.cluster;
+        let stage_sw = Stopwatch::start();
         if let Err(e) = cluster.scenario_begin(ports) {
             return Ok(Err(classify(e)));
         }
@@ -768,7 +945,11 @@ impl Daemon {
             Ok(rib) => rib,
             Err(e) => return Ok(Err(e)),
         };
+        Registry::global()
+            .histogram("daemon.delta.stage_ms")
+            .record(stage_sw.elapsed().as_millis() as u64);
         self.crash(DaemonPhase::Dpv)?;
+        let dpv_sw = Stopwatch::start();
         let changed = changed_nodes(&self.baseline.rib, &rib);
         let dpv = cluster.run_scenario_dpv(
             rib.clone(),
@@ -779,6 +960,9 @@ impl Daemon {
             self.cfg.request.dst_space,
             self.waypoints.clone(),
         );
+        Registry::global()
+            .histogram("daemon.delta.dpv_ms")
+            .record(dpv_sw.elapsed().as_millis() as u64);
         match dpv {
             Ok(dpv) => Ok(Ok((rib, dpv))),
             Err(e) => Ok(Err(classify(e))),
@@ -808,6 +992,7 @@ impl Daemon {
             };
             AdminResponse::Rejected { reason, attempts }
         };
+        let stage_sw = Stopwatch::start();
         let model = match NetworkModel::build(self.cfg.topology.clone(), configs.clone()) {
             Ok(m) => m,
             Err(e) => return Ok(reject(format!("model: {e}"))),
@@ -824,9 +1009,17 @@ impl Daemon {
             Ok(v) => v,
             Err(e) => return Ok(reject(format!("spawn: {e}"))),
         };
+        Registry::global()
+            .histogram("daemon.delta.stage_ms")
+            .record(stage_sw.elapsed().as_millis() as u64);
         self.crash(DaemonPhase::Dpv)?;
+        let dpv_sw = Stopwatch::start();
         match verifier.warm_up(&self.cfg.request, &self.waypoints, &self.copts) {
             Ok(baseline) => {
+                Registry::global()
+                    .histogram("daemon.delta.dpv_ms")
+                    .record(dpv_sw.elapsed().as_millis() as u64);
+                let commit_sw = Stopwatch::start();
                 self.crash(DaemonPhase::Commit)?;
                 let changed = changed_nodes(&self.committed.rib, &baseline.rib).len() as u32;
                 let all_clear = dpv_all_clear(&baseline.dpv);
@@ -843,8 +1036,15 @@ impl Daemon {
                     all_clear,
                 };
                 self.baseline = baseline;
+                Registry::global()
+                    .histogram("daemon.delta.commit_ms")
+                    .record(commit_sw.elapsed().as_millis() as u64);
                 self.crash(DaemonPhase::Checkpoint)?;
+                let ckpt_sw = Stopwatch::start();
                 self.checkpoint_now();
+                Registry::global()
+                    .histogram("daemon.delta.checkpoint_ms")
+                    .record(ckpt_sw.elapsed().as_millis() as u64);
                 Ok(AdminResponse::Committed {
                     generation: self.committed.generation,
                     ms: sw.elapsed().as_secs_f64() * 1000.0,
@@ -879,9 +1079,12 @@ impl Daemon {
             rib: (*self.committed.rib).clone(),
             verdict: self.committed.verdict.clone(),
         };
-        if let Err(e) = admin::write_checkpoint(path, &ckpt, &self.faults) {
-            s2_obs::recorder::dump("daemon-checkpoint-write-failed");
-            s2_obs::event!("daemon.checkpoint_error", e.raw_os_error().unwrap_or(0) as usize);
+        match admin::write_checkpoint(path, &ckpt, &self.faults) {
+            Ok(()) => self.last_checkpoint_ns.set(Some(s2_obs::time::now_ns())),
+            Err(e) => {
+                s2_obs::recorder::dump("daemon-checkpoint-write-failed");
+                s2_obs::event!("daemon.checkpoint_error", e.raw_os_error().unwrap_or(0) as usize);
+            }
         }
     }
 

@@ -419,6 +419,20 @@ impl S2Verifier {
         self.verify(&VerificationRequest::single_pair(src, dst, prefix))
     }
 
+    /// Scrapes the fleet leniently: per-worker metric snapshots plus
+    /// the merged aggregate. A dead or hung worker yields `None` for
+    /// its slot instead of failing the whole scrape.
+    pub fn scrape_metrics(&self) -> s2_runtime::FleetScrape {
+        self.cluster.scrape_metrics()
+    }
+
+    /// Pulls buffered trace events from remote worker processes into
+    /// this process's trace sink so one Chrome trace export covers the
+    /// whole fleet. No-op for in-process fleets or when tracing is off.
+    pub fn drain_remote_traces(&self) {
+        self.cluster.drain_remote_traces()
+    }
+
     /// Stops the worker fleet.
     pub fn shutdown(self) {
         self.cluster.shutdown();

@@ -373,3 +373,180 @@ fn admin_socket_serves_both_dialects_and_survives_dropped_conn() {
     }
     server.join().unwrap().unwrap();
 }
+
+/// The text-dialect `metrics` command serves a valid Prometheus
+/// exposition merging controller series (SLO gauges, phase-latency
+/// quantiles, scoped-DPV counters) with per-worker liveness series;
+/// `healthz` reports the fleet healthy.
+#[test]
+fn metrics_endpoint_serves_merged_exposition() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let d = Daemon::open(ft_config()).unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || d.serve(listener));
+
+    // A committed delta populates the SLO gauges and phase histograms.
+    let delta = AdminRequest::ApplyDelta(link_down("pod0-edge0", "pod0-agg0"));
+    match s2::daemon::admin_roundtrip(&addr, &delta).unwrap() {
+        AdminResponse::Committed { .. } => {}
+        other => panic!("link-down should commit: {other:?}"),
+    }
+
+    // `echo metrics | nc`: send the line, half-close, read to EOF.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"metrics\n").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut body = String::new();
+    stream.read_to_string(&mut body).unwrap();
+
+    s2_obs::expo::validate(&body).expect("the scrape must be valid exposition");
+    // Controller-side series: delta counters, SLO quantile gauges,
+    // phase histograms with summary quantiles, scoped-DPV counters.
+    // (Values are process-global across parallel tests, so assert
+    // presence, not exact numbers — except this daemon's own fleet.)
+    for series in [
+        "s2_daemon_delta_committed",
+        "s2_daemon_delta_ms{quantile=\"0.99\"}",
+        "s2_daemon_delta_stage_ms{quantile=\"0.5\"}",
+        "s2_daemon_delta_dpv_ms_count",
+        "s2_daemon_slo_commit_p50_ms",
+        "s2_daemon_slo_rejection_rate_pct",
+        "s2_daemon_uptime_ms",
+        "s2_daemon_generation",
+        "s2_dpv_scoped_runs",
+        "s2_worker_up{worker=\"0\"} 1",
+        "s2_worker_up{worker=\"1\"} 1",
+        "s2_worker_stale{worker=\"0\"} 0",
+    ] {
+        assert!(body.contains(series), "scrape must contain {series}:\n{body}");
+    }
+
+    // `echo healthz | nc`: one JSON line, fleet healthy.
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"healthz\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap()).read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    assert!(line.contains("\"workers_up\":2"), "{line}");
+    assert!(line.contains("\"workers_total\":2"), "{line}");
+    drop(stream);
+
+    match s2::daemon::admin_roundtrip(&addr, &AdminRequest::Shutdown).unwrap() {
+        AdminResponse::ShuttingDown => {}
+        other => panic!("shutdown: {other:?}"),
+    }
+    server.join().unwrap().unwrap();
+}
+
+/// Chaos: a worker killed by the scrape traffic itself leaves the
+/// endpoint serving. The dead worker degrades to its last-known
+/// snapshot with the staleness gauge flipped; healthz goes unhealthy;
+/// the daemon never wedges.
+#[test]
+fn worker_death_degrades_scrape_with_staleness_flag() {
+    let mut cfg = ft_config();
+    // Past warm-up's command stream (same placement as the mid-delta
+    // chaos test). No deltas are applied here, so the only post-warm-up
+    // traffic to worker 1 is the Metrics polls below — the kill fires
+    // on one of them, i.e. mid-scrape.
+    cfg.opts.runtime.faults = FaultPlan::new().kill_worker(1, 400);
+    let mut d = Daemon::open(cfg).unwrap();
+
+    let mut saw_degraded = false;
+    for _ in 0..600 {
+        match d.metrics() {
+            AdminResponse::Metrics { aggregate, workers } => {
+                assert_eq!(workers.len(), 2);
+                if workers[1].up {
+                    assert!(!workers[1].stale);
+                    assert!(workers[1].snapshot.is_some());
+                } else {
+                    // Degraded, not wedged: the stale flag is flipped,
+                    // the cached snapshot is still served, and the
+                    // aggregate (with the live worker merged) remains.
+                    assert!(workers[1].stale);
+                    assert!(
+                        workers[1].snapshot.is_some(),
+                        "the last-known snapshot must be served stale"
+                    );
+                    assert!(workers[0].up && !workers[0].stale);
+                    assert!(!aggregate.counters.is_empty() || !aggregate.gauges.is_empty());
+                    saw_degraded = true;
+                    break;
+                }
+            }
+            other => panic!("metrics: {other:?}"),
+        }
+    }
+    assert!(saw_degraded, "the kill fault must fire within the scrape budget");
+
+    // The exposition still renders and validates with the staleness
+    // gauge flipped — a scrape of a degraded fleet is still a scrape.
+    match d.metrics() {
+        AdminResponse::Metrics { aggregate, workers } => {
+            let body = s2_runtime::admin::render_exposition(&aggregate, &workers);
+            assert!(body.contains("s2_worker_up{worker=\"1\"} 0"), "{body}");
+            assert!(body.contains("s2_worker_stale{worker=\"1\"} 1"), "{body}");
+            assert!(body.contains("s2_worker_up{worker=\"0\"} 1"), "{body}");
+            s2_obs::expo::validate(&body).expect("degraded exposition must stay valid");
+        }
+        other => panic!("metrics: {other:?}"),
+    }
+
+    match d.healthz() {
+        AdminResponse::Healthz { ok, workers_up, workers_total, .. } => {
+            assert!(!ok, "a dead worker must fail healthz");
+            assert_eq!((workers_up, workers_total), (1, 2));
+        }
+        other => panic!("healthz: {other:?}"),
+    }
+    d.shutdown();
+}
+
+/// Span stitching: with tracing on, a committed delta's worker-side
+/// DPV spans (recorded on worker lanes) parent-chain up to the
+/// controller's `daemon.delta` span in one event stream — the property
+/// that makes the exported Chrome trace causally navigable.
+#[test]
+fn worker_dpv_spans_stitch_under_daemon_delta() {
+    s2_obs::trace::set_enabled(true);
+    let _ = s2_obs::trace::take_events(); // drop unrelated backlog
+    let mut d = Daemon::open(ft_config()).unwrap();
+    must_commit(&mut d, &link_down("pod0-edge0", "pod0-agg0"));
+    d.shutdown();
+    let events = s2_obs::trace::take_events();
+    s2_obs::trace::set_enabled(false);
+
+    // Index spans by id, then walk a worker-lane dpv span's parent
+    // chain; it must pass through the daemon.delta (or daemon.open
+    // warm-up) root rather than floating unparented.
+    let by_span: std::collections::HashMap<u64, &s2_obs::trace::Event> =
+        events.iter().filter(|e| e.span != 0).map(|e| (e.span, e)).collect();
+    let reaches_delta = |mut span: u64| -> bool {
+        for _ in 0..64 {
+            let Some(e) = by_span.get(&span) else { return false };
+            if s2_obs::trace::name_of(e.name) == "daemon.delta" {
+                return true;
+            }
+            if e.parent == 0 {
+                return false;
+            }
+            span = e.parent;
+        }
+        false
+    };
+    let worker_dpv: Vec<&&s2_obs::trace::Event> = by_span
+        .values()
+        .filter(|e| e.lane >= 1 && s2_obs::trace::name_of(e.name).starts_with("dpv."))
+        .collect();
+    assert!(
+        !worker_dpv.is_empty(),
+        "the delta's DPV must record worker-lane spans"
+    );
+    assert!(
+        worker_dpv.iter().any(|e| reaches_delta(e.span)),
+        "at least one worker DPV span must stitch under daemon.delta"
+    );
+}

@@ -11,6 +11,9 @@
 //! * `obs-symbols <binary> [--needle <s>]...` — fail if a compiled
 //!   binary contains tracing span-name literals (the obs-off
 //!   compile-time-zero check).
+//! * `expo-check <metrics.txt> [--require <series>]...` — validate a
+//!   Prometheus text-exposition scrape (as returned by the daemon's
+//!   `metrics` admin command) and require specific series.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,8 +24,11 @@ fn main() -> ExitCode {
         Some("lint") => lint(args.collect()),
         Some("trace-check") => trace_check(args.collect()),
         Some("obs-symbols") => obs_symbols(args.collect()),
+        Some("expo-check") => expo_check(args.collect()),
         Some(other) => {
-            eprintln!("unknown xtask command {other:?}; available: lint, trace-check, obs-symbols");
+            eprintln!(
+                "unknown xtask command {other:?}; available: lint, trace-check, obs-symbols, expo-check"
+            );
             ExitCode::from(2)
         }
         None => {
@@ -30,9 +36,59 @@ fn main() -> ExitCode {
                 "usage: cargo xtask <command>\n  \
                  lint [--format json] [--deny-all] [--config <path>] [--root <dir>]\n  \
                  trace-check <trace.json> [--require <span>]... [--min-lanes <n>]\n  \
-                 obs-symbols <binary> [--needle <s>]..."
+                 obs-symbols <binary> [--needle <s>]...\n  \
+                 expo-check <metrics.txt> [--require <series>]..."
             );
             ExitCode::from(2)
+        }
+    }
+}
+
+fn expo_check(args: Vec<String>) -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut required: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require" => match it.next() {
+                Some(series) => required.push(series),
+                None => {
+                    eprintln!("--require needs a series substring");
+                    return ExitCode::from(2);
+                }
+            },
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown expo-check flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("expo-check needs a metrics file path");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("expo-check: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::obscheck::check_expo(&text, &required) {
+        Ok((families, samples)) => {
+            println!(
+                "expo-check: {} OK — {families} familie(s), {samples} sample(s)",
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("expo-check: {}: {e}", path.display());
+            ExitCode::FAILURE
         }
     }
 }

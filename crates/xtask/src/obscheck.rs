@@ -106,6 +106,20 @@ pub fn check_trace(text: &str, required: &[String], min_lanes: usize) -> Result<
     })
 }
 
+/// Validates a Prometheus text-exposition document (what `echo metrics
+/// | nc` returns from a daemon admin socket) and checks that every
+/// `required` series substring appears. Returns the family count and
+/// sample count for reporting.
+pub fn check_expo(text: &str, required: &[String]) -> Result<(usize, usize), String> {
+    let stats = s2_obs::expo::validate(text)?;
+    for series in required {
+        if !text.contains(series.as_str()) {
+            return Err(format!("required series {series:?} not found in exposition"));
+        }
+    }
+    Ok((stats.families.len(), stats.samples))
+}
+
 /// The dotted span-name literals the obs-off binary must not contain.
 /// Dotted forms are used verbatim nowhere else, so a hit means the
 /// tracing macros compiled the name in. Span names that are a prefix of
@@ -184,6 +198,22 @@ mod tests {
             let err = check_trace(text, &[], 0).unwrap_err();
             assert!(err.contains(why), "{text} -> {err}");
         }
+    }
+
+    #[test]
+    fn expo_check_validates_and_requires_series() {
+        let mut snap = s2_obs::MetricsSnapshot::default();
+        snap.counter("dpv.scoped.runs", 3);
+        snap.gauge_max("daemon.generation", 2);
+        let doc = s2_obs::expo::render(&snap, &[]);
+        let (families, samples) = check_expo(&doc, &req(&["s2_dpv_scoped_runs 3"])).unwrap();
+        assert_eq!(families, 2);
+        assert!(samples >= 2);
+
+        let err = check_expo(&doc, &req(&["s2_missing_series"])).unwrap_err();
+        assert!(err.contains("s2_missing_series"), "{err}");
+        let err = check_expo("not an exposition {", &[]).unwrap_err();
+        assert!(!err.is_empty());
     }
 
     #[test]
